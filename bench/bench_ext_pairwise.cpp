@@ -1,0 +1,57 @@
+/// \file bench_ext_pairwise.cpp
+/// \brief Extension: pairwise (2-way) vs three-way scan cost on the host.
+///
+/// The pairwise module reuses the triple-block kernels (a constant
+/// all-ones/all-zeros plane pins g_z = 0), so per-combination cost matches
+/// the 3-way kernel while the combination count drops from C(M,3) to
+/// C(M,2) — this harness quantifies both effects per ISA.
+
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "trigen/common/table.hpp"
+#include "trigen/core/detector.hpp"
+#include "trigen/pairwise/pair_detector.hpp"
+
+int main(int argc, char** argv) {
+  using namespace trigen;
+  const bool paper = bench::has_flag(argc, argv, "--paper-scale");
+  const std::size_t snps = paper ? 1024 : 160;
+  const std::size_t samples = paper ? 16384 : 8192;
+
+  bench::print_header("Extension — pairwise vs three-way scan");
+  const auto d = bench::paper_style_dataset(snps, samples);
+  std::printf("workload: %zu SNPs x %zu samples; C(M,2) = %llu, C(M,3) = %llu\n",
+              snps, samples,
+              static_cast<unsigned long long>(pairwise::num_pairs(snps)),
+              static_cast<unsigned long long>(
+                  combinatorics::num_triplets(snps)));
+
+  TextTable t({"scan", "ISA", "combinations", "time [s]", "Gel/s"});
+  const pairwise::PairDetector pairs(d);
+  const core::Detector triples(d);
+  for (const core::KernelIsa isa : core::all_kernel_isas()) {
+    if (!core::kernel_available(isa)) continue;
+
+    pairwise::PairDetectorOptions popt;
+    popt.isa = isa;
+    popt.isa_auto = false;
+    const auto pr = pairs.run(popt);
+    t.add_row({"2-way", core::kernel_isa_name(isa),
+               std::to_string(pr.pairs_evaluated),
+               TextTable::fmt(pr.seconds, 3),
+               TextTable::fmt(pr.elements_per_second() / 1e9, 2)});
+
+    core::DetectorOptions topt;
+    topt.version = core::CpuVersion::kV4Vector;
+    topt.isa = isa;
+    topt.isa_auto = false;
+    const auto tr = triples.run(topt);
+    t.add_row({"3-way", core::kernel_isa_name(isa),
+               std::to_string(tr.triplets_evaluated),
+               TextTable::fmt(tr.seconds, 3),
+               TextTable::fmt(tr.elements_per_second() / 1e9, 2)});
+  }
+  std::printf("%s", t.to_ascii().c_str());
+  return 0;
+}

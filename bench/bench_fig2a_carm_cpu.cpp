@@ -1,0 +1,108 @@
+/// \file bench_fig2a_carm_cpu.cpp
+/// \brief Reproduces paper Fig. 2a: CARM characterization of the CPU ladder.
+///
+/// Measures the host's CARM roofs (L1/L2/L3/DRAM load bandwidth, scalar and
+/// vector INT-ADD peaks) and places the four CPU versions (V1 naive, V2
+/// phenotype-split, V3 cache-blocked, V4 vectorized) on the model.
+/// Expected shape (paper §V-A):
+///   * V1 sits under a slow memory roof;
+///   * V2 halves runtime but *lowers* AI and CARM performance (op count
+///     fell 2.1x) — the counter-intuitive point the paper highlights;
+///   * V3 lifts performance ~1.2x via L1 blocking;
+///   * V4 jumps ~7.5x and lands at the vector roof (with vector POPCNT).
+///
+/// Default workload is laptop-scaled; pass --paper-scale for the paper's
+/// dataset shape (slow on one core).
+
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "trigen/carm/characterize.hpp"
+#include "trigen/carm/roofs.hpp"
+#include "trigen/common/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace trigen;
+  const bool paper = bench::has_flag(argc, argv, "--paper-scale");
+  // Laptop default: few SNPs but many samples, so the plane set (~3 MB)
+  // exceeds a typical L2 and the V3 blocking effect is visible, while V1
+  // stays affordable on one core.
+  const std::size_t snps = paper ? 2048 : 96;
+  const std::size_t samples = paper ? 16384 : 65536;
+
+  bench::print_header("Fig. 2a — CARM characterization, CPU ladder");
+  std::printf("workload: %zu SNPs x %zu samples (use --paper-scale for %s)\n",
+              snps, samples, "2048 x 16384");
+
+  std::printf("\nMeasuring CARM roofs (single core)...\n");
+  const carm::CarmRoofs roofs = carm::measure_roofs();
+  TextTable rooft({"roof", "value"});
+  for (const auto& r : roofs.memory) {
+    rooft.add_row({r.level + "->C bandwidth", si_format(r.bytes_per_s) + "B/s"});
+  }
+  for (const auto& r : roofs.compute) {
+    rooft.add_row({r.name + " peak", si_format(r.intops_per_s) + "INTOP/s"});
+  }
+  std::printf("%s", rooft.to_ascii().c_str());
+
+  std::printf("\nRunning V1..V4 (single core)...\n");
+  const auto d = bench::paper_style_dataset(snps, samples);
+  auto points = carm::characterize_cpu_ladder(d, 1);
+
+  // Extra point beyond the paper's ladder: the V4 vector kernel *without*
+  // cache blocking (per-triplet streaming).  On CPUs whose per-core L2/L3
+  // bandwidth comfortably feeds the scalar kernel, the V2->V3 blocking gain
+  // collapses (scalar compute binds first) and the blocking benefit only
+  // appears at vector speed — this row makes that visible.
+  {
+    const core::Detector det(d);
+    core::DetectorOptions opt;
+    opt.version = core::CpuVersion::kV2Split;
+    opt.isa = core::best_kernel_isa();
+    opt.isa_auto = false;
+    const auto r = det.run(opt);
+    const auto mix = carm::cpu_op_mix(core::CpuVersion::kV2Split);
+    const double words =
+        static_cast<double>(det.planes_split().words(0) +
+                            det.planes_split().words(1)) *
+        static_cast<double>(r.triplets_evaluated);
+    carm::KernelPoint p;
+    p.name = "V4-unblocked";
+    p.ai = (mix.popcnt + mix.logic) / (mix.loads * 4.0);
+    p.gintops = words * (mix.popcnt + mix.logic) / r.seconds / 1e9;
+    p.seconds = r.seconds;
+    p.elements_per_second = r.elements_per_second();
+    points.push_back(p);
+  }
+
+  TextTable t({"version", "AI [intop/B]", "perf [GINTOP/s]", "time [s]",
+               "Gelements/s", "speedup vs V1"});
+  for (const auto& p : points) {
+    t.add_row({p.name, TextTable::fmt(p.ai, 3), TextTable::fmt(p.gintops, 2),
+               TextTable::fmt(p.seconds, 3),
+               TextTable::fmt(p.elements_per_second / 1e9, 2),
+               TextTable::fmt(points[0].seconds / p.seconds, 2)});
+  }
+  std::printf("%s", t.to_ascii().c_str());
+
+  std::printf("\n%s", carm::roofline_chart(roofs, points).c_str());
+  std::printf("\nCSV:\n%s", carm::points_csv(points).c_str());
+
+  std::printf(
+      "\nPaper shape check (Fig. 2a): V2 ~2x runtime gain over V1 with "
+      "*lower* AI;\nV3 ~1.2x over V2; V4 large jump over V3 (7.5x on Ice "
+      "Lake SP with vector POPCNT).\n");
+  std::printf("measured: V1/V2 = %.2fx, V2/V3 = %.2fx, V3/V4 = %.2fx, "
+              "V1/V4 = %.2fx, V4-unblocked/V4 = %.2fx\n",
+              points[0].seconds / points[1].seconds,
+              points[1].seconds / points[2].seconds,
+              points[2].seconds / points[3].seconds,
+              points[0].seconds / points[3].seconds,
+              points[4].seconds / points[3].seconds);
+  std::printf(
+      "note: on hosts whose per-core cache bandwidth feeds the scalar "
+      "kernel (modern\nserver cores), V2/V3 ~1.0 — blocking pays off at "
+      "vector speed (see the last ratio);\nthe paper's 2016-21 CPUs were "
+      "bandwidth-bound already at scalar speed.\n");
+  return 0;
+}

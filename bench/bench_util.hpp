@@ -1,0 +1,49 @@
+#pragma once
+/// Shared helpers for the benchmark harnesses.
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+
+#include "trigen/dataset/synthetic.hpp"
+
+namespace trigen::bench {
+
+/// True when argv contains `flag` (e.g. "--paper-scale").
+inline bool has_flag(int argc, char** argv, const char* flag) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], flag) == 0) return true;
+  }
+  return false;
+}
+
+/// Current core frequency in Hz from /proc/cpuinfo (cycle-normalized
+/// metrics in Fig. 3/4 need it); 3 GHz fallback.
+inline double host_frequency_hz() {
+  std::ifstream is("/proc/cpuinfo");
+  std::string line;
+  while (std::getline(is, line)) {
+    if (line.rfind("cpu MHz", 0) == 0) {
+      const auto colon = line.find(':');
+      if (colon != std::string::npos) {
+        const double mhz = std::atof(line.c_str() + colon + 1);
+        if (mhz > 100.0) return mhz * 1e6;
+      }
+    }
+  }
+  return 3e9;
+}
+
+/// Balanced synthetic dataset of the shape the paper's experiments use.
+inline dataset::GenotypeMatrix paper_style_dataset(std::size_t snps,
+                                                   std::size_t samples,
+                                                   std::uint64_t seed = 2022) {
+  return dataset::generate_balanced(snps, samples, seed, 0.05, 0.5);
+}
+
+inline void print_header(const char* title) {
+  std::printf("\n=== %s ===\n", title);
+}
+
+}  // namespace trigen::bench

@@ -1,0 +1,73 @@
+/// \file crohns_pairwise.cpp
+/// \brief Second-order scenario from the paper's introduction: "some
+/// diseases, such as Crohn's disease, are related to an interaction
+/// between two SNPs" (§I, ref [3]).
+///
+/// Simulates a Crohn's-like study with a planted *pairwise* interaction,
+/// runs the pairwise detector, then shows why order matters: the 3-way
+/// detector also flags triplets containing the causal pair, but the 2-way
+/// scan finds the signal with C(M,2) ~ M/3 x fewer evaluations.
+
+#include <cstdio>
+
+#include "trigen/core/detector.hpp"
+#include "trigen/dataset/synthetic.hpp"
+#include "trigen/pairwise/pair_detector.hpp"
+
+int main() {
+  using namespace trigen;
+
+  // Crohn's-like candidate panel: a pair (9, 33) drives risk.
+  dataset::SyntheticSpec spec;
+  spec.num_snps = 64;
+  spec.num_samples = 3000;
+  spec.seed = 3407;
+  spec.maf_min = 0.2;
+  spec.maf_max = 0.5;
+  spec.prevalence = 0.12;
+  dataset::PlantedInteraction planted;
+  planted.snps = {9, 33, 63};  // third index unused by the pairwise table
+  planted.penetrance = dataset::make_penetrance_pairwise(
+      dataset::InteractionModel::kThreshold, 0.06, 0.5);
+  spec.interaction = planted;
+  const auto data = dataset::generate(spec);
+  std::printf("study: %zu SNPs x %zu samples, planted pair (9, 33)\n\n",
+              data.num_snps(), data.num_samples());
+
+  // Pairwise scan.
+  pairwise::PairDetector pairs(data);
+  pairwise::PairDetectorOptions popt;
+  popt.top_k = 5;
+  const auto pr = pairs.run(popt);
+  std::printf("2-way scan: %llu pairs in %.3f s\n",
+              static_cast<unsigned long long>(pr.pairs_evaluated), pr.seconds);
+  for (std::size_t i = 0; i < pr.best.size(); ++i) {
+    std::printf("  #%zu (%2u, %2u)  K2 = %.3f%s\n", i + 1, pr.best[i].x,
+                pr.best[i].y, pr.best[i].score,
+                pr.best[i].x == 9 && pr.best[i].y == 33 ? "  <-- planted" : "");
+  }
+
+  // 3-way scan on the same data: triplets containing (9, 33) dominate.
+  core::Detector triples(data);
+  core::DetectorOptions topt;
+  topt.top_k = 5;
+  const auto tr = triples.run(topt);
+  std::printf("\n3-way scan: %llu triplets in %.3f s\n",
+              static_cast<unsigned long long>(tr.triplets_evaluated),
+              tr.seconds);
+  int containing = 0;
+  for (std::size_t i = 0; i < tr.best.size(); ++i) {
+    const auto& t = tr.best[i].triplet;
+    const bool has_pair = (t.x == 9 && t.y == 33) || (t.x == 9 && t.z == 33) ||
+                          (t.y == 9 && t.z == 33);
+    containing += has_pair ? 1 : 0;
+    std::printf("  #%zu (%2u, %2u, %2u)  K2 = %.3f%s\n", i + 1, t.x, t.y, t.z,
+                tr.best[i].score, has_pair ? "  <-- contains the pair" : "");
+  }
+  std::printf("\n%d of the top-5 triplets contain the causal pair; the "
+              "pairwise scan needed %.1fx\nfewer combination evaluations.\n",
+              containing,
+              static_cast<double>(tr.triplets_evaluated) /
+                  static_cast<double>(pr.pairs_evaluated));
+  return 0;
+}

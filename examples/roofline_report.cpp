@@ -1,0 +1,37 @@
+/// \file roofline_report.cpp
+/// \brief Produces a CARM report for this machine: measured roofs plus the
+/// CPU detection ladder plotted on them — a self-service version of the
+/// paper's Fig. 2a methodology for any host.
+
+#include <cstdio>
+
+#include "trigen/carm/characterize.hpp"
+#include "trigen/carm/roofs.hpp"
+#include "trigen/common/cpuid.hpp"
+#include "trigen/common/table.hpp"
+#include "trigen/dataset/synthetic.hpp"
+
+int main() {
+  using namespace trigen;
+
+  std::printf("CARM report for: %s\nISA: %s\n\n", cpu_brand_string().c_str(),
+              cpu_features().to_string().c_str());
+
+  std::printf("measuring roofs (~1 s)...\n");
+  const carm::CarmRoofs roofs = carm::measure_roofs();
+  TextTable rt({"roof", "value"});
+  for (const auto& r : roofs.memory) {
+    rt.add_row({r.level + "->core", si_format(r.bytes_per_s) + "B/s"});
+  }
+  for (const auto& r : roofs.compute) {
+    rt.add_row({r.name, si_format(r.intops_per_s) + "INTOP/s"});
+  }
+  std::printf("%s", rt.to_ascii().c_str());
+
+  std::printf("\ncharacterizing the detection ladder (V1..V4, 1 core)...\n");
+  const auto data = dataset::generate_balanced(160, 4096, 99);
+  const auto points = carm::characterize_cpu_ladder(data, 1);
+  std::printf("%s", carm::roofline_chart(roofs, points).c_str());
+  std::printf("\n%s", carm::points_csv(points).c_str());
+  return 0;
+}

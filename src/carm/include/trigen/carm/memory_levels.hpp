@@ -1,0 +1,23 @@
+#pragma once
+/// \file memory_levels.hpp
+/// \brief Host cache hierarchy discovery for the CARM roofs.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace trigen::carm {
+
+/// One level of the memory hierarchy.
+struct MemoryLevel {
+  std::string name;          ///< "L1", "L2", "L3", "DRAM"
+  std::size_t size_bytes;    ///< capacity (0 for DRAM)
+  std::size_t probe_bytes;   ///< working-set size the bandwidth probe uses
+};
+
+/// Levels detected from sysfs (L1D/L2/L3) plus DRAM.  Probe working sets
+/// are sized at roughly half each level's capacity so the probe stays
+/// resident, and at 8x the last cache level for DRAM.
+std::vector<MemoryLevel> detect_memory_levels();
+
+}  // namespace trigen::carm

@@ -1,0 +1,63 @@
+#pragma once
+/// \file roofs.hpp
+/// \brief Measured CARM ceilings: per-level load bandwidth and INT-ADD peaks.
+///
+/// The Cache-Aware Roofline Model [Ilic et al., IEEE CAL'14] plots
+/// performance against arithmetic intensity under two families of roofs,
+/// *as seen from the core*: memory roofs B_mem x AI for each level of the
+/// hierarchy, and horizontal compute roofs.  The paper reads these from
+/// Intel Advisor; here they are measured directly with microbenchmarks:
+///
+///  * bandwidth: repeated vector-load sweeps over a working set sized to
+///    each cache level;
+///  * compute: independent-accumulator integer ADD loops, scalar and
+///    vector (the INT32 "Vector ADD Peak" / "Scalar ADD Peak" roofs of
+///    Fig. 2).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "trigen/carm/memory_levels.hpp"
+
+namespace trigen::carm {
+
+/// One memory roof.
+struct BandwidthRoof {
+  std::string level;   ///< "L1", "L2", ...
+  double bytes_per_s;  ///< measured load bandwidth
+};
+
+/// One compute roof.
+struct ComputeRoof {
+  std::string name;    ///< "scalar-add", "avx2-add", "avx512-add"
+  double intops_per_s; ///< 32-bit integer operations per second
+};
+
+/// Full roof set for one core (the CARM is a per-core model; multiply by
+/// core count for socket-level roofs).
+struct CarmRoofs {
+  std::vector<BandwidthRoof> memory;
+  std::vector<ComputeRoof> compute;
+
+  double scalar_peak() const;  ///< scalar ADD roof [intop/s]
+  double vector_peak() const;  ///< widest vector ADD roof [intop/s]
+  /// Bandwidth of the named level, 0 when absent.
+  double bandwidth(const std::string& level) const;
+};
+
+/// Measures load bandwidth for a working set of `bytes` (single core).
+double measure_load_bandwidth(std::size_t bytes);
+
+/// Measures the scalar 64-bit integer ADD peak, reported as 32-bit
+/// intop/s for comparability with the vector roofs.
+double measure_scalar_add_peak();
+
+/// Measures the widest-vector 32-bit integer ADD peak available.
+/// `lanes_out` receives the lane count used (8 for AVX2, 16 for AVX-512).
+double measure_vector_add_peak(unsigned* lanes_out = nullptr);
+
+/// Measures all roofs (takes ~1 s).
+CarmRoofs measure_roofs();
+
+}  // namespace trigen::carm

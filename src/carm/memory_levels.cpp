@@ -1,0 +1,52 @@
+#include "trigen/carm/memory_levels.hpp"
+
+#include <fstream>
+
+namespace trigen::carm {
+namespace {
+
+std::size_t parse_size(const std::string& s) {
+  if (s.empty()) return 0;
+  std::size_t value = 0;
+  std::size_t i = 0;
+  while (i < s.size() && s[i] >= '0' && s[i] <= '9') {
+    value = value * 10 + static_cast<std::size_t>(s[i] - '0');
+    ++i;
+  }
+  if (i < s.size() && (s[i] == 'K' || s[i] == 'k')) value *= 1024;
+  if (i < s.size() && (s[i] == 'M' || s[i] == 'm')) value *= 1024 * 1024;
+  return value;
+}
+
+std::size_t sysfs_cache_size(int index) {
+  const std::string path = "/sys/devices/system/cpu/cpu0/cache/index" +
+                           std::to_string(index) + "/size";
+  std::ifstream is(path);
+  std::string line;
+  if (is && std::getline(is, line)) return parse_size(line);
+  return 0;
+}
+
+}  // namespace
+
+std::vector<MemoryLevel> detect_memory_levels() {
+  // index0 = L1D, index1 = L1I, index2 = L2, index3 = L3 on Linux x86.
+  std::size_t l1 = sysfs_cache_size(0);
+  std::size_t l2 = sysfs_cache_size(2);
+  std::size_t l3 = sysfs_cache_size(3);
+  if (l1 == 0) l1 = 32 * 1024;
+  if (l2 == 0) l2 = 1024 * 1024;
+
+  std::vector<MemoryLevel> levels;
+  levels.push_back({"L1", l1, l1 / 2});
+  levels.push_back({"L2", l2, l2 / 2});
+  std::size_t last = l2;
+  if (l3 != 0) {
+    levels.push_back({"L3", l3, l3 / 2});
+    last = l3;
+  }
+  levels.push_back({"DRAM", 0, last * 8});
+  return levels;
+}
+
+}  // namespace trigen::carm

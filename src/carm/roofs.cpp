@@ -1,0 +1,149 @@
+#include "trigen/carm/roofs.hpp"
+
+#include <algorithm>
+
+#include "trigen/common/aligned.hpp"
+#include "trigen/common/stopwatch.hpp"
+
+#if defined(__AVX2__)
+#include <immintrin.h>
+#endif
+
+namespace trigen::carm {
+
+double CarmRoofs::scalar_peak() const {
+  for (const auto& r : compute) {
+    if (r.name == "scalar-add") return r.intops_per_s;
+  }
+  return 0.0;
+}
+
+double CarmRoofs::vector_peak() const {
+  double best = 0.0;
+  for (const auto& r : compute) best = std::max(best, r.intops_per_s);
+  return best;
+}
+
+double CarmRoofs::bandwidth(const std::string& level) const {
+  for (const auto& r : memory) {
+    if (r.level == level) return r.bytes_per_s;
+  }
+  return 0.0;
+}
+
+namespace {
+
+/// Keeps the optimizer from discarding the probe loops.
+void sink(const void* p) { asm volatile("" : : "g"(p) : "memory"); }
+
+}  // namespace
+
+double measure_load_bandwidth(std::size_t bytes) {
+  const std::size_t words = std::max<std::size_t>(bytes / 8, 64);
+  aligned_vector<std::uint64_t> buf(words, 0x5555555555555555ull);
+
+  // Enough sweeps that one measurement lasts >= ~5 ms even from L1.
+  const std::size_t sweep_bytes = words * 8;
+  const std::size_t reps =
+      std::max<std::size_t>(1, (1u << 26) / std::max<std::size_t>(1, sweep_bytes));
+
+  std::uint64_t acc = 0;
+  const double secs = time_best_of([&] {
+    for (std::size_t r = 0; r < reps; ++r) {
+      const std::uint64_t* p = buf.data();
+#if defined(__AVX2__)
+      __m256i a0 = _mm256_setzero_si256();
+      __m256i a1 = _mm256_setzero_si256();
+      std::size_t i = 0;
+      for (; i + 8 <= words; i += 8) {
+        a0 = _mm256_or_si256(
+            a0, _mm256_load_si256(reinterpret_cast<const __m256i*>(p + i)));
+        a1 = _mm256_or_si256(
+            a1, _mm256_load_si256(reinterpret_cast<const __m256i*>(p + i + 4)));
+      }
+      acc += static_cast<std::uint64_t>(
+          _mm256_extract_epi64(_mm256_or_si256(a0, a1), 0));
+      for (; i < words; ++i) acc |= p[i];
+#else
+      for (std::size_t i = 0; i < words; ++i) acc |= p[i];
+#endif
+      sink(&acc);
+    }
+  });
+  sink(&acc);
+  return static_cast<double>(sweep_bytes) * static_cast<double>(reps) / secs;
+}
+
+double measure_scalar_add_peak() {
+  // Four independent chains; the loop is add-throughput bound.
+  constexpr std::uint64_t kIters = 1u << 22;
+  std::uint64_t a = 1, b = 2, c = 3, d = 4;
+  const double secs = time_best_of([&] {
+    for (std::uint64_t i = 0; i < kIters; ++i) {
+      a += i;
+      b += a;
+      c += i;
+      d += c;
+      asm volatile("" : "+r"(a), "+r"(b), "+r"(c), "+r"(d));
+    }
+  });
+  // 4 adds per iteration, each counted as one 32-bit-class intop (the CARM
+  // scalar roof of Fig. 2 is per-instruction).
+  return 4.0 * static_cast<double>(kIters) / secs;
+}
+
+double measure_vector_add_peak(unsigned* lanes_out) {
+  constexpr std::uint64_t kIters = 1u << 20;
+#if defined(__AVX512F__)
+  unsigned lanes = 16;
+  __m512i a = _mm512_set1_epi32(1), b = _mm512_set1_epi32(2),
+          c = _mm512_set1_epi32(3), d = _mm512_set1_epi32(4);
+  const __m512i inc = _mm512_set1_epi32(1);
+  const double secs = time_best_of([&] {
+    for (std::uint64_t i = 0; i < kIters; ++i) {
+      a = _mm512_add_epi32(a, inc);
+      b = _mm512_add_epi32(b, inc);
+      c = _mm512_add_epi32(c, inc);
+      d = _mm512_add_epi32(d, inc);
+      asm volatile("" : "+x"(a), "+x"(b), "+x"(c), "+x"(d));
+    }
+  });
+#elif defined(__AVX2__)
+  unsigned lanes = 8;
+  __m256i a = _mm256_set1_epi32(1), b = _mm256_set1_epi32(2),
+          c = _mm256_set1_epi32(3), d = _mm256_set1_epi32(4);
+  const __m256i inc = _mm256_set1_epi32(1);
+  const double secs = time_best_of([&] {
+    for (std::uint64_t i = 0; i < kIters; ++i) {
+      a = _mm256_add_epi32(a, inc);
+      b = _mm256_add_epi32(b, inc);
+      c = _mm256_add_epi32(c, inc);
+      d = _mm256_add_epi32(d, inc);
+      asm volatile("" : "+x"(a), "+x"(b), "+x"(c), "+x"(d));
+    }
+  });
+#else
+  unsigned lanes = 1;
+  const double secs = 4.0 * static_cast<double>(kIters) /
+                      measure_scalar_add_peak();
+#endif
+  if (lanes_out != nullptr) *lanes_out = lanes;
+  return 4.0 * static_cast<double>(lanes) * static_cast<double>(kIters) / secs;
+}
+
+CarmRoofs measure_roofs() {
+  CarmRoofs roofs;
+  for (const auto& level : detect_memory_levels()) {
+    roofs.memory.push_back(
+        {level.name, measure_load_bandwidth(level.probe_bytes)});
+  }
+  roofs.compute.push_back({"scalar-add", measure_scalar_add_peak()});
+  unsigned lanes = 1;
+  const double vec = measure_vector_add_peak(&lanes);
+  roofs.compute.push_back(
+      {lanes >= 16 ? "avx512-add" : (lanes >= 8 ? "avx2-add" : "scalar-add2"),
+       vec});
+  return roofs;
+}
+
+}  // namespace trigen::carm

@@ -1,0 +1,48 @@
+#include "trigen/combinatorics/combinations.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace trigen::combinatorics {
+
+std::uint64_t n_choose_k(std::uint64_t n, unsigned k) {
+  if (k > n) return 0;
+  if (k == 0 || k == n) return 1;
+  if (k > n - k) k = static_cast<unsigned>(n - k);
+  unsigned __int128 acc = 1;
+  for (unsigned i = 1; i <= k; ++i) {
+    acc = acc * (n - k + i) / i;  // exact: product of i consecutive ints is divisible by i!
+    if (acc > static_cast<unsigned __int128>(~std::uint64_t{0})) {
+      throw std::overflow_error("n_choose_k: result exceeds 64 bits");
+    }
+  }
+  return static_cast<std::uint64_t>(acc);
+}
+
+std::uint64_t rank_triplet(const Triplet& t) {
+  return n_choose_k(t.z, 3) + n_choose_k(t.y, 2) + t.x;
+}
+
+Triplet unrank_triplet(std::uint64_t rank) {
+  // Find z = max { c : C(c,3) <= rank } starting from a cube-root estimate.
+  // C(c,3) ~ c^3/6, so c0 = floor(cbrt(6*rank)) is within a couple of steps.
+  std::uint64_t z = static_cast<std::uint64_t>(
+      std::cbrt(6.0 * static_cast<double>(rank) + 1.0));
+  if (z < 2) z = 2;
+  while (n_choose_k(z + 1, 3) <= rank) ++z;
+  while (n_choose_k(z, 3) > rank) --z;
+  std::uint64_t rem = rank - n_choose_k(z, 3);
+
+  // y = max { b : C(b,2) <= rem }: C(b,2) ~ b^2/2.
+  std::uint64_t y = static_cast<std::uint64_t>(
+      std::sqrt(2.0 * static_cast<double>(rem) + 0.25) + 0.5);
+  if (y < 1) y = 1;
+  while (n_choose_k(y + 1, 2) <= rem) ++y;
+  while (n_choose_k(y, 2) > rem) --y;
+  rem -= n_choose_k(y, 2);
+
+  return Triplet{static_cast<std::uint32_t>(rem), static_cast<std::uint32_t>(y),
+                 static_cast<std::uint32_t>(z)};
+}
+
+}  // namespace trigen::combinatorics

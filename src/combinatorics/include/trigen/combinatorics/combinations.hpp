@@ -1,0 +1,66 @@
+#pragma once
+/// \file combinations.hpp
+/// \brief k-combination counting and 3-combination ranking/unranking.
+///
+/// The search space of 3-way epistasis over M SNPs is the set of strictly
+/// increasing triplets (x < y < z) — C(M,3) of them.  The detector and the
+/// GPU simulator address this space through a *colexicographic rank*: an
+/// integer in [0, C(M,3)) that both sides can partition into contiguous
+/// work chunks without materializing the triplets.
+
+#include <array>
+#include <cstdint>
+
+namespace trigen::combinatorics {
+
+/// C(n, k) in unsigned 64-bit arithmetic.  Throws std::overflow_error when
+/// the true value exceeds 2^64-1; returns 0 when k > n.
+std::uint64_t n_choose_k(std::uint64_t n, unsigned k);
+
+/// Number of SNP triplets for M SNPs: C(M, 3).
+inline std::uint64_t num_triplets(std::uint64_t m) { return n_choose_k(m, 3); }
+
+/// "Elements" metric the paper reports: nCr(M,k) * N (processed
+/// combinations times samples, §V).
+inline std::uint64_t num_elements(std::uint64_t m, unsigned k,
+                                  std::uint64_t n) {
+  return n_choose_k(m, k) * n;
+}
+
+/// Strictly increasing SNP triplet.
+struct Triplet {
+  std::uint32_t x, y, z;
+  friend bool operator==(const Triplet&, const Triplet&) = default;
+};
+
+/// Colex rank of (x < y < z): C(z,3) + C(y,2) + C(x,1).
+std::uint64_t rank_triplet(const Triplet& t);
+
+/// Inverse of rank_triplet; valid for any rank < C(2^32, 3) representable
+/// in 64 bits.  O(1) via cube-root seeded search.
+Triplet unrank_triplet(std::uint64_t rank);
+
+/// Calls `fn(Triplet)` for every triplet with rank in [first, last), in
+/// rank order, without per-triplet unranking cost (one unrank + rolling
+/// increments).
+template <typename Fn>
+void for_each_triplet(std::uint64_t first, std::uint64_t last, Fn&& fn) {
+  if (first >= last) return;
+  Triplet t = unrank_triplet(first);
+  for (std::uint64_t r = first; r < last; ++r) {
+    fn(t);
+    // Colex successor: increment x; on carry advance y, then z.
+    if (t.x + 1 < t.y) {
+      ++t.x;
+    } else if (t.y + 1 < t.z) {
+      ++t.y;
+      t.x = 0;
+    } else {
+      ++t.z;
+      t.y = 1;
+      t.x = 0;
+    }
+  }
+}
+
+}  // namespace trigen::combinatorics

@@ -1,0 +1,44 @@
+#include "trigen/combinatorics/scheduler.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace trigen::combinatorics {
+
+ChunkScheduler::ChunkScheduler(std::uint64_t total, std::uint64_t chunk_size)
+    : total_(total), chunk_(chunk_size) {
+  if (chunk_size == 0) {
+    throw std::invalid_argument("ChunkScheduler: chunk size must be non-zero");
+  }
+}
+
+RankRange ChunkScheduler::next() {
+  const std::uint64_t first = cursor_.fetch_add(chunk_, std::memory_order_relaxed);
+  if (first >= total_) return {};
+  return {first, std::min(first + chunk_, total_)};
+}
+
+void run_workers(ChunkScheduler& sched, unsigned threads,
+                 const std::function<void(unsigned, ChunkScheduler&)>& worker) {
+  if (threads == 0) {
+    threads = std::max(1u, std::thread::hardware_concurrency());
+  }
+  if (threads == 1) {
+    worker(0, sched);
+    return;
+  }
+  std::vector<std::thread> pool;
+  pool.reserve(threads);
+  for (unsigned t = 0; t < threads; ++t) {
+    pool.emplace_back([t, &sched, &worker] { worker(t, sched); });
+  }
+  for (auto& th : pool) th.join();
+}
+
+std::uint64_t default_chunk_size(std::uint64_t total, unsigned threads) {
+  if (threads == 0) threads = std::max(1u, std::thread::hardware_concurrency());
+  const std::uint64_t target_chunks = std::uint64_t{64} * threads;
+  return std::max<std::uint64_t>(1, total / std::max<std::uint64_t>(1, target_chunks));
+}
+
+}  // namespace trigen::combinatorics

@@ -1,0 +1,88 @@
+#include "trigen/common/cpuid.hpp"
+
+#include <array>
+#include <cstdint>
+#include <cstring>
+
+#if defined(__x86_64__) || defined(_M_X64) || defined(__i386__)
+#include <cpuid.h>
+#define TRIGEN_HAVE_CPUID 1
+#endif
+
+namespace trigen {
+namespace {
+
+struct Regs {
+  std::uint32_t eax = 0, ebx = 0, ecx = 0, edx = 0;
+};
+
+Regs cpuid(std::uint32_t leaf, std::uint32_t subleaf) {
+  Regs r;
+#ifdef TRIGEN_HAVE_CPUID
+  __cpuid_count(leaf, subleaf, r.eax, r.ebx, r.ecx, r.edx);
+#else
+  (void)leaf;
+  (void)subleaf;
+#endif
+  return r;
+}
+
+CpuFeatures detect() {
+  CpuFeatures f;
+#ifdef TRIGEN_HAVE_CPUID
+  const Regs l1 = cpuid(1, 0);
+  f.sse42 = (l1.ecx >> 20) & 1u;  // SSE4.2 implies scalar POPCNT
+  const Regs l7 = cpuid(7, 0);
+  f.avx2 = (l7.ebx >> 5) & 1u;
+  f.avx512f = (l7.ebx >> 16) & 1u;
+  f.avx512bw = (l7.ebx >> 30) & 1u;
+  f.avx512vl = (l7.ebx >> 31) & 1u;
+  f.avx512vpopcntdq = (l7.ecx >> 14) & 1u;
+#endif
+  return f;
+}
+
+}  // namespace
+
+const CpuFeatures& cpu_features() {
+  static const CpuFeatures f = detect();
+  return f;
+}
+
+std::string CpuFeatures::to_string() const {
+  std::string s;
+  auto add = [&s](bool on, const char* name) {
+    if (on) {
+      if (!s.empty()) s += ' ';
+      s += name;
+    }
+  };
+  add(sse42, "sse4.2");
+  add(avx2, "avx2");
+  add(avx512f, "avx512f");
+  add(avx512bw, "avx512bw");
+  add(avx512vl, "avx512vl");
+  add(avx512vpopcntdq, "avx512vpopcntdq");
+  if (s.empty()) s = "scalar-only";
+  return s;
+}
+
+std::string cpu_brand_string() {
+#ifdef TRIGEN_HAVE_CPUID
+  const Regs ext = cpuid(0x80000000u, 0);
+  if (ext.eax >= 0x80000004u) {
+    std::array<char, 49> brand{};
+    for (std::uint32_t i = 0; i < 3; ++i) {
+      const Regs r = cpuid(0x80000002u + i, 0);
+      std::memcpy(brand.data() + 16 * i + 0, &r.eax, 4);
+      std::memcpy(brand.data() + 16 * i + 4, &r.ebx, 4);
+      std::memcpy(brand.data() + 16 * i + 8, &r.ecx, 4);
+      std::memcpy(brand.data() + 16 * i + 12, &r.edx, 4);
+    }
+    return std::string(brand.data());
+  }
+#endif
+  return "unknown-cpu";
+}
+
+}  // namespace trigen

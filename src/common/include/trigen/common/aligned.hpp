@@ -1,0 +1,63 @@
+#pragma once
+/// \file aligned.hpp
+/// \brief Cache-line / vector-register aligned storage.
+///
+/// Every bit-plane the kernels stream through must be aligned to the widest
+/// vector register in play (64 B for AVX-512) so that aligned vector loads
+/// are always legal and no plane straddles a cache line boundary
+
+#include <cstddef>
+#include <cstdlib>
+#include <limits>
+#include <memory>
+#include <new>
+#include <vector>
+
+namespace trigen {
+
+/// Alignment used for all kernel-visible buffers: one AVX-512 register,
+/// which is also exactly one cache line on every x86 micro-architecture
+/// the paper evaluates.
+inline constexpr std::size_t kVectorAlign = 64;
+
+/// Minimal C++17 aligned allocator. Used through `aligned_vector`.
+template <typename T, std::size_t Align = kVectorAlign>
+class AlignedAllocator {
+ public:
+  using value_type = T;
+  static_assert(Align >= alignof(T), "alignment must not weaken T");
+  static_assert((Align & (Align - 1)) == 0, "alignment must be a power of two");
+
+  AlignedAllocator() noexcept = default;
+  template <typename U>
+  AlignedAllocator(const AlignedAllocator<U, Align>&) noexcept {}
+
+  template <typename U>
+  struct rebind {
+    using other = AlignedAllocator<U, Align>;
+  };
+
+  [[nodiscard]] T* allocate(std::size_t n) {
+    if (n > std::numeric_limits<std::size_t>::max() / sizeof(T)) {
+      throw std::bad_alloc();
+    }
+    // Round the byte size up to a multiple of the alignment as required by
+    // std::aligned_alloc.
+    const std::size_t bytes = (n * sizeof(T) + Align - 1) / Align * Align;
+    void* p = std::aligned_alloc(Align, bytes);
+    if (p == nullptr) throw std::bad_alloc();
+    return static_cast<T*>(p);
+  }
+
+  void deallocate(T* p, std::size_t) noexcept { std::free(p); }
+
+  friend bool operator==(const AlignedAllocator&, const AlignedAllocator&) {
+    return true;
+  }
+};
+
+/// Contiguous vector whose data() is 64-byte aligned.
+template <typename T>
+using aligned_vector = std::vector<T, AlignedAllocator<T>>;
+
+}  // namespace trigen

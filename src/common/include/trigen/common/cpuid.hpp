@@ -1,0 +1,35 @@
+#pragma once
+/// \file cpuid.hpp
+/// \brief Runtime x86 ISA feature detection used by the kernel dispatcher.
+///
+/// The paper's CPU V4 kernel has three vectorization strategies whose
+/// availability depends on the micro-architecture (AVX with scalar POPCNT,
+/// AVX-512 with scalar POPCNT + extracts, AVX-512 with VPOPCNTDQ).  The
+/// dispatcher in trigen::core consults this module to pick the widest
+/// strategy the host supports.
+
+#include <string>
+
+namespace trigen {
+
+/// ISA capability snapshot of the executing CPU, taken once at startup.
+struct CpuFeatures {
+  bool sse42 = false;        ///< scalar 64-bit POPCNT available
+  bool avx2 = false;         ///< 256-bit integer vectors
+  bool avx512f = false;      ///< 512-bit foundation
+  bool avx512bw = false;     ///< 512-bit byte/word ops
+  bool avx512vl = false;     ///< 128/256-bit encodings of AVX-512 ops
+  bool avx512vpopcntdq = false;  ///< vector POPCNT (Ice Lake SP and later)
+
+  /// Human-readable one-line summary, e.g. "sse4.2 avx2 avx512f ...".
+  std::string to_string() const;
+};
+
+/// Detect the host CPU's features via the CPUID instruction.  The result is
+/// computed once and cached; calls are cheap afterwards.
+const CpuFeatures& cpu_features();
+
+/// Vendor/brand string of the executing CPU ("GenuineIntel", model name).
+std::string cpu_brand_string();
+
+}  // namespace trigen

@@ -1,0 +1,49 @@
+#pragma once
+/// \file log.hpp
+/// \brief Minimal leveled logging for the library and tools.
+
+#include <sstream>
+#include <string>
+
+namespace trigen {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Global log threshold; messages below it are discarded.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Emit one line to stderr with a level prefix (thread-safe).
+void log_message(LogLevel level, const std::string& msg);
+
+namespace detail {
+template <typename... Args>
+std::string concat(Args&&... args) {
+  std::ostringstream os;
+  (os << ... << args);
+  return os.str();
+}
+}  // namespace detail
+
+template <typename... Args>
+void log_debug(Args&&... args) {
+  if (log_level() <= LogLevel::kDebug)
+    log_message(LogLevel::kDebug, detail::concat(std::forward<Args>(args)...));
+}
+template <typename... Args>
+void log_info(Args&&... args) {
+  if (log_level() <= LogLevel::kInfo)
+    log_message(LogLevel::kInfo, detail::concat(std::forward<Args>(args)...));
+}
+template <typename... Args>
+void log_warn(Args&&... args) {
+  if (log_level() <= LogLevel::kWarn)
+    log_message(LogLevel::kWarn, detail::concat(std::forward<Args>(args)...));
+}
+template <typename... Args>
+void log_error(Args&&... args) {
+  if (log_level() <= LogLevel::kError)
+    log_message(LogLevel::kError, detail::concat(std::forward<Args>(args)...));
+}
+
+}  // namespace trigen

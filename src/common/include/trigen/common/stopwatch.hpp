@@ -1,0 +1,50 @@
+#pragma once
+/// \file stopwatch.hpp
+/// \brief Wall-clock timing utilities shared by benches and the CARM probes.
+
+#include <chrono>
+#include <cstdint>
+
+namespace trigen {
+
+/// Monotonic stopwatch.  Construction starts it.
+class Stopwatch {
+ public:
+  using clock = std::chrono::steady_clock;
+
+  Stopwatch() : start_(clock::now()) {}
+
+  void reset() { start_ = clock::now(); }
+
+  /// Seconds elapsed since construction or the last reset().
+  double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+  double millis() const { return seconds() * 1e3; }
+  double micros() const { return seconds() * 1e6; }
+
+ private:
+  clock::time_point start_;
+};
+
+/// Calls f() repeatedly until at least `min_seconds` have elapsed and
+/// returns the best (minimum) per-call time in seconds.  Used by the CARM
+/// micro-benchmarks where the minimum is the noise-free estimate.
+template <typename F>
+double time_best_of(F&& f, int min_reps = 3, double min_seconds = 0.01) {
+  double best = 1e300;
+  double total = 0.0;
+  int reps = 0;
+  while (reps < min_reps || total < min_seconds) {
+    Stopwatch sw;
+    f();
+    const double t = sw.seconds();
+    if (t < best) best = t;
+    total += t;
+    ++reps;
+  }
+  return best;
+}
+
+}  // namespace trigen

@@ -1,0 +1,42 @@
+#pragma once
+/// \file table.hpp
+/// \brief ASCII / CSV table rendering for the benchmark harnesses.
+///
+/// Every bench binary prints the same rows/series the paper reports; this
+/// helper keeps that output aligned and machine-parsable (CSV mode).
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace trigen {
+
+/// Column-aligned text table with an optional CSV rendering.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> headers);
+
+  /// Append a full row; must have exactly as many cells as the header.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats arithmetic cells with `fmt_double` precision.
+  static std::string fmt(double v, int precision = 3);
+
+  std::size_t rows() const { return rows_.size(); }
+
+  /// Render with box-drawing separators.
+  std::string to_ascii() const;
+  /// Render as RFC-4180-ish CSV (quotes only when needed).
+  std::string to_csv() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+std::ostream& operator<<(std::ostream& os, const TextTable& t);
+
+/// Format `v` with an SI suffix, e.g. 2.5e9 -> "2.50 G".
+std::string si_format(double v, int precision = 2);
+
+}  // namespace trigen

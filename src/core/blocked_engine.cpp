@@ -1,0 +1,40 @@
+#include "trigen/core/blocked_engine.hpp"
+
+#include <cmath>
+
+namespace trigen::core {
+
+using combinatorics::n_choose_k;
+
+std::uint64_t num_block_triples(std::uint64_t nb) {
+  return n_choose_k(nb + 2, 3);
+}
+
+std::uint64_t rank_block_triple(const BlockTriple& t) {
+  return n_choose_k(std::uint64_t{t.b2} + 2, 3) +
+         n_choose_k(std::uint64_t{t.b1} + 1, 2) + t.b0;
+}
+
+BlockTriple unrank_block_triple(std::uint64_t rank) {
+  // b2 = max { c : C(c+2,3) <= rank }.
+  std::uint64_t c = static_cast<std::uint64_t>(
+      std::cbrt(6.0 * static_cast<double>(rank) + 1.0));
+  c = c > 2 ? c - 2 : 0;
+  while (n_choose_k(c + 3, 3) <= rank) ++c;
+  while (c > 0 && n_choose_k(c + 2, 3) > rank) --c;
+  std::uint64_t rem = rank - n_choose_k(c + 2, 3);
+
+  // b1 = max { b : C(b+1,2) <= rem }.
+  std::uint64_t b = static_cast<std::uint64_t>(
+      std::sqrt(2.0 * static_cast<double>(rem) + 0.25));
+  b = b > 1 ? b - 1 : 0;
+  while (n_choose_k(b + 2, 2) <= rem) ++b;
+  while (b > 0 && n_choose_k(b + 1, 2) > rem) --b;
+  rem -= n_choose_k(b + 1, 2);
+
+  return BlockTriple{static_cast<std::uint32_t>(rem),
+                     static_cast<std::uint32_t>(b),
+                     static_cast<std::uint32_t>(c)};
+}
+
+}  // namespace trigen::core

@@ -1,0 +1,207 @@
+#include "trigen/core/detector.hpp"
+
+#include <functional>
+#include <stdexcept>
+
+#include "trigen/combinatorics/scheduler.hpp"
+#include "trigen/common/stopwatch.hpp"
+#include "trigen/scoring/chi_squared.hpp"
+#include "trigen/scoring/k2.hpp"
+#include "trigen/scoring/mutual_information.hpp"
+
+namespace trigen::core {
+
+using combinatorics::ChunkScheduler;
+using combinatorics::Triplet;
+using scoring::ContingencyTable;
+
+std::string cpu_version_name(CpuVersion v) {
+  switch (v) {
+    case CpuVersion::kV1Naive: return "V1-naive";
+    case CpuVersion::kV2Split: return "V2-split";
+    case CpuVersion::kV3Blocked: return "V3-blocked";
+    case CpuVersion::kV4Vector: return "V4-vector";
+  }
+  return "unknown";
+}
+
+std::string objective_name(Objective o) {
+  switch (o) {
+    case Objective::kK2: return "k2";
+    case Objective::kMutualInformation: return "mutual-information";
+    case Objective::kChiSquared: return "chi-squared";
+  }
+  return "unknown";
+}
+
+struct Detector::Impl {
+  std::size_t num_snps;
+  std::size_t num_samples;
+  dataset::BitPlanesV1 v1;
+  dataset::PhenoSplitPlanes split;
+};
+
+Detector::Detector(const dataset::GenotypeMatrix& d)
+    : impl_(std::make_unique<Impl>(Impl{
+          d.num_snps(),
+          d.num_samples(),
+          dataset::BitPlanesV1::build(d),
+          dataset::PhenoSplitPlanes::build(d),
+      })) {
+  if (d.num_snps() < 3) {
+    throw std::invalid_argument("Detector: need at least 3 SNPs");
+  }
+  if (!d.valid()) {
+    throw std::invalid_argument("Detector: dataset contains invalid values");
+  }
+}
+
+Detector::~Detector() = default;
+
+std::size_t Detector::num_snps() const { return impl_->num_snps; }
+std::size_t Detector::num_samples() const { return impl_->num_samples; }
+const dataset::BitPlanesV1& Detector::planes_v1() const { return impl_->v1; }
+const dataset::PhenoSplitPlanes& Detector::planes_split() const {
+  return impl_->split;
+}
+
+std::function<double(const ContingencyTable&)> make_normalized_scorer(
+    Objective o, std::uint32_t num_samples) {
+  switch (o) {
+    case Objective::kK2: {
+      auto k2 = std::make_shared<scoring::K2Score>(num_samples);
+      return [k2](const ContingencyTable& t) { return (*k2)(t); };
+    }
+    case Objective::kMutualInformation:
+      return [mi = scoring::MutualInformation{}](const ContingencyTable& t) {
+        return -mi(t);
+      };
+    case Objective::kChiSquared:
+      return [chi = scoring::ChiSquared{}](const ContingencyTable& t) {
+        return -chi(t);
+      };
+  }
+  throw std::invalid_argument("unknown objective");
+}
+
+namespace {
+
+unsigned resolve_threads(unsigned requested) {
+  if (requested != 0) return requested;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+}  // namespace
+
+DetectionResult Detector::run(const DetectorOptions& options) const {
+  DetectionResult result;
+  result.threads_used = resolve_threads(options.threads);
+  // V1 and V3 are scalar by definition; V4 defaults to the widest available
+  // strategy.  V2 honors an explicitly requested ISA (the heterogeneous
+  // coordinator pairs the per-triplet path with a vector kernel).
+  result.isa_used = KernelIsa::kScalar;
+  if (options.version == CpuVersion::kV4Vector) {
+    result.isa_used = options.isa_auto ? best_kernel_isa() : options.isa;
+  } else if (options.version == CpuVersion::kV2Split && !options.isa_auto) {
+    result.isa_used = options.isa;
+  }
+  if (!kernel_available(result.isa_used)) {
+    throw std::runtime_error("requested kernel ISA not available: " +
+                             kernel_isa_name(result.isa_used));
+  }
+  if (options.top_k == 0) {
+    throw std::invalid_argument("DetectorOptions::top_k must be >= 1");
+  }
+
+  const std::size_t m = impl_->num_snps;
+  const std::uint64_t total_triplets = combinatorics::num_triplets(m);
+  combinatorics::RankRange range = options.range;
+  if (range.empty()) range = {0, total_triplets};
+  if (range.last > total_triplets) {
+    throw std::invalid_argument("DetectorOptions::range exceeds the space");
+  }
+  const bool partial = range.first != 0 || range.last != total_triplets;
+  result.triplets_evaluated = range.size();
+  result.elements = range.size() * impl_->num_samples;
+
+  const auto scorer = make_normalized_scorer(
+      options.objective, static_cast<std::uint32_t>(impl_->num_samples));
+
+  std::vector<TopK> per_thread(result.threads_used, TopK(options.top_k));
+
+  Stopwatch sw;
+  const bool blocked = options.version == CpuVersion::kV3Blocked ||
+                       options.version == CpuVersion::kV4Vector;
+  if (!blocked) {
+    // V1/V2: per-triplet evaluation over dynamically scheduled rank chunks.
+    const std::uint64_t chunk =
+        options.chunk_size != 0
+            ? options.chunk_size
+            : combinatorics::default_chunk_size(range.size(),
+                                                result.threads_used);
+    ChunkScheduler sched(range.size(), chunk);
+    const bool naive = options.version == CpuVersion::kV1Naive;
+    const KernelIsa isa = result.isa_used;
+    combinatorics::run_workers(
+        sched, result.threads_used, [&](unsigned tid, ChunkScheduler& s) {
+          TopK& top = per_thread[tid];
+          for (auto r = s.next(); !r.empty(); r = s.next()) {
+            combinatorics::for_each_triplet(
+                range.first + r.first, range.first + r.last,
+                [&](const Triplet& t) {
+                  const ContingencyTable table =
+                      naive ? contingency_v1(impl_->v1, t.x, t.y, t.z)
+                            : contingency_split(impl_->split, t.x, t.y, t.z,
+                                                isa);
+                  top.push(ScoredTriplet{t, scorer(table)});
+                });
+          }
+        });
+    result.tiling_used = TilingParams{0, 0};
+  } else {
+    if (partial) {
+      throw std::invalid_argument(
+          "DetectorOptions::range: blocked versions (V3/V4) scan the full "
+          "space; use V1/V2 for partial ranges");
+    }
+    // V3/V4: blocked engine over block triples.
+    TilingParams tiling = options.tiling;
+    if (!tiling.valid()) {
+      tiling = autotune_tiling(detect_l1_config(),
+                               kernel_vector_words(result.isa_used));
+    }
+    result.tiling_used = tiling;
+    const TripleBlockKernel kernel = get_kernel(result.isa_used);
+    const std::uint64_t nb = (m + tiling.bs - 1) / tiling.bs;
+    const std::uint64_t total_blocks = num_block_triples(nb);
+    const std::uint64_t chunk =
+        options.chunk_size != 0
+            ? options.chunk_size
+            : combinatorics::default_chunk_size(total_blocks,
+                                                result.threads_used);
+    ChunkScheduler sched(total_blocks, chunk);
+    combinatorics::run_workers(
+        sched, result.threads_used, [&](unsigned tid, ChunkScheduler& s) {
+          TopK& top = per_thread[tid];
+          BlockScratch scratch(tiling.bs);
+          for (auto range = s.next(); !range.empty(); range = s.next()) {
+            for (std::uint64_t r = range.first; r < range.last; ++r) {
+              scan_block_triple(
+                  impl_->split, tiling, kernel, scratch, unrank_block_triple(r),
+                  [&](const Triplet& t, const ContingencyTable& table) {
+                    top.push(ScoredTriplet{t, scorer(table)});
+                  });
+            }
+          }
+        });
+  }
+  result.seconds = sw.seconds();
+
+  TopK merged(options.top_k);
+  for (const auto& t : per_thread) merged.merge(t);
+  result.best = merged.sorted();
+  return result;
+}
+
+}  // namespace trigen::core

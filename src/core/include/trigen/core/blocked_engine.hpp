@@ -1,0 +1,124 @@
+#pragma once
+/// \file blocked_engine.hpp
+/// \brief Cache-blocked triple evaluation (paper Algorithm 1, V3/V4).
+///
+/// The engine walks SNP *block* triples (b0 <= b1 <= b2, each covering B_S
+/// SNPs).  For one block triple it holds the frequency tables of all
+/// <= B_S^3 contained SNP triplets in an L1-resident array, and streams the
+/// sample dimension in B_P-word chunks, so every loaded cache line is
+/// reused by up to B_S^2 triplets before eviction.  This is the paper's V3;
+/// selecting a vector kernel turns it into V4.
+
+#include <cstdint>
+#include <vector>
+
+#include "trigen/combinatorics/combinations.hpp"
+#include "trigen/core/kernels.hpp"
+#include "trigen/core/tiling.hpp"
+#include "trigen/dataset/bitplanes.hpp"
+#include "trigen/scoring/contingency.hpp"
+
+namespace trigen::core {
+
+/// Ordered block triple b0 <= b1 <= b2 (blocks may repeat: the diagonal
+/// block triples contain the within-block SNP triplets).
+struct BlockTriple {
+  std::uint32_t b0, b1, b2;
+  friend bool operator==(const BlockTriple&, const BlockTriple&) = default;
+};
+
+/// Number of block triples for `nb` blocks: C(nb + 2, 3) (multiset count).
+std::uint64_t num_block_triples(std::uint64_t nb);
+
+/// Colex rank of a multiset triple: C(b2+2,3) + C(b1+1,2) + C(b0,1).
+std::uint64_t rank_block_triple(const BlockTriple& t);
+
+/// Inverse of rank_block_triple.
+BlockTriple unrank_block_triple(std::uint64_t rank);
+
+/// Per-thread scratch: frequency tables for all triplets of a block triple.
+/// Layout: [local_triple][class][27] uint32; local_triple =
+/// ((i0-base0)*B_S + (i1-base1))*B_S + (i2-base2).
+class BlockScratch {
+ public:
+  explicit BlockScratch(std::size_t bs)
+      : bs_(bs), ft_(bs * bs * bs * 2 * scoring::kCells) {}
+
+  std::size_t bs() const { return bs_; }
+  std::uint32_t* table(std::size_t local, int cls) {
+    return ft_.data() +
+           (local * 2 + static_cast<std::size_t>(cls)) * scoring::kCells;
+  }
+  void clear() { std::fill(ft_.begin(), ft_.end(), 0u); }
+
+ private:
+  std::size_t bs_;
+  std::vector<std::uint32_t> ft_;
+};
+
+/// Evaluates every valid SNP triplet inside block triple `bt` and calls
+/// `on_table(Triplet, const ContingencyTable&)` for each.  `kernel` is the
+/// triple-block kernel to use; `scratch.bs()` must equal `tiling.bs`.
+template <typename OnTable>
+void scan_block_triple(const dataset::PhenoSplitPlanes& planes,
+                       const TilingParams& tiling, TripleBlockKernel kernel,
+                       BlockScratch& scratch, const BlockTriple& bt,
+                       OnTable&& on_table) {
+  const std::size_t bs = tiling.bs;
+  const std::size_t m = planes.num_snps();
+  const std::size_t base0 = bt.b0 * bs;
+  const std::size_t base1 = bt.b1 * bs;
+  const std::size_t base2 = bt.b2 * bs;
+  const std::size_t end0 = std::min(base0 + bs, m);
+  const std::size_t end1 = std::min(base1 + bs, m);
+  const std::size_t end2 = std::min(base2 + bs, m);
+  if (base0 >= m || base1 >= m || base2 >= m) return;
+
+  scratch.clear();
+
+  // Sample-blocked accumulation: for each class, stream B_P words at a
+  // time through all triplets of the block triple (Algorithm 1 loop order).
+  for (int c = 0; c < 2; ++c) {
+    const std::size_t words = planes.words(c);
+    for (std::size_t w0 = 0; w0 < words; w0 += tiling.bp_words) {
+      const std::size_t w1 = std::min(w0 + tiling.bp_words, words);
+      for (std::size_t i0 = base0; i0 < end0; ++i0) {
+        for (std::size_t i1 = std::max(base1, i0 + 1); i1 < end1; ++i1) {
+          for (std::size_t i2 = std::max(base2, i1 + 1); i2 < end2; ++i2) {
+            const std::size_t local =
+                ((i0 - base0) * bs + (i1 - base1)) * bs + (i2 - base2);
+            kernel(planes.plane(c, i0, 0), planes.plane(c, i0, 1),
+                   planes.plane(c, i1, 0), planes.plane(c, i1, 1),
+                   planes.plane(c, i2, 0), planes.plane(c, i2, 1), w0, w1,
+                   scratch.table(local, c));
+          }
+        }
+      }
+    }
+  }
+
+  // Finalize: fold the NOR padding out of cell (2,2,2) and emit tables.
+  for (std::size_t i0 = base0; i0 < end0; ++i0) {
+    for (std::size_t i1 = std::max(base1, i0 + 1); i1 < end1; ++i1) {
+      for (std::size_t i2 = std::max(base2, i1 + 1); i2 < end2; ++i2) {
+        const std::size_t local =
+            ((i0 - base0) * bs + (i1 - base1)) * bs + (i2 - base2);
+        scoring::ContingencyTable t;
+        for (int c = 0; c < 2; ++c) {
+          const std::uint32_t* ft = scratch.table(local, c);
+          auto& row = t.counts[static_cast<std::size_t>(c)];
+          for (int i = 0; i < scoring::kCells; ++i) {
+            row[static_cast<std::size_t>(i)] = ft[i];
+          }
+          row[26] -= static_cast<std::uint32_t>(planes.pad_bits(c));
+        }
+        on_table(combinatorics::Triplet{static_cast<std::uint32_t>(i0),
+                                        static_cast<std::uint32_t>(i1),
+                                        static_cast<std::uint32_t>(i2)},
+                 t);
+      }
+    }
+  }
+}
+
+}  // namespace trigen::core

@@ -1,0 +1,124 @@
+#pragma once
+/// \file detector.hpp
+/// \brief Public façade: exhaustive three-way epistasis detection on CPU.
+///
+/// Usage:
+/// \code
+///   using namespace trigen;
+///   dataset::GenotypeMatrix d = dataset::read_text_file("study.tg");
+///   core::Detector det(d);
+///   core::DetectorOptions opt;                 // defaults: V4, K2, auto ISA
+///   core::DetectionResult r = det.run(opt);
+///   // r.best.front().triplet is the most likely epistatic triplet.
+/// \endcode
+///
+/// The four `CpuVersion`s implement the paper's optimization ladder; all
+/// produce identical results, they only differ in speed (and are
+/// cross-checked against each other in the test suite).
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "trigen/combinatorics/scheduler.hpp"
+#include "trigen/core/blocked_engine.hpp"
+#include "trigen/core/kernels.hpp"
+#include "trigen/core/tiling.hpp"
+#include "trigen/core/topk.hpp"
+#include "trigen/dataset/bitplanes.hpp"
+#include "trigen/dataset/genotype_matrix.hpp"
+
+namespace trigen::core {
+
+/// Which rung of the paper's CPU optimization ladder to run.
+enum class CpuVersion {
+  kV1Naive,     ///< Fig.-1 layout, phenotype ANDs (memory bound, §IV-A)
+  kV2Split,     ///< phenotype-split planes, genotype-2 inferred via NOR
+  kV3Blocked,   ///< + loop tiling to L1 (Algorithm 1)
+  kV4Vector,    ///< + vector intrinsics (per-ISA POPCNT strategy)
+};
+
+std::string cpu_version_name(CpuVersion v);
+
+/// Objective function for ranking triplets.
+enum class Objective {
+  kK2,                 ///< Bayesian K2 score (paper Eq. 1; lower is better)
+  kMutualInformation,  ///< MPI3SNP's objective (higher is better)
+  kChiSquared,         ///< Pearson X^2 (higher is better)
+};
+
+std::string objective_name(Objective o);
+
+/// Scorer for `o` normalized to lower-is-better (MI and X^2 are negated),
+/// sized for datasets of `num_samples`.  Shared by the CPU detector, the
+/// GPU simulator and the baseline engine so scores are comparable.
+std::function<double(const scoring::ContingencyTable&)> make_normalized_scorer(
+    Objective o, std::uint32_t num_samples);
+
+/// Detection parameters.  Zero-valued fields mean "auto".
+struct DetectorOptions {
+  CpuVersion version = CpuVersion::kV4Vector;
+  /// Vector strategy for V4 (ignored by V1-V3, which are scalar by
+  /// definition).  Defaults to the widest the host supports.
+  KernelIsa isa = KernelIsa::kScalar;
+  bool isa_auto = true;  ///< when true, `isa` is replaced by best_kernel_isa()
+  Objective objective = Objective::kK2;
+  unsigned threads = 1;       ///< 0 = hardware_concurrency
+  std::uint64_t chunk_size = 0;  ///< scheduler chunk; 0 = auto
+  TilingParams tiling{0, 0};  ///< {0,0} = autotune from the host L1D
+  std::size_t top_k = 1;      ///< how many best triplets to report
+  /// Restrict the scan to a triplet-rank sub-range (used by the
+  /// heterogeneous CPU+GPU split).  Empty means the full space.  Only the
+  /// per-triplet versions (V1/V2) accept a partial range; the blocked
+  /// versions own the whole space.
+  combinatorics::RankRange range{0, 0};
+};
+
+/// Outcome of a detection run.
+struct DetectionResult {
+  /// Best triplets, best-first.  Scores are normalized to lower-is-better
+  /// (MI and X^2 are negated; K2 is reported as-is).
+  std::vector<ScoredTriplet> best;
+  std::uint64_t triplets_evaluated = 0;
+  /// The paper's "elements" metric: combinations x samples.
+  std::uint64_t elements = 0;
+  double seconds = 0.0;
+  /// Effective configuration after auto-resolution.
+  KernelIsa isa_used = KernelIsa::kScalar;
+  TilingParams tiling_used{0, 0};
+  unsigned threads_used = 1;
+
+  /// Elements per second (the paper's headline performance metric).
+  double elements_per_second() const {
+    return seconds > 0.0 ? static_cast<double>(elements) / seconds : 0.0;
+  }
+};
+
+/// Exhaustive 3-way detector over one dataset.  Thread-safe for concurrent
+/// run() calls; the bit-plane layouts are built once at construction.
+class Detector {
+ public:
+  explicit Detector(const dataset::GenotypeMatrix& d);
+  ~Detector();
+
+  Detector(const Detector&) = delete;
+  Detector& operator=(const Detector&) = delete;
+
+  /// Runs exhaustive detection; throws std::invalid_argument for
+  /// inconsistent options and std::runtime_error for unavailable ISAs.
+  DetectionResult run(const DetectorOptions& options = {}) const;
+
+  std::size_t num_snps() const;
+  std::size_t num_samples() const;
+
+  /// Layout accessors (used by benches and the CARM characterization).
+  const dataset::BitPlanesV1& planes_v1() const;
+  const dataset::PhenoSplitPlanes& planes_split() const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace trigen::core

@@ -1,0 +1,94 @@
+#pragma once
+/// \file kernels.hpp
+/// \brief Contingency-table construction kernels (paper §IV-A, Algorithm 1).
+///
+/// The computational core of epistasis detection is filling the 27x2
+/// frequency table for a SNP triplet.  Two kernel shapes exist:
+///
+///  * the **V1 kernel** consumes the naive `BitPlanesV1` layout: three
+///    genotype planes per SNP plus the phenotype plane — 27 genotype
+///    combinations x 2 classes x (4 ANDs + 1 POPCNT) per word;
+///  * the **triple-block kernel** consumes one phenotype class of the
+///    `PhenoSplitPlanes` layout over a word range: genotype 2 is inferred
+///    by NOR, there is no phenotype AND, and the word range allows the
+///    blocked engine (V3/V4) to tile the sample dimension.
+///
+/// The triple-block kernel has one implementation per vectorization
+/// strategy (scalar, AVX2, AVX-512 + extracts, AVX-512 + VPOPCNTDQ),
+/// matching the per-ISA strategies of the paper's V4; the scalar
+/// implementation doubles as the V2/V3 kernel.
+///
+/// NOR padding: plane tail bits are zero, so the inferred genotype-2 plane
+/// has ones there and the kernels over-count cell (2,2,2) by exactly the
+/// class's padding-bit count.  Callers subtract `PhenoSplitPlanes::pad_bits`
+/// once per class after the last word block (see blocked_engine.cpp) —
+/// keeping the hot loop mask-free.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "trigen/dataset/bitplanes.hpp"
+#include "trigen/scoring/contingency.hpp"
+
+namespace trigen::core {
+
+using dataset::Word;
+
+/// Accumulates the 27 genotype-combination counts of one phenotype class
+/// for the triplet whose class planes are (x0,x1), (y0,y1), (z0,z1), over
+/// words [w_begin, w_end).  Adds into `ft27` (not zeroed here).
+using TripleBlockKernel = void (*)(const Word* x0, const Word* x1,
+                                   const Word* y0, const Word* y1,
+                                   const Word* z0, const Word* z1,
+                                   std::size_t w_begin, std::size_t w_end,
+                                   std::uint32_t* ft27);
+
+/// Vectorization strategy of the triple-block kernel.
+enum class KernelIsa {
+  kScalar,         ///< 32-bit words, builtin POPCNT (V2/V3 and AVX-less V4)
+  kAvx2,           ///< 256-bit AND/NOR, 4x extract + scalar POPCNT
+  kAvx2HarleySeal, ///< 256-bit AND/NOR, vpshufb nibble-LUT popcount
+                   ///< (ablation: the SWAR alternative to extract+POPCNT
+                   ///< on AVX CPUs without vector POPCNT)
+  kAvx512Extract,  ///< 512-bit AND/NOR, extracti64x4 + extract + scalar POPCNT
+  kAvx512Vpopcnt,  ///< 512-bit AND/NOR, VPOPCNTDQ + per-cell reduce
+};
+
+/// All strategies compiled into this binary.
+const std::vector<KernelIsa>& all_kernel_isas();
+
+/// True when the host CPU can execute `isa`.
+bool kernel_available(KernelIsa isa);
+
+/// Widest strategy available on the host.
+KernelIsa best_kernel_isa();
+
+std::string kernel_isa_name(KernelIsa isa);
+
+/// Fetch the kernel for `isa`; throws std::runtime_error if unavailable.
+TripleBlockKernel get_kernel(KernelIsa isa);
+
+/// Words processed per kernel iteration (1, 8 or 16): callers sizing word
+/// blocks should use multiples of this for full-vector main loops.
+std::size_t kernel_vector_words(KernelIsa isa);
+
+// ---------------------------------------------------------------------------
+// Whole-triplet conveniences
+// ---------------------------------------------------------------------------
+
+/// V1: naive evaluation from the Fig.-1 layout (AND with the phenotype /
+/// negated phenotype planes, all three genotype planes explicit).
+scoring::ContingencyTable contingency_v1(const dataset::BitPlanesV1& p,
+                                         std::size_t x, std::size_t y,
+                                         std::size_t z);
+
+/// V2+: evaluation from the phenotype-split layout using the triple-block
+/// kernel for `isa` over the full sample range, with the (2,2,2) padding
+/// correction applied.
+scoring::ContingencyTable contingency_split(const dataset::PhenoSplitPlanes& p,
+                                            std::size_t x, std::size_t y,
+                                            std::size_t z,
+                                            KernelIsa isa = KernelIsa::kScalar);
+
+}  // namespace trigen::core

@@ -1,0 +1,58 @@
+#pragma once
+/// \file tiling.hpp
+/// \brief Loop-tiling parameter selection (paper §IV-A).
+///
+/// The blocked kernels process B_S^3 SNP triplets against B_P sample words
+/// at a time.  The paper sizes both so the frequency-table array and the
+/// data block fit in the L1 data cache:
+///
+///   B_S^3 * beta_int * 2 * 27      <= size_FT      (frequency tables)
+///   B_S   * B_P * beta_int * 2     <= size_Block   (bit-plane block)
+///
+/// with beta_int = 4 B.  E.g. Ice Lake SP (48 kB, 12-way L1D): 7 ways for
+/// the tables (28 kB) and 4 ways for the block (16 kB) give B_S <= 5.1 and
+/// B_P <= 409.6, i.e. the paper's <5, 400> configuration.
+
+#include <cstddef>
+
+namespace trigen::core {
+
+/// Block sizes for the tiled engine.  `bp_words` counts 32-bit sample words
+/// (the beta_int units of the paper's formula).
+struct TilingParams {
+  std::size_t bs = 5;         ///< SNPs per block (B_S)
+  std::size_t bp_words = 400; ///< sample words per block (B_P)
+
+  bool valid() const { return bs > 0 && bp_words > 0; }
+};
+
+/// Description of the L1 data cache used to derive tiling parameters.
+struct L1Config {
+  std::size_t size_bytes = 48 * 1024;
+  unsigned ways = 12;
+  unsigned ways_for_tables = 7;  ///< ways reserved for the frequency tables
+  unsigned ways_for_block = 4;   ///< ways reserved for the streamed block
+};
+
+/// Applies the paper's sizing formulas to `l1`.  `vector_words` rounds
+/// bp_words down to a multiple of the kernel's vector width ("B_P is
+/// rounded to the closest multiple of the number of 32-bit integers that
+/// fit in the vector registers").
+TilingParams autotune_tiling(const L1Config& l1, std::size_t vector_words);
+
+/// Reads the host's L1D geometry from sysfs; falls back to 32 kB / 8-way
+/// when unavailable.  Way split follows the paper: 7 ways for tables, the
+/// remainder minus one (prefetcher headroom on >=12-way caches) for blocks.
+L1Config detect_l1_config();
+
+/// Bytes the frequency tables of one block-triple occupy.
+constexpr std::size_t tables_bytes(std::size_t bs) {
+  return bs * bs * bs * 4 * 2 * 27;
+}
+
+/// Bytes one B_S x B_P bit-plane block occupies.
+constexpr std::size_t block_bytes(std::size_t bs, std::size_t bp_words) {
+  return bs * bp_words * 4 * 2;
+}
+
+}  // namespace trigen::core

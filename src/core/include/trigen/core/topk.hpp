@@ -1,0 +1,69 @@
+#pragma once
+/// \file topk.hpp
+/// \brief Bounded best-K accumulator for detection results.
+///
+/// Each worker thread keeps its own TopK (no synchronization in the hot
+/// loop, §IV-A) and the detector merges them at the end.  Ordering is
+/// normalized to lower-is-better; ties break on combination rank so results
+/// are deterministic under any thread count.
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "trigen/combinatorics/combinations.hpp"
+
+namespace trigen::core {
+
+/// One scored SNP triplet.
+struct ScoredTriplet {
+  combinatorics::Triplet triplet{};
+  double score = 0.0;  ///< normalized: lower is better
+
+  friend bool operator<(const ScoredTriplet& a, const ScoredTriplet& b) {
+    if (a.score != b.score) return a.score < b.score;
+    return combinatorics::rank_triplet(a.triplet) <
+           combinatorics::rank_triplet(b.triplet);
+  }
+};
+
+/// Keeps the K best (lowest-score) triplets seen so far.
+class TopK {
+ public:
+  explicit TopK(std::size_t k) : k_(k == 0 ? 1 : k) {}
+
+  void push(const ScoredTriplet& s) {
+    if (entries_.size() < k_) {
+      entries_.push_back(s);
+      std::push_heap(entries_.begin(), entries_.end());  // max-heap on worst
+      return;
+    }
+    if (s < entries_.front()) {
+      std::pop_heap(entries_.begin(), entries_.end());
+      entries_.back() = s;
+      std::push_heap(entries_.begin(), entries_.end());
+    }
+  }
+
+  /// Merge another accumulator into this one.
+  void merge(const TopK& other) {
+    for (const auto& e : other.entries_) push(e);
+  }
+
+  /// Entries best-first.
+  std::vector<ScoredTriplet> sorted() const {
+    std::vector<ScoredTriplet> out = entries_;
+    std::sort(out.begin(), out.end());
+    return out;
+  }
+
+  std::size_t capacity() const { return k_; }
+  std::size_t size() const { return entries_.size(); }
+  bool empty() const { return entries_.empty(); }
+
+ private:
+  std::size_t k_;
+  std::vector<ScoredTriplet> entries_;  // max-heap: front() is the worst kept
+};
+
+}  // namespace trigen::core

@@ -1,0 +1,76 @@
+#include <bit>
+#include <stdexcept>
+
+#include "trigen/core/kernels.hpp"
+
+namespace trigen::core {
+
+namespace detail {
+
+void triple_block_scalar(const Word* x0, const Word* x1, const Word* y0,
+                         const Word* y1, const Word* z0, const Word* z1,
+                         std::size_t w_begin, std::size_t w_end,
+                         std::uint32_t* ft27) {
+  for (std::size_t w = w_begin; w < w_end; ++w) {
+    const Word xg[3] = {x0[w], x1[w], static_cast<Word>(~(x0[w] | x1[w]))};
+    const Word yg[3] = {y0[w], y1[w], static_cast<Word>(~(y0[w] | y1[w]))};
+    const Word zg[3] = {z0[w], z1[w], static_cast<Word>(~(z0[w] | z1[w]))};
+    int cell = 0;
+    for (int gx = 0; gx < 3; ++gx) {
+      for (int gy = 0; gy < 3; ++gy) {
+        const Word xy = xg[gx] & yg[gy];
+        for (int gz = 0; gz < 3; ++gz) {
+          ft27[cell++] += static_cast<std::uint32_t>(std::popcount(xy & zg[gz]));
+        }
+      }
+    }
+  }
+}
+
+}  // namespace detail
+
+scoring::ContingencyTable contingency_v1(const dataset::BitPlanesV1& p,
+                                         std::size_t x, std::size_t y,
+                                         std::size_t z) {
+  scoring::ContingencyTable t;
+  const Word* pheno = p.phenotype_plane();
+  for (int gx = 0; gx < 3; ++gx) {
+    const Word* px = p.plane(x, gx);
+    for (int gy = 0; gy < 3; ++gy) {
+      const Word* py = p.plane(y, gy);
+      for (int gz = 0; gz < 3; ++gz) {
+        const Word* pz = p.plane(z, gz);
+        const auto cell =
+            static_cast<std::size_t>(scoring::cell_index(gx, gy, gz));
+        std::uint32_t ctrl = 0;
+        std::uint32_t cases = 0;
+        for (std::size_t w = 0; w < p.words(); ++w) {
+          const Word g = px[w] & py[w] & pz[w];
+          cases += static_cast<std::uint32_t>(std::popcount(g & pheno[w]));
+          ctrl += static_cast<std::uint32_t>(std::popcount(g & ~pheno[w]));
+        }
+        t.counts[0][cell] = ctrl;
+        t.counts[1][cell] = cases;
+      }
+    }
+  }
+  return t;
+}
+
+scoring::ContingencyTable contingency_split(const dataset::PhenoSplitPlanes& p,
+                                            std::size_t x, std::size_t y,
+                                            std::size_t z, KernelIsa isa) {
+  const TripleBlockKernel kernel = get_kernel(isa);
+  scoring::ContingencyTable t;
+  for (int c = 0; c < 2; ++c) {
+    kernel(p.plane(c, x, 0), p.plane(c, x, 1), p.plane(c, y, 0),
+           p.plane(c, y, 1), p.plane(c, z, 0), p.plane(c, z, 1), 0, p.words(c),
+           t.counts[static_cast<std::size_t>(c)].data());
+    // NOR padding shows up as phantom (2,2,2) observations.
+    t.counts[static_cast<std::size_t>(c)][26] -=
+        static_cast<std::uint32_t>(p.pad_bits(c));
+  }
+  return t;
+}
+
+}  // namespace trigen::core

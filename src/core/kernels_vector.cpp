@@ -1,0 +1,323 @@
+#include <bit>
+#include <stdexcept>
+
+#include "trigen/common/cpuid.hpp"
+#include "trigen/core/kernels.hpp"
+
+#if defined(__AVX2__)
+#include <immintrin.h>
+#endif
+
+namespace trigen::core {
+
+namespace detail {
+// Defined in kernels_scalar.cpp.
+void triple_block_scalar(const Word* x0, const Word* x1, const Word* y0,
+                         const Word* y1, const Word* z0, const Word* z1,
+                         std::size_t w_begin, std::size_t w_end,
+                         std::uint32_t* ft27);
+
+#if defined(__AVX2__)
+namespace {
+/// Sum of set bits in a 256-bit register via the paper's AVX strategy:
+/// four 64-bit extracts, each fed to the scalar POPCNT unit.
+inline std::uint32_t popcnt256_extract(__m256i v) {
+  return static_cast<std::uint32_t>(
+      std::popcount(static_cast<std::uint64_t>(_mm256_extract_epi64(v, 0))) +
+      std::popcount(static_cast<std::uint64_t>(_mm256_extract_epi64(v, 1))) +
+      std::popcount(static_cast<std::uint64_t>(_mm256_extract_epi64(v, 2))) +
+      std::popcount(static_cast<std::uint64_t>(_mm256_extract_epi64(v, 3))));
+}
+}  // namespace
+
+void triple_block_avx2(const Word* x0, const Word* x1, const Word* y0,
+                       const Word* y1, const Word* z0, const Word* z1,
+                       std::size_t w_begin, std::size_t w_end,
+                       std::uint32_t* ft27) {
+  const __m256i ones = _mm256_set1_epi32(-1);
+  std::size_t w = w_begin;
+  for (; w + 8 <= w_end; w += 8) {
+    // No vector NOR on AVX CPUs: OR followed by XOR with all-ones (§IV-A).
+    __m256i xg[3], yg[3], zg[3];
+    xg[0] = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(x0 + w));
+    xg[1] = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(x1 + w));
+    xg[2] = _mm256_xor_si256(_mm256_or_si256(xg[0], xg[1]), ones);
+    yg[0] = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(y0 + w));
+    yg[1] = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(y1 + w));
+    yg[2] = _mm256_xor_si256(_mm256_or_si256(yg[0], yg[1]), ones);
+    zg[0] = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(z0 + w));
+    zg[1] = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(z1 + w));
+    zg[2] = _mm256_xor_si256(_mm256_or_si256(zg[0], zg[1]), ones);
+
+    int cell = 0;
+    for (int gx = 0; gx < 3; ++gx) {
+      for (int gy = 0; gy < 3; ++gy) {
+        const __m256i xy = _mm256_and_si256(xg[gx], yg[gy]);
+        for (int gz = 0; gz < 3; ++gz) {
+          ft27[cell++] += popcnt256_extract(_mm256_and_si256(xy, zg[gz]));
+        }
+      }
+    }
+  }
+  triple_block_scalar(x0, x1, y0, y1, z0, z1, w, w_end, ft27);
+}
+#endif  // __AVX2__
+
+#if defined(__AVX2__)
+void triple_block_avx2_harley_seal(const Word* x0, const Word* x1,
+                                   const Word* y0, const Word* y1,
+                                   const Word* z0, const Word* z1,
+                                   std::size_t w_begin, std::size_t w_end,
+                                   std::uint32_t* ft27) {
+  // Ablation strategy: SWAR nibble-LUT popcount (Mula's algorithm) instead
+  // of extract + scalar POPCNT.  Per-cell byte counts are horizontally
+  // summed with SAD against zero into 64-bit lanes, which cannot overflow
+  // for any realistic plane length; one final extract chain per cell.
+  const __m256i ones = _mm256_set1_epi32(-1);
+  const __m256i lut = _mm256_setr_epi8(
+      0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4,
+      0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4);
+  const __m256i low_mask = _mm256_set1_epi8(0x0f);
+  const __m256i zero = _mm256_setzero_si256();
+  __m256i acc[27];
+  for (auto& a : acc) a = zero;
+
+  std::size_t w = w_begin;
+  for (; w + 8 <= w_end; w += 8) {
+    __m256i xg[3], yg[3], zg[3];
+    xg[0] = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(x0 + w));
+    xg[1] = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(x1 + w));
+    xg[2] = _mm256_xor_si256(_mm256_or_si256(xg[0], xg[1]), ones);
+    yg[0] = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(y0 + w));
+    yg[1] = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(y1 + w));
+    yg[2] = _mm256_xor_si256(_mm256_or_si256(yg[0], yg[1]), ones);
+    zg[0] = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(z0 + w));
+    zg[1] = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(z1 + w));
+    zg[2] = _mm256_xor_si256(_mm256_or_si256(zg[0], zg[1]), ones);
+
+    int cell = 0;
+    for (int gx = 0; gx < 3; ++gx) {
+      for (int gy = 0; gy < 3; ++gy) {
+        const __m256i xy = _mm256_and_si256(xg[gx], yg[gy]);
+        for (int gz = 0; gz < 3; ++gz) {
+          const __m256i v = _mm256_and_si256(xy, zg[gz]);
+          const __m256i lo = _mm256_and_si256(v, low_mask);
+          const __m256i hi =
+              _mm256_and_si256(_mm256_srli_epi16(v, 4), low_mask);
+          const __m256i cnt = _mm256_add_epi8(_mm256_shuffle_epi8(lut, lo),
+                                              _mm256_shuffle_epi8(lut, hi));
+          acc[cell] = _mm256_add_epi64(acc[cell], _mm256_sad_epu8(cnt, zero));
+          ++cell;
+        }
+      }
+    }
+  }
+  for (int cell = 0; cell < 27; ++cell) {
+    ft27[cell] += static_cast<std::uint32_t>(
+        static_cast<std::uint64_t>(_mm256_extract_epi64(acc[cell], 0)) +
+        static_cast<std::uint64_t>(_mm256_extract_epi64(acc[cell], 1)) +
+        static_cast<std::uint64_t>(_mm256_extract_epi64(acc[cell], 2)) +
+        static_cast<std::uint64_t>(_mm256_extract_epi64(acc[cell], 3)));
+  }
+  triple_block_scalar(x0, x1, y0, y1, z0, z1, w, w_end, ft27);
+}
+#endif  // __AVX2__
+
+#if defined(__AVX512F__) && defined(__AVX512BW__)
+namespace {
+/// Skylake-SP strategy: two-level extraction feeding the scalar POPCNT unit
+/// (the overhead that makes CI2 the slowest CPU per core in Fig. 3).
+inline std::uint32_t popcnt512_extract(__m512i v) {
+  const __m256i lo = _mm512_extracti64x4_epi64(v, 0);
+  const __m256i hi = _mm512_extracti64x4_epi64(v, 1);
+  return popcnt256_extract(lo) + popcnt256_extract(hi);
+}
+}  // namespace
+
+void triple_block_avx512_extract(const Word* x0, const Word* x1, const Word* y0,
+                                 const Word* y1, const Word* z0, const Word* z1,
+                                 std::size_t w_begin, std::size_t w_end,
+                                 std::uint32_t* ft27) {
+  const __m512i ones = _mm512_set1_epi32(-1);
+  std::size_t w = w_begin;
+  for (; w + 16 <= w_end; w += 16) {
+    __m512i xg[3], yg[3], zg[3];
+    xg[0] = _mm512_loadu_si512(reinterpret_cast<const void*>(x0 + w));
+    xg[1] = _mm512_loadu_si512(reinterpret_cast<const void*>(x1 + w));
+    xg[2] = _mm512_xor_si512(_mm512_or_si512(xg[0], xg[1]), ones);
+    yg[0] = _mm512_loadu_si512(reinterpret_cast<const void*>(y0 + w));
+    yg[1] = _mm512_loadu_si512(reinterpret_cast<const void*>(y1 + w));
+    yg[2] = _mm512_xor_si512(_mm512_or_si512(yg[0], yg[1]), ones);
+    zg[0] = _mm512_loadu_si512(reinterpret_cast<const void*>(z0 + w));
+    zg[1] = _mm512_loadu_si512(reinterpret_cast<const void*>(z1 + w));
+    zg[2] = _mm512_xor_si512(_mm512_or_si512(zg[0], zg[1]), ones);
+
+    int cell = 0;
+    for (int gx = 0; gx < 3; ++gx) {
+      for (int gy = 0; gy < 3; ++gy) {
+        const __m512i xy = _mm512_and_si512(xg[gx], yg[gy]);
+        for (int gz = 0; gz < 3; ++gz) {
+          ft27[cell++] += popcnt512_extract(_mm512_and_si512(xy, zg[gz]));
+        }
+      }
+    }
+  }
+  triple_block_scalar(x0, x1, y0, y1, z0, z1, w, w_end, ft27);
+}
+#endif  // AVX512F && AVX512BW
+
+#if defined(__AVX512VPOPCNTDQ__)
+void triple_block_avx512_vpopcnt(const Word* x0, const Word* x1, const Word* y0,
+                                 const Word* y1, const Word* z0, const Word* z1,
+                                 std::size_t w_begin, std::size_t w_end,
+                                 std::uint32_t* ft27) {
+  // Ice Lake SP strategy (§IV-A, last paragraph): vector POPCNT per cell,
+  // frequency table updated with a reduction.  The table is kept as 27
+  // lane-wise vector accumulators for the duration of the word loop — the
+  // per-lane count over one call is bounded by 32 bits per word, so 32-bit
+  // lanes cannot overflow for any plane shorter than 2^26 words — and each
+  // accumulator is reduced exactly once at the end.
+  const __m512i ones = _mm512_set1_epi32(-1);
+  __m512i acc[27];
+  for (auto& a : acc) a = _mm512_setzero_si512();
+
+  std::size_t w = w_begin;
+  for (; w + 16 <= w_end; w += 16) {
+    __m512i xg[3], yg[3], zg[3];
+    xg[0] = _mm512_loadu_si512(reinterpret_cast<const void*>(x0 + w));
+    xg[1] = _mm512_loadu_si512(reinterpret_cast<const void*>(x1 + w));
+    xg[2] = _mm512_xor_si512(_mm512_or_si512(xg[0], xg[1]), ones);
+    yg[0] = _mm512_loadu_si512(reinterpret_cast<const void*>(y0 + w));
+    yg[1] = _mm512_loadu_si512(reinterpret_cast<const void*>(y1 + w));
+    yg[2] = _mm512_xor_si512(_mm512_or_si512(yg[0], yg[1]), ones);
+    zg[0] = _mm512_loadu_si512(reinterpret_cast<const void*>(z0 + w));
+    zg[1] = _mm512_loadu_si512(reinterpret_cast<const void*>(z1 + w));
+    zg[2] = _mm512_xor_si512(_mm512_or_si512(zg[0], zg[1]), ones);
+
+    int cell = 0;
+    for (int gx = 0; gx < 3; ++gx) {
+      for (int gy = 0; gy < 3; ++gy) {
+        const __m512i xy = _mm512_and_si512(xg[gx], yg[gy]);
+        for (int gz = 0; gz < 3; ++gz) {
+          acc[cell] = _mm512_add_epi32(
+              acc[cell],
+              _mm512_popcnt_epi32(_mm512_and_si512(xy, zg[gz])));
+          ++cell;
+        }
+      }
+    }
+  }
+  for (int cell = 0; cell < 27; ++cell) {
+    ft27[cell] +=
+        static_cast<std::uint32_t>(_mm512_reduce_add_epi32(acc[cell]));
+  }
+  triple_block_scalar(x0, x1, y0, y1, z0, z1, w, w_end, ft27);
+}
+#endif  // __AVX512VPOPCNTDQ__
+
+}  // namespace detail
+
+const std::vector<KernelIsa>& all_kernel_isas() {
+  static const std::vector<KernelIsa> v = [] {
+    std::vector<KernelIsa> out = {KernelIsa::kScalar};
+#if defined(__AVX2__)
+    out.push_back(KernelIsa::kAvx2);
+    out.push_back(KernelIsa::kAvx2HarleySeal);
+#endif
+#if defined(__AVX512F__) && defined(__AVX512BW__)
+    out.push_back(KernelIsa::kAvx512Extract);
+#endif
+#if defined(__AVX512VPOPCNTDQ__)
+    out.push_back(KernelIsa::kAvx512Vpopcnt);
+#endif
+    return out;
+  }();
+  return v;
+}
+
+bool kernel_available(KernelIsa isa) {
+  const auto& f = cpu_features();
+  switch (isa) {
+    case KernelIsa::kScalar:
+      return true;
+    case KernelIsa::kAvx2:
+    case KernelIsa::kAvx2HarleySeal:
+#if defined(__AVX2__)
+      return f.avx2;
+#else
+      return false;
+#endif
+    case KernelIsa::kAvx512Extract:
+#if defined(__AVX512F__) && defined(__AVX512BW__)
+      return f.avx512f && f.avx512bw;
+#else
+      return false;
+#endif
+    case KernelIsa::kAvx512Vpopcnt:
+#if defined(__AVX512VPOPCNTDQ__)
+      return f.avx512vpopcntdq;
+#else
+      return false;
+#endif
+  }
+  return false;
+}
+
+KernelIsa best_kernel_isa() {
+  KernelIsa best = KernelIsa::kScalar;
+  for (const KernelIsa isa : all_kernel_isas()) {
+    if (kernel_available(isa)) best = isa;
+  }
+  return best;
+}
+
+std::string kernel_isa_name(KernelIsa isa) {
+  switch (isa) {
+    case KernelIsa::kScalar: return "scalar";
+    case KernelIsa::kAvx2: return "avx2";
+    case KernelIsa::kAvx2HarleySeal: return "avx2-harley-seal";
+    case KernelIsa::kAvx512Extract: return "avx512-extract";
+    case KernelIsa::kAvx512Vpopcnt: return "avx512-vpopcnt";
+  }
+  return "unknown";
+}
+
+TripleBlockKernel get_kernel(KernelIsa isa) {
+  if (!kernel_available(isa)) {
+    throw std::runtime_error("kernel '" + kernel_isa_name(isa) +
+                             "' not available on this host");
+  }
+  switch (isa) {
+    case KernelIsa::kScalar:
+      return &detail::triple_block_scalar;
+#if defined(__AVX2__)
+    case KernelIsa::kAvx2:
+      return &detail::triple_block_avx2;
+    case KernelIsa::kAvx2HarleySeal:
+      return &detail::triple_block_avx2_harley_seal;
+#endif
+#if defined(__AVX512F__) && defined(__AVX512BW__)
+    case KernelIsa::kAvx512Extract:
+      return &detail::triple_block_avx512_extract;
+#endif
+#if defined(__AVX512VPOPCNTDQ__)
+    case KernelIsa::kAvx512Vpopcnt:
+      return &detail::triple_block_avx512_vpopcnt;
+#endif
+    default:
+      throw std::runtime_error("kernel not compiled in");
+  }
+}
+
+std::size_t kernel_vector_words(KernelIsa isa) {
+  switch (isa) {
+    case KernelIsa::kScalar: return 1;
+    case KernelIsa::kAvx2:
+    case KernelIsa::kAvx2HarleySeal: return 8;
+    case KernelIsa::kAvx512Extract:
+    case KernelIsa::kAvx512Vpopcnt: return 16;
+  }
+  return 1;
+}
+
+}  // namespace trigen::core

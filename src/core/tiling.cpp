@@ -1,0 +1,82 @@
+#include "trigen/core/tiling.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <string>
+
+namespace trigen::core {
+
+TilingParams autotune_tiling(const L1Config& l1, std::size_t vector_words) {
+  const double way_bytes =
+      static_cast<double>(l1.size_bytes) / std::max(1u, l1.ways);
+  const double size_ft = way_bytes * l1.ways_for_tables;
+  const double size_block = way_bytes * l1.ways_for_block;
+
+  // B_S^3 * 4 * 2 * 27 <= size_FT
+  std::size_t bs = static_cast<std::size_t>(std::cbrt(size_ft / (4.0 * 2 * 27)));
+  bs = std::max<std::size_t>(1, bs);
+  while (tables_bytes(bs + 1) <= static_cast<std::size_t>(size_ft)) ++bs;
+  while (bs > 1 && tables_bytes(bs) > static_cast<std::size_t>(size_ft)) --bs;
+
+  // B_S * B_P * 4 * 2 <= size_Block, B_P a multiple of the vector width.
+  std::size_t bp = static_cast<std::size_t>(size_block / (4.0 * 2 * bs));
+  if (vector_words > 1) bp = bp / vector_words * vector_words;
+  bp = std::max<std::size_t>(std::max<std::size_t>(1, vector_words), bp);
+
+  return TilingParams{bs, bp};
+}
+
+namespace {
+
+/// Parses e.g. "48K" from sysfs cache size files.
+std::size_t parse_size(const std::string& s) {
+  if (s.empty()) return 0;
+  std::size_t value = 0;
+  std::size_t i = 0;
+  while (i < s.size() && s[i] >= '0' && s[i] <= '9') {
+    value = value * 10 + static_cast<std::size_t>(s[i] - '0');
+    ++i;
+  }
+  if (i < s.size() && (s[i] == 'K' || s[i] == 'k')) value *= 1024;
+  if (i < s.size() && (s[i] == 'M' || s[i] == 'm')) value *= 1024 * 1024;
+  return value;
+}
+
+std::string read_line(const std::string& path) {
+  std::ifstream is(path);
+  std::string line;
+  if (is) std::getline(is, line);
+  return line;
+}
+
+}  // namespace
+
+L1Config detect_l1_config() {
+  L1Config cfg;
+  cfg.size_bytes = 32 * 1024;
+  cfg.ways = 8;
+
+  // cpu0/cache/index0 is the L1D on Linux x86.
+  const std::string base = "/sys/devices/system/cpu/cpu0/cache/index0/";
+  const std::size_t size = parse_size(read_line(base + "size"));
+  const std::string ways_str = read_line(base + "ways_of_associativity");
+  if (size > 0) cfg.size_bytes = size;
+  if (!ways_str.empty()) {
+    const unsigned w = static_cast<unsigned>(parse_size(ways_str));
+    if (w > 0) cfg.ways = w;
+  }
+
+  // Paper's split: 7 ways of tables everywhere; on wide (>=12-way) caches
+  // keep one spare way for the hardware prefetcher, on 8-way caches use the
+  // single remaining way for the block.
+  cfg.ways_for_tables = std::min(7u, cfg.ways > 1 ? cfg.ways - 1 : 1u);
+  if (cfg.ways >= 12) {
+    cfg.ways_for_block = cfg.ways - cfg.ways_for_tables - 1;
+  } else {
+    cfg.ways_for_block = std::max(1u, cfg.ways - cfg.ways_for_tables);
+  }
+  return cfg;
+}
+
+}  // namespace trigen::core

@@ -1,0 +1,138 @@
+#include "trigen/dataset/bitplanes.hpp"
+
+#include <stdexcept>
+
+namespace trigen::dataset {
+namespace {
+
+/// Per-class sample index: maps sample j to its position inside the class
+/// plane (controls keep their relative order, as do cases).
+struct ClassIndex {
+  std::array<std::vector<std::size_t>, 2> members;
+
+  explicit ClassIndex(const GenotypeMatrix& d) {
+    for (std::size_t j = 0; j < d.num_samples(); ++j) {
+      members[d.phenotype(j)].push_back(j);
+    }
+  }
+};
+
+void set_bit(Word* plane, std::size_t pos) {
+  plane[pos / kWordBits] |= Word{1} << (pos % kWordBits);
+}
+
+}  // namespace
+
+BitPlanesV1 BitPlanesV1::build(const GenotypeMatrix& d) {
+  BitPlanesV1 out;
+  out.num_snps_ = d.num_snps();
+  out.num_samples_ = d.num_samples();
+  out.words_ = padded_words_for(d.num_samples());
+  out.planes_.assign(out.num_snps_ * 3 * out.words_, 0);
+  out.pheno_.assign(out.words_, 0);
+
+  for (std::size_t j = 0; j < d.num_samples(); ++j) {
+    if (d.phenotype(j) == 1) set_bit(out.pheno_.data(), j);
+  }
+  for (std::size_t m = 0; m < d.num_snps(); ++m) {
+    for (std::size_t j = 0; j < d.num_samples(); ++j) {
+      const int g = d.at(m, j);
+      Word* plane = out.planes_.data() +
+                    (m * 3 + static_cast<std::size_t>(g)) * out.words_;
+      set_bit(plane, j);
+    }
+  }
+  return out;
+}
+
+PhenoSplitPlanes PhenoSplitPlanes::build(const GenotypeMatrix& d) {
+  PhenoSplitPlanes out;
+  out.num_snps_ = d.num_snps();
+  const ClassIndex idx(d);
+  for (int c = 0; c < 2; ++c) {
+    const auto cs = static_cast<std::size_t>(c);
+    out.samples_[cs] = idx.members[cs].size();
+    out.words_[cs] = padded_words_for(out.samples_[cs]);
+    out.planes_[cs].assign(out.num_snps_ * 2 * out.words_[cs], 0);
+  }
+  for (std::size_t m = 0; m < d.num_snps(); ++m) {
+    for (int c = 0; c < 2; ++c) {
+      const auto cs = static_cast<std::size_t>(c);
+      for (std::size_t p = 0; p < idx.members[cs].size(); ++p) {
+        const int g = d.at(m, idx.members[cs][p]);
+        if (g <= 1) {  // genotype 2 is implicit: NOR(plane0, plane1)
+          Word* plane = out.planes_[cs].data() +
+                        (m * 2 + static_cast<std::size_t>(g)) * out.words_[cs];
+          set_bit(plane, p);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+TransposedPlanes TransposedPlanes::build(const GenotypeMatrix& d) {
+  TransposedPlanes out;
+  out.num_snps_ = d.num_snps();
+  const ClassIndex idx(d);
+  for (int c = 0; c < 2; ++c) {
+    const auto cs = static_cast<std::size_t>(c);
+    out.samples_[cs] = idx.members[cs].size();
+    out.words_[cs] = padded_words_for(out.samples_[cs]);
+    out.planes_[cs].assign(out.words_[cs] * out.num_snps_ * 2, 0);
+  }
+  for (std::size_t m = 0; m < d.num_snps(); ++m) {
+    for (int c = 0; c < 2; ++c) {
+      const auto cs = static_cast<std::size_t>(c);
+      for (std::size_t p = 0; p < idx.members[cs].size(); ++p) {
+        const int g = d.at(m, idx.members[cs][p]);
+        if (g <= 1) {
+          const std::size_t w = p / kWordBits;
+          const std::size_t bit = p % kWordBits;
+          out.planes_[cs][(w * out.num_snps_ + m) * 2 +
+                          static_cast<std::size_t>(g)] |= Word{1} << bit;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+TiledPlanes TiledPlanes::build(const GenotypeMatrix& d, std::size_t tile) {
+  if (tile == 0) {
+    throw std::invalid_argument("TiledPlanes: tile size must be non-zero");
+  }
+  TiledPlanes out;
+  out.num_snps_ = d.num_snps();
+  out.tile_ = tile;
+  out.padded_snps_ = (d.num_snps() + tile - 1) / tile * tile;
+  const ClassIndex idx(d);
+  for (int c = 0; c < 2; ++c) {
+    const auto cs = static_cast<std::size_t>(c);
+    out.samples_[cs] = idx.members[cs].size();
+    out.words_[cs] = padded_words_for(out.samples_[cs]);
+    out.planes_[cs].assign(
+        (out.padded_snps_ / tile) * out.words_[cs] * tile * 2, 0);
+  }
+  for (std::size_t m = 0; m < d.num_snps(); ++m) {
+    const std::size_t tile_idx = m / tile;
+    const std::size_t in_tile = m % tile;
+    for (int c = 0; c < 2; ++c) {
+      const auto cs = static_cast<std::size_t>(c);
+      for (std::size_t p = 0; p < idx.members[cs].size(); ++p) {
+        const int g = d.at(m, idx.members[cs][p]);
+        if (g <= 1) {
+          const std::size_t w = p / kWordBits;
+          const std::size_t bit = p % kWordBits;
+          const std::size_t index =
+              (((tile_idx * out.words_[cs]) + w) * tile + in_tile) * 2 +
+              static_cast<std::size_t>(g);
+          out.planes_[cs][index] |= Word{1} << bit;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace trigen::dataset

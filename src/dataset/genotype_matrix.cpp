@@ -1,0 +1,50 @@
+#include "trigen/dataset/genotype_matrix.hpp"
+
+#include <algorithm>
+
+namespace trigen::dataset {
+
+GenotypeMatrix::GenotypeMatrix(std::size_t num_snps, std::size_t num_samples)
+    : num_snps_(num_snps),
+      num_samples_(num_samples),
+      geno_(num_snps * num_samples, 0),
+      pheno_(num_samples, 0) {
+  if (num_snps == 0 || num_samples == 0) {
+    throw std::invalid_argument("GenotypeMatrix: shape must be non-zero");
+  }
+}
+
+void GenotypeMatrix::set(std::size_t snp, std::size_t sample, Genotype g) {
+  if (snp >= num_snps_ || sample >= num_samples_) {
+    throw std::out_of_range("GenotypeMatrix::set: index out of range");
+  }
+  if (g > 2) {
+    throw std::invalid_argument("GenotypeMatrix::set: genotype must be 0..2");
+  }
+  geno_[snp * num_samples_ + sample] = g;
+}
+
+void GenotypeMatrix::set_phenotype(std::size_t sample, Phenotype p) {
+  if (sample >= num_samples_) {
+    throw std::out_of_range("GenotypeMatrix::set_phenotype: out of range");
+  }
+  if (p > 1) {
+    throw std::invalid_argument("GenotypeMatrix: phenotype must be 0 or 1");
+  }
+  pheno_[sample] = p;
+}
+
+std::size_t GenotypeMatrix::class_count(Phenotype c) const {
+  return static_cast<std::size_t>(
+      std::count(pheno_.begin(), pheno_.end(), c));
+}
+
+bool GenotypeMatrix::valid() const {
+  const bool geno_ok =
+      std::all_of(geno_.begin(), geno_.end(), [](Genotype g) { return g <= 2; });
+  const bool pheno_ok = std::all_of(pheno_.begin(), pheno_.end(),
+                                    [](Phenotype p) { return p <= 1; });
+  return geno_ok && pheno_ok;
+}
+
+}  // namespace trigen::dataset

@@ -1,0 +1,205 @@
+#pragma once
+/// \file bitplanes.hpp
+/// \brief Binarized dataset layouts for every kernel version (paper §III/IV).
+///
+/// The paper's optimization ladder is driven by data layout:
+///
+///  * `BitPlanesV1`    — Fig. 1: three genotype bit-planes per SNP plus a
+///                       phenotype bit-plane.  Used by the naive V1 kernels.
+///  * `PhenoSplitPlanes` — §IV-A second method: the dataset is split into a
+///                       control plane-set and a case plane-set, and only
+///                       genotypes 0 and 1 are stored (genotype 2 is
+///                       reconstructed with a NOR).  Used by CPU V2/V3/V4
+///                       and GPU V2.
+///  * `TransposedPlanes` — §IV-B third method: SNP-minor (sample-word-major)
+///                       layout so that consecutive GPU threads touch
+///                       consecutive words (coalesced loads).  GPU V3.
+///  * `TiledPlanes`    — §IV-B fourth method: SNPs grouped in tiles of BS,
+///                       with the BS words of one sample-word adjacent.
+///                       GPU V4.
+///
+/// All layouts use 32-bit words ("all approaches use 32-bit integers to
+/// compress the input data set", §IV) and zero-padded tail bits.  For the
+/// layouts that *infer* genotype 2 via NOR, the zero padding masquerades as
+/// genotype 2; the padding bit counts are exposed so kernels can subtract
+/// the constant from the (2,2,2) contingency cell instead of masking inside
+/// the hot loop (see `pad_bits`).
+
+#include <array>
+#include <cstdint>
+
+#include "trigen/common/aligned.hpp"
+#include "trigen/dataset/genotype_matrix.hpp"
+
+namespace trigen::dataset {
+
+/// Machine word carrying one bit per sample.
+using Word = std::uint32_t;
+inline constexpr std::size_t kWordBits = 32;
+
+/// Number of words needed for `n` samples (no alignment padding).
+constexpr std::size_t words_for(std::size_t n) {
+  return (n + kWordBits - 1) / kWordBits;
+}
+
+/// Words per 64-byte vector register / cache line.
+inline constexpr std::size_t kWordsPerVector = trigen::kVectorAlign / sizeof(Word);
+
+/// `words_for(n)` rounded up so every plane is a whole number of AVX-512
+/// registers; guarantees aligned vector loads never read across planes.
+constexpr std::size_t padded_words_for(std::size_t n) {
+  const std::size_t w = words_for(n);
+  return (w + kWordsPerVector - 1) / kWordsPerVector * kWordsPerVector;
+}
+
+// ---------------------------------------------------------------------------
+// V1: three genotype planes + phenotype plane (Fig. 1)
+// ---------------------------------------------------------------------------
+
+/// Naive binarized layout: for each SNP, one bit-plane per genotype value,
+/// plus a single shared phenotype plane (bit set = case).
+class BitPlanesV1 {
+ public:
+  static BitPlanesV1 build(const GenotypeMatrix& d);
+
+  std::size_t num_snps() const { return num_snps_; }
+  std::size_t num_samples() const { return num_samples_; }
+  /// Padded words per plane.
+  std::size_t words() const { return words_; }
+
+  /// Plane of genotype `g` (0..2) for SNP `snp`; `words()` words long.
+  const Word* plane(std::size_t snp, int g) const {
+    return planes_.data() + (snp * 3 + static_cast<std::size_t>(g)) * words_;
+  }
+  /// Phenotype plane: bit set when the sample is a case.
+  const Word* phenotype_plane() const { return pheno_.data(); }
+
+ private:
+  std::size_t num_snps_ = 0;
+  std::size_t num_samples_ = 0;
+  std::size_t words_ = 0;
+  aligned_vector<Word> planes_;  // [snp][genotype][word]
+  aligned_vector<Word> pheno_;   // [word]
+};
+
+// ---------------------------------------------------------------------------
+// V2: phenotype-split, genotype-2 inferred (CPU V2/V3/V4, GPU V2)
+// ---------------------------------------------------------------------------
+
+/// Class-split layout: one plane-set per phenotype class, storing only
+/// genotypes 0 and 1.  Genotype 2 is reconstructed as NOR(g0, g1), which
+/// cuts memory traffic to 2/3 and removes the phenotype plane entirely.
+class PhenoSplitPlanes {
+ public:
+  static PhenoSplitPlanes build(const GenotypeMatrix& d);
+
+  std::size_t num_snps() const { return num_snps_; }
+  /// Samples in class `c` (0 = controls, 1 = cases).
+  std::size_t samples(int c) const { return samples_[static_cast<std::size_t>(c)]; }
+  /// Padded words per plane of class `c`.
+  std::size_t words(int c) const { return words_[static_cast<std::size_t>(c)]; }
+
+  /// Zero-padding tail bits of class `c`.  NOR-based genotype-2 inference
+  /// turns each of these into a phantom (2,2,2) observation; kernels must
+  /// subtract this constant from that cell once per evaluated triplet.
+  std::size_t pad_bits(int c) const {
+    return words(c) * kWordBits - samples(c);
+  }
+
+  /// Plane of genotype `g` (0..1 only) for SNP `snp` in class `c`.
+  const Word* plane(int c, std::size_t snp, int g) const {
+    return planes_[static_cast<std::size_t>(c)].data() +
+           (snp * 2 + static_cast<std::size_t>(g)) * words_[static_cast<std::size_t>(c)];
+  }
+
+ private:
+  std::size_t num_snps_ = 0;
+  std::array<std::size_t, 2> samples_{};
+  std::array<std::size_t, 2> words_{};
+  std::array<aligned_vector<Word>, 2> planes_;  // [snp][genotype(2)][word]
+};
+
+// ---------------------------------------------------------------------------
+// V3 (GPU): transposed layout for coalesced loads
+// ---------------------------------------------------------------------------
+
+/// Sample-word-major layout: for a fixed sample word, the planes of all
+/// SNPs are adjacent, so consecutive GPU threads (which own consecutive SNP
+/// triplets) load consecutive memory — the coalescing condition of §IV-B.
+class TransposedPlanes {
+ public:
+  static TransposedPlanes build(const GenotypeMatrix& d);
+
+  std::size_t num_snps() const { return num_snps_; }
+  std::size_t samples(int c) const { return samples_[static_cast<std::size_t>(c)]; }
+  std::size_t words(int c) const { return words_[static_cast<std::size_t>(c)]; }
+  std::size_t pad_bits(int c) const {
+    return words(c) * kWordBits - samples(c);
+  }
+
+  /// Word `w` of the genotype-`g` plane of `snp` in class `c`.
+  Word word(int c, std::size_t w, std::size_t snp, int g) const {
+    return planes_[static_cast<std::size_t>(c)]
+                  [(w * num_snps_ + snp) * 2 + static_cast<std::size_t>(g)];
+  }
+
+  /// Base pointer for cost-model / stride analysis.
+  const Word* data(int c) const {
+    return planes_[static_cast<std::size_t>(c)].data();
+  }
+  /// Distance in words between the same plane of SNP m and SNP m+1 for a
+  /// fixed sample word (the coalescing stride).
+  std::size_t snp_stride() const { return 2; }
+
+ private:
+  std::size_t num_snps_ = 0;
+  std::array<std::size_t, 2> samples_{};
+  std::array<std::size_t, 2> words_{};
+  std::array<aligned_vector<Word>, 2> planes_;  // [word][snp][genotype(2)]
+};
+
+// ---------------------------------------------------------------------------
+// V4 (GPU): SNP-tiled layout
+// ---------------------------------------------------------------------------
+
+/// Tiled layout: SNPs are grouped in tiles of `tile` SNPs; within a tile the
+/// `tile` words belonging to one sample word are adjacent.  This bounds the
+/// stride between consecutive sample words of the same SNP to `tile` words,
+/// improving cache-line reuse inside a thread group of size `tile` (§IV-B).
+class TiledPlanes {
+ public:
+  /// `tile` is the paper's BS; "for most architectures a multiple of 32/64".
+  static TiledPlanes build(const GenotypeMatrix& d, std::size_t tile);
+
+  std::size_t num_snps() const { return num_snps_; }
+  std::size_t tile() const { return tile_; }
+  /// SNP count rounded up to a whole number of tiles.
+  std::size_t padded_snps() const { return padded_snps_; }
+  std::size_t samples(int c) const { return samples_[static_cast<std::size_t>(c)]; }
+  std::size_t words(int c) const { return words_[static_cast<std::size_t>(c)]; }
+  std::size_t pad_bits(int c) const {
+    return words(c) * kWordBits - samples(c);
+  }
+
+  Word word(int c, std::size_t w, std::size_t snp, int g) const {
+    const std::size_t tile_idx = snp / tile_;
+    const std::size_t in_tile = snp % tile_;
+    return planes_[static_cast<std::size_t>(c)]
+                  [(((tile_idx * words_[static_cast<std::size_t>(c)]) + w) * tile_ +
+                    in_tile) * 2 + static_cast<std::size_t>(g)];
+  }
+
+  const Word* data(int c) const {
+    return planes_[static_cast<std::size_t>(c)].data();
+  }
+
+ private:
+  std::size_t num_snps_ = 0;
+  std::size_t padded_snps_ = 0;
+  std::size_t tile_ = 0;
+  std::array<std::size_t, 2> samples_{};
+  std::array<std::size_t, 2> words_{};
+  std::array<aligned_vector<Word>, 2> planes_;  // [tile][word][snp-in-tile][g]
+};
+
+}  // namespace trigen::dataset

@@ -1,0 +1,37 @@
+#pragma once
+/// \file io.hpp
+/// \brief Dataset serialization: a human-readable text format and a compact
+/// binary format.
+///
+/// Text format (one SNP per line, MPI3SNP-sample-file flavoured):
+///
+///     TRIGEN1 <M> <N>
+///     <N genotype chars '0'|'1'|'2'>            (M lines)
+///     <N phenotype chars '0'|'1'>               (1 line)
+///
+/// Binary format: magic "TGBIN1\n", little-endian u64 M, u64 N, M*N raw
+/// genotype bytes, N raw phenotype bytes.
+
+#include <iosfwd>
+#include <string>
+
+#include "trigen/dataset/genotype_matrix.hpp"
+
+namespace trigen::dataset {
+
+/// Writes `d` in the text format.  Throws std::runtime_error on I/O failure.
+void write_text(std::ostream& os, const GenotypeMatrix& d);
+void write_text_file(const std::string& path, const GenotypeMatrix& d);
+
+/// Parses the text format.  Throws std::runtime_error with a line-number
+/// message on malformed input.
+GenotypeMatrix read_text(std::istream& is);
+GenotypeMatrix read_text_file(const std::string& path);
+
+/// Binary round trip.
+void write_binary(std::ostream& os, const GenotypeMatrix& d);
+void write_binary_file(const std::string& path, const GenotypeMatrix& d);
+GenotypeMatrix read_binary(std::istream& is);
+GenotypeMatrix read_binary_file(const std::string& path);
+
+}  // namespace trigen::dataset

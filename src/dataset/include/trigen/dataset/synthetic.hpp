@@ -1,0 +1,84 @@
+#pragma once
+/// \file synthetic.hpp
+/// \brief Synthetic case-control dataset generator with planted epistasis.
+///
+/// The paper evaluates on "synthetic data sets equivalent to real case
+/// scenarios" (§V).  This generator produces such datasets: genotypes are
+/// drawn per-SNP under Hardy-Weinberg equilibrium from a minor allele
+/// frequency (MAF), and the phenotype is drawn from a penetrance table — a
+/// P(case | g_x, g_y, g_z) lookup over the 27 genotype combinations of a
+/// planted SNP triplet (the GAMETES-style construction used throughout the
+/// epistasis literature).  Datasets with a planted interaction give the
+/// test suite a ground truth: the detector must rank the planted triplet
+/// first.
+
+#include <array>
+#include <cstdint>
+#include <optional>
+
+#include "trigen/dataset/genotype_matrix.hpp"
+
+namespace trigen::dataset {
+
+/// P(case | genotype combination) over the 27 three-way genotype cells.
+/// Cell index is g_x * 9 + g_y * 3 + g_z.
+struct PenetranceTable {
+  std::array<double, 27> p{};
+
+  double at(int gx, int gy, int gz) const {
+    return p[static_cast<std::size_t>(gx * 9 + gy * 3 + gz)];
+  }
+  /// All probabilities within [0,1]?
+  bool valid() const;
+};
+
+/// Built-in third-order interaction shapes.
+enum class InteractionModel {
+  kThreshold,       ///< risk jumps when >= 3 minor alleles are present
+  kXor3,            ///< risk follows the parity of the minor-allele count
+  kMultiplicative,  ///< risk multiplies per minor allele (log-additive)
+};
+
+/// Builds a penetrance table for `model` with baseline case probability
+/// `baseline` and effect strength `effect` (both in [0,1]; the resulting
+/// probabilities are clamped to [0, 0.95]).
+PenetranceTable make_penetrance(InteractionModel model, double baseline,
+                                double effect);
+
+/// Builds a penetrance table that depends only on the first two SNPs of
+/// the planted triplet (a *second-order* interaction embedded in the
+/// 27-cell table): used to test the pairwise detector with ground truth.
+PenetranceTable make_penetrance_pairwise(InteractionModel model,
+                                         double baseline, double effect);
+
+/// A planted three-way interaction: which SNPs interact and how.
+struct PlantedInteraction {
+  std::array<std::size_t, 3> snps{};  ///< strictly increasing indices
+  PenetranceTable penetrance;
+};
+
+/// Generation parameters.
+struct SyntheticSpec {
+  std::size_t num_snps = 0;
+  std::size_t num_samples = 0;
+  double maf_min = 0.05;  ///< minor allele frequencies drawn uniformly
+  double maf_max = 0.50;  ///< from [maf_min, maf_max] per SNP
+  double prevalence = 0.5;  ///< P(case) for samples not driven by a planted table
+  std::uint64_t seed = 42;
+  /// Planted ground-truth interaction (optional).
+  std::optional<PlantedInteraction> interaction;
+};
+
+/// Generates a dataset according to `spec`.  Deterministic in `spec.seed`.
+///
+/// Throws std::invalid_argument when the spec is inconsistent (zero shape,
+/// MAF out of range, planted SNP indices out of range or not increasing).
+GenotypeMatrix generate(const SyntheticSpec& spec);
+
+/// Generates a dataset with exactly `floor(N/2)` cases and the rest
+/// controls (the balanced shape the paper's datasets use), no interaction.
+GenotypeMatrix generate_balanced(std::size_t num_snps, std::size_t num_samples,
+                                 std::uint64_t seed, double maf_min = 0.05,
+                                 double maf_max = 0.5);
+
+}  // namespace trigen::dataset

@@ -1,0 +1,182 @@
+#include "trigen/dataset/io.hpp"
+
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace trigen::dataset {
+namespace {
+
+constexpr char kTextMagic[] = "TRIGEN1";
+constexpr char kBinMagic[] = "TGBIN1\n";
+
+[[noreturn]] void fail(const std::string& what) {
+  throw std::runtime_error("trigen dataset I/O: " + what);
+}
+
+/// Upper bounds on header-declared shapes.  A corrupted header must fail
+/// with a parse error, not an attempted multi-terabyte allocation.
+constexpr std::uint64_t kMaxSnps = 1u << 22;       // 4M SNPs (paper max: 40k)
+constexpr std::uint64_t kMaxSamples = 1u << 22;    // 4M samples
+constexpr std::uint64_t kMaxEntries = 1ull << 29;  // 512M genotypes (~512 MB)
+
+void check_shape(std::uint64_t snps, std::uint64_t samples) {
+  if (snps == 0 || samples == 0) fail("zero-sized dataset in header");
+  if (snps > kMaxSnps || samples > kMaxSamples ||
+      snps * samples > kMaxEntries) {
+    fail("implausible dataset shape in header (" + std::to_string(snps) +
+         " x " + std::to_string(samples) + ")");
+  }
+}
+
+std::ofstream open_out(const std::string& path, std::ios_base::openmode mode) {
+  std::ofstream os(path, mode);
+  if (!os) fail("cannot open '" + path + "' for writing");
+  return os;
+}
+
+std::ifstream open_in(const std::string& path, std::ios_base::openmode mode) {
+  std::ifstream is(path, mode);
+  if (!is) fail("cannot open '" + path + "' for reading");
+  return is;
+}
+
+void write_u64(std::ostream& os, std::uint64_t v) {
+  unsigned char buf[8];
+  for (int i = 0; i < 8; ++i) buf[i] = static_cast<unsigned char>(v >> (8 * i));
+  os.write(reinterpret_cast<const char*>(buf), 8);
+}
+
+std::uint64_t read_u64(std::istream& is) {
+  unsigned char buf[8];
+  is.read(reinterpret_cast<char*>(buf), 8);
+  if (!is) fail("truncated binary header");
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= std::uint64_t{buf[i]} << (8 * i);
+  return v;
+}
+
+}  // namespace
+
+void write_text(std::ostream& os, const GenotypeMatrix& d) {
+  os << kTextMagic << ' ' << d.num_snps() << ' ' << d.num_samples() << '\n';
+  std::string line(d.num_samples(), '0');
+  for (std::size_t m = 0; m < d.num_snps(); ++m) {
+    for (std::size_t j = 0; j < d.num_samples(); ++j) {
+      line[j] = static_cast<char>('0' + d.at(m, j));
+    }
+    os << line << '\n';
+  }
+  for (std::size_t j = 0; j < d.num_samples(); ++j) {
+    line[j] = static_cast<char>('0' + d.phenotype(j));
+  }
+  os << line << '\n';
+  if (!os) fail("write failure (text)");
+}
+
+GenotypeMatrix read_text(std::istream& is) {
+  std::string magic;
+  std::size_t snps = 0, samples = 0;
+  if (!(is >> magic >> snps >> samples)) fail("malformed text header");
+  if (magic != kTextMagic) fail("bad magic, expected TRIGEN1");
+  check_shape(snps, samples);
+  std::string line;
+  std::getline(is, line);  // consume the rest of the header line
+
+  GenotypeMatrix d(snps, samples);
+  for (std::size_t m = 0; m < snps; ++m) {
+    if (!std::getline(is, line)) fail("truncated at SNP line " + std::to_string(m + 1));
+    if (line.size() != samples) {
+      fail("SNP line " + std::to_string(m + 1) + " has " +
+           std::to_string(line.size()) + " chars, expected " +
+           std::to_string(samples));
+    }
+    for (std::size_t j = 0; j < samples; ++j) {
+      const char ch = line[j];
+      if (ch < '0' || ch > '2') {
+        fail("invalid genotype '" + std::string(1, ch) + "' at SNP line " +
+             std::to_string(m + 1));
+      }
+      d.set(m, j, static_cast<Genotype>(ch - '0'));
+    }
+  }
+  if (!std::getline(is, line)) fail("missing phenotype line");
+  if (line.size() != samples) fail("phenotype line length mismatch");
+  for (std::size_t j = 0; j < samples; ++j) {
+    const char ch = line[j];
+    if (ch != '0' && ch != '1') {
+      fail("invalid phenotype '" + std::string(1, ch) + "'");
+    }
+    d.set_phenotype(j, static_cast<Phenotype>(ch - '0'));
+  }
+  return d;
+}
+
+void write_text_file(const std::string& path, const GenotypeMatrix& d) {
+  auto os = open_out(path, std::ios_base::out);
+  write_text(os, d);
+}
+
+GenotypeMatrix read_text_file(const std::string& path) {
+  auto is = open_in(path, std::ios_base::in);
+  return read_text(is);
+}
+
+void write_binary(std::ostream& os, const GenotypeMatrix& d) {
+  os.write(kBinMagic, sizeof(kBinMagic) - 1);
+  write_u64(os, d.num_snps());
+  write_u64(os, d.num_samples());
+  for (std::size_t m = 0; m < d.num_snps(); ++m) {
+    const auto row = d.snp_row(m);
+    os.write(reinterpret_cast<const char*>(row.data()),
+             static_cast<std::streamsize>(row.size()));
+  }
+  const auto ph = d.phenotypes();
+  os.write(reinterpret_cast<const char*>(ph.data()),
+           static_cast<std::streamsize>(ph.size()));
+  if (!os) fail("write failure (binary)");
+}
+
+GenotypeMatrix read_binary(std::istream& is) {
+  char magic[sizeof(kBinMagic) - 1];
+  is.read(magic, sizeof magic);
+  if (!is || std::memcmp(magic, kBinMagic, sizeof magic) != 0) {
+    fail("bad binary magic");
+  }
+  const std::uint64_t snps = read_u64(is);
+  const std::uint64_t samples = read_u64(is);
+  check_shape(snps, samples);
+
+  GenotypeMatrix d(snps, samples);
+  std::vector<std::uint8_t> row(samples);
+  for (std::size_t m = 0; m < snps; ++m) {
+    is.read(reinterpret_cast<char*>(row.data()),
+            static_cast<std::streamsize>(samples));
+    if (!is) fail("truncated genotype payload");
+    for (std::size_t j = 0; j < samples; ++j) {
+      if (row[j] > 2) fail("invalid genotype byte in binary payload");
+      d.set(m, j, row[j]);
+    }
+  }
+  is.read(reinterpret_cast<char*>(row.data()),
+          static_cast<std::streamsize>(samples));
+  if (!is) fail("truncated phenotype payload");
+  for (std::size_t j = 0; j < samples; ++j) {
+    if (row[j] > 1) fail("invalid phenotype byte in binary payload");
+    d.set_phenotype(j, row[j]);
+  }
+  return d;
+}
+
+void write_binary_file(const std::string& path, const GenotypeMatrix& d) {
+  auto os = open_out(path, std::ios_base::binary);
+  write_binary(os, d);
+}
+
+GenotypeMatrix read_binary_file(const std::string& path) {
+  auto is = open_in(path, std::ios_base::binary);
+  return read_binary(is);
+}
+
+}  // namespace trigen::dataset

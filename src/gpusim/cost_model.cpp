@@ -1,0 +1,188 @@
+#include "trigen/gpusim/cost_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace trigen::gpusim {
+
+namespace {
+
+/// Bytes of bit-plane data one triplet touches per sample word: V1 reads
+/// nine genotype planes plus the phenotype plane; V2+ read six planes.
+double bytes_per_word(GpuVersion v) {
+  return v == GpuVersion::kV1Naive ? 10.0 * 4.0 : 6.0 * 4.0;
+}
+
+/// DRAM coalescing efficiency: fraction of each memory transaction that is
+/// useful.  SNP-major layouts serve one 4-byte word per 32-byte transaction.
+double coalescing_efficiency(GpuVersion v) {
+  switch (v) {
+    case GpuVersion::kV1Naive:
+    case GpuVersion::kV2Split:
+      return 4.0 / 32.0;
+    case GpuVersion::kV3Transposed:
+    case GpuVersion::kV4Tiled:
+      return 1.0;
+  }
+  return 1.0;
+}
+
+/// Cross-thread reuse of loaded planes within one kernel enqueue: each SNP
+/// plane participates in O(B_Sched^2) of the B_Sched^3 combinations, so a
+/// cached plane word serves that many threads.  The naive/uncoalesced
+/// versions scatter accesses and get no reuse; the tiled layout doubles
+/// effective reuse versus plain transposition by keeping a tile's planes in
+/// the same cache lines (§IV-B).
+double reuse_factor(GpuVersion v, const LaunchConfig& launch) {
+  constexpr double kReuseCap = 1 << 20;
+  const double bsched2 =
+      static_cast<double>(launch.bsched) * static_cast<double>(launch.bsched);
+  switch (v) {
+    case GpuVersion::kV1Naive:
+    case GpuVersion::kV2Split:
+      return 1.0;
+    case GpuVersion::kV3Transposed:
+      return std::min(bsched2, kReuseCap);
+    case GpuVersion::kV4Tiled:
+      return std::min(2.0 * bsched2, kReuseCap);
+  }
+  return 1.0;
+}
+
+/// Sustained-efficiency multiplier applied to the compute ceilings.  V3
+/// sustains slightly less than V4: without the SNP tiles, thread groups
+/// straddle cache lines and the load pipes stall more often — the small
+/// V3->V4 gap visible in Fig. 2b.
+double version_compute_scale(GpuVersion v) {
+  return v == GpuVersion::kV3Transposed ? 0.85 : 1.0;
+}
+
+}  // namespace
+
+OpMix op_mix(GpuVersion v, OpCountModel model) {
+  OpMix m;
+  const bool naive = v == GpuVersion::kV1Naive;
+  if (model == OpCountModel::kPaper) {
+    // §IV-A as printed: 27 x 6 = 162 for V1; (3 NOR + 1 AND + 1 POPCNT
+    // per cell) = 3 + 27 + 27 = 57 for V2+.
+    if (naive) {
+      m.popcnt = 54;  // 2 per cell (case + control)
+      m.logic = 108;  // 4 AND-steps per cell
+    } else {
+      m.popcnt = 27;
+      m.logic = 30;  // 3 hoisted NORs + 27 AND-steps
+    }
+  } else {
+    if (naive) {
+      // Per cell: AND(x,y), AND(.,z), AND(.,ph), AND(.,~ph) + one NOT for
+      // ~ph per word + 2 POPCNT.
+      m.popcnt = 54;
+      m.logic = 27 * 4 + 1;
+    } else {
+      // 3 NOR = 6 ops (OR + XOR, no native NOR), 9 X&Y partials, 27 XYZ
+      // ANDs, 27 POPCNT.
+      m.popcnt = 27;
+      m.logic = 6 + 9 + 27;
+    }
+  }
+  m.loads = naive ? 10 : 6;
+  return m;
+}
+
+double arithmetic_intensity(GpuVersion v, OpCountModel model) {
+  const OpMix m = op_mix(v, model);
+  return (m.popcnt + m.logic) / bytes_per_word(v);
+}
+
+std::string bound_by_name(BoundBy b) {
+  switch (b) {
+    case BoundBy::kPopcnt: return "popcnt";
+    case BoundBy::kLogic: return "logic";
+    case BoundBy::kMemory: return "memory";
+  }
+  return "unknown";
+}
+
+CostEstimate estimate_gpu_cost(const GpuDeviceSpec& dev, GpuVersion v,
+                               const WorkloadShape& w,
+                               const LaunchConfig& launch,
+                               OpCountModel model) {
+  if (w.triplets == 0 || w.samples == 0 || w.words_total == 0) {
+    throw std::invalid_argument("estimate_gpu_cost: empty workload");
+  }
+  const OpMix mix = op_mix(v, model);
+  const double words = static_cast<double>(w.triplets) *
+                       static_cast<double>(w.words_total);
+  const double freq = dev.boost_ghz * 1e9;
+  const double eff = dev.compute_efficiency * version_compute_scale(v);
+
+  CostEstimate e;
+  // Compute ceilings.
+  const double popcnt_rate =
+      static_cast<double>(dev.compute_units) * dev.popcnt_per_cu_cycle * freq;
+  const double logic_rate = static_cast<double>(dev.stream_cores) * freq;
+  e.t_popcnt = words * mix.popcnt / (popcnt_rate * eff);
+  e.t_logic = words * mix.logic / (logic_rate * eff);
+
+  // Memory ceiling.
+  const double traffic =
+      words * bytes_per_word(v) /
+      (coalescing_efficiency(v) * reuse_factor(v, launch));
+  e.t_memory = traffic / (dev.mem_bw_gbs * 1e9);
+
+  e.seconds = std::max({e.t_popcnt, e.t_logic, e.t_memory});
+  e.bound = e.seconds == e.t_memory  ? BoundBy::kMemory
+            : e.seconds == e.t_popcnt ? BoundBy::kPopcnt
+                                      : BoundBy::kLogic;
+  const double elements = static_cast<double>(w.triplets) *
+                          static_cast<double>(w.samples);
+  e.elements_per_second = elements / e.seconds;
+  e.gintops = words * (mix.popcnt + mix.logic) / e.seconds / 1e9;
+  e.ai = arithmetic_intensity(v, model);
+  return e;
+}
+
+double elements_per_joule(const GpuDeviceSpec& dev,
+                          double elements_per_second) {
+  return dev.tdp_w > 0 ? elements_per_second / dev.tdp_w : 0.0;
+}
+
+std::string cpu_strategy_name(CpuStrategyClass c) {
+  switch (c) {
+    case CpuStrategyClass::kAvx128ScalarPopcnt: return "avx128+scalar-popcnt";
+    case CpuStrategyClass::kAvx256ScalarPopcnt: return "avx256+scalar-popcnt";
+    case CpuStrategyClass::kAvx512ScalarPopcnt: return "avx512+scalar-popcnt";
+    case CpuStrategyClass::kAvx512VectorPopcnt: return "avx512+vpopcntdq";
+  }
+  return "unknown";
+}
+
+double CpuIsaRates::rate(CpuStrategyClass c) const {
+  switch (c) {
+    case CpuStrategyClass::kAvx128ScalarPopcnt: return avx128;
+    case CpuStrategyClass::kAvx256ScalarPopcnt: return avx256;
+    case CpuStrategyClass::kAvx512ScalarPopcnt: return avx512_extract;
+    case CpuStrategyClass::kAvx512VectorPopcnt: return avx512_vpopcnt;
+  }
+  return 0.0;
+}
+
+CpuStrategyClass cpu_strategy(const CpuDeviceSpec& dev, bool use_avx512) {
+  if (dev.vector_bits >= 512 && use_avx512) {
+    return dev.vector_popcnt ? CpuStrategyClass::kAvx512VectorPopcnt
+                             : CpuStrategyClass::kAvx512ScalarPopcnt;
+  }
+  if (dev.vector_bits >= 256 || dev.vector_bits >= 512) {
+    return CpuStrategyClass::kAvx256ScalarPopcnt;
+  }
+  return CpuStrategyClass::kAvx128ScalarPopcnt;
+}
+
+double project_cpu_elements_per_sec(const CpuDeviceSpec& dev, bool use_avx512,
+                                    const CpuIsaRates& rates) {
+  const CpuStrategyClass c = cpu_strategy(dev, use_avx512);
+  return rates.rate(c) * dev.base_ghz * 1e9 * dev.cores;
+}
+
+}  // namespace trigen::gpusim

@@ -1,0 +1,129 @@
+#pragma once
+/// \file cost_model.hpp
+/// \brief Analytic performance model of the GPU (and projected CPU) runs.
+///
+/// The simulator separates *function* (gpu_kernels.hpp, bit-exact) from
+/// *performance*, which this model estimates with a roofline over two
+/// ceilings derived from the paper's own analysis (§V-C/D):
+///
+///  1. **Compute**: the paper shows the tuned kernels are bound by POPCNT
+///     throughput: CUs x POPCNT/CU/cycle x frequency (Table II), derated by
+///     a vendor-calibrated sustained-efficiency factor.  Non-POPCNT logic
+///     ops execute on the full stream-core pool and are modelled as a
+///     second ceiling.
+///  2. **Memory**: DRAM traffic = useful bytes / (coalescing efficiency x
+///     reuse).  Row-major layouts (V1/V2) waste 7/8 of every transaction
+///     (one 4-byte word used per 32-byte transaction); the transposed
+///     layout (V3) is fully coalesced; SNP-plane reuse across the B_Sched^3
+///     combinations of one launch is what actually lifts V3/V4 out of the
+///     DRAM roof.
+///
+/// Per-word operation counts follow §IV-A.  The paper's published counts
+/// (162 for V1, 57 for V2+) hoist the NORs and count one "AND step" per
+/// cell; the exact per-instruction counts are also provided — CARM reports
+/// can print either convention (see DESIGN.md §7).
+
+#include <cstdint>
+#include <string>
+
+#include "trigen/gpusim/device_spec.hpp"
+#include "trigen/gpusim/gpu_kernels.hpp"
+
+namespace trigen::gpusim {
+
+/// Shape of one exhaustive scan.
+struct WorkloadShape {
+  std::uint64_t triplets = 0;   ///< combinations evaluated
+  std::uint64_t samples = 0;    ///< N (cases + controls)
+  std::uint64_t words_total = 0;  ///< sample words per SNP summed over classes
+};
+
+/// Op-count conventions (DESIGN.md §7).
+enum class OpCountModel {
+  kPaper,  ///< 162 (V1) / 57 (V2+) ops per word, as printed in §IV-A
+  kExact,  ///< per-instruction count incl. hoisted NORs and X&Y partials
+};
+
+/// Per-word instruction mix of one version.
+struct OpMix {
+  double popcnt = 0;  ///< POPCNT instructions per sample word per triplet
+  double logic = 0;   ///< AND/OR/XOR instructions per sample word per triplet
+  double loads = 0;   ///< 32-bit loads per sample word per triplet
+  double total() const { return popcnt + logic + loads; }
+};
+
+/// Instruction mix per word for `v` under `model` (loads excluded from the
+/// "compute instructions" the paper counts; reported separately).
+OpMix op_mix(GpuVersion v, OpCountModel model = OpCountModel::kExact);
+
+/// Arithmetic intensity [intop/byte] of version `v` — compute instructions
+/// over bytes of memory traffic — for the CARM plots.
+double arithmetic_intensity(GpuVersion v,
+                            OpCountModel model = OpCountModel::kExact);
+
+/// Launch configuration <B_Sched, B_S> of §IV-B.
+struct LaunchConfig {
+  std::size_t bsched = 256;  ///< combinations block edge per enqueue
+  std::size_t bs = 64;       ///< SNP tile width / thread-group size
+};
+
+/// Where the roofline landed.
+enum class BoundBy { kPopcnt, kLogic, kMemory };
+std::string bound_by_name(BoundBy b);
+
+/// Cost estimate of one scan.
+struct CostEstimate {
+  double seconds = 0;          ///< simulated wall time
+  double t_popcnt = 0;         ///< POPCNT-ceiling time
+  double t_logic = 0;          ///< logic-ceiling time
+  double t_memory = 0;         ///< DRAM-ceiling time
+  BoundBy bound = BoundBy::kPopcnt;
+  double elements_per_second = 0;  ///< paper metric: combs x samples / s
+  double gintops = 0;          ///< compute throughput achieved [GINTOP/s]
+  double ai = 0;               ///< arithmetic intensity [intop/byte]
+};
+
+/// Roofline estimate for device `dev`, version `v`, workload `w`.
+CostEstimate estimate_gpu_cost(const GpuDeviceSpec& dev, GpuVersion v,
+                               const WorkloadShape& w,
+                               const LaunchConfig& launch = {},
+                               OpCountModel model = OpCountModel::kExact);
+
+/// Energy estimate: elements per joule at TDP (§V-D efficiency discussion).
+double elements_per_joule(const GpuDeviceSpec& dev, double elements_per_second);
+
+// ---------------------------------------------------------------------------
+// CPU projection (Fig. 3 / Table III CPU rows)
+// ---------------------------------------------------------------------------
+
+/// Vectorization strategy class of a CPU (drives the per-core rate).
+enum class CpuStrategyClass {
+  kAvx128ScalarPopcnt,   ///< Zen: 128-bit vectors + scalar POPCNT
+  kAvx256ScalarPopcnt,   ///< SKL/Zen2: 256-bit vectors + scalar POPCNT
+  kAvx512ScalarPopcnt,   ///< SKX: 512-bit vectors + double-extract POPCNT
+  kAvx512VectorPopcnt,   ///< ICX: VPOPCNTDQ
+};
+
+std::string cpu_strategy_name(CpuStrategyClass c);
+
+/// Elements/cycle/core rates per strategy class.  Defaults are the paper's
+/// Fig.-3b measurements; the Fig.-3 bench replaces entries with rates
+/// measured on the host for every ISA the host can execute.
+struct CpuIsaRates {
+  double avx128 = 1.70;
+  double avx256 = 1.66;
+  double avx512_extract = 1.40;
+  double avx512_vpopcnt = 6.40;
+
+  double rate(CpuStrategyClass c) const;
+};
+
+/// Strategy class a CPU spec uses when allowed to use its widest ISA
+/// (`use_avx512 = false` forces the AVX fallback the paper also measures).
+CpuStrategyClass cpu_strategy(const CpuDeviceSpec& dev, bool use_avx512);
+
+/// Projected elements/second for a Table-I CPU.
+double project_cpu_elements_per_sec(const CpuDeviceSpec& dev, bool use_avx512,
+                                    const CpuIsaRates& rates = {});
+
+}  // namespace trigen::gpusim

@@ -1,0 +1,48 @@
+#pragma once
+/// \file gpu_kernels.hpp
+/// \brief Functional host execution of the paper's GPU kernels (§IV-B).
+///
+/// These functions execute, on the host, exactly the per-thread work of
+/// Algorithm 2 for each GPU version, reading the same data layout the GPU
+/// version would read.  They make the simulator *functionally* exact — a
+/// simulated run produces bit-identical contingency tables and scores to
+/// the CPU detector — while the performance side is handled by the cost
+/// model (cost_model.hpp).
+
+#include "trigen/dataset/bitplanes.hpp"
+#include "trigen/scoring/contingency.hpp"
+
+namespace trigen::gpusim {
+
+/// Which rung of the paper's GPU optimization ladder.
+enum class GpuVersion {
+  kV1Naive,       ///< Fig.-1 layout, one thread per combination
+  kV2Split,       ///< phenotype-split planes, genotype-2 inferred
+  kV3Transposed,  ///< + SNP-minor layout (coalesced loads)
+  kV4Tiled,       ///< + BS-wide SNP tiles (Algorithm 2 as printed)
+};
+
+std::string gpu_version_name(GpuVersion v);
+
+/// One GPU thread of GPU V1: naive layout.
+scoring::ContingencyTable gpu_thread_v1(const dataset::BitPlanesV1& p,
+                                        std::size_t x, std::size_t y,
+                                        std::size_t z);
+
+/// One GPU thread of GPU V2: phenotype-split planes, SNP-major (the
+/// uncoalesced access pattern).
+scoring::ContingencyTable gpu_thread_v2(const dataset::PhenoSplitPlanes& p,
+                                        std::size_t x, std::size_t y,
+                                        std::size_t z);
+
+/// One GPU thread of GPU V3: transposed layout.
+scoring::ContingencyTable gpu_thread_v3(const dataset::TransposedPlanes& p,
+                                        std::size_t x, std::size_t y,
+                                        std::size_t z);
+
+/// One GPU thread of GPU V4: tiled layout (Algorithm 2).
+scoring::ContingencyTable gpu_thread_v4(const dataset::TiledPlanes& p,
+                                        std::size_t x, std::size_t y,
+                                        std::size_t z);
+
+}  // namespace trigen::gpusim

@@ -1,0 +1,107 @@
+#include "trigen/hetero/coordinator.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "trigen/common/stopwatch.hpp"
+
+namespace trigen::hetero {
+
+HeteroEstimate estimate_hetero(double cpu_eps, double gpu_eps) {
+  HeteroEstimate e;
+  e.cpu_eps = cpu_eps;
+  e.gpu_eps = gpu_eps;
+  e.combined_eps = cpu_eps + gpu_eps;
+  e.cpu_share = e.combined_eps > 0 ? cpu_eps / e.combined_eps : 0.0;
+  e.speedup_vs_gpu = gpu_eps > 0 ? e.combined_eps / gpu_eps : 1.0;
+  return e;
+}
+
+struct HeteroCoordinator::Impl {
+  core::Detector detector;
+  gpusim::GpuSimulator gpu;
+  std::size_t num_snps;
+  std::size_t num_samples;
+
+  Impl(const dataset::GenotypeMatrix& d, gpusim::GpuDeviceSpec spec)
+      : detector(d), gpu(std::move(spec), d), num_snps(d.num_snps()),
+        num_samples(d.num_samples()) {}
+};
+
+HeteroCoordinator::HeteroCoordinator(const dataset::GenotypeMatrix& d,
+                                     gpusim::GpuDeviceSpec gpu)
+    : impl_(std::make_unique<Impl>(d, std::move(gpu))) {}
+
+HeteroCoordinator::~HeteroCoordinator() = default;
+
+HeteroResult HeteroCoordinator::run(const HeteroOptions& options) const {
+  if (options.cpu_share > 1.0) {
+    throw std::invalid_argument("HeteroOptions::cpu_share must be <= 1");
+  }
+  const std::uint64_t total = combinatorics::num_triplets(impl_->num_snps);
+
+  double share = options.cpu_share;
+  if (share < 0.0) {
+    // Calibrate: measure the CPU on a small prefix, model the GPU, and
+    // split so both sides finish together.
+    const std::uint64_t sample =
+        std::max<std::uint64_t>(1, std::min<std::uint64_t>(total / 10, 2000));
+    core::DetectorOptions probe;
+    probe.version = core::CpuVersion::kV2Split;
+    probe.isa = core::best_kernel_isa();
+    probe.isa_auto = false;
+    probe.objective = options.objective;
+    probe.threads = options.cpu_threads;
+    probe.range = {0, sample};
+    const double cpu_eps =
+        impl_->detector.run(probe).elements_per_second();
+
+    gpusim::GpuRunOptions gprobe;
+    gprobe.version = options.gpu_version;
+    gprobe.launch = options.launch;
+    gprobe.range = {0, std::max<std::uint64_t>(1, total / 10)};
+    const double gpu_eps =
+        impl_->gpu.run(gprobe).cost.elements_per_second;
+    share = estimate_hetero(cpu_eps, gpu_eps).cpu_share;
+  }
+
+  const auto cpu_count = static_cast<std::uint64_t>(
+      static_cast<double>(total) * std::clamp(share, 0.0, 1.0));
+
+  HeteroResult result;
+  result.cpu_share = share;
+  result.cpu_triplets = cpu_count;
+  result.gpu_triplets = total - cpu_count;
+
+  core::TopK merged(options.top_k);
+
+  if (cpu_count > 0) {
+    core::DetectorOptions copt;
+    copt.version = core::CpuVersion::kV2Split;
+    copt.isa = core::best_kernel_isa();
+    copt.isa_auto = false;
+    copt.objective = options.objective;
+    copt.threads = options.cpu_threads;
+    copt.top_k = options.top_k;
+    copt.range = {0, cpu_count};
+    const core::DetectionResult r = impl_->detector.run(copt);
+    result.cpu_seconds = r.seconds;
+    for (const auto& s : r.best) merged.push(s);
+  }
+  if (cpu_count < total) {
+    gpusim::GpuRunOptions gopt;
+    gopt.version = options.gpu_version;
+    gopt.objective = options.objective;
+    gopt.launch = options.launch;
+    gopt.top_k = options.top_k;
+    gopt.range = {cpu_count, total};
+    const gpusim::GpuRunResult r = impl_->gpu.run(gopt);
+    result.gpu_sim_seconds = r.cost.seconds;
+    for (const auto& s : r.best) merged.push(s);
+  }
+  result.overlap_seconds = std::max(result.cpu_seconds, result.gpu_sim_seconds);
+  result.best = merged.sorted();
+  return result;
+}
+
+}  // namespace trigen::hetero

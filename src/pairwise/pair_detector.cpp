@@ -1,0 +1,202 @@
+#include "trigen/pairwise/pair_detector.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <stdexcept>
+
+#include "trigen/combinatorics/scheduler.hpp"
+#include "trigen/common/aligned.hpp"
+#include "trigen/common/stopwatch.hpp"
+#include "trigen/scoring/generic.hpp"
+
+namespace trigen::pairwise {
+
+using combinatorics::ChunkScheduler;
+using combinatorics::n_choose_k;
+using dataset::Word;
+
+PairTable reference_pair_table(const dataset::GenotypeMatrix& d,
+                               std::size_t x, std::size_t y) {
+  if (x >= d.num_snps() || y >= d.num_snps()) {
+    throw std::out_of_range("reference_pair_table: SNP index out of range");
+  }
+  PairTable t;
+  for (std::size_t j = 0; j < d.num_samples(); ++j) {
+    t.counts[d.phenotype(j)]
+            [static_cast<std::size_t>(d.at(x, j) * 3 + d.at(y, j))]++;
+  }
+  return t;
+}
+
+std::uint64_t rank_pair(std::uint32_t x, std::uint32_t y) {
+  return n_choose_k(y, 2) + x;
+}
+
+std::uint64_t num_pairs(std::uint64_t m) { return n_choose_k(m, 2); }
+
+namespace {
+
+std::pair<std::uint32_t, std::uint32_t> unrank_pair(std::uint64_t rank) {
+  // y = max { b : C(b,2) <= rank }.
+  std::uint64_t y = static_cast<std::uint64_t>(
+      std::sqrt(2.0 * static_cast<double>(rank) + 0.25) + 0.5);
+  if (y < 1) y = 1;
+  while (n_choose_k(y + 1, 2) <= rank) ++y;
+  while (n_choose_k(y, 2) > rank) --y;
+  return {static_cast<std::uint32_t>(rank - n_choose_k(y, 2)),
+          static_cast<std::uint32_t>(y)};
+}
+
+/// Normalized (lower-is-better) scorer over the 9 pair cells.
+std::function<double(const PairTable&)> make_pair_scorer(
+    core::Objective o, std::uint32_t num_samples) {
+  switch (o) {
+    case core::Objective::kK2: {
+      auto logfact =
+          std::make_shared<scoring::LogFactorialTable>(num_samples + 1);
+      return [logfact](const PairTable& t) {
+        return scoring::k2_score_cells(*logfact, t.counts[0], t.counts[1]);
+      };
+    }
+    case core::Objective::kMutualInformation:
+      return [](const PairTable& t) {
+        return -scoring::mutual_information_cells(t.counts[0], t.counts[1]);
+      };
+    case core::Objective::kChiSquared:
+      return [](const PairTable& t) {
+        return -scoring::chi_squared_cells(t.counts[0], t.counts[1]);
+      };
+  }
+  throw std::invalid_argument("unknown objective");
+}
+
+}  // namespace
+
+struct PairDetector::Impl {
+  std::size_t num_snps = 0;
+  std::size_t num_samples = 0;
+  dataset::PhenoSplitPlanes split;
+  /// Synthetic third-SNP planes: genotype-0 all-ones, genotype-1 all-zeros.
+  /// Feeding them as the Z operand of the *triple* kernel pins g_z to 0, so
+  /// cells (g_x, g_y, 0) of the 27-cell output hold the 9-cell pair table —
+  /// which lets the pairwise path reuse every vectorized kernel unchanged.
+  std::array<aligned_vector<Word>, 2> ones;
+  std::array<aligned_vector<Word>, 2> zeros;
+};
+
+PairDetector::PairDetector(const dataset::GenotypeMatrix& d)
+    : impl_(std::make_unique<Impl>()) {
+  if (d.num_snps() < 2) {
+    throw std::invalid_argument("PairDetector: need at least 2 SNPs");
+  }
+  impl_->num_snps = d.num_snps();
+  impl_->num_samples = d.num_samples();
+  impl_->split = dataset::PhenoSplitPlanes::build(d);
+  for (int c = 0; c < 2; ++c) {
+    const auto cs = static_cast<std::size_t>(c);
+    impl_->ones[cs].assign(impl_->split.words(c), ~Word{0});
+    impl_->zeros[cs].assign(impl_->split.words(c), 0);
+  }
+}
+
+PairDetector::~PairDetector() = default;
+
+std::size_t PairDetector::num_snps() const { return impl_->num_snps; }
+std::size_t PairDetector::num_samples() const { return impl_->num_samples; }
+
+PairTable PairDetector::contingency(std::size_t x, std::size_t y,
+                                    core::KernelIsa isa) const {
+  if (x >= impl_->num_snps || y >= impl_->num_snps || x == y) {
+    throw std::out_of_range("PairDetector::contingency: bad SNP indices");
+  }
+  const core::TripleBlockKernel kernel = core::get_kernel(isa);
+  PairTable out;
+  for (int c = 0; c < 2; ++c) {
+    const auto cs = static_cast<std::size_t>(c);
+    std::uint32_t ft27[27] = {};
+    kernel(impl_->split.plane(c, x, 0), impl_->split.plane(c, x, 1),
+           impl_->split.plane(c, y, 0), impl_->split.plane(c, y, 1),
+           impl_->ones[cs].data(), impl_->zeros[cs].data(), 0,
+           impl_->split.words(c), ft27);
+    for (int gx = 0; gx < 3; ++gx) {
+      for (int gy = 0; gy < 3; ++gy) {
+        out.counts[cs][static_cast<std::size_t>(gx * 3 + gy)] =
+            ft27[gx * 9 + gy * 3 + 0];
+      }
+    }
+    // Padding tail bits read as (g_x=2, g_y=2, g_z=0).
+    out.counts[cs][8] -= static_cast<std::uint32_t>(impl_->split.pad_bits(c));
+  }
+  return out;
+}
+
+PairDetectionResult PairDetector::run(const PairDetectorOptions& options) const {
+  if (options.top_k == 0) {
+    throw std::invalid_argument("PairDetectorOptions::top_k must be >= 1");
+  }
+  PairDetectionResult result;
+  result.isa_used =
+      options.isa_auto ? core::best_kernel_isa() : options.isa;
+  if (!core::kernel_available(result.isa_used)) {
+    throw std::runtime_error("requested kernel ISA not available");
+  }
+  unsigned threads = options.threads;
+  if (threads == 0) {
+    const unsigned hw = std::thread::hardware_concurrency();
+    threads = hw == 0 ? 1 : hw;
+  }
+
+  const std::uint64_t total = num_pairs(impl_->num_snps);
+  result.pairs_evaluated = total;
+  result.elements = total * impl_->num_samples;
+
+  const auto scorer = make_pair_scorer(
+      options.objective, static_cast<std::uint32_t>(impl_->num_samples));
+
+  struct Best {
+    std::vector<ScoredPair> entries;  // sorted ascending, <= top_k
+  };
+  std::vector<Best> per_thread(threads);
+  auto push = [&](Best& best, const ScoredPair& s, std::size_t k) {
+    auto it = std::lower_bound(
+        best.entries.begin(), best.entries.end(), s,
+        [](const ScoredPair& a, const ScoredPair& b) {
+          if (a.score != b.score) return a.score < b.score;
+          return rank_pair(a.x, a.y) < rank_pair(b.x, b.y);
+        });
+    best.entries.insert(it, s);
+    if (best.entries.size() > k) best.entries.pop_back();
+  };
+
+  ChunkScheduler sched(total,
+                       combinatorics::default_chunk_size(total, threads));
+  Stopwatch sw;
+  combinatorics::run_workers(
+      sched, threads, [&](unsigned tid, ChunkScheduler& s) {
+        Best& best = per_thread[tid];
+        for (auto range = s.next(); !range.empty(); range = s.next()) {
+          auto [x, y] = unrank_pair(range.first);
+          for (std::uint64_t r = range.first; r < range.last; ++r) {
+            const PairTable t = contingency(x, y, result.isa_used);
+            push(best, ScoredPair{x, y, scorer(t)}, options.top_k);
+            if (x + 1 < y) {  // colex successor
+              ++x;
+            } else {
+              ++y;
+              x = 0;
+            }
+          }
+        }
+      });
+  result.seconds = sw.seconds();
+
+  Best merged;
+  for (const auto& b : per_thread) {
+    for (const auto& s : b.entries) push(merged, s, options.top_k);
+  }
+  result.best = std::move(merged.entries);
+  return result;
+}
+
+}  // namespace trigen::pairwise

@@ -1,0 +1,31 @@
+#include "trigen/scoring/chi_squared.hpp"
+
+namespace trigen::scoring {
+
+double ChiSquared::operator()(const ContingencyTable& t) const {
+  const double n = static_cast<double>(t.total());
+  if (n == 0.0) return 0.0;
+  const double n0 = static_cast<double>(t.class_total(0));
+  const double n1 = static_cast<double>(t.class_total(1));
+
+  double stat = 0.0;
+  for (int i = 0; i < kCells; ++i) {
+    const auto idx = static_cast<std::size_t>(i);
+    const double row =
+        static_cast<double>(t.counts[0][idx]) + static_cast<double>(t.counts[1][idx]);
+    if (row == 0.0) continue;
+    const double e0 = row * n0 / n;
+    const double e1 = row * n1 / n;
+    if (e0 > 0.0) {
+      const double d0 = static_cast<double>(t.counts[0][idx]) - e0;
+      stat += d0 * d0 / e0;
+    }
+    if (e1 > 0.0) {
+      const double d1 = static_cast<double>(t.counts[1][idx]) - e1;
+      stat += d1 * d1 / e1;
+    }
+  }
+  return stat;
+}
+
+}  // namespace trigen::scoring

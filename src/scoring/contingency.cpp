@@ -1,0 +1,21 @@
+#include "trigen/scoring/contingency.hpp"
+
+#include <stdexcept>
+
+namespace trigen::scoring {
+
+ContingencyTable reference_contingency(const dataset::GenotypeMatrix& d,
+                                       std::size_t x, std::size_t y,
+                                       std::size_t z) {
+  if (x >= d.num_snps() || y >= d.num_snps() || z >= d.num_snps()) {
+    throw std::out_of_range("reference_contingency: SNP index out of range");
+  }
+  ContingencyTable t;
+  for (std::size_t j = 0; j < d.num_samples(); ++j) {
+    const int cell = cell_index(d.at(x, j), d.at(y, j), d.at(z, j));
+    ++t.counts[d.phenotype(j)][static_cast<std::size_t>(cell)];
+  }
+  return t;
+}
+
+}  // namespace trigen::scoring

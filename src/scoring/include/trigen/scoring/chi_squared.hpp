@@ -1,0 +1,22 @@
+#pragma once
+/// \file chi_squared.hpp
+/// \brief Pearson chi-squared association test over the 27x2 table.
+///
+/// Not used by the paper's headline results but a standard alternative
+/// objective in the epistasis literature (e.g. BOOST); provided as an
+/// extension so downstream users can swap objectives.
+
+#include "trigen/scoring/contingency.hpp"
+
+namespace trigen::scoring {
+
+class ChiSquared {
+ public:
+  /// Higher is better (stronger association).
+  static constexpr bool kLowerIsBetter = false;
+
+  /// Pearson X^2 statistic; cells with zero expected count are skipped.
+  double operator()(const ContingencyTable& t) const;
+};
+
+}  // namespace trigen::scoring

@@ -1,0 +1,57 @@
+#pragma once
+/// \file contingency.hpp
+/// \brief The 27x2 frequency table at the heart of 3-way epistasis (Fig. 1).
+///
+/// For an evaluated SNP triplet, cell (i, j) holds the number of samples of
+/// phenotype class j (0 = control, 1 = case) whose genotype combination is
+/// i = g_x * 9 + g_y * 3 + g_z.  Every kernel in the repository — CPU V1-V4,
+/// the GPU-simulator kernels, and the MPI3SNP-style baseline — produces this
+/// exact structure, which is what makes them cross-checkable bit-for-bit.
+
+#include <array>
+#include <cstdint>
+
+#include "trigen/dataset/genotype_matrix.hpp"
+
+namespace trigen::scoring {
+
+/// Number of genotype combinations for a SNP triplet: 3^3.
+inline constexpr int kCells = 27;
+
+/// Cell index for a genotype combination.
+constexpr int cell_index(int gx, int gy, int gz) {
+  return gx * 9 + gy * 3 + gz;
+}
+
+/// 27x2 frequency table.
+struct ContingencyTable {
+  /// counts[j][i]: samples of class j with genotype combination i.
+  std::array<std::array<std::uint32_t, kCells>, 2> counts{};
+
+  std::uint32_t at(int gx, int gy, int gz, int cls) const {
+    return counts[static_cast<std::size_t>(cls)]
+                 [static_cast<std::size_t>(cell_index(gx, gy, gz))];
+  }
+
+  /// Total samples of class `cls` accounted for.
+  std::uint32_t class_total(int cls) const {
+    std::uint32_t t = 0;
+    for (const auto v : counts[static_cast<std::size_t>(cls)]) t += v;
+    return t;
+  }
+
+  /// Total samples accounted for (both classes).
+  std::uint32_t total() const { return class_total(0) + class_total(1); }
+
+  friend bool operator==(const ContingencyTable&,
+                         const ContingencyTable&) = default;
+};
+
+/// Ground-truth builder: counts genotype combinations directly from the
+/// unencoded dataset with a per-sample loop.  O(N) per triplet — used only
+/// by tests and the quickstart, never by the kernels.
+ContingencyTable reference_contingency(const dataset::GenotypeMatrix& d,
+                                       std::size_t x, std::size_t y,
+                                       std::size_t z);
+
+}  // namespace trigen::scoring

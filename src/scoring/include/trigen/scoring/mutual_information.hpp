@@ -1,0 +1,24 @@
+#pragma once
+/// \file mutual_information.hpp
+/// \brief Mutual information objective — the score MPI3SNP uses.
+///
+/// I(G; C) = H(G) + H(C) - H(G, C) over the 27-cell genotype-combination
+/// variable G and the binary class variable C, estimated from the
+/// contingency table with maximum-likelihood (plug-in) probabilities.
+/// MPI3SNP ranks triplets by *highest* mutual information; the baseline
+/// engine uses this scorer so Table III compares like against like.
+
+#include "trigen/scoring/contingency.hpp"
+
+namespace trigen::scoring {
+
+class MutualInformation {
+ public:
+  /// Higher is better.
+  static constexpr bool kLowerIsBetter = false;
+
+  /// Plug-in MI in nats; 0 for empty tables.
+  double operator()(const ContingencyTable& t) const;
+};
+
+}  // namespace trigen::scoring

@@ -1,0 +1,21 @@
+#include "trigen/scoring/k2.hpp"
+
+#include <cmath>
+
+namespace trigen::scoring {
+
+LogFactorialTable::LogFactorialTable(std::uint32_t max_n) {
+  table_.resize(static_cast<std::size_t>(max_n) + 1);
+  table_[0] = 0.0;  // ln(0!) = 0
+  double acc = 0.0;
+  for (std::uint32_t n = 1; n <= max_n; ++n) {
+    acc += std::log(static_cast<double>(n));
+    table_[n] = acc;
+  }
+}
+
+double LogFactorialTable::lgamma_fallback(std::uint32_t n) {
+  return std::lgamma(static_cast<double>(n) + 1.0);
+}
+
+}  // namespace trigen::scoring

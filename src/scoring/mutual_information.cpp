@@ -1,0 +1,33 @@
+#include "trigen/scoring/mutual_information.hpp"
+
+#include <cmath>
+
+namespace trigen::scoring {
+
+double MutualInformation::operator()(const ContingencyTable& t) const {
+  const double n = static_cast<double>(t.total());
+  if (n == 0.0) return 0.0;
+
+  // H(C): class entropy.
+  double h_c = 0.0;
+  for (int cls = 0; cls < 2; ++cls) {
+    const double p = static_cast<double>(t.class_total(cls)) / n;
+    if (p > 0.0) h_c -= p * std::log(p);
+  }
+
+  // H(G) and H(G, C) in one pass over the 27 cells.
+  double h_g = 0.0;
+  double h_gc = 0.0;
+  for (int i = 0; i < kCells; ++i) {
+    const auto idx = static_cast<std::size_t>(i);
+    const double joint0 = static_cast<double>(t.counts[0][idx]) / n;
+    const double joint1 = static_cast<double>(t.counts[1][idx]) / n;
+    const double marg = joint0 + joint1;
+    if (marg > 0.0) h_g -= marg * std::log(marg);
+    if (joint0 > 0.0) h_gc -= joint0 * std::log(joint0);
+    if (joint1 > 0.0) h_gc -= joint1 * std::log(joint1);
+  }
+  return h_g + h_c - h_gc;
+}
+
+}  // namespace trigen::scoring

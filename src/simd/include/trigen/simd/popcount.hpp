@@ -1,0 +1,67 @@
+#pragma once
+/// \file popcount.hpp
+/// \brief Population-count strategies per micro-architecture (paper §IV-A).
+///
+/// POPCNT is "one of the main instructions in epistasis detection"; the
+/// paper's CPU V4 kernel picks a different strategy per ISA:
+///
+///  * AVX CPUs (Skylake, Zen, Zen2): 256-bit loads/ANDs, then per-64-bit
+///    extract + scalar POPCNT (`kAvx2Extract`).
+///  * AVX-512 without VPOPCNTDQ (Skylake SP): 512-bit loads/ANDs, two
+///    extract steps per scalar POPCNT (`kAvx512Extract`) — the overhead the
+///    paper blames for SKX being the *slowest* CPU per core.
+///  * AVX-512 with VPOPCNTDQ (Ice Lake SP): vector POPCNT + reduction
+///    (`kAvx512Vpopcnt`) — the fastest configuration in Fig. 3.
+///
+/// `kAvx2HarleySeal` (vpshufb nibble LUT) is included as an ablation: it is
+/// the classic alternative to extract+scalar-POPCNT on AVX2 machines.
+///
+/// Each strategy is exposed as a whole-buffer popcount so it can be
+/// unit-tested against the scalar reference and benchmarked in isolation;
+/// the V4 kernels inline the same instruction sequences.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace trigen::simd {
+
+enum class PopcountStrategy {
+  kScalar32,       ///< per-32-bit-word builtin popcount (V1-V3 kernels)
+  kScalar64,       ///< per-64-bit-word builtin popcount
+  kAvx2Extract,    ///< 256-bit vectors, 4x extract + scalar POPCNT
+  kAvx2HarleySeal, ///< 256-bit vpshufb nibble-LUT + horizontal add (ablation)
+  kAvx512Extract,  ///< 512-bit vectors, extracti64x4 + extracts + scalar POPCNT
+  kAvx512Vpopcnt,  ///< 512-bit _mm512_popcnt_epi32 + reduce (Ice Lake SP)
+  kAuto,           ///< widest strategy the host supports
+};
+
+/// All concrete strategies (excludes kAuto), in ascending preference order.
+const std::vector<PopcountStrategy>& all_strategies();
+
+/// True when the host CPU can execute `s`.
+bool strategy_available(PopcountStrategy s);
+
+/// Widest available strategy on this host.
+PopcountStrategy best_available();
+
+/// Resolves kAuto to a concrete strategy; identity otherwise.
+PopcountStrategy resolve(PopcountStrategy s);
+
+/// Human-readable name, e.g. "avx512-vpopcnt".
+std::string strategy_name(PopcountStrategy s);
+
+/// Total set bits in `words[0..n)` using strategy `s`.
+///
+/// Preconditions: for the vector strategies, `words` must be 64-byte
+/// aligned (all trigen bit-planes are); any `n` is accepted — the tail is
+/// handled with the scalar path.  Throws std::runtime_error when `s` is not
+/// available on the host.
+std::uint64_t popcount_words(const std::uint32_t* words, std::size_t n,
+                             PopcountStrategy s);
+
+/// Scalar reference used by the tests (bit-by-bit, no builtins).
+std::uint64_t popcount_reference(const std::uint32_t* words, std::size_t n);
+
+}  // namespace trigen::simd

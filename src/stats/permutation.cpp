@@ -1,0 +1,55 @@
+#include "trigen/stats/permutation.hpp"
+
+#include <stdexcept>
+
+#include "trigen/common/rng.hpp"
+
+namespace trigen::stats {
+
+dataset::GenotypeMatrix shuffle_phenotypes(const dataset::GenotypeMatrix& d,
+                                           std::uint64_t seed) {
+  dataset::GenotypeMatrix out = d;
+  std::vector<dataset::Phenotype> labels(d.num_samples());
+  for (std::size_t j = 0; j < d.num_samples(); ++j) {
+    labels[j] = d.phenotype(j);
+  }
+  Xoshiro256 rng(seed);
+  for (std::size_t j = labels.size(); j > 1; --j) {  // Fisher-Yates
+    std::swap(labels[j - 1], labels[rng.bounded(j)]);
+  }
+  for (std::size_t j = 0; j < labels.size(); ++j) {
+    out.set_phenotype(j, labels[j]);
+  }
+  return out;
+}
+
+PermutationTestResult permutation_test(const dataset::GenotypeMatrix& d,
+                                       const PermutationTestOptions& options) {
+  if (options.permutations == 0) {
+    throw std::invalid_argument("permutation_test: need >= 1 permutation");
+  }
+  core::DetectorOptions dopt = options.detector;
+  dopt.top_k = 1;
+
+  PermutationTestResult result;
+  {
+    const core::Detector det(d);
+    result.observed = det.run(dopt).best.front();
+  }
+
+  result.null_scores.reserve(options.permutations);
+  SplitMix64 seeds(options.seed);
+  unsigned as_good = 0;
+  for (unsigned p = 0; p < options.permutations; ++p) {
+    const auto shuffled = shuffle_phenotypes(d, seeds.next());
+    const core::Detector det(shuffled);
+    const double best = det.run(dopt).best.front().score;
+    result.null_scores.push_back(best);
+    if (best <= result.observed.score) ++as_good;
+  }
+  result.p_value = static_cast<double>(1 + as_good) /
+                   static_cast<double>(options.permutations + 1);
+  return result;
+}
+
+}  // namespace trigen::stats

@@ -1,0 +1,221 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <mutex>
+#include <set>
+#include <vector>
+
+#include "trigen/combinatorics/combinations.hpp"
+#include "trigen/combinatorics/scheduler.hpp"
+
+namespace trigen::combinatorics {
+namespace {
+
+// --------------------------------------------------------------------------
+// n_choose_k
+// --------------------------------------------------------------------------
+
+TEST(Choose, KnownValues) {
+  EXPECT_EQ(n_choose_k(0, 0), 1u);
+  EXPECT_EQ(n_choose_k(5, 0), 1u);
+  EXPECT_EQ(n_choose_k(5, 5), 1u);
+  EXPECT_EQ(n_choose_k(5, 2), 10u);
+  EXPECT_EQ(n_choose_k(10, 3), 120u);
+  EXPECT_EQ(n_choose_k(52, 5), 2598960u);
+  EXPECT_EQ(n_choose_k(40000, 3), 10665866680000ull);  // paper's largest run
+}
+
+TEST(Choose, KGreaterThanNIsZero) {
+  EXPECT_EQ(n_choose_k(3, 4), 0u);
+  EXPECT_EQ(n_choose_k(0, 1), 0u);
+}
+
+TEST(Choose, SymmetryProperty) {
+  for (std::uint64_t n = 1; n <= 30; ++n) {
+    for (unsigned k = 0; k <= n; ++k) {
+      ASSERT_EQ(n_choose_k(n, k), n_choose_k(n, static_cast<unsigned>(n - k)));
+    }
+  }
+}
+
+TEST(Choose, PascalIdentity) {
+  for (std::uint64_t n = 2; n <= 40; ++n) {
+    for (unsigned k = 1; k < n; ++k) {
+      ASSERT_EQ(n_choose_k(n, k),
+                n_choose_k(n - 1, k - 1) + n_choose_k(n - 1, k));
+    }
+  }
+}
+
+TEST(Choose, OverflowThrows) {
+  // C(2^40, 3) ~ 2^117 overflows 64 bits.
+  EXPECT_THROW(n_choose_k(std::uint64_t{1} << 40, 3), std::overflow_error);
+}
+
+TEST(Choose, ElementsMetric) {
+  EXPECT_EQ(num_elements(10, 3, 100), 12000u);
+  EXPECT_EQ(num_triplets(10), 120u);
+}
+
+// --------------------------------------------------------------------------
+// Triplet rank/unrank
+// --------------------------------------------------------------------------
+
+TEST(TripletRank, FirstTriplets) {
+  EXPECT_EQ(rank_triplet({0, 1, 2}), 0u);
+  EXPECT_EQ(rank_triplet({0, 1, 3}), 1u);
+  EXPECT_EQ(rank_triplet({0, 2, 3}), 2u);
+  EXPECT_EQ(rank_triplet({1, 2, 3}), 3u);
+  EXPECT_EQ(rank_triplet({0, 1, 4}), 4u);
+}
+
+TEST(TripletRank, RoundTripExhaustiveSmall) {
+  // Every triplet over 40 SNPs.
+  constexpr std::uint32_t kM = 40;
+  std::uint64_t rank = 0;
+  for (std::uint32_t z = 2; z < kM; ++z) {
+    for (std::uint32_t y = 1; y < z; ++y) {
+      for (std::uint32_t x = 0; x < y; ++x) {
+        const Triplet t{x, y, z};
+        ASSERT_EQ(rank_triplet(t), rank);
+        const Triplet back = unrank_triplet(rank);
+        ASSERT_EQ(back, t);
+        ++rank;
+      }
+    }
+  }
+  EXPECT_EQ(rank, num_triplets(kM));
+}
+
+TEST(TripletRank, RoundTripLargeRandomRanks) {
+  // Ranks up to C(100000, 3) ~ 1.7e14.
+  const std::uint64_t total = num_triplets(100000);
+  for (std::uint64_t i = 1; i <= 1000; ++i) {
+    const std::uint64_t rank = (total / 1001) * i;
+    const Triplet t = unrank_triplet(rank);
+    ASSERT_LT(t.x, t.y);
+    ASSERT_LT(t.y, t.z);
+    ASSERT_EQ(rank_triplet(t), rank);
+  }
+}
+
+TEST(TripletRank, BoundaryRanks) {
+  for (std::uint64_t m : {3ull, 4ull, 100ull, 8192ull}) {
+    const std::uint64_t last = num_triplets(m) - 1;
+    const Triplet t = unrank_triplet(last);
+    EXPECT_EQ(t.z, m - 1) << m;
+    EXPECT_EQ(t.y, m - 2) << m;
+    EXPECT_EQ(t.x, m - 3) << m;
+  }
+}
+
+TEST(TripletIteration, MatchesUnrankEverywhere) {
+  const std::uint64_t total = num_triplets(25);
+  std::uint64_t expected_rank = 0;
+  for_each_triplet(0, total, [&](const Triplet& t) {
+    ASSERT_EQ(t, unrank_triplet(expected_rank));
+    ++expected_rank;
+  });
+  EXPECT_EQ(expected_rank, total);
+}
+
+TEST(TripletIteration, SubrangeMatches) {
+  for (std::uint64_t first : {0ull, 1ull, 17ull, 119ull}) {
+    std::uint64_t rank = first;
+    for_each_triplet(first, first + 50, [&](const Triplet& t) {
+      ASSERT_EQ(rank_triplet(t), rank);
+      ++rank;
+    });
+    EXPECT_EQ(rank, first + 50);
+  }
+}
+
+TEST(TripletIteration, EmptyRangeDoesNothing) {
+  int calls = 0;
+  for_each_triplet(10, 10, [&](const Triplet&) { ++calls; });
+  for_each_triplet(10, 5, [&](const Triplet&) { ++calls; });
+  EXPECT_EQ(calls, 0);
+}
+
+// --------------------------------------------------------------------------
+// ChunkScheduler
+// --------------------------------------------------------------------------
+
+TEST(Scheduler, ZeroChunkThrows) {
+  EXPECT_THROW(ChunkScheduler(10, 0), std::invalid_argument);
+}
+
+TEST(Scheduler, SingleThreadCoversExactly) {
+  ChunkScheduler s(107, 10);
+  std::vector<bool> seen(107, false);
+  for (auto r = s.next(); !r.empty(); r = s.next()) {
+    for (std::uint64_t i = r.first; i < r.last; ++i) {
+      ASSERT_FALSE(seen[i]);
+      seen[i] = true;
+    }
+  }
+  for (bool b : seen) EXPECT_TRUE(b);
+}
+
+TEST(Scheduler, LastChunkClipped) {
+  ChunkScheduler s(25, 10);
+  EXPECT_EQ(s.next().size(), 10u);
+  EXPECT_EQ(s.next().size(), 10u);
+  EXPECT_EQ(s.next().size(), 5u);
+  EXPECT_TRUE(s.next().empty());
+  EXPECT_TRUE(s.next().empty());  // stays empty
+}
+
+TEST(Scheduler, TotalZeroImmediatelyEmpty) {
+  ChunkScheduler s(0, 4);
+  EXPECT_TRUE(s.next().empty());
+}
+
+class SchedulerThreadsTest : public ::testing::TestWithParam<unsigned> {};
+
+INSTANTIATE_TEST_SUITE_P(ThreadCounts, SchedulerThreadsTest,
+                         ::testing::Values(1u, 2u, 3u, 7u, 16u));
+
+TEST_P(SchedulerThreadsTest, ConcurrentCoverageExactlyOnce) {
+  const unsigned threads = GetParam();
+  constexpr std::uint64_t kTotal = 10007;
+  ChunkScheduler s(kTotal, 13);
+  std::vector<std::atomic<int>> hits(kTotal);
+  run_workers(s, threads, [&](unsigned, ChunkScheduler& sched) {
+    for (auto r = sched.next(); !r.empty(); r = sched.next()) {
+      for (std::uint64_t i = r.first; i < r.last; ++i) {
+        hits[i].fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+  });
+  for (std::uint64_t i = 0; i < kTotal; ++i) {
+    ASSERT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(Scheduler, RunWorkersPassesDistinctIds) {
+  ChunkScheduler s(100, 1);
+  std::mutex mu;
+  std::set<unsigned> ids;
+  run_workers(s, 4, [&](unsigned tid, ChunkScheduler& sched) {
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      ids.insert(tid);
+    }
+    while (!sched.next().empty()) {
+    }
+  });
+  EXPECT_EQ(ids.size(), 4u);
+}
+
+TEST(Scheduler, DefaultChunkSizeSane) {
+  EXPECT_GE(default_chunk_size(0, 4), 1u);
+  EXPECT_GE(default_chunk_size(1000000, 4), 1u);
+  EXPECT_LE(default_chunk_size(1000000, 4), 1000000u);
+  // Roughly 64 chunks per thread.
+  const std::uint64_t c = default_chunk_size(64000, 10);
+  EXPECT_NEAR(static_cast<double>(c), 100.0, 50.0);
+}
+
+}  // namespace
+}  // namespace trigen::combinatorics

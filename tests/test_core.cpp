@@ -1,0 +1,535 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "test_util.hpp"
+#include "trigen/core/blocked_engine.hpp"
+#include "trigen/core/detector.hpp"
+#include "trigen/core/kernels.hpp"
+#include "trigen/core/tiling.hpp"
+#include "trigen/core/topk.hpp"
+
+namespace trigen::core {
+namespace {
+
+using combinatorics::Triplet;
+using scoring::ContingencyTable;
+using scoring::reference_contingency;
+using trigen::test::Shape;
+using trigen::test::planted_dataset;
+using trigen::test::random_dataset;
+using trigen::test::small_shapes;
+
+// --------------------------------------------------------------------------
+// Kernel registry
+// --------------------------------------------------------------------------
+
+TEST(KernelRegistry, ScalarAlwaysPresent) {
+  EXPECT_TRUE(kernel_available(KernelIsa::kScalar));
+  EXPECT_NE(get_kernel(KernelIsa::kScalar), nullptr);
+}
+
+TEST(KernelRegistry, BestIsAvailable) {
+  EXPECT_TRUE(kernel_available(best_kernel_isa()));
+}
+
+TEST(KernelRegistry, VectorWordsMatchIsa) {
+  EXPECT_EQ(kernel_vector_words(KernelIsa::kScalar), 1u);
+  EXPECT_EQ(kernel_vector_words(KernelIsa::kAvx2), 8u);
+  EXPECT_EQ(kernel_vector_words(KernelIsa::kAvx512Extract), 16u);
+  EXPECT_EQ(kernel_vector_words(KernelIsa::kAvx512Vpopcnt), 16u);
+}
+
+TEST(KernelRegistry, NamesNonEmpty) {
+  for (const auto isa : all_kernel_isas()) {
+    EXPECT_FALSE(kernel_isa_name(isa).empty());
+  }
+}
+
+// --------------------------------------------------------------------------
+// Contingency kernels vs brute-force reference
+// --------------------------------------------------------------------------
+
+class KernelShapeTest : public ::testing::TestWithParam<Shape> {};
+
+INSTANTIATE_TEST_SUITE_P(Shapes, KernelShapeTest,
+                         ::testing::ValuesIn(small_shapes()));
+
+TEST_P(KernelShapeTest, V1MatchesReferenceForAllTriplets) {
+  const auto d = random_dataset(GetParam());
+  const auto planes = dataset::BitPlanesV1::build(d);
+  const std::size_t m = d.num_snps();
+  for (std::size_t x = 0; x < m; ++x) {
+    for (std::size_t y = x + 1; y < m; ++y) {
+      for (std::size_t z = y + 1; z < m; ++z) {
+        ASSERT_EQ(contingency_v1(planes, x, y, z),
+                  reference_contingency(d, x, y, z))
+            << x << "," << y << "," << z;
+      }
+    }
+  }
+}
+
+TEST_P(KernelShapeTest, SplitKernelMatchesReferenceForEveryIsa) {
+  const auto d = random_dataset(GetParam());
+  const auto planes = dataset::PhenoSplitPlanes::build(d);
+  const std::size_t m = d.num_snps();
+  for (const KernelIsa isa : all_kernel_isas()) {
+    if (!kernel_available(isa)) continue;
+    for (std::size_t x = 0; x < m; ++x) {
+      for (std::size_t y = x + 1; y < m; ++y) {
+        for (std::size_t z = y + 1; z < m; ++z) {
+          ASSERT_EQ(contingency_split(planes, x, y, z, isa),
+                    reference_contingency(d, x, y, z))
+              << kernel_isa_name(isa) << " " << x << "," << y << "," << z;
+        }
+      }
+    }
+  }
+}
+
+TEST(Kernels, SplitKernelWordSubrangesCompose) {
+  // Accumulating [0, w1) and [w1, words) must equal one full-range call
+  // (before padding correction, which contingency_split applies once).
+  const auto d = random_dataset({6, 200, 17});
+  const auto planes = dataset::PhenoSplitPlanes::build(d);
+  const TripleBlockKernel kernel = get_kernel(KernelIsa::kScalar);
+  for (int c = 0; c < 2; ++c) {
+    const std::size_t words = planes.words(c);
+    std::uint32_t full[27] = {};
+    std::uint32_t split_acc[27] = {};
+    kernel(planes.plane(c, 0, 0), planes.plane(c, 0, 1), planes.plane(c, 1, 0),
+           planes.plane(c, 1, 1), planes.plane(c, 2, 0), planes.plane(c, 2, 1),
+           0, words, full);
+    const std::size_t mid = words / 2;
+    kernel(planes.plane(c, 0, 0), planes.plane(c, 0, 1), planes.plane(c, 1, 0),
+           planes.plane(c, 1, 1), planes.plane(c, 2, 0), planes.plane(c, 2, 1),
+           0, mid, split_acc);
+    kernel(planes.plane(c, 0, 0), planes.plane(c, 0, 1), planes.plane(c, 1, 0),
+           planes.plane(c, 1, 1), planes.plane(c, 2, 0), planes.plane(c, 2, 1),
+           mid, words, split_acc);
+    for (int i = 0; i < 27; ++i) ASSERT_EQ(full[i], split_acc[i]) << i;
+  }
+}
+
+// --------------------------------------------------------------------------
+// Block-triple rank/unrank
+// --------------------------------------------------------------------------
+
+TEST(BlockTriples, CountMatchesMultisetFormula) {
+  EXPECT_EQ(num_block_triples(1), 1u);   // (0,0,0)
+  EXPECT_EQ(num_block_triples(2), 4u);   // C(4,3)
+  EXPECT_EQ(num_block_triples(3), 10u);  // C(5,3)
+  EXPECT_EQ(num_block_triples(10), 220u);
+}
+
+TEST(BlockTriples, RoundTripExhaustive) {
+  std::uint64_t rank = 0;
+  for (std::uint32_t c = 0; c < 20; ++c) {
+    for (std::uint32_t b = 0; b <= c; ++b) {
+      for (std::uint32_t a = 0; a <= b; ++a) {
+        const BlockTriple t{a, b, c};
+        ASSERT_EQ(rank_block_triple(t), rank);
+        ASSERT_EQ(unrank_block_triple(rank), t);
+        ++rank;
+      }
+    }
+  }
+  EXPECT_EQ(rank, num_block_triples(20));
+}
+
+TEST(BlockTriples, LargeRanksRoundTrip) {
+  const std::uint64_t total = num_block_triples(5000);
+  for (std::uint64_t i = 1; i <= 500; ++i) {
+    const std::uint64_t rank = (total / 501) * i;
+    const BlockTriple t = unrank_block_triple(rank);
+    ASSERT_LE(t.b0, t.b1);
+    ASSERT_LE(t.b1, t.b2);
+    ASSERT_EQ(rank_block_triple(t), rank);
+  }
+}
+
+// --------------------------------------------------------------------------
+// Blocked engine
+// --------------------------------------------------------------------------
+
+class BlockedEngineTest
+    : public ::testing::TestWithParam<std::tuple<Shape, std::size_t>> {};
+
+INSTANTIATE_TEST_SUITE_P(
+    ShapesAndTiles, BlockedEngineTest,
+    ::testing::Combine(::testing::ValuesIn(small_shapes()),
+                       ::testing::Values(1u, 2u, 3u, 5u, 7u)));
+
+TEST_P(BlockedEngineTest, CoversEveryTripletExactlyOnceWithCorrectTables) {
+  const auto d = random_dataset(std::get<0>(GetParam()));
+  const std::size_t bs = std::get<1>(GetParam());
+  const auto planes = dataset::PhenoSplitPlanes::build(d);
+  const TilingParams tiling{bs, 32};
+  const TripleBlockKernel kernel = get_kernel(KernelIsa::kScalar);
+  BlockScratch scratch(bs);
+
+  const std::size_t m = d.num_snps();
+  const std::uint64_t nb = (m + bs - 1) / bs;
+  std::map<std::uint64_t, int> seen;
+  for (std::uint64_t r = 0; r < num_block_triples(nb); ++r) {
+    scan_block_triple(planes, tiling, kernel, scratch, unrank_block_triple(r),
+                      [&](const Triplet& t, const ContingencyTable& table) {
+                        ++seen[combinatorics::rank_triplet(t)];
+                        ASSERT_EQ(table,
+                                  reference_contingency(d, t.x, t.y, t.z))
+                            << t.x << "," << t.y << "," << t.z;
+                      });
+  }
+  const std::uint64_t total = combinatorics::num_triplets(m);
+  ASSERT_EQ(seen.size(), total);
+  for (const auto& [rank, count] : seen) {
+    ASSERT_EQ(count, 1) << "rank " << rank;
+  }
+}
+
+TEST(BlockedEngine, BpSmallerThanWordsStillCorrect) {
+  const auto d = random_dataset({9, 600, 23});
+  const auto planes = dataset::PhenoSplitPlanes::build(d);
+  for (std::size_t bp : {1u, 3u, 16u, 1000u}) {
+    const TilingParams tiling{3, bp};
+    BlockScratch scratch(3);
+    const TripleBlockKernel kernel = get_kernel(KernelIsa::kScalar);
+    std::uint64_t count = 0;
+    for (std::uint64_t r = 0; r < num_block_triples(3); ++r) {
+      scan_block_triple(planes, tiling, kernel, scratch,
+                        unrank_block_triple(r),
+                        [&](const Triplet& t, const ContingencyTable& table) {
+                          ++count;
+                          ASSERT_EQ(table,
+                                    reference_contingency(d, t.x, t.y, t.z));
+                        });
+    }
+    EXPECT_EQ(count, combinatorics::num_triplets(9)) << "bp=" << bp;
+  }
+}
+
+// --------------------------------------------------------------------------
+// Tiling autotuner
+// --------------------------------------------------------------------------
+
+TEST(Tiling, PaperIceLakeConfig) {
+  // Ice Lake SP: 48 kB 12-way L1D, 7 ways tables + 4 ways block, AVX-512
+  // (16 words/vector) => the paper's <5, 400>.
+  L1Config l1{48 * 1024, 12, 7, 4};
+  const TilingParams p = autotune_tiling(l1, 16);
+  EXPECT_EQ(p.bs, 5u);
+  EXPECT_EQ(p.bp_words, 400u);
+}
+
+TEST(Tiling, PaperAvxConfig) {
+  // 32 kB 8-way L1D, 7 ways tables + 1 way block, AVX (8 words/vector)
+  // => the paper's <5, 96>.
+  L1Config l1{32 * 1024, 8, 7, 1};
+  const TilingParams p = autotune_tiling(l1, 8);
+  EXPECT_EQ(p.bs, 5u);
+  EXPECT_EQ(p.bp_words, 96u);
+}
+
+TEST(Tiling, FrequencyTablesFitBudget) {
+  for (unsigned ways_ft : {4u, 7u}) {
+    L1Config l1{32 * 1024, 8, ways_ft, 1};
+    const TilingParams p = autotune_tiling(l1, 8);
+    EXPECT_LE(tables_bytes(p.bs), l1.size_bytes / l1.ways * ways_ft);
+    EXPECT_GT(tables_bytes(p.bs + 1), l1.size_bytes / l1.ways * ways_ft);
+  }
+}
+
+TEST(Tiling, BpMultipleOfVectorWords) {
+  for (std::size_t vec : {1u, 8u, 16u}) {
+    L1Config l1{48 * 1024, 12, 7, 4};
+    const TilingParams p = autotune_tiling(l1, vec);
+    EXPECT_EQ(p.bp_words % vec, 0u) << vec;
+    EXPECT_GE(p.bp_words, vec);
+  }
+}
+
+TEST(Tiling, DetectedHostConfigIsUsable) {
+  const L1Config l1 = detect_l1_config();
+  EXPECT_GT(l1.size_bytes, 0u);
+  EXPECT_GT(l1.ways, 0u);
+  const TilingParams p = autotune_tiling(l1, 16);
+  EXPECT_TRUE(p.valid());
+  EXPECT_GE(p.bs, 1u);
+}
+
+// --------------------------------------------------------------------------
+// TopK
+// --------------------------------------------------------------------------
+
+TEST(TopK, KeepsBestK) {
+  TopK top(3);
+  for (int i = 10; i >= 1; --i) {
+    top.push({Triplet{0, 1, static_cast<std::uint32_t>(i + 1)},
+              static_cast<double>(i)});
+  }
+  const auto sorted = top.sorted();
+  ASSERT_EQ(sorted.size(), 3u);
+  EXPECT_DOUBLE_EQ(sorted[0].score, 1.0);
+  EXPECT_DOUBLE_EQ(sorted[1].score, 2.0);
+  EXPECT_DOUBLE_EQ(sorted[2].score, 3.0);
+}
+
+TEST(TopK, TieBreaksOnRank) {
+  TopK top(2);
+  top.push({Triplet{0, 1, 3}, 5.0});
+  top.push({Triplet{0, 1, 2}, 5.0});
+  top.push({Triplet{0, 2, 3}, 5.0});
+  const auto sorted = top.sorted();
+  EXPECT_EQ(sorted[0].triplet, (Triplet{0, 1, 2}));
+  EXPECT_EQ(sorted[1].triplet, (Triplet{0, 1, 3}));
+}
+
+TEST(TopK, MergeEqualsSequentialPushes) {
+  TopK a(4), b(4), all(4);
+  for (int i = 0; i < 20; ++i) {
+    const ScoredTriplet s{Triplet{0, 1, static_cast<std::uint32_t>(i + 2)},
+                          static_cast<double>((i * 7) % 13)};
+    (i % 2 == 0 ? a : b).push(s);
+    all.push(s);
+  }
+  a.merge(b);
+  const auto lhs = a.sorted();
+  const auto rhs = all.sorted();
+  ASSERT_EQ(lhs.size(), rhs.size());
+  for (std::size_t i = 0; i < lhs.size(); ++i) {
+    EXPECT_EQ(lhs[i].triplet, rhs[i].triplet);
+    EXPECT_DOUBLE_EQ(lhs[i].score, rhs[i].score);
+  }
+}
+
+TEST(TopK, ZeroCapacityClampsToOne) {
+  TopK top(0);
+  top.push({Triplet{0, 1, 2}, 1.0});
+  EXPECT_EQ(top.sorted().size(), 1u);
+}
+
+// --------------------------------------------------------------------------
+// Detector
+// --------------------------------------------------------------------------
+
+const std::vector<CpuVersion>& all_versions() {
+  static const std::vector<CpuVersion> v = {
+      CpuVersion::kV1Naive, CpuVersion::kV2Split, CpuVersion::kV3Blocked,
+      CpuVersion::kV4Vector};
+  return v;
+}
+
+TEST(Detector, RejectsTinyDatasets) {
+  EXPECT_THROW(Detector(random_dataset({2, 10, 1})), std::invalid_argument);
+}
+
+TEST(Detector, RejectsBadOptions) {
+  const Detector det(random_dataset({6, 50, 1}));
+  DetectorOptions opt;
+  opt.top_k = 0;
+  EXPECT_THROW(det.run(opt), std::invalid_argument);
+  opt = {};
+  opt.range = {0, combinatorics::num_triplets(6) + 1};
+  EXPECT_THROW(det.run(opt), std::invalid_argument);
+  opt = {};
+  opt.version = CpuVersion::kV3Blocked;
+  opt.range = {1, 5};
+  EXPECT_THROW(det.run(opt), std::invalid_argument);
+}
+
+TEST(Detector, AllVersionsAgreeOnBestTriplet) {
+  const auto d = planted_dataset(10, 500, 11);
+  const Detector det(d);
+  std::vector<DetectionResult> results;
+  for (const CpuVersion v : all_versions()) {
+    DetectorOptions opt;
+    opt.version = v;
+    results.push_back(det.run(opt));
+  }
+  for (std::size_t i = 1; i < results.size(); ++i) {
+    ASSERT_FALSE(results[i].best.empty());
+    EXPECT_EQ(results[i].best[0].triplet, results[0].best[0].triplet)
+        << cpu_version_name(all_versions()[i]);
+    EXPECT_DOUBLE_EQ(results[i].best[0].score, results[0].best[0].score);
+  }
+}
+
+class DetectorVersionTest : public ::testing::TestWithParam<CpuVersion> {};
+
+INSTANTIATE_TEST_SUITE_P(Versions, DetectorVersionTest,
+                         ::testing::ValuesIn(all_versions()),
+                         [](const auto& info) {
+                           std::string n = cpu_version_name(info.param);
+                           std::replace(n.begin(), n.end(), '-', '_');
+                           return n;
+                         });
+
+TEST_P(DetectorVersionTest, FindsPlantedInteraction) {
+  const auto d = planted_dataset(12, 1500, 21);
+  const Detector det(d);
+  DetectorOptions opt;
+  opt.version = GetParam();
+  const DetectionResult r = det.run(opt);
+  ASSERT_FALSE(r.best.empty());
+  EXPECT_EQ(r.best[0].triplet, (Triplet{1, 3, 5}));
+}
+
+TEST_P(DetectorVersionTest, DeterministicAcrossThreadCounts) {
+  const auto d = random_dataset({14, 150, 5});
+  const Detector det(d);
+  DetectorOptions opt;
+  opt.version = GetParam();
+  opt.top_k = 5;
+  const DetectionResult one = det.run(opt);
+  for (unsigned threads : {2u, 4u}) {
+    opt.threads = threads;
+    const DetectionResult multi = det.run(opt);
+    ASSERT_EQ(multi.best.size(), one.best.size());
+    for (std::size_t i = 0; i < one.best.size(); ++i) {
+      EXPECT_EQ(multi.best[i].triplet, one.best[i].triplet) << i;
+      EXPECT_DOUBLE_EQ(multi.best[i].score, one.best[i].score) << i;
+    }
+  }
+}
+
+TEST_P(DetectorVersionTest, CountsAndMetadata) {
+  const auto d = random_dataset({10, 100, 9});
+  const Detector det(d);
+  DetectorOptions opt;
+  opt.version = GetParam();
+  const DetectionResult r = det.run(opt);
+  EXPECT_EQ(r.triplets_evaluated, combinatorics::num_triplets(10));
+  EXPECT_EQ(r.elements, r.triplets_evaluated * 100);
+  EXPECT_GT(r.seconds, 0.0);
+  EXPECT_GT(r.elements_per_second(), 0.0);
+}
+
+TEST(Detector, V4UsesWidestIsaByDefault) {
+  const auto d = random_dataset({8, 64, 3});
+  const Detector det(d);
+  DetectorOptions opt;
+  opt.version = CpuVersion::kV4Vector;
+  EXPECT_EQ(det.run(opt).isa_used, best_kernel_isa());
+}
+
+TEST(Detector, V4ExplicitIsaRespected) {
+  const auto d = random_dataset({8, 64, 3});
+  const Detector det(d);
+  for (const KernelIsa isa : all_kernel_isas()) {
+    if (!kernel_available(isa)) continue;
+    DetectorOptions opt;
+    opt.version = CpuVersion::kV4Vector;
+    opt.isa = isa;
+    opt.isa_auto = false;
+    const DetectionResult r = det.run(opt);
+    EXPECT_EQ(r.isa_used, isa);
+  }
+}
+
+TEST(Detector, AllIsasProduceIdenticalResults) {
+  const auto d = random_dataset({12, 321, 13});
+  const Detector det(d);
+  DetectorOptions base;
+  base.version = CpuVersion::kV4Vector;
+  base.isa = KernelIsa::kScalar;
+  base.isa_auto = false;
+  base.top_k = 10;
+  const DetectionResult ref = det.run(base);
+  for (const KernelIsa isa : all_kernel_isas()) {
+    if (!kernel_available(isa)) continue;
+    DetectorOptions opt = base;
+    opt.isa = isa;
+    const DetectionResult r = det.run(opt);
+    ASSERT_EQ(r.best.size(), ref.best.size());
+    for (std::size_t i = 0; i < ref.best.size(); ++i) {
+      EXPECT_EQ(r.best[i].triplet, ref.best[i].triplet)
+          << kernel_isa_name(isa) << " rank " << i;
+      EXPECT_DOUBLE_EQ(r.best[i].score, ref.best[i].score);
+    }
+  }
+}
+
+TEST(Detector, ObjectivesRankPlantedTripleFirst) {
+  const auto d = planted_dataset(10, 2000, 31);
+  const Detector det(d);
+  for (const Objective o : {Objective::kK2, Objective::kMutualInformation,
+                            Objective::kChiSquared}) {
+    DetectorOptions opt;
+    opt.objective = o;
+    const DetectionResult r = det.run(opt);
+    ASSERT_FALSE(r.best.empty());
+    EXPECT_EQ(r.best[0].triplet, (Triplet{1, 3, 5})) << objective_name(o);
+  }
+}
+
+TEST(Detector, TopKSortedAndUnique) {
+  const auto d = random_dataset({12, 200, 17});
+  const Detector det(d);
+  DetectorOptions opt;
+  opt.top_k = 20;
+  const DetectionResult r = det.run(opt);
+  ASSERT_EQ(r.best.size(), 20u);
+  std::set<std::uint64_t> ranks;
+  for (std::size_t i = 0; i < r.best.size(); ++i) {
+    if (i > 0) EXPECT_LE(r.best[i - 1].score, r.best[i].score);
+    ranks.insert(combinatorics::rank_triplet(r.best[i].triplet));
+  }
+  EXPECT_EQ(ranks.size(), 20u);
+}
+
+TEST(Detector, RangeRestrictionSplitsCoverage) {
+  const auto d = random_dataset({10, 100, 19});
+  const Detector det(d);
+  const std::uint64_t total = combinatorics::num_triplets(10);
+
+  DetectorOptions full;
+  full.version = CpuVersion::kV2Split;
+  full.top_k = 1;
+  const auto best_full = det.run(full).best[0];
+
+  // Best of [0, s) and [s, total) merged must equal the global best.
+  for (const std::uint64_t s : {total / 4, total / 2, total - 1}) {
+    DetectorOptions lo = full, hi = full;
+    lo.range = {0, s};
+    hi.range = {s, total};
+    const auto a = det.run(lo);
+    const auto b = det.run(hi);
+    EXPECT_EQ(a.triplets_evaluated + b.triplets_evaluated, total);
+    const auto& merged_best =
+        a.best[0].score <= b.best[0].score ? a.best[0] : b.best[0];
+    EXPECT_EQ(merged_best.triplet, best_full.triplet) << "s=" << s;
+  }
+}
+
+TEST(Detector, ExplicitTilingHonored) {
+  const auto d = random_dataset({9, 80, 2});
+  const Detector det(d);
+  DetectorOptions opt;
+  opt.version = CpuVersion::kV3Blocked;
+  opt.tiling = {2, 16};
+  const DetectionResult r = det.run(opt);
+  EXPECT_EQ(r.tiling_used.bs, 2u);
+  EXPECT_EQ(r.tiling_used.bp_words, 16u);
+}
+
+TEST(Detector, ChunkSizeDoesNotChangeResults)
+{
+  const auto d = random_dataset({11, 90, 8});
+  const Detector det(d);
+  DetectorOptions opt;
+  opt.version = CpuVersion::kV2Split;
+  opt.top_k = 3;
+  const auto ref = det.run(opt);
+  for (std::uint64_t chunk : {1ull, 7ull, 1000000ull}) {
+    opt.chunk_size = chunk;
+    const auto r = det.run(opt);
+    for (std::size_t i = 0; i < ref.best.size(); ++i) {
+      EXPECT_EQ(r.best[i].triplet, ref.best[i].triplet) << chunk;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace trigen::core

@@ -1,0 +1,250 @@
+#include <gtest/gtest.h>
+
+#include "test_util.hpp"
+#include "trigen/pairwise/pair_detector.hpp"
+#include "trigen/scoring/chi_squared.hpp"
+#include "trigen/scoring/generic.hpp"
+#include "trigen/scoring/mutual_information.hpp"
+
+namespace trigen::pairwise {
+namespace {
+
+using trigen::test::Shape;
+using trigen::test::random_dataset;
+using trigen::test::small_shapes;
+
+// --------------------------------------------------------------------------
+// Pair ranking
+// --------------------------------------------------------------------------
+
+TEST(PairRank, FirstPairs) {
+  EXPECT_EQ(rank_pair(0, 1), 0u);
+  EXPECT_EQ(rank_pair(0, 2), 1u);
+  EXPECT_EQ(rank_pair(1, 2), 2u);
+  EXPECT_EQ(rank_pair(0, 3), 3u);
+}
+
+TEST(PairRank, CountsMatch) {
+  EXPECT_EQ(num_pairs(2), 1u);
+  EXPECT_EQ(num_pairs(10), 45u);
+  EXPECT_EQ(num_pairs(1000), 499500u);
+}
+
+TEST(PairRank, ExhaustiveOrdering) {
+  std::uint64_t rank = 0;
+  for (std::uint32_t y = 1; y < 60; ++y) {
+    for (std::uint32_t x = 0; x < y; ++x) {
+      ASSERT_EQ(rank_pair(x, y), rank);
+      ++rank;
+    }
+  }
+  EXPECT_EQ(rank, num_pairs(60));
+}
+
+// --------------------------------------------------------------------------
+// Pair contingency tables
+// --------------------------------------------------------------------------
+
+TEST(PairTableRef, CountsEverySampleOnce) {
+  const auto d = random_dataset({6, 100, 3});
+  const PairTable t = reference_pair_table(d, 1, 4);
+  std::uint32_t total = 0;
+  for (int c = 0; c < 2; ++c) {
+    for (const auto v : t.counts[static_cast<std::size_t>(c)]) total += v;
+  }
+  EXPECT_EQ(total, d.num_samples());
+}
+
+TEST(PairTableRef, OutOfRangeThrows) {
+  const auto d = random_dataset({4, 20, 1});
+  EXPECT_THROW(reference_pair_table(d, 0, 4), std::out_of_range);
+}
+
+class PairKernelShapeTest : public ::testing::TestWithParam<Shape> {};
+
+INSTANTIATE_TEST_SUITE_P(Shapes, PairKernelShapeTest,
+                         ::testing::ValuesIn(small_shapes()));
+
+TEST_P(PairKernelShapeTest, KernelMatchesReferenceForEveryIsa) {
+  const auto d = random_dataset(GetParam());
+  const PairDetector det(d);
+  const std::size_t m = d.num_snps();
+  for (const core::KernelIsa isa : core::all_kernel_isas()) {
+    if (!core::kernel_available(isa)) continue;
+    for (std::size_t x = 0; x < m; ++x) {
+      for (std::size_t y = x + 1; y < m; ++y) {
+        ASSERT_EQ(det.contingency(x, y, isa), reference_pair_table(d, x, y))
+            << core::kernel_isa_name(isa) << " " << x << "," << y;
+      }
+    }
+  }
+}
+
+TEST(PairDetector, ContingencyArgumentValidation) {
+  const auto d = random_dataset({5, 40, 7});
+  const PairDetector det(d);
+  EXPECT_THROW((void)det.contingency(0, 5), std::out_of_range);
+  EXPECT_THROW((void)det.contingency(2, 2), std::out_of_range);
+}
+
+// --------------------------------------------------------------------------
+// Detection
+// --------------------------------------------------------------------------
+
+dataset::GenotypeMatrix planted_pair_dataset(std::uint64_t seed) {
+  dataset::SyntheticSpec spec;
+  spec.num_snps = 14;
+  spec.num_samples = 2500;
+  spec.seed = seed;
+  spec.maf_min = 0.3;
+  spec.maf_max = 0.5;
+  spec.prevalence = 0.2;
+  dataset::PlantedInteraction planted;
+  planted.snps = {2, 6, 13};  // third SNP is ignored by the table
+  planted.penetrance = dataset::make_penetrance_pairwise(
+      dataset::InteractionModel::kXor3, 0.05, 0.8);
+  spec.interaction = planted;
+  return dataset::generate(spec);
+}
+
+TEST(PairDetector, RejectsTinyDatasets) {
+  dataset::GenotypeMatrix d(1, 10);
+  EXPECT_THROW(PairDetector{d}, std::invalid_argument);
+}
+
+TEST(PairDetector, FindsPlantedPair) {
+  const auto d = planted_pair_dataset(5);
+  const PairDetector det(d);
+  const auto r = det.run({});
+  ASSERT_FALSE(r.best.empty());
+  EXPECT_EQ(r.best[0].x, 2u);
+  EXPECT_EQ(r.best[0].y, 6u);
+}
+
+TEST(PairDetector, AllObjectivesFindPlantedPair) {
+  const auto d = planted_pair_dataset(9);
+  const PairDetector det(d);
+  for (const auto o :
+       {core::Objective::kK2, core::Objective::kMutualInformation,
+        core::Objective::kChiSquared}) {
+    PairDetectorOptions opt;
+    opt.objective = o;
+    const auto r = det.run(opt);
+    EXPECT_EQ(r.best[0].x, 2u) << core::objective_name(o);
+    EXPECT_EQ(r.best[0].y, 6u) << core::objective_name(o);
+  }
+}
+
+TEST(PairDetector, AllIsasIdenticalResults) {
+  const auto d = random_dataset({16, 333, 11});
+  const PairDetector det(d);
+  PairDetectorOptions base;
+  base.isa = core::KernelIsa::kScalar;
+  base.isa_auto = false;
+  base.top_k = 8;
+  const auto ref = det.run(base);
+  for (const core::KernelIsa isa : core::all_kernel_isas()) {
+    if (!core::kernel_available(isa)) continue;
+    PairDetectorOptions opt = base;
+    opt.isa = isa;
+    const auto r = det.run(opt);
+    ASSERT_EQ(r.best.size(), ref.best.size());
+    for (std::size_t i = 0; i < ref.best.size(); ++i) {
+      EXPECT_EQ(r.best[i].x, ref.best[i].x) << i;
+      EXPECT_EQ(r.best[i].y, ref.best[i].y) << i;
+      EXPECT_DOUBLE_EQ(r.best[i].score, ref.best[i].score) << i;
+    }
+  }
+}
+
+TEST(PairDetector, DeterministicAcrossThreads) {
+  const auto d = random_dataset({18, 150, 13});
+  const PairDetector det(d);
+  PairDetectorOptions opt;
+  opt.top_k = 5;
+  const auto one = det.run(opt);
+  for (unsigned threads : {2u, 5u}) {
+    opt.threads = threads;
+    const auto multi = det.run(opt);
+    ASSERT_EQ(multi.best.size(), one.best.size());
+    for (std::size_t i = 0; i < one.best.size(); ++i) {
+      EXPECT_EQ(multi.best[i].x, one.best[i].x) << i;
+      EXPECT_EQ(multi.best[i].y, one.best[i].y) << i;
+      EXPECT_DOUBLE_EQ(multi.best[i].score, one.best[i].score) << i;
+    }
+  }
+}
+
+TEST(PairDetector, CountsAndMetadata) {
+  const auto d = random_dataset({12, 90, 17});
+  const PairDetector det(d);
+  const auto r = det.run({});
+  EXPECT_EQ(r.pairs_evaluated, num_pairs(12));
+  EXPECT_EQ(r.elements, r.pairs_evaluated * 90);
+  EXPECT_GT(r.seconds, 0.0);
+  EXPECT_EQ(det.num_snps(), 12u);
+  EXPECT_EQ(det.num_samples(), 90u);
+}
+
+TEST(PairDetector, TopKSortedUnique) {
+  const auto d = random_dataset({15, 120, 19});
+  const PairDetector det(d);
+  PairDetectorOptions opt;
+  opt.top_k = 12;
+  const auto r = det.run(opt);
+  ASSERT_EQ(r.best.size(), 12u);
+  for (std::size_t i = 1; i < r.best.size(); ++i) {
+    EXPECT_LE(r.best[i - 1].score, r.best[i].score);
+    EXPECT_NE(rank_pair(r.best[i - 1].x, r.best[i - 1].y),
+              rank_pair(r.best[i].x, r.best[i].y));
+  }
+}
+
+TEST(PairDetector, BadOptionsThrow) {
+  const auto d = random_dataset({6, 50, 23});
+  const PairDetector det(d);
+  PairDetectorOptions opt;
+  opt.top_k = 0;
+  EXPECT_THROW(det.run(opt), std::invalid_argument);
+}
+
+// --------------------------------------------------------------------------
+// Generic scorers agree with the 27-cell implementations
+// --------------------------------------------------------------------------
+
+TEST(GenericScoring, MatchesTripletScorersOn27Cells) {
+  const auto d = random_dataset({8, 400, 29});
+  const auto table = scoring::reference_contingency(d, 1, 4, 6);
+  const scoring::LogFactorialTable logfact(400 + 1);
+
+  const scoring::K2Score k2(400);
+  EXPECT_NEAR(
+      scoring::k2_score_cells(logfact, table.counts[0], table.counts[1]),
+      k2(table), 1e-9);
+
+  const scoring::MutualInformation mi;
+  EXPECT_NEAR(
+      scoring::mutual_information_cells(table.counts[0], table.counts[1]),
+      mi(table), 1e-12);
+
+  const scoring::ChiSquared chi;
+  EXPECT_NEAR(scoring::chi_squared_cells(table.counts[0], table.counts[1]),
+              chi(table), 1e-9);
+}
+
+TEST(GenericScoring, PairwisePenetranceIgnoresThirdSnp) {
+  const auto t = dataset::make_penetrance_pairwise(
+      dataset::InteractionModel::kThreshold, 0.1, 0.5);
+  for (int gx = 0; gx < 3; ++gx) {
+    for (int gy = 0; gy < 3; ++gy) {
+      EXPECT_DOUBLE_EQ(t.at(gx, gy, 0), t.at(gx, gy, 1));
+      EXPECT_DOUBLE_EQ(t.at(gx, gy, 1), t.at(gx, gy, 2));
+    }
+  }
+  EXPECT_DOUBLE_EQ(t.at(0, 0, 0), 0.1);
+  EXPECT_DOUBLE_EQ(t.at(1, 1, 0), 0.6);
+  EXPECT_DOUBLE_EQ(t.at(2, 0, 0), 0.6);
+}
+
+}  // namespace
+}  // namespace trigen::pairwise

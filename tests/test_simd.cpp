@@ -1,0 +1,130 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "trigen/common/aligned.hpp"
+#include "trigen/common/rng.hpp"
+#include "trigen/simd/popcount.hpp"
+
+namespace trigen::simd {
+namespace {
+
+aligned_vector<std::uint32_t> random_words(std::size_t n, std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  aligned_vector<std::uint32_t> v(n);
+  for (auto& w : v) w = static_cast<std::uint32_t>(rng());
+  return v;
+}
+
+// --------------------------------------------------------------------------
+// Strategy registry
+// --------------------------------------------------------------------------
+
+TEST(PopcountRegistry, ScalarAlwaysAvailable) {
+  EXPECT_TRUE(strategy_available(PopcountStrategy::kScalar32));
+  EXPECT_TRUE(strategy_available(PopcountStrategy::kScalar64));
+  EXPECT_TRUE(strategy_available(PopcountStrategy::kAuto));
+}
+
+TEST(PopcountRegistry, BestAvailableIsConcreteAndAvailable) {
+  const PopcountStrategy best = best_available();
+  EXPECT_NE(best, PopcountStrategy::kAuto);
+  EXPECT_TRUE(strategy_available(best));
+}
+
+TEST(PopcountRegistry, ResolveMapsAutoOnly) {
+  EXPECT_EQ(resolve(PopcountStrategy::kScalar32), PopcountStrategy::kScalar32);
+  EXPECT_NE(resolve(PopcountStrategy::kAuto), PopcountStrategy::kAuto);
+}
+
+TEST(PopcountRegistry, NamesAreUniqueAndNonEmpty) {
+  std::vector<std::string> names;
+  for (const auto s : all_strategies()) {
+    names.push_back(strategy_name(s));
+    EXPECT_FALSE(names.back().empty());
+  }
+  std::sort(names.begin(), names.end());
+  EXPECT_EQ(std::adjacent_find(names.begin(), names.end()), names.end());
+}
+
+TEST(PopcountRegistry, BestIsNotTheAblationStrategy) {
+  EXPECT_NE(best_available(), PopcountStrategy::kAvx2HarleySeal);
+}
+
+// --------------------------------------------------------------------------
+// Correctness of every available strategy (parameterized)
+// --------------------------------------------------------------------------
+
+class PopcountStrategyTest
+    : public ::testing::TestWithParam<PopcountStrategy> {};
+
+INSTANTIATE_TEST_SUITE_P(
+    AllStrategies, PopcountStrategyTest,
+    ::testing::ValuesIn(all_strategies()),
+    [](const ::testing::TestParamInfo<PopcountStrategy>& info) {
+      std::string n = strategy_name(info.param);
+      std::replace(n.begin(), n.end(), '-', '_');
+      return n;
+    });
+
+TEST_P(PopcountStrategyTest, MatchesReferenceOnRandomBuffers) {
+  if (!strategy_available(GetParam())) {
+    GTEST_SKIP() << "strategy not available on this host";
+  }
+  for (std::size_t n : {0u, 1u, 2u, 7u, 8u, 15u, 16u, 17u, 31u, 64u, 100u,
+                        255u, 256u, 1000u}) {
+    const auto buf = random_words(n, 1000 + n);
+    ASSERT_EQ(popcount_words(buf.data(), n, GetParam()),
+              popcount_reference(buf.data(), n))
+        << "n=" << n;
+  }
+}
+
+TEST_P(PopcountStrategyTest, AllZerosAndAllOnes) {
+  if (!strategy_available(GetParam())) {
+    GTEST_SKIP() << "strategy not available on this host";
+  }
+  constexpr std::size_t kN = 128;
+  aligned_vector<std::uint32_t> zeros(kN, 0);
+  aligned_vector<std::uint32_t> ones(kN, ~std::uint32_t{0});
+  EXPECT_EQ(popcount_words(zeros.data(), kN, GetParam()), 0u);
+  EXPECT_EQ(popcount_words(ones.data(), kN, GetParam()), kN * 32);
+}
+
+TEST_P(PopcountStrategyTest, SingleBitPatterns) {
+  if (!strategy_available(GetParam())) {
+    GTEST_SKIP() << "strategy not available on this host";
+  }
+  constexpr std::size_t kN = 64;
+  for (int bit = 0; bit < 32; bit += 7) {
+    aligned_vector<std::uint32_t> buf(kN, std::uint32_t{1} << bit);
+    EXPECT_EQ(popcount_words(buf.data(), kN, GetParam()), kN);
+  }
+}
+
+TEST_P(PopcountStrategyTest, AgreesWithScalar32OnLargeBuffer) {
+  if (!strategy_available(GetParam())) {
+    GTEST_SKIP() << "strategy not available on this host";
+  }
+  const auto buf = random_words(8192, 99);
+  EXPECT_EQ(popcount_words(buf.data(), buf.size(), GetParam()),
+            popcount_words(buf.data(), buf.size(), PopcountStrategy::kScalar32));
+}
+
+// --------------------------------------------------------------------------
+// Reference sanity
+// --------------------------------------------------------------------------
+
+TEST(PopcountReference, HandChecked) {
+  const std::uint32_t words[] = {0x0, 0x1, 0x3, 0xFF, 0xFFFFFFFF};
+  EXPECT_EQ(popcount_reference(words, 5), 0u + 1 + 2 + 8 + 32);
+}
+
+TEST(Popcount, AutoStrategyWorks) {
+  const auto buf = random_words(512, 7);
+  EXPECT_EQ(popcount_words(buf.data(), buf.size(), PopcountStrategy::kAuto),
+            popcount_reference(buf.data(), buf.size()));
+}
+
+}  // namespace
+}  // namespace trigen::simd
