@@ -2,12 +2,15 @@
 
 #include <algorithm>
 
+#include "roofs_detail.hpp"
 #include "trigen/common/aligned.hpp"
+#include "trigen/common/cpuid.hpp"
 #include "trigen/common/stopwatch.hpp"
 
-#if defined(__AVX2__)
-#include <immintrin.h>
-#endif
+// This TU is compiled portably; the vector micro-probes live in
+// roofs_avx2.cpp / roofs_avx512.cpp (per-file ISA flags) and are entered
+// only after cpu_features() confirms the host supports them — the same
+// compile-in-everything / dispatch-at-runtime design as the core kernels.
 
 namespace trigen::carm {
 
@@ -39,6 +42,9 @@ void sink(const void* p) { asm volatile("" : : "g"(p) : "memory"); }
 }  // namespace
 
 double measure_load_bandwidth(std::size_t bytes) {
+#if defined(TRIGEN_KERNEL_AVX2)
+  if (cpu_features().avx2) return detail::load_bandwidth_avx2(bytes);
+#endif
   const std::size_t words = std::max<std::size_t>(bytes / 8, 64);
   aligned_vector<std::uint64_t> buf(words, 0x5555555555555555ull);
 
@@ -51,22 +57,7 @@ double measure_load_bandwidth(std::size_t bytes) {
   const double secs = time_best_of([&] {
     for (std::size_t r = 0; r < reps; ++r) {
       const std::uint64_t* p = buf.data();
-#if defined(__AVX2__)
-      __m256i a0 = _mm256_setzero_si256();
-      __m256i a1 = _mm256_setzero_si256();
-      std::size_t i = 0;
-      for (; i + 8 <= words; i += 8) {
-        a0 = _mm256_or_si256(
-            a0, _mm256_load_si256(reinterpret_cast<const __m256i*>(p + i)));
-        a1 = _mm256_or_si256(
-            a1, _mm256_load_si256(reinterpret_cast<const __m256i*>(p + i + 4)));
-      }
-      acc += static_cast<std::uint64_t>(
-          _mm256_extract_epi64(_mm256_or_si256(a0, a1), 0));
-      for (; i < words; ++i) acc |= p[i];
-#else
       for (std::size_t i = 0; i < words; ++i) acc |= p[i];
-#endif
       sink(&acc);
     }
   });
@@ -93,42 +84,20 @@ double measure_scalar_add_peak() {
 }
 
 double measure_vector_add_peak(unsigned* lanes_out) {
-  constexpr std::uint64_t kIters = 1u << 20;
-#if defined(__AVX512F__)
-  unsigned lanes = 16;
-  __m512i a = _mm512_set1_epi32(1), b = _mm512_set1_epi32(2),
-          c = _mm512_set1_epi32(3), d = _mm512_set1_epi32(4);
-  const __m512i inc = _mm512_set1_epi32(1);
-  const double secs = time_best_of([&] {
-    for (std::uint64_t i = 0; i < kIters; ++i) {
-      a = _mm512_add_epi32(a, inc);
-      b = _mm512_add_epi32(b, inc);
-      c = _mm512_add_epi32(c, inc);
-      d = _mm512_add_epi32(d, inc);
-      asm volatile("" : "+x"(a), "+x"(b), "+x"(c), "+x"(d));
-    }
-  });
-#elif defined(__AVX2__)
-  unsigned lanes = 8;
-  __m256i a = _mm256_set1_epi32(1), b = _mm256_set1_epi32(2),
-          c = _mm256_set1_epi32(3), d = _mm256_set1_epi32(4);
-  const __m256i inc = _mm256_set1_epi32(1);
-  const double secs = time_best_of([&] {
-    for (std::uint64_t i = 0; i < kIters; ++i) {
-      a = _mm256_add_epi32(a, inc);
-      b = _mm256_add_epi32(b, inc);
-      c = _mm256_add_epi32(c, inc);
-      d = _mm256_add_epi32(d, inc);
-      asm volatile("" : "+x"(a), "+x"(b), "+x"(c), "+x"(d));
-    }
-  });
-#else
-  unsigned lanes = 1;
-  const double secs = 4.0 * static_cast<double>(kIters) /
-                      measure_scalar_add_peak();
+#if defined(TRIGEN_KERNEL_AVX512)
+  if (cpu_features().avx512f) {
+    if (lanes_out != nullptr) *lanes_out = 16;
+    return detail::vector_add_peak_avx512();
+  }
 #endif
-  if (lanes_out != nullptr) *lanes_out = lanes;
-  return 4.0 * static_cast<double>(lanes) * static_cast<double>(kIters) / secs;
+#if defined(TRIGEN_KERNEL_AVX2)
+  if (cpu_features().avx2) {
+    if (lanes_out != nullptr) *lanes_out = 8;
+    return detail::vector_add_peak_avx2();
+  }
+#endif
+  if (lanes_out != nullptr) *lanes_out = 1;
+  return measure_scalar_add_peak();
 }
 
 CarmRoofs measure_roofs() {

@@ -1,0 +1,26 @@
+#pragma once
+/// \file roofs_detail.hpp
+/// \brief Internal declarations of the per-ISA CARM micro-probes.
+///
+/// Same structure as src/core/kernels_detail.hpp: each vector probe lives in
+/// a translation unit compiled with per-file ISA flags (roofs_avx2.cpp,
+/// roofs_avx512.cpp), so a portable build still measures real vector roofs;
+/// roofs.cpp dispatches at runtime via cpu_features().  Each probe returns
+/// its measured rate (bytes/s for bandwidth, intops/s for compute).
+
+#include <cstddef>
+
+namespace trigen::carm::detail {
+
+#if defined(TRIGEN_KERNEL_AVX2)
+// Defined in roofs_avx2.cpp (compiled with -mavx2).
+double load_bandwidth_avx2(std::size_t bytes);
+double vector_add_peak_avx2();  ///< 8 lanes
+#endif
+
+#if defined(TRIGEN_KERNEL_AVX512)
+// Defined in roofs_avx512.cpp (compiled with -mavx512f -mavx512bw).
+double vector_add_peak_avx512();  ///< 16 lanes
+#endif
+
+}  // namespace trigen::carm::detail

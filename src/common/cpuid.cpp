@@ -4,7 +4,11 @@
 #include <cstdint>
 #include <cstring>
 
-#if defined(__x86_64__) || defined(_M_X64) || defined(__i386__)
+#if defined(_MSC_VER) && (defined(_M_X64) || defined(_M_IX86))
+#include <intrin.h>
+#define TRIGEN_HAVE_CPUID 1
+#define TRIGEN_CPUID_MSVC 1
+#elif defined(__x86_64__) || defined(__i386__)
 #include <cpuid.h>
 #define TRIGEN_HAVE_CPUID 1
 #endif
@@ -18,7 +22,14 @@ struct Regs {
 
 Regs cpuid(std::uint32_t leaf, std::uint32_t subleaf) {
   Regs r;
-#ifdef TRIGEN_HAVE_CPUID
+#if defined(TRIGEN_CPUID_MSVC)
+  int regs[4];
+  __cpuidex(regs, static_cast<int>(leaf), static_cast<int>(subleaf));
+  r.eax = static_cast<std::uint32_t>(regs[0]);
+  r.ebx = static_cast<std::uint32_t>(regs[1]);
+  r.ecx = static_cast<std::uint32_t>(regs[2]);
+  r.edx = static_cast<std::uint32_t>(regs[3]);
+#elif defined(TRIGEN_HAVE_CPUID)
   __cpuid_count(leaf, subleaf, r.eax, r.ebx, r.ecx, r.edx);
 #else
   (void)leaf;
@@ -27,17 +38,56 @@ Regs cpuid(std::uint32_t leaf, std::uint32_t subleaf) {
   return r;
 }
 
+#ifdef TRIGEN_HAVE_CPUID
+/// XGETBV(XCR0): which register states the OS saves/restores on context
+/// switch.  Only callable when CPUID.1:ECX.OSXSAVE[27] is set.
+std::uint64_t xgetbv_xcr0() {
+#if defined(TRIGEN_CPUID_MSVC)
+  return _xgetbv(0);
+#else
+  std::uint32_t eax = 0, edx = 0;
+  __asm__ volatile("xgetbv" : "=a"(eax), "=d"(edx) : "c"(0u));
+  return (static_cast<std::uint64_t>(edx) << 32) | eax;
+#endif
+}
+#endif  // TRIGEN_HAVE_CPUID
+
 CpuFeatures detect() {
   CpuFeatures f;
 #ifdef TRIGEN_HAVE_CPUID
+  const std::uint32_t max_leaf = cpuid(0, 0).eax;
+  if (max_leaf < 1) return f;
+
   const Regs l1 = cpuid(1, 0);
   f.sse42 = (l1.ecx >> 20) & 1u;  // SSE4.2 implies scalar POPCNT
-  const Regs l7 = cpuid(7, 0);
-  f.avx2 = (l7.ebx >> 5) & 1u;
-  f.avx512f = (l7.ebx >> 16) & 1u;
-  f.avx512bw = (l7.ebx >> 30) & 1u;
-  f.avx512vl = (l7.ebx >> 31) & 1u;
-  f.avx512vpopcntdq = (l7.ecx >> 14) & 1u;
+
+  // CPUID feature bits alone are not enough for AVX: the OS must have
+  // enabled XSAVE (OSXSAVE) and be saving the YMM/ZMM state, otherwise
+  // executing a VEX/EVEX instruction raises #UD (SIGILL) — e.g. on a
+  // hypervisor with AVX state disabled.  XCR0 bits: 1 = SSE (XMM),
+  // 2 = AVX (YMM high halves), 5 = opmask, 6 = ZMM0-15 high halves,
+  // 7 = ZMM16-31.
+  const bool osxsave = (l1.ecx >> 27) & 1u;
+  bool os_ymm = false;
+  bool os_zmm = false;
+  if (osxsave) {
+    const std::uint64_t xcr0 = xgetbv_xcr0();
+    os_ymm = (xcr0 & 0x6u) == 0x6u;      // XMM + YMM
+    os_zmm = (xcr0 & 0xe6u) == 0xe6u;    // XMM + YMM + opmask + ZMM
+  }
+
+  // Leaf 7 must be gated on max_leaf: pre-2010 CPUs echo the highest
+  // supported leaf for out-of-range queries, yielding garbage feature bits.
+  if (max_leaf >= 7 && os_ymm) {
+    const Regs l7 = cpuid(7, 0);
+    f.avx2 = (l7.ebx >> 5) & 1u;
+    if (os_zmm) {
+      f.avx512f = (l7.ebx >> 16) & 1u;
+      f.avx512bw = (l7.ebx >> 30) & 1u;
+      f.avx512vl = (l7.ebx >> 31) & 1u;
+      f.avx512vpopcntdq = (l7.ecx >> 14) & 1u;
+    }
+  }
 #endif
   return f;
 }

@@ -44,12 +44,24 @@ class AlignedAllocator {
     // Round the byte size up to a multiple of the alignment as required by
     // std::aligned_alloc.
     const std::size_t bytes = (n * sizeof(T) + Align - 1) / Align * Align;
+#if defined(_MSC_VER)
+    // MSVC's CRT never gained C11 aligned_alloc (its free() cannot handle
+    // such pointers); use the _aligned_malloc/_aligned_free pair instead.
+    void* p = _aligned_malloc(bytes, Align);
+#else
     void* p = std::aligned_alloc(Align, bytes);
+#endif
     if (p == nullptr) throw std::bad_alloc();
     return static_cast<T*>(p);
   }
 
-  void deallocate(T* p, std::size_t) noexcept { std::free(p); }
+  void deallocate(T* p, std::size_t) noexcept {
+#if defined(_MSC_VER)
+    _aligned_free(p);
+#else
+    std::free(p);
+#endif
+  }
 
   friend bool operator==(const AlignedAllocator&, const AlignedAllocator&) {
     return true;

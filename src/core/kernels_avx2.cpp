@@ -1,0 +1,122 @@
+/// \file kernels_avx2.cpp
+/// \brief AVX2 triple-block kernels (paper §IV-A, the "AVX" V4 strategy).
+///
+/// This translation unit is compiled with -mavx2 regardless of the global
+/// architecture flags; nothing here may run unless the runtime dispatcher
+/// has confirmed AVX2 support via cpu_features().
+
+#include "kernels_detail.hpp"
+
+#include <bit>
+
+#if defined(TRIGEN_KERNEL_AVX2)
+#include <immintrin.h>
+
+namespace trigen::core::detail {
+namespace {
+
+/// Sum of set bits in a 256-bit register via the paper's AVX strategy:
+/// four 64-bit extracts, each fed to the scalar POPCNT unit.
+inline std::uint32_t popcnt256_extract(__m256i v) {
+  return static_cast<std::uint32_t>(
+      std::popcount(static_cast<std::uint64_t>(_mm256_extract_epi64(v, 0))) +
+      std::popcount(static_cast<std::uint64_t>(_mm256_extract_epi64(v, 1))) +
+      std::popcount(static_cast<std::uint64_t>(_mm256_extract_epi64(v, 2))) +
+      std::popcount(static_cast<std::uint64_t>(_mm256_extract_epi64(v, 3))));
+}
+
+}  // namespace
+
+void triple_block_avx2(const Word* x0, const Word* x1, const Word* y0,
+                       const Word* y1, const Word* z0, const Word* z1,
+                       std::size_t w_begin, std::size_t w_end,
+                       std::uint32_t* ft27) {
+  const __m256i ones = _mm256_set1_epi32(-1);
+  std::size_t w = w_begin;
+  for (; w + 8 <= w_end; w += 8) {
+    // No vector NOR on AVX CPUs: OR followed by XOR with all-ones (§IV-A).
+    __m256i xg[3], yg[3], zg[3];
+    xg[0] = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(x0 + w));
+    xg[1] = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(x1 + w));
+    xg[2] = _mm256_xor_si256(_mm256_or_si256(xg[0], xg[1]), ones);
+    yg[0] = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(y0 + w));
+    yg[1] = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(y1 + w));
+    yg[2] = _mm256_xor_si256(_mm256_or_si256(yg[0], yg[1]), ones);
+    zg[0] = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(z0 + w));
+    zg[1] = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(z1 + w));
+    zg[2] = _mm256_xor_si256(_mm256_or_si256(zg[0], zg[1]), ones);
+
+    int cell = 0;
+    for (int gx = 0; gx < 3; ++gx) {
+      for (int gy = 0; gy < 3; ++gy) {
+        const __m256i xy = _mm256_and_si256(xg[gx], yg[gy]);
+        for (int gz = 0; gz < 3; ++gz) {
+          ft27[cell++] += popcnt256_extract(_mm256_and_si256(xy, zg[gz]));
+        }
+      }
+    }
+  }
+  triple_block_scalar(x0, x1, y0, y1, z0, z1, w, w_end, ft27);
+}
+
+void triple_block_avx2_harley_seal(const Word* x0, const Word* x1,
+                                   const Word* y0, const Word* y1,
+                                   const Word* z0, const Word* z1,
+                                   std::size_t w_begin, std::size_t w_end,
+                                   std::uint32_t* ft27) {
+  // Ablation strategy: SWAR nibble-LUT popcount (Mula's algorithm) instead
+  // of extract + scalar POPCNT.  Per-cell byte counts are horizontally
+  // summed with SAD against zero into 64-bit lanes, which cannot overflow
+  // for any realistic plane length; one final extract chain per cell.
+  const __m256i ones = _mm256_set1_epi32(-1);
+  const __m256i lut = _mm256_setr_epi8(
+      0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4,
+      0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4);
+  const __m256i low_mask = _mm256_set1_epi8(0x0f);
+  const __m256i zero = _mm256_setzero_si256();
+  __m256i acc[27];
+  for (auto& a : acc) a = zero;
+
+  std::size_t w = w_begin;
+  for (; w + 8 <= w_end; w += 8) {
+    __m256i xg[3], yg[3], zg[3];
+    xg[0] = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(x0 + w));
+    xg[1] = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(x1 + w));
+    xg[2] = _mm256_xor_si256(_mm256_or_si256(xg[0], xg[1]), ones);
+    yg[0] = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(y0 + w));
+    yg[1] = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(y1 + w));
+    yg[2] = _mm256_xor_si256(_mm256_or_si256(yg[0], yg[1]), ones);
+    zg[0] = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(z0 + w));
+    zg[1] = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(z1 + w));
+    zg[2] = _mm256_xor_si256(_mm256_or_si256(zg[0], zg[1]), ones);
+
+    int cell = 0;
+    for (int gx = 0; gx < 3; ++gx) {
+      for (int gy = 0; gy < 3; ++gy) {
+        const __m256i xy = _mm256_and_si256(xg[gx], yg[gy]);
+        for (int gz = 0; gz < 3; ++gz) {
+          const __m256i v = _mm256_and_si256(xy, zg[gz]);
+          const __m256i lo = _mm256_and_si256(v, low_mask);
+          const __m256i hi =
+              _mm256_and_si256(_mm256_srli_epi16(v, 4), low_mask);
+          const __m256i cnt = _mm256_add_epi8(_mm256_shuffle_epi8(lut, lo),
+                                              _mm256_shuffle_epi8(lut, hi));
+          acc[cell] = _mm256_add_epi64(acc[cell], _mm256_sad_epu8(cnt, zero));
+          ++cell;
+        }
+      }
+    }
+  }
+  for (int cell = 0; cell < 27; ++cell) {
+    ft27[cell] += static_cast<std::uint32_t>(
+        static_cast<std::uint64_t>(_mm256_extract_epi64(acc[cell], 0)) +
+        static_cast<std::uint64_t>(_mm256_extract_epi64(acc[cell], 1)) +
+        static_cast<std::uint64_t>(_mm256_extract_epi64(acc[cell], 2)) +
+        static_cast<std::uint64_t>(_mm256_extract_epi64(acc[cell], 3)));
+  }
+  triple_block_scalar(x0, x1, y0, y1, z0, z1, w, w_end, ft27);
+}
+
+}  // namespace trigen::core::detail
+
+#endif  // TRIGEN_KERNEL_AVX2

@@ -1,0 +1,68 @@
+/// \file kernels_avx512.cpp
+/// \brief AVX-512 + extract triple-block kernel (Skylake-SP strategy).
+///
+/// Compiled with -mavx512f -mavx512bw regardless of the global architecture
+/// flags; only executed after the runtime dispatcher confirms support.
+
+#include "kernels_detail.hpp"
+
+#include <bit>
+
+#if defined(TRIGEN_KERNEL_AVX512)
+#include <immintrin.h>
+
+namespace trigen::core::detail {
+namespace {
+
+/// Skylake-SP strategy: two-level extraction feeding the scalar POPCNT unit
+/// (the overhead that makes CI2 the slowest CPU per core in Fig. 3).
+inline std::uint32_t popcnt512_extract(__m512i v) {
+  const __m256i lo = _mm512_extracti64x4_epi64(v, 0);
+  const __m256i hi = _mm512_extracti64x4_epi64(v, 1);
+  return static_cast<std::uint32_t>(
+      std::popcount(static_cast<std::uint64_t>(_mm256_extract_epi64(lo, 0))) +
+      std::popcount(static_cast<std::uint64_t>(_mm256_extract_epi64(lo, 1))) +
+      std::popcount(static_cast<std::uint64_t>(_mm256_extract_epi64(lo, 2))) +
+      std::popcount(static_cast<std::uint64_t>(_mm256_extract_epi64(lo, 3))) +
+      std::popcount(static_cast<std::uint64_t>(_mm256_extract_epi64(hi, 0))) +
+      std::popcount(static_cast<std::uint64_t>(_mm256_extract_epi64(hi, 1))) +
+      std::popcount(static_cast<std::uint64_t>(_mm256_extract_epi64(hi, 2))) +
+      std::popcount(static_cast<std::uint64_t>(_mm256_extract_epi64(hi, 3))));
+}
+
+}  // namespace
+
+void triple_block_avx512_extract(const Word* x0, const Word* x1, const Word* y0,
+                                 const Word* y1, const Word* z0, const Word* z1,
+                                 std::size_t w_begin, std::size_t w_end,
+                                 std::uint32_t* ft27) {
+  const __m512i ones = _mm512_set1_epi32(-1);
+  std::size_t w = w_begin;
+  for (; w + 16 <= w_end; w += 16) {
+    __m512i xg[3], yg[3], zg[3];
+    xg[0] = _mm512_loadu_si512(reinterpret_cast<const void*>(x0 + w));
+    xg[1] = _mm512_loadu_si512(reinterpret_cast<const void*>(x1 + w));
+    xg[2] = _mm512_xor_si512(_mm512_or_si512(xg[0], xg[1]), ones);
+    yg[0] = _mm512_loadu_si512(reinterpret_cast<const void*>(y0 + w));
+    yg[1] = _mm512_loadu_si512(reinterpret_cast<const void*>(y1 + w));
+    yg[2] = _mm512_xor_si512(_mm512_or_si512(yg[0], yg[1]), ones);
+    zg[0] = _mm512_loadu_si512(reinterpret_cast<const void*>(z0 + w));
+    zg[1] = _mm512_loadu_si512(reinterpret_cast<const void*>(z1 + w));
+    zg[2] = _mm512_xor_si512(_mm512_or_si512(zg[0], zg[1]), ones);
+
+    int cell = 0;
+    for (int gx = 0; gx < 3; ++gx) {
+      for (int gy = 0; gy < 3; ++gy) {
+        const __m512i xy = _mm512_and_si512(xg[gx], yg[gy]);
+        for (int gz = 0; gz < 3; ++gz) {
+          ft27[cell++] += popcnt512_extract(_mm512_and_si512(xy, zg[gz]));
+        }
+      }
+    }
+  }
+  triple_block_scalar(x0, x1, y0, y1, z0, z1, w, w_end, ft27);
+}
+
+}  // namespace trigen::core::detail
+
+#endif  // TRIGEN_KERNEL_AVX512

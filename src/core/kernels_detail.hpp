@@ -1,0 +1,61 @@
+#pragma once
+/// \file kernels_detail.hpp
+/// \brief Internal declarations of the per-ISA triple-block kernel
+/// implementations.
+///
+/// Each vector implementation lives in its own translation unit
+/// (kernels_avx2.cpp, kernels_avx512.cpp, kernels_avx512vpopcnt.cpp) that the
+/// build system compiles with exactly the ISA flags that implementation
+/// needs (-mavx2 / -mavx512f -mavx512bw / -mavx512vpopcntdq).  The dispatch
+/// registry in kernels_dispatch.cpp is compiled portably and selects among
+/// them at runtime via cpu_features(), so a binary built without
+/// -march=native still carries every variant the compiler can emit and never
+/// executes one the host cannot run.
+///
+/// Which variants were compiled in is communicated by the build system
+/// through the TRIGEN_KERNEL_AVX2 / TRIGEN_KERNEL_AVX512 /
+/// TRIGEN_KERNEL_AVX512VPOPCNT macros (target-wide compile definitions).
+
+#include <cstddef>
+#include <cstdint>
+
+#include "trigen/core/kernels.hpp"
+
+namespace trigen::core::detail {
+
+// Defined in kernels_scalar.cpp; always present.
+void triple_block_scalar(const Word* x0, const Word* x1, const Word* y0,
+                         const Word* y1, const Word* z0, const Word* z1,
+                         std::size_t w_begin, std::size_t w_end,
+                         std::uint32_t* ft27);
+
+#if defined(TRIGEN_KERNEL_AVX2)
+// Defined in kernels_avx2.cpp (compiled with -mavx2).
+void triple_block_avx2(const Word* x0, const Word* x1, const Word* y0,
+                       const Word* y1, const Word* z0, const Word* z1,
+                       std::size_t w_begin, std::size_t w_end,
+                       std::uint32_t* ft27);
+void triple_block_avx2_harley_seal(const Word* x0, const Word* x1,
+                                   const Word* y0, const Word* y1,
+                                   const Word* z0, const Word* z1,
+                                   std::size_t w_begin, std::size_t w_end,
+                                   std::uint32_t* ft27);
+#endif
+
+#if defined(TRIGEN_KERNEL_AVX512)
+// Defined in kernels_avx512.cpp (compiled with -mavx512f -mavx512bw).
+void triple_block_avx512_extract(const Word* x0, const Word* x1, const Word* y0,
+                                 const Word* y1, const Word* z0, const Word* z1,
+                                 std::size_t w_begin, std::size_t w_end,
+                                 std::uint32_t* ft27);
+#endif
+
+#if defined(TRIGEN_KERNEL_AVX512VPOPCNT)
+// Defined in kernels_avx512vpopcnt.cpp (compiled with -mavx512vpopcntdq).
+void triple_block_avx512_vpopcnt(const Word* x0, const Word* x1, const Word* y0,
+                                 const Word* y1, const Word* z0, const Word* z1,
+                                 std::size_t w_begin, std::size_t w_end,
+                                 std::uint32_t* ft27);
+#endif
+
+}  // namespace trigen::core::detail

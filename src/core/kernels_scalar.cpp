@@ -1,6 +1,7 @@
 #include <bit>
 #include <stdexcept>
 
+#include "kernels_detail.hpp"
 #include "trigen/core/kernels.hpp"
 
 namespace trigen::core {

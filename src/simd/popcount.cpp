@@ -1,23 +1,24 @@
+/// \file popcount.cpp
+/// \brief Scalar popcount strategies and the runtime strategy dispatcher.
+///
+/// Compiled WITHOUT any ISA-specific flags — this translation unit must run
+/// on any host, because it decides at runtime (via cpu_features()) whether
+/// the per-ISA translation units (popcount_avx2.cpp, popcount_avx512.cpp,
+/// popcount_avx512vpopcnt.cpp) may be entered.  The TRIGEN_KERNEL_* compile
+/// definitions report which of those the build compiled in.
+
 #include "trigen/simd/popcount.hpp"
 
 #include <bit>
 #include <cstring>
 #include <stdexcept>
 
+#include "popcount_detail.hpp"
 #include "trigen/common/cpuid.hpp"
 
-#if defined(__AVX2__)
-#include <immintrin.h>
-#endif
-
 namespace trigen::simd {
-namespace {
 
-std::uint64_t popcount_scalar32(const std::uint32_t* words, std::size_t n) {
-  std::uint64_t acc = 0;
-  for (std::size_t i = 0; i < n; ++i) acc += std::popcount(words[i]);
-  return acc;
-}
+namespace detail {
 
 std::uint64_t popcount_scalar64(const std::uint32_t* words, std::size_t n) {
   std::uint64_t acc = 0;
@@ -31,91 +32,15 @@ std::uint64_t popcount_scalar64(const std::uint32_t* words, std::size_t n) {
   return acc;
 }
 
-#if defined(__AVX2__)
-std::uint64_t popcount_avx2_extract(const std::uint32_t* words, std::size_t n) {
+}  // namespace detail
+
+namespace {
+
+std::uint64_t popcount_scalar32(const std::uint32_t* words, std::size_t n) {
   std::uint64_t acc = 0;
-  std::size_t i = 0;
-  for (; i + 8 <= n; i += 8) {
-    const __m256i v =
-        _mm256_load_si256(reinterpret_cast<const __m256i*>(words + i));
-    acc += static_cast<std::uint64_t>(
-        std::popcount(static_cast<std::uint64_t>(_mm256_extract_epi64(v, 0))) +
-        std::popcount(static_cast<std::uint64_t>(_mm256_extract_epi64(v, 1))) +
-        std::popcount(static_cast<std::uint64_t>(_mm256_extract_epi64(v, 2))) +
-        std::popcount(static_cast<std::uint64_t>(_mm256_extract_epi64(v, 3))));
-  }
-  return acc + popcount_scalar64(words + i, n - i);
+  for (std::size_t i = 0; i < n; ++i) acc += std::popcount(words[i]);
+  return acc;
 }
-
-/// Harley-Seal style nibble-LUT popcount (Mula's algorithm): two vpshufb
-/// lookups per 256-bit lane and a sad-against-zero horizontal sum.
-std::uint64_t popcount_avx2_harley_seal(const std::uint32_t* words,
-                                        std::size_t n) {
-  const __m256i lut = _mm256_setr_epi8(
-      0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4,
-      0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4);
-  const __m256i low_mask = _mm256_set1_epi8(0x0f);
-  __m256i acc = _mm256_setzero_si256();
-  std::size_t i = 0;
-  for (; i + 8 <= n; i += 8) {
-    const __m256i v =
-        _mm256_load_si256(reinterpret_cast<const __m256i*>(words + i));
-    const __m256i lo = _mm256_and_si256(v, low_mask);
-    const __m256i hi = _mm256_and_si256(_mm256_srli_epi16(v, 4), low_mask);
-    const __m256i cnt =
-        _mm256_add_epi8(_mm256_shuffle_epi8(lut, lo), _mm256_shuffle_epi8(lut, hi));
-    acc = _mm256_add_epi64(acc, _mm256_sad_epu8(cnt, _mm256_setzero_si256()));
-  }
-  std::uint64_t total =
-      static_cast<std::uint64_t>(_mm256_extract_epi64(acc, 0)) +
-      static_cast<std::uint64_t>(_mm256_extract_epi64(acc, 1)) +
-      static_cast<std::uint64_t>(_mm256_extract_epi64(acc, 2)) +
-      static_cast<std::uint64_t>(_mm256_extract_epi64(acc, 3));
-  return total + popcount_scalar64(words + i, n - i);
-}
-#endif  // __AVX2__
-
-#if defined(__AVX512F__) && defined(__AVX512BW__)
-std::uint64_t popcount_avx512_extract(const std::uint32_t* words,
-                                      std::size_t n) {
-  std::uint64_t acc = 0;
-  std::size_t i = 0;
-  for (; i + 16 <= n; i += 16) {
-    const __m512i v =
-        _mm512_load_si512(reinterpret_cast<const void*>(words + i));
-    // Skylake-SP path: two extract levels per 64-bit lane, then scalar
-    // POPCNT — the overhead the paper identifies on CI2.
-    const __m256i lo = _mm512_extracti64x4_epi64(v, 0);
-    const __m256i hi = _mm512_extracti64x4_epi64(v, 1);
-    acc += static_cast<std::uint64_t>(
-        std::popcount(static_cast<std::uint64_t>(_mm256_extract_epi64(lo, 0))) +
-        std::popcount(static_cast<std::uint64_t>(_mm256_extract_epi64(lo, 1))) +
-        std::popcount(static_cast<std::uint64_t>(_mm256_extract_epi64(lo, 2))) +
-        std::popcount(static_cast<std::uint64_t>(_mm256_extract_epi64(lo, 3))) +
-        std::popcount(static_cast<std::uint64_t>(_mm256_extract_epi64(hi, 0))) +
-        std::popcount(static_cast<std::uint64_t>(_mm256_extract_epi64(hi, 1))) +
-        std::popcount(static_cast<std::uint64_t>(_mm256_extract_epi64(hi, 2))) +
-        std::popcount(static_cast<std::uint64_t>(_mm256_extract_epi64(hi, 3))));
-  }
-  return acc + popcount_scalar64(words + i, n - i);
-}
-#endif  // AVX512F && AVX512BW
-
-#if defined(__AVX512VPOPCNTDQ__)
-std::uint64_t popcount_avx512_vpopcnt(const std::uint32_t* words,
-                                      std::size_t n) {
-  __m512i acc = _mm512_setzero_si512();
-  std::size_t i = 0;
-  for (; i + 16 <= n; i += 16) {
-    const __m512i v =
-        _mm512_load_si512(reinterpret_cast<const void*>(words + i));
-    acc = _mm512_add_epi32(acc, _mm512_popcnt_epi32(v));
-  }
-  std::uint64_t total =
-      static_cast<std::uint64_t>(_mm512_reduce_add_epi32(acc));
-  return total + popcount_scalar64(words + i, n - i);
-}
-#endif  // __AVX512VPOPCNTDQ__
 
 }  // namespace
 
@@ -136,20 +61,20 @@ bool strategy_available(PopcountStrategy s) {
       return true;
     case PopcountStrategy::kAvx2Extract:
     case PopcountStrategy::kAvx2HarleySeal:
-#if defined(__AVX2__)
+#if defined(TRIGEN_KERNEL_AVX2)
       return f.avx2;
 #else
       return false;
 #endif
     case PopcountStrategy::kAvx512Extract:
-#if defined(__AVX512F__) && defined(__AVX512BW__)
+#if defined(TRIGEN_KERNEL_AVX512)
       return f.avx512f && f.avx512bw;
 #else
       return false;
 #endif
     case PopcountStrategy::kAvx512Vpopcnt:
-#if defined(__AVX512VPOPCNTDQ__)
-      return f.avx512vpopcntdq;
+#if defined(TRIGEN_KERNEL_AVX512VPOPCNT)
+      return f.avx512f && f.avx512bw && f.avx512vpopcntdq;
 #else
       return false;
 #endif
@@ -196,20 +121,20 @@ std::uint64_t popcount_words(const std::uint32_t* words, std::size_t n,
     case PopcountStrategy::kScalar32:
       return popcount_scalar32(words, n);
     case PopcountStrategy::kScalar64:
-      return popcount_scalar64(words, n);
-#if defined(__AVX2__)
+      return detail::popcount_scalar64(words, n);
+#if defined(TRIGEN_KERNEL_AVX2)
     case PopcountStrategy::kAvx2Extract:
-      return popcount_avx2_extract(words, n);
+      return detail::popcount_avx2_extract(words, n);
     case PopcountStrategy::kAvx2HarleySeal:
-      return popcount_avx2_harley_seal(words, n);
+      return detail::popcount_avx2_harley_seal(words, n);
 #endif
-#if defined(__AVX512F__) && defined(__AVX512BW__)
+#if defined(TRIGEN_KERNEL_AVX512)
     case PopcountStrategy::kAvx512Extract:
-      return popcount_avx512_extract(words, n);
+      return detail::popcount_avx512_extract(words, n);
 #endif
-#if defined(__AVX512VPOPCNTDQ__)
+#if defined(TRIGEN_KERNEL_AVX512VPOPCNT)
     case PopcountStrategy::kAvx512Vpopcnt:
-      return popcount_avx512_vpopcnt(words, n);
+      return detail::popcount_avx512_vpopcnt(words, n);
 #endif
     default:
       throw std::runtime_error("popcount strategy not compiled in");

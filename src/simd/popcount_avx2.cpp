@@ -1,0 +1,60 @@
+/// \file popcount_avx2.cpp
+/// \brief AVX2 whole-buffer popcount strategies (extract and Harley-Seal).
+///
+/// Compiled with -mavx2 regardless of the global architecture flags; only
+/// executed after the runtime dispatcher confirms AVX2 support.
+
+#include "popcount_detail.hpp"
+
+#include <bit>
+
+#if defined(TRIGEN_KERNEL_AVX2)
+#include <immintrin.h>
+
+namespace trigen::simd::detail {
+
+std::uint64_t popcount_avx2_extract(const std::uint32_t* words, std::size_t n) {
+  std::uint64_t acc = 0;
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256i v =
+        _mm256_load_si256(reinterpret_cast<const __m256i*>(words + i));
+    acc += static_cast<std::uint64_t>(
+        std::popcount(static_cast<std::uint64_t>(_mm256_extract_epi64(v, 0))) +
+        std::popcount(static_cast<std::uint64_t>(_mm256_extract_epi64(v, 1))) +
+        std::popcount(static_cast<std::uint64_t>(_mm256_extract_epi64(v, 2))) +
+        std::popcount(static_cast<std::uint64_t>(_mm256_extract_epi64(v, 3))));
+  }
+  return acc + popcount_scalar64(words + i, n - i);
+}
+
+/// Harley-Seal style nibble-LUT popcount (Mula's algorithm): two vpshufb
+/// lookups per 256-bit lane and a sad-against-zero horizontal sum.
+std::uint64_t popcount_avx2_harley_seal(const std::uint32_t* words,
+                                        std::size_t n) {
+  const __m256i lut = _mm256_setr_epi8(
+      0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4,
+      0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4);
+  const __m256i low_mask = _mm256_set1_epi8(0x0f);
+  __m256i acc = _mm256_setzero_si256();
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256i v =
+        _mm256_load_si256(reinterpret_cast<const __m256i*>(words + i));
+    const __m256i lo = _mm256_and_si256(v, low_mask);
+    const __m256i hi = _mm256_and_si256(_mm256_srli_epi16(v, 4), low_mask);
+    const __m256i cnt =
+        _mm256_add_epi8(_mm256_shuffle_epi8(lut, lo), _mm256_shuffle_epi8(lut, hi));
+    acc = _mm256_add_epi64(acc, _mm256_sad_epu8(cnt, _mm256_setzero_si256()));
+  }
+  std::uint64_t total =
+      static_cast<std::uint64_t>(_mm256_extract_epi64(acc, 0)) +
+      static_cast<std::uint64_t>(_mm256_extract_epi64(acc, 1)) +
+      static_cast<std::uint64_t>(_mm256_extract_epi64(acc, 2)) +
+      static_cast<std::uint64_t>(_mm256_extract_epi64(acc, 3));
+  return total + popcount_scalar64(words + i, n - i);
+}
+
+}  // namespace trigen::simd::detail
+
+#endif  // TRIGEN_KERNEL_AVX2

@@ -1,0 +1,31 @@
+/// \file popcount_avx512vpopcnt.cpp
+/// \brief AVX-512 VPOPCNTDQ whole-buffer popcount (Ice Lake SP strategy).
+///
+/// Compiled with -mavx512f -mavx512bw -mavx512vpopcntdq regardless of the
+/// global architecture flags; only executed after the runtime dispatcher
+/// confirms support.
+
+#include "popcount_detail.hpp"
+
+#if defined(TRIGEN_KERNEL_AVX512VPOPCNT)
+#include <immintrin.h>
+
+namespace trigen::simd::detail {
+
+std::uint64_t popcount_avx512_vpopcnt(const std::uint32_t* words,
+                                      std::size_t n) {
+  __m512i acc = _mm512_setzero_si512();
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    const __m512i v =
+        _mm512_load_si512(reinterpret_cast<const void*>(words + i));
+    acc = _mm512_add_epi32(acc, _mm512_popcnt_epi32(v));
+  }
+  std::uint64_t total =
+      static_cast<std::uint64_t>(_mm512_reduce_add_epi32(acc));
+  return total + popcount_scalar64(words + i, n - i);
+}
+
+}  // namespace trigen::simd::detail
+
+#endif  // TRIGEN_KERNEL_AVX512VPOPCNT

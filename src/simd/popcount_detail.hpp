@@ -1,0 +1,41 @@
+#pragma once
+/// \file popcount_detail.hpp
+/// \brief Internal declarations of the per-ISA whole-buffer popcount
+/// implementations.
+///
+/// Mirrors src/core/kernels_detail.hpp: each vector implementation lives in
+/// its own translation unit compiled with exactly the ISA flags it needs,
+/// while the dispatcher in popcount.cpp stays portable and consults
+/// cpu_features() before handing control to vector code.  Availability of a
+/// compiled-in variant is signalled by the TRIGEN_KERNEL_* compile
+/// definitions set by the build system.
+
+#include <cstddef>
+#include <cstdint>
+
+namespace trigen::simd::detail {
+
+// Defined in popcount.cpp; always present.  Scalar 64-bit tail loop shared
+// by every vector strategy.
+std::uint64_t popcount_scalar64(const std::uint32_t* words, std::size_t n);
+
+#if defined(TRIGEN_KERNEL_AVX2)
+// Defined in popcount_avx2.cpp (compiled with -mavx2).
+std::uint64_t popcount_avx2_extract(const std::uint32_t* words, std::size_t n);
+std::uint64_t popcount_avx2_harley_seal(const std::uint32_t* words,
+                                        std::size_t n);
+#endif
+
+#if defined(TRIGEN_KERNEL_AVX512)
+// Defined in popcount_avx512.cpp (compiled with -mavx512f -mavx512bw).
+std::uint64_t popcount_avx512_extract(const std::uint32_t* words,
+                                      std::size_t n);
+#endif
+
+#if defined(TRIGEN_KERNEL_AVX512VPOPCNT)
+// Defined in popcount_avx512vpopcnt.cpp (compiled with -mavx512vpopcntdq).
+std::uint64_t popcount_avx512_vpopcnt(const std::uint32_t* words,
+                                      std::size_t n);
+#endif
+
+}  // namespace trigen::simd::detail

@@ -34,16 +34,67 @@ TEST(KernelRegistry, BestIsAvailable) {
   EXPECT_TRUE(kernel_available(best_kernel_isa()));
 }
 
+/// Every KernelIsa enumerator, whether or not it was compiled in — registry
+/// metadata (vector width, name) must be answerable for all of them.
+const std::vector<KernelIsa>& every_isa() {
+  static const std::vector<KernelIsa> v = {
+      KernelIsa::kScalar,        KernelIsa::kAvx2,
+      KernelIsa::kAvx2HarleySeal, KernelIsa::kAvx512Extract,
+      KernelIsa::kAvx512Vpopcnt};
+  return v;
+}
+
 TEST(KernelRegistry, VectorWordsMatchIsa) {
   EXPECT_EQ(kernel_vector_words(KernelIsa::kScalar), 1u);
   EXPECT_EQ(kernel_vector_words(KernelIsa::kAvx2), 8u);
+  EXPECT_EQ(kernel_vector_words(KernelIsa::kAvx2HarleySeal), 8u);
   EXPECT_EQ(kernel_vector_words(KernelIsa::kAvx512Extract), 16u);
   EXPECT_EQ(kernel_vector_words(KernelIsa::kAvx512Vpopcnt), 16u);
 }
 
+TEST(KernelRegistry, VectorWordsArePowersOfTwoForEveryIsa) {
+  for (const KernelIsa isa : every_isa()) {
+    const std::size_t w = kernel_vector_words(isa);
+    EXPECT_GE(w, 1u) << kernel_isa_name(isa);
+    EXPECT_EQ(w & (w - 1), 0u) << kernel_isa_name(isa);
+  }
+}
+
 TEST(KernelRegistry, NamesNonEmpty) {
-  for (const auto isa : all_kernel_isas()) {
+  for (const auto isa : every_isa()) {
     EXPECT_FALSE(kernel_isa_name(isa).empty());
+    EXPECT_NE(kernel_isa_name(isa), "unknown");
+  }
+}
+
+TEST(KernelRegistry, CompiledInIsasAreUniqueAndStartWithScalar) {
+  const auto& all = all_kernel_isas();
+  ASSERT_FALSE(all.empty());
+  EXPECT_EQ(all.front(), KernelIsa::kScalar);
+  std::set<KernelIsa> unique(all.begin(), all.end());
+  EXPECT_EQ(unique.size(), all.size());
+}
+
+TEST(KernelRegistry, GetKernelThrowsForUnavailableIsa) {
+  // An ISA the host cannot execute (or that was not compiled in) must never
+  // yield a kernel pointer: dispatch is the single authority on what runs.
+  for (const KernelIsa isa : every_isa()) {
+    if (kernel_available(isa)) {
+      EXPECT_NE(get_kernel(isa), nullptr) << kernel_isa_name(isa);
+    } else {
+      EXPECT_THROW(get_kernel(isa), std::runtime_error)
+          << kernel_isa_name(isa);
+    }
+  }
+}
+
+TEST(KernelRegistry, AvailableImpliesCompiledIn) {
+  const auto& all = all_kernel_isas();
+  const std::set<KernelIsa> compiled(all.begin(), all.end());
+  for (const KernelIsa isa : every_isa()) {
+    if (kernel_available(isa)) {
+      EXPECT_TRUE(compiled.count(isa) == 1) << kernel_isa_name(isa);
+    }
   }
 }
 
