@@ -67,14 +67,50 @@ int main() {
               "samples / s';\ndesktop CPUs contribute only a few percent "
               "next to a datacenter GPU.\n");
 
-  bench::print_header("§V-D — functional co-run on the host (laptop scale)");
+  bench::print_header(
+      "§V-D — CPU-share engine: per-triplet V2 vs range-partitioned "
+      "blocked V4");
   const auto d = bench::paper_style_dataset(96, 2048);
+  const core::Detector det(d);
+  const std::uint64_t total = combinatorics::num_triplets(d.num_snps());
+  // The same partial range a co-run would hand the CPU side: the blocked
+  // V4 path used to be unavailable here (it rejected partial ranges),
+  // forcing the coordinator onto the per-triplet V2 path.
+  const combinatorics::RankRange cpu_slice{0, total / 2};
+  TextTable ct({"engine", "kernel", "seconds", "Gel/s", "vs V2"});
+  double v2_eps = 0.0;
+  for (const auto v :
+       {core::CpuVersion::kV2Split, core::CpuVersion::kV4Vector}) {
+    core::DetectorOptions opt;
+    opt.version = v;
+    opt.isa = core::best_kernel_isa();
+    opt.isa_auto = false;
+    opt.threads = 0;  // all cores, like a real co-run CPU side
+    opt.range = cpu_slice;
+    const auto r = det.run(opt);
+    const double eps = r.elements_per_second();
+    if (v == core::CpuVersion::kV2Split) v2_eps = eps;
+    ct.add_row({core::cpu_version_name(v),
+                core::kernel_isa_name(r.isa_used),
+                TextTable::fmt(r.seconds, 3), TextTable::fmt(eps / 1e9, 2),
+                TextTable::fmt(v2_eps > 0 ? eps / v2_eps : 1.0, 2) + "x"});
+  }
+  std::printf("%s", ct.to_ascii().c_str());
+  std::printf("the co-run CPU share below now runs the V4 row, not the V2 "
+              "row.\n");
+
+  bench::print_header("§V-D — functional co-run on the host (laptop scale)");
   const hetero::HeteroCoordinator coord(d, gpusim::gpu_device("GN1"));
   const auto r = coord.run({});
   std::printf("calibrated CPU share: %.4f; cpu %.3fs measured, gpu %.4fs "
-              "modelled; overlap %.3fs\nbest triplet: (%u,%u,%u) score %.3f\n",
+              "modelled; overlap %.3fs\n"
+              "cpu engine: %s / %s (%.2f Gel/s calibrated)\n"
+              "best triplet: (%u,%u,%u) score %.3f\n",
               r.cpu_share, r.cpu_seconds, r.gpu_sim_seconds,
-              r.overlap_seconds, r.best[0].triplet.x, r.best[0].triplet.y,
-              r.best[0].triplet.z, r.best[0].score);
+              r.overlap_seconds,
+              core::cpu_version_name(r.cpu_version).c_str(),
+              core::kernel_isa_name(r.cpu_isa_used).c_str(),
+              r.cpu_calibrated_eps / 1e9, r.best[0].triplet.x,
+              r.best[0].triplet.y, r.best[0].triplet.z, r.best[0].score);
   return 0;
 }

@@ -13,9 +13,20 @@ ChunkScheduler::ChunkScheduler(std::uint64_t total, std::uint64_t chunk_size)
 }
 
 RankRange ChunkScheduler::next() {
-  const std::uint64_t first = cursor_.fetch_add(chunk_, std::memory_order_relaxed);
-  if (first >= total_) return {};
-  return {first, std::min(first + chunk_, total_)};
+  // CAS loop instead of a blind fetch_add: the cursor never moves past
+  // `total_`, so draining threads cannot wrap it around 2^64 (a blind add
+  // of a huge chunk — e.g. chunk > total on a zero/tiny space — would
+  // otherwise re-issue ranges after ~2^64/chunk exhausted polls).
+  std::uint64_t first = cursor_.load(std::memory_order_relaxed);
+  while (first < total_) {
+    const std::uint64_t last =
+        chunk_ >= total_ - first ? total_ : first + chunk_;
+    if (cursor_.compare_exchange_weak(first, last,
+                                      std::memory_order_relaxed)) {
+      return {first, last};
+    }
+  }
+  return {};
 }
 
 void run_workers(ChunkScheduler& sched, unsigned threads,

@@ -3,15 +3,17 @@
 #include <functional>
 #include <stdexcept>
 
+#include "trigen/combinatorics/block_partition.hpp"
 #include "trigen/combinatorics/scheduler.hpp"
 #include "trigen/common/stopwatch.hpp"
+#include "trigen/core/scan_driver.hpp"
 #include "trigen/scoring/chi_squared.hpp"
 #include "trigen/scoring/k2.hpp"
 #include "trigen/scoring/mutual_information.hpp"
 
 namespace trigen::core {
 
-using combinatorics::ChunkScheduler;
+using combinatorics::RankRange;
 using combinatorics::Triplet;
 using scoring::ContingencyTable;
 
@@ -116,7 +118,7 @@ DetectionResult Detector::run(const DetectorOptions& options) const {
 
   const std::size_t m = impl_->num_snps;
   const std::uint64_t total_triplets = combinatorics::num_triplets(m);
-  combinatorics::RankRange range = options.range;
+  RankRange range = options.range;
   if (range.empty()) range = {0, total_triplets};
   if (range.last > total_triplets) {
     throw std::invalid_argument("DetectorOptions::range exceeds the space");
@@ -125,47 +127,50 @@ DetectionResult Detector::run(const DetectorOptions& options) const {
   result.triplets_evaluated = range.size();
   result.elements = range.size() * impl_->num_samples;
 
-  const auto scorer = make_normalized_scorer(
-      options.objective, static_cast<std::uint32_t>(impl_->num_samples));
+  const auto scorer =
+      options.scorer
+          ? options.scorer
+          : make_normalized_scorer(
+                options.objective,
+                static_cast<std::uint32_t>(impl_->num_samples));
 
-  std::vector<TopK> per_thread(result.threads_used, TopK(options.top_k));
+  // One shared driver runs every version: it owns the fork/join, the
+  // per-thread TopK accumulators, the throttled progress callback and the
+  // deterministic rank-ordered merge.  The versions only differ in how a
+  // scheduled work unit maps to triplets.
+  ScanConfig cfg;
+  cfg.threads = result.threads_used;
+  cfg.chunk_size = options.chunk_size;
+  cfg.progress = options.progress;
+  cfg.progress_total = range.size();
 
   Stopwatch sw;
+  TopK merged(options.top_k);
   const bool blocked = options.version == CpuVersion::kV3Blocked ||
                        options.version == CpuVersion::kV4Vector;
   if (!blocked) {
-    // V1/V2: per-triplet evaluation over dynamically scheduled rank chunks.
-    const std::uint64_t chunk =
-        options.chunk_size != 0
-            ? options.chunk_size
-            : combinatorics::default_chunk_size(range.size(),
-                                                result.threads_used);
-    ChunkScheduler sched(range.size(), chunk);
+    // V1/V2: work unit = one triplet rank inside `range`.
     const bool naive = options.version == CpuVersion::kV1Naive;
     const KernelIsa isa = result.isa_used;
-    combinatorics::run_workers(
-        sched, result.threads_used, [&](unsigned tid, ChunkScheduler& s) {
-          TopK& top = per_thread[tid];
-          for (auto r = s.next(); !r.empty(); r = s.next()) {
-            combinatorics::for_each_triplet(
-                range.first + r.first, range.first + r.last,
-                [&](const Triplet& t) {
-                  const ContingencyTable table =
-                      naive ? contingency_v1(impl_->v1, t.x, t.y, t.z)
-                            : contingency_split(impl_->split, t.x, t.y, t.z,
-                                                isa);
-                  top.push(ScoredTriplet{t, scorer(table)});
-                });
-          }
+    merged = scan_topk(
+        range.size(), cfg, options.top_k,
+        [&](unsigned, RankRange r, TopK& top) -> std::uint64_t {
+          combinatorics::for_each_triplet(
+              range.first + r.first, range.first + r.last,
+              [&](const Triplet& t) {
+                const ContingencyTable table =
+                    naive ? contingency_v1(impl_->v1, t.x, t.y, t.z)
+                          : contingency_split(impl_->split, t.x, t.y, t.z,
+                                              isa);
+                top.push(ScoredTriplet{t, scorer(table)});
+              });
+          return r.size();
         });
     result.tiling_used = TilingParams{0, 0};
   } else {
-    if (partial) {
-      throw std::invalid_argument(
-          "DetectorOptions::range: blocked versions (V3/V4) scan the full "
-          "space; use V1/V2 for partial ranges");
-    }
-    // V3/V4: blocked engine over block triples.
+    // V3/V4: work unit = one block triple of the partition covering
+    // `range`; emitted triplets are clipped to the range at the partition
+    // boundary (interior blocks pay no per-triplet overhead).
     TilingParams tiling = options.tiling;
     if (!tiling.valid()) {
       tiling = autotune_tiling(detect_l1_config(),
@@ -173,33 +178,30 @@ DetectionResult Detector::run(const DetectorOptions& options) const {
     }
     result.tiling_used = tiling;
     const TripleBlockKernel kernel = get_kernel(result.isa_used);
-    const std::uint64_t nb = (m + tiling.bs - 1) / tiling.bs;
-    const std::uint64_t total_blocks = num_block_triples(nb);
-    const std::uint64_t chunk =
-        options.chunk_size != 0
-            ? options.chunk_size
-            : combinatorics::default_chunk_size(total_blocks,
-                                                result.threads_used);
-    ChunkScheduler sched(total_blocks, chunk);
-    combinatorics::run_workers(
-        sched, result.threads_used, [&](unsigned tid, ChunkScheduler& s) {
-          TopK& top = per_thread[tid];
-          BlockScratch scratch(tiling.bs);
-          for (auto range = s.next(); !range.empty(); range = s.next()) {
-            for (std::uint64_t r = range.first; r < range.last; ++r) {
-              scan_block_triple(
-                  impl_->split, tiling, kernel, scratch, unrank_block_triple(r),
-                  [&](const Triplet& t, const ContingencyTable& table) {
-                    top.push(ScoredTriplet{t, scorer(table)});
-                  });
-            }
+    const combinatorics::BlockGrid grid{m, tiling.bs};
+    const combinatorics::BlockPartition part =
+        combinatorics::partition_block_triples(grid, range);
+    const RankRange clip = partial ? range : kFullRange;
+    std::vector<BlockScratch> scratch;
+    scratch.reserve(cfg.threads);
+    for (unsigned t = 0; t < cfg.threads; ++t) scratch.emplace_back(tiling.bs);
+    merged = scan_topk(
+        part.block_ranks.size(), cfg, options.top_k,
+        [&](unsigned tid, RankRange r, TopK& top) -> std::uint64_t {
+          std::uint64_t emitted = 0;
+          for (std::uint64_t b = r.first; b < r.last; ++b) {
+            scan_block_triple(
+                impl_->split, tiling, kernel, scratch[tid],
+                unrank_block_triple(part.block_ranks.first + b), clip,
+                [&](const Triplet& t, const ContingencyTable& table) {
+                  ++emitted;
+                  top.push(ScoredTriplet{t, scorer(table)});
+                });
           }
+          return emitted;
         });
   }
   result.seconds = sw.seconds();
-
-  TopK merged(options.top_k);
-  for (const auto& t : per_thread) merged.merge(t);
   result.best = merged.sorted();
   return result;
 }

@@ -8,10 +8,15 @@
 /// sample dimension in B_P-word chunks, so every loaded cache line is
 /// reused by up to B_S^2 triplets before eviction.  This is the paper's V3;
 /// selecting a vector kernel turns it into V4.
+///
+/// The block-triple rank math and the rank-range -> block-triple mapping
+/// live in trigen/combinatorics/block_partition.hpp; the names are
+/// re-exported here for the engine's callers.
 
 #include <cstdint>
 #include <vector>
 
+#include "trigen/combinatorics/block_partition.hpp"
 #include "trigen/combinatorics/combinations.hpp"
 #include "trigen/core/kernels.hpp"
 #include "trigen/core/tiling.hpp"
@@ -20,21 +25,14 @@
 
 namespace trigen::core {
 
-/// Ordered block triple b0 <= b1 <= b2 (blocks may repeat: the diagonal
-/// block triples contain the within-block SNP triplets).
-struct BlockTriple {
-  std::uint32_t b0, b1, b2;
-  friend bool operator==(const BlockTriple&, const BlockTriple&) = default;
-};
+using combinatorics::BlockTriple;
+using combinatorics::num_block_triples;
+using combinatorics::rank_block_triple;
+using combinatorics::unrank_block_triple;
 
-/// Number of block triples for `nb` blocks: C(nb + 2, 3) (multiset count).
-std::uint64_t num_block_triples(std::uint64_t nb);
-
-/// Colex rank of a multiset triple: C(b2+2,3) + C(b1+1,2) + C(b0,1).
-std::uint64_t rank_block_triple(const BlockTriple& t);
-
-/// Inverse of rank_block_triple.
-BlockTriple unrank_block_triple(std::uint64_t rank);
+/// Clip sentinel: covers every possible rank, i.e. "no filtering".
+inline constexpr combinatorics::RankRange kFullRange{
+    0, ~std::uint64_t{0}};
 
 /// Per-thread scratch: frequency tables for all triplets of a block triple.
 /// Layout: [local_triple][class][27] uint32; local_triple =
@@ -56,13 +54,22 @@ class BlockScratch {
   std::vector<std::uint32_t> ft_;
 };
 
-/// Evaluates every valid SNP triplet inside block triple `bt` and calls
-/// `on_table(Triplet, const ContingencyTable&)` for each.  `kernel` is the
-/// triple-block kernel to use; `scratch.bs()` must equal `tiling.bs`.
+/// Evaluates every SNP triplet inside block triple `bt` whose colex rank
+/// lies in `clip` and calls `on_table(Triplet, const ContingencyTable&)`
+/// for each.  `kernel` is the triple-block kernel to use; `scratch.bs()`
+/// must equal `tiling.bs`.
+///
+/// Clipping is rank-aware in three tiers: a block triple whose span misses
+/// `clip` entirely returns before any kernel work; a block triple fully
+/// inside `clip` (the interior of a partition) runs with zero per-triplet
+/// overhead; only the partition's boundary blocks filter each emission by
+/// rank.  Pass `kFullRange` (the default overload below) to disable
+/// clipping altogether.
 template <typename OnTable>
 void scan_block_triple(const dataset::PhenoSplitPlanes& planes,
                        const TilingParams& tiling, TripleBlockKernel kernel,
                        BlockScratch& scratch, const BlockTriple& bt,
+                       const combinatorics::RankRange& clip,
                        OnTable&& on_table) {
   const std::size_t bs = tiling.bs;
   const std::size_t m = planes.num_snps();
@@ -73,6 +80,16 @@ void scan_block_triple(const dataset::PhenoSplitPlanes& planes,
   const std::size_t end1 = std::min(base1 + bs, m);
   const std::size_t end2 = std::min(base2 + bs, m);
   if (base0 >= m || base1 >= m || base2 >= m) return;
+
+  bool filter = false;
+  if (clip.first != kFullRange.first || clip.last != kFullRange.last) {
+    const combinatorics::RankRange span =
+        block_triplet_span(combinatorics::BlockGrid{m, bs}, bt);
+    if (span.empty() || span.last <= clip.first || span.first >= clip.last) {
+      return;  // no triplet of this block triple is in range
+    }
+    filter = span.first < clip.first || span.last > clip.last;
+  }
 
   scratch.clear();
 
@@ -101,6 +118,13 @@ void scan_block_triple(const dataset::PhenoSplitPlanes& planes,
   for (std::size_t i0 = base0; i0 < end0; ++i0) {
     for (std::size_t i1 = std::max(base1, i0 + 1); i1 < end1; ++i1) {
       for (std::size_t i2 = std::max(base2, i1 + 1); i2 < end2; ++i2) {
+        const combinatorics::Triplet trip{static_cast<std::uint32_t>(i0),
+                                          static_cast<std::uint32_t>(i1),
+                                          static_cast<std::uint32_t>(i2)};
+        if (filter) {
+          const std::uint64_t rank = combinatorics::rank_triplet(trip);
+          if (rank < clip.first || rank >= clip.last) continue;
+        }
         const std::size_t local =
             ((i0 - base0) * bs + (i1 - base1)) * bs + (i2 - base2);
         scoring::ContingencyTable t;
@@ -112,13 +136,20 @@ void scan_block_triple(const dataset::PhenoSplitPlanes& planes,
           }
           row[26] -= static_cast<std::uint32_t>(planes.pad_bits(c));
         }
-        on_table(combinatorics::Triplet{static_cast<std::uint32_t>(i0),
-                                        static_cast<std::uint32_t>(i1),
-                                        static_cast<std::uint32_t>(i2)},
-                 t);
+        on_table(trip, t);
       }
     }
   }
+}
+
+/// Unclipped scan: every triplet of the block triple is emitted.
+template <typename OnTable>
+void scan_block_triple(const dataset::PhenoSplitPlanes& planes,
+                       const TilingParams& tiling, TripleBlockKernel kernel,
+                       BlockScratch& scratch, const BlockTriple& bt,
+                       OnTable&& on_table) {
+  scan_block_triple(planes, tiling, kernel, scratch, bt, kFullRange,
+                    static_cast<OnTable&&>(on_table));
 }
 
 }  // namespace trigen::core

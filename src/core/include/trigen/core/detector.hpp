@@ -24,6 +24,7 @@
 #include "trigen/combinatorics/scheduler.hpp"
 #include "trigen/core/blocked_engine.hpp"
 #include "trigen/core/kernels.hpp"
+#include "trigen/core/scan_driver.hpp"
 #include "trigen/core/tiling.hpp"
 #include "trigen/core/topk.hpp"
 #include "trigen/dataset/bitplanes.hpp"
@@ -68,11 +69,22 @@ struct DetectorOptions {
   std::uint64_t chunk_size = 0;  ///< scheduler chunk; 0 = auto
   TilingParams tiling{0, 0};  ///< {0,0} = autotune from the host L1D
   std::size_t top_k = 1;      ///< how many best triplets to report
-  /// Restrict the scan to a triplet-rank sub-range (used by the
-  /// heterogeneous CPU+GPU split).  Empty means the full space.  Only the
-  /// per-triplet versions (V1/V2) accept a partial range; the blocked
-  /// versions own the whole space.
+  /// Restrict the scan to a triplet-rank sub-range (heterogeneous CPU+GPU
+  /// splits, sharded/multi-node scans).  Empty means the full space.  All
+  /// four versions accept any sub-range: the per-triplet versions (V1/V2)
+  /// iterate it directly, the blocked versions (V3/V4) map it to block
+  /// triples and clip only at the partition's boundary blocks, so a union
+  /// of partial scans over any full-coverage split reproduces the full
+  /// scan triplet-for-triplet.
   combinatorics::RankRange range{0, 0};
+  /// Optional progress callback, reported in triplets scanned out of
+  /// `range.size()` (serialized, monotone; runs on worker threads).
+  ProgressFn progress{};
+  /// Optional pre-built scorer overriding `objective` (must be normalized
+  /// to lower-is-better, e.g. from make_normalized_scorer).  Lets repeated
+  /// scans — permutation testing above all — share one log-factorial
+  /// table instead of rebuilding scorer state per run.
+  std::function<double(const scoring::ContingencyTable&)> scorer{};
 };
 
 /// Outcome of a detection run.

@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "trigen/common/stopwatch.hpp"
+#include "trigen/core/tiling.hpp"
 
 namespace trigen::hetero {
 
@@ -40,21 +41,43 @@ HeteroResult HeteroCoordinator::run(const HeteroOptions& options) const {
   }
   const std::uint64_t total = combinatorics::num_triplets(impl_->num_snps);
 
+  // The CPU side runs at full blocked-V4 speed on a partial rank range —
+  // the range-aware blocked engine is what makes the co-run competitive
+  // (§V-D only pays off when the CPU is within a small factor of the GPU).
+  core::DetectorOptions cpu_base;
+  cpu_base.version = core::CpuVersion::kV4Vector;
+  cpu_base.isa = core::best_kernel_isa();
+  cpu_base.isa_auto = false;
+  cpu_base.objective = options.objective;
+  cpu_base.threads = options.cpu_threads;
+  cpu_base.tiling = core::autotune_tiling(
+      core::detect_l1_config(), core::kernel_vector_words(cpu_base.isa));
+
+  HeteroResult result;
+  result.cpu_version = cpu_base.version;
+  result.cpu_isa_used = cpu_base.isa;
+
   double share = options.cpu_share;
   if (share < 0.0) {
     // Calibrate: measure the CPU on a small prefix, model the GPU, and
-    // split so both sides finish together.
-    const std::uint64_t sample =
+    // split so both sides finish together.  The prefix is z-aligned to the
+    // tiling: [0, C(z*,3)) with z* a multiple of B_S is an exact union of
+    // whole block triples, so the blocked probe spends no kernel work on
+    // out-of-range triplets and elements/s reflects true V4 throughput.
+    const std::uint64_t target =
         std::max<std::uint64_t>(1, std::min<std::uint64_t>(total / 10, 2000));
-    core::DetectorOptions probe;
-    probe.version = core::CpuVersion::kV2Split;
-    probe.isa = core::best_kernel_isa();
-    probe.isa_auto = false;
-    probe.objective = options.objective;
-    probe.threads = options.cpu_threads;
+    const std::uint64_t bs = cpu_base.tiling.bs;
+    std::uint64_t z_star = 3;
+    while (combinatorics::n_choose_k(z_star, 3) < target) ++z_star;
+    z_star = std::min<std::uint64_t>((z_star + bs - 1) / bs * bs,
+                                     impl_->num_snps);
+    const std::uint64_t sample = std::max<std::uint64_t>(
+        1, std::min(combinatorics::n_choose_k(z_star, 3), total));
+    core::DetectorOptions probe = cpu_base;
     probe.range = {0, sample};
     const double cpu_eps =
         impl_->detector.run(probe).elements_per_second();
+    result.cpu_calibrated_eps = cpu_eps;
 
     gpusim::GpuRunOptions gprobe;
     gprobe.version = options.gpu_version;
@@ -68,7 +91,6 @@ HeteroResult HeteroCoordinator::run(const HeteroOptions& options) const {
   const auto cpu_count = static_cast<std::uint64_t>(
       static_cast<double>(total) * std::clamp(share, 0.0, 1.0));
 
-  HeteroResult result;
   result.cpu_share = share;
   result.cpu_triplets = cpu_count;
   result.gpu_triplets = total - cpu_count;
@@ -76,16 +98,12 @@ HeteroResult HeteroCoordinator::run(const HeteroOptions& options) const {
   core::TopK merged(options.top_k);
 
   if (cpu_count > 0) {
-    core::DetectorOptions copt;
-    copt.version = core::CpuVersion::kV2Split;
-    copt.isa = core::best_kernel_isa();
-    copt.isa_auto = false;
-    copt.objective = options.objective;
-    copt.threads = options.cpu_threads;
+    core::DetectorOptions copt = cpu_base;
     copt.top_k = options.top_k;
     copt.range = {0, cpu_count};
     const core::DetectionResult r = impl_->detector.run(copt);
     result.cpu_seconds = r.seconds;
+    result.cpu_isa_used = r.isa_used;
     for (const auto& s : r.best) merged.push(s);
   }
   if (cpu_count < total) {

@@ -54,6 +54,13 @@ struct HeteroResult {
   double gpu_sim_seconds = 0;  ///< modelled device time of the GPU part
   /// Simulated wall time under perfect overlap: max of the two sides.
   double overlap_seconds = 0;
+  /// Engine the CPU side ran (or would run, when its share is zero): the
+  /// range-partitioned blocked V4 with the widest kernel the host supports.
+  core::CpuVersion cpu_version = core::CpuVersion::kV4Vector;
+  core::KernelIsa cpu_isa_used = core::KernelIsa::kScalar;
+  /// CPU elements/s measured during calibration (0 when `cpu_share` was
+  /// given explicitly).
+  double cpu_calibrated_eps = 0;
 };
 
 /// Coordinator bound to one dataset and one modelled GPU.
@@ -66,9 +73,9 @@ class HeteroCoordinator {
   HeteroCoordinator(const HeteroCoordinator&) = delete;
   HeteroCoordinator& operator=(const HeteroCoordinator&) = delete;
 
-  /// Functional co-run: CPU detector (per-triplet path with the widest
-  /// vector kernel) on [0, s), simulated GPU on [s, total).  Every triplet
-  /// is evaluated exactly once across the two devices.
+  /// Functional co-run: CPU detector (blocked V4 on a partial rank range,
+  /// widest vector kernel) on [0, s), simulated GPU on [s, total).  Every
+  /// triplet is evaluated exactly once across the two devices.
   HeteroResult run(const HeteroOptions& options = {}) const;
 
  private:

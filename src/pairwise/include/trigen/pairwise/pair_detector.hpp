@@ -47,6 +47,8 @@ struct PairDetectorOptions {
   bool isa_auto = true;
   unsigned threads = 1;
   std::size_t top_k = 1;
+  /// Optional progress callback in pairs scanned (see core::ProgressFn).
+  core::ProgressFn progress{};
 };
 
 struct PairDetectionResult {

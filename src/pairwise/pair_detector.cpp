@@ -8,11 +8,11 @@
 #include "trigen/combinatorics/scheduler.hpp"
 #include "trigen/common/aligned.hpp"
 #include "trigen/common/stopwatch.hpp"
+#include "trigen/core/scan_driver.hpp"
 #include "trigen/scoring/generic.hpp"
 
 namespace trigen::pairwise {
 
-using combinatorics::ChunkScheduler;
 using combinatorics::n_choose_k;
 using dataset::Word;
 
@@ -169,25 +169,29 @@ PairDetectionResult PairDetector::run(const PairDetectorOptions& options) const 
     if (best.entries.size() > k) best.entries.pop_back();
   };
 
-  ChunkScheduler sched(total,
-                       combinatorics::default_chunk_size(total, threads));
+  // Shared scan driver: same fork/join, chunking and progress skeleton as
+  // the 3-way detector, with pair-rank work units.
+  core::ScanConfig cfg;
+  cfg.threads = threads;
+  cfg.progress = options.progress;
+  cfg.progress_total = total;
   Stopwatch sw;
-  combinatorics::run_workers(
-      sched, threads, [&](unsigned tid, ChunkScheduler& s) {
-        Best& best = per_thread[tid];
-        for (auto range = s.next(); !range.empty(); range = s.next()) {
-          auto [x, y] = unrank_pair(range.first);
-          for (std::uint64_t r = range.first; r < range.last; ++r) {
-            const PairTable t = contingency(x, y, result.isa_used);
-            push(best, ScoredPair{x, y, scorer(t)}, options.top_k);
-            if (x + 1 < y) {  // colex successor
-              ++x;
-            } else {
-              ++y;
-              x = 0;
-            }
+  core::parallel_scan(
+      total, cfg, per_thread,
+      [&](unsigned, combinatorics::RankRange range,
+          Best& best) -> std::uint64_t {
+        auto [x, y] = unrank_pair(range.first);
+        for (std::uint64_t r = range.first; r < range.last; ++r) {
+          const PairTable t = contingency(x, y, result.isa_used);
+          push(best, ScoredPair{x, y, scorer(t)}, options.top_k);
+          if (x + 1 < y) {  // colex successor
+            ++x;
+          } else {
+            ++y;
+            x = 0;
           }
         }
+        return range.size();
       });
   result.seconds = sw.seconds();
 

@@ -30,11 +30,25 @@ PermutationTestResult permutation_test(const dataset::GenotypeMatrix& d,
   }
   core::DetectorOptions dopt = options.detector;
   dopt.top_k = 1;
+  // Every scan shares one normalized scorer (the K2 log-factorial table
+  // depends only on the sample count, which permutation preserves).
+  if (!dopt.scorer) {
+    dopt.scorer = core::make_normalized_scorer(
+        dopt.objective, static_cast<std::uint32_t>(d.num_samples()));
+  }
 
   PermutationTestResult result;
   {
     const core::Detector det(d);
-    result.observed = det.run(dopt).best.front();
+    const core::DetectionResult observed = det.run(dopt);
+    result.observed = observed.best.front();
+    // Pin the auto-resolved execution config so the null scans reuse it
+    // through the shared driver instead of re-detecting ISA, L1 geometry
+    // and tiling once per permutation.
+    dopt.isa = observed.isa_used;
+    dopt.isa_auto = false;
+    dopt.threads = observed.threads_used;
+    if (observed.tiling_used.valid()) dopt.tiling = observed.tiling_used;
   }
 
   result.null_scores.reserve(options.permutations);

@@ -1,10 +1,12 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <mutex>
 #include <set>
 #include <vector>
 
+#include "trigen/combinatorics/block_partition.hpp"
 #include "trigen/combinatorics/combinations.hpp"
 #include "trigen/combinatorics/scheduler.hpp"
 
@@ -138,6 +140,102 @@ TEST(TripletIteration, EmptyRangeDoesNothing) {
 }
 
 // --------------------------------------------------------------------------
+// Block partition (triplet rank range -> block triples)
+// --------------------------------------------------------------------------
+
+/// Brute-force span of a block triple: min/max rank over every triplet it
+/// contains.
+RankRange brute_span(const BlockGrid& g, const BlockTriple& bt) {
+  std::uint64_t lo = ~std::uint64_t{0}, hi = 0;
+  bool any = false;
+  for (std::uint32_t z = 2; z < g.m; ++z) {
+    for (std::uint32_t y = 1; y < z; ++y) {
+      for (std::uint32_t x = 0; x < y; ++x) {
+        if (x / g.bs != bt.b0 || y / g.bs != bt.b1 || z / g.bs != bt.b2) {
+          continue;
+        }
+        const std::uint64_t r = rank_triplet({x, y, z});
+        lo = std::min(lo, r);
+        hi = std::max(hi, r);
+        any = true;
+      }
+    }
+  }
+  return any ? RankRange{lo, hi + 1} : RankRange{};
+}
+
+TEST(BlockPartition, SpanMatchesBruteForceExhaustively) {
+  for (const std::uint64_t m : {3ull, 4ull, 6ull, 7ull, 10ull, 13ull}) {
+    for (const std::uint64_t bs : {1ull, 2ull, 3ull, 5ull, 16ull}) {
+      const BlockGrid g{m, bs};
+      for (std::uint64_t r = 0; r < num_block_triples(g.num_blocks()); ++r) {
+        const BlockTriple bt = unrank_block_triple(r);
+        const RankRange expect = brute_span(g, bt);
+        const RankRange got = block_triplet_span(g, bt);
+        ASSERT_EQ(got.empty(), expect.empty())
+            << "m=" << m << " bs=" << bs << " block " << r;
+        if (!expect.empty()) {
+          ASSERT_EQ(got.first, expect.first) << "m=" << m << " bs=" << bs;
+          ASSERT_EQ(got.last, expect.last) << "m=" << m << " bs=" << bs;
+        }
+      }
+    }
+  }
+}
+
+TEST(BlockPartition, SpansAreMonotoneOverNonemptyBlocks) {
+  // The fact partition_block_triples relies on: block rank order sorts
+  // both span endpoints over nonempty block triples.
+  for (const std::uint64_t bs : {1ull, 2ull, 3ull, 5ull}) {
+    const BlockGrid g{17, bs};
+    RankRange prev{};
+    bool have_prev = false;
+    for (std::uint64_t r = 0; r < num_block_triples(g.num_blocks()); ++r) {
+      const RankRange s = block_triplet_span(g, unrank_block_triple(r));
+      if (s.empty()) continue;
+      if (have_prev) {
+        ASSERT_GT(s.first, prev.first) << "bs=" << bs << " block " << r;
+        ASSERT_GT(s.last, prev.last) << "bs=" << bs << " block " << r;
+      }
+      prev = s;
+      have_prev = true;
+    }
+  }
+}
+
+TEST(BlockPartition, RunCoversEveryBlockIntersectingTheRange) {
+  for (const std::uint64_t bs : {1ull, 2ull, 3ull, 5ull}) {
+    const BlockGrid g{12, bs};
+    const std::uint64_t total = num_triplets(g.m);
+    for (const RankRange range :
+         {RankRange{0, total}, RankRange{0, 1}, RankRange{total - 1, total},
+          RankRange{7, 23}, RankRange{total / 3, 2 * total / 3}}) {
+      const BlockPartition part = partition_block_triples(g, range);
+      EXPECT_EQ(part.clip.first, range.first);
+      EXPECT_EQ(part.clip.last, range.last);
+      ASSERT_LE(part.block_ranks.last,
+                num_block_triples(g.num_blocks()));
+      // Every triplet of the range lives in a block inside the run.
+      for (std::uint64_t r = range.first; r < range.last; ++r) {
+        const Triplet t = unrank_triplet(r);
+        const std::uint64_t br = rank_block_triple(
+            {static_cast<std::uint32_t>(t.x / bs),
+             static_cast<std::uint32_t>(t.y / bs),
+             static_cast<std::uint32_t>(t.z / bs)});
+        ASSERT_GE(br, part.block_ranks.first) << "bs=" << bs << " r=" << r;
+        ASSERT_LT(br, part.block_ranks.last) << "bs=" << bs << " r=" << r;
+      }
+    }
+  }
+}
+
+TEST(BlockPartition, EmptyRangeYieldsEmptyRun) {
+  const BlockGrid g{10, 3};
+  EXPECT_TRUE(partition_block_triples(g, {5, 5}).block_ranks.empty());
+  EXPECT_TRUE(partition_block_triples(g, {}).block_ranks.empty());
+}
+
+// --------------------------------------------------------------------------
 // ChunkScheduler
 // --------------------------------------------------------------------------
 
@@ -169,6 +267,46 @@ TEST(Scheduler, LastChunkClipped) {
 TEST(Scheduler, TotalZeroImmediatelyEmpty) {
   ChunkScheduler s(0, 4);
   EXPECT_TRUE(s.next().empty());
+}
+
+TEST(Scheduler, ChunkLargerThanTotalIsOneChunk) {
+  ChunkScheduler s(10, 1000);
+  const RankRange r = s.next();
+  EXPECT_EQ(r.first, 0u);
+  EXPECT_EQ(r.last, 10u);
+  EXPECT_TRUE(s.next().empty());
+}
+
+TEST(Scheduler, HugeChunkNeverWrapsTheCursor) {
+  // A blind fetch_add of a near-2^64 chunk would wrap the cursor after two
+  // exhausted polls and re-issue ranges; the scheduler must stay empty
+  // forever instead.
+  for (const std::uint64_t total : {0ull, 1ull, 10ull}) {
+    ChunkScheduler s(total, ~std::uint64_t{0});
+    if (total > 0) {
+      const RankRange r = s.next();
+      EXPECT_EQ(r.first, 0u);
+      EXPECT_EQ(r.last, total);
+    }
+    for (int i = 0; i < 8; ++i) {
+      EXPECT_TRUE(s.next().empty()) << "total=" << total << " poll " << i;
+    }
+  }
+}
+
+TEST(Scheduler, DefaultChunkSizeEdgeCases) {
+  // total == 0 must still give a usable (ChunkScheduler-constructible)
+  // chunk, and the chunk never exceeds a nonzero total.
+  EXPECT_EQ(default_chunk_size(0, 1), 1u);
+  EXPECT_EQ(default_chunk_size(0, 64), 1u);
+  EXPECT_EQ(default_chunk_size(1, 8), 1u);
+  for (const unsigned threads : {1u, 7u, 64u}) {
+    for (const std::uint64_t total : {1ull, 63ull, 64ull, 100000ull}) {
+      const std::uint64_t c = default_chunk_size(total, threads);
+      EXPECT_GE(c, 1u);
+      EXPECT_LE(c, total);
+    }
+  }
 }
 
 class SchedulerThreadsTest : public ::testing::TestWithParam<unsigned> {};

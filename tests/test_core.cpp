@@ -240,6 +240,41 @@ TEST_P(BlockedEngineTest, CoversEveryTripletExactlyOnceWithCorrectTables) {
   }
 }
 
+TEST(BlockedEngine, ClipEmitsExactlyTheTripletsInRange) {
+  const auto d = random_dataset({10, 100, 13});
+  const auto planes = dataset::PhenoSplitPlanes::build(d);
+  const std::size_t bs = 3;
+  const TilingParams tiling{bs, 16};
+  const TripleBlockKernel kernel = get_kernel(KernelIsa::kScalar);
+  BlockScratch scratch(bs);
+  const std::uint64_t nb = (10 + bs - 1) / bs;
+  const std::uint64_t total = combinatorics::num_triplets(10);
+
+  for (const auto clip :
+       {combinatorics::RankRange{0, total}, combinatorics::RankRange{17, 18},
+        combinatorics::RankRange{0, total / 2},
+        combinatorics::RankRange{total / 2, total},
+        combinatorics::RankRange{3, total - 3}}) {
+    std::set<std::uint64_t> emitted;
+    for (std::uint64_t r = 0; r < num_block_triples(nb); ++r) {
+      scan_block_triple(planes, tiling, kernel, scratch,
+                        unrank_block_triple(r), clip,
+                        [&](const Triplet& t, const ContingencyTable& table) {
+                          const std::uint64_t rank =
+                              combinatorics::rank_triplet(t);
+                          ASSERT_TRUE(emitted.insert(rank).second) << rank;
+                          ASSERT_EQ(table,
+                                    reference_contingency(d, t.x, t.y, t.z));
+                        });
+    }
+    ASSERT_EQ(emitted.size(), clip.size());
+    for (const std::uint64_t rank : emitted) {
+      ASSERT_GE(rank, clip.first);
+      ASSERT_LT(rank, clip.last);
+    }
+  }
+}
+
 TEST(BlockedEngine, BpSmallerThanWordsStillCorrect) {
   const auto d = random_dataset({9, 600, 23});
   const auto planes = dataset::PhenoSplitPlanes::build(d);
@@ -384,10 +419,6 @@ TEST(Detector, RejectsBadOptions) {
   opt = {};
   opt.range = {0, combinatorics::num_triplets(6) + 1};
   EXPECT_THROW(det.run(opt), std::invalid_argument);
-  opt = {};
-  opt.version = CpuVersion::kV3Blocked;
-  opt.range = {1, 5};
-  EXPECT_THROW(det.run(opt), std::invalid_argument);
 }
 
 TEST(Detector, AllVersionsAgreeOnBestTriplet) {
@@ -442,6 +473,36 @@ TEST_P(DetectorVersionTest, DeterministicAcrossThreadCounts) {
       EXPECT_EQ(multi.best[i].triplet, one.best[i].triplet) << i;
       EXPECT_DOUBLE_EQ(multi.best[i].score, one.best[i].score) << i;
     }
+  }
+}
+
+TEST_P(DetectorVersionTest, TieBreakingMakesOneAndEightThreadsIdentical) {
+  // A dataset with duplicated SNP columns produces exact score ties; the
+  // rank tie-break in TopK and in the final merge must make the reported
+  // top-k identical whatever the thread count.
+  const auto base = random_dataset({7, 160, 77});
+  dataset::GenotypeMatrix d(14, base.num_samples());
+  for (std::size_t m = 0; m < 14; ++m) {
+    for (std::size_t j = 0; j < base.num_samples(); ++j) {
+      d.set(m, j, base.at(m % 7, j));
+    }
+  }
+  for (std::size_t j = 0; j < base.num_samples(); ++j) {
+    d.set_phenotype(j, base.phenotype(j));
+  }
+  const Detector det(d);
+  DetectorOptions opt;
+  opt.version = GetParam();
+  opt.top_k = 12;
+  opt.threads = 1;
+  const DetectionResult one = det.run(opt);
+  opt.threads = 8;
+  opt.chunk_size = 3;  // many chunks: maximal interleaving across threads
+  const DetectionResult eight = det.run(opt);
+  ASSERT_EQ(one.best.size(), eight.best.size());
+  for (std::size_t i = 0; i < one.best.size(); ++i) {
+    EXPECT_EQ(eight.best[i].triplet, one.best[i].triplet) << i;
+    EXPECT_DOUBLE_EQ(eight.best[i].score, one.best[i].score) << i;
   }
 }
 
@@ -530,27 +591,117 @@ TEST(Detector, TopKSortedAndUnique) {
   EXPECT_EQ(ranks.size(), 20u);
 }
 
-TEST(Detector, RangeRestrictionSplitsCoverage) {
+TEST(Detector, RangeRestrictionSplitsCoverageForEveryVersion) {
   const auto d = random_dataset({10, 100, 19});
   const Detector det(d);
   const std::uint64_t total = combinatorics::num_triplets(10);
 
-  DetectorOptions full;
-  full.version = CpuVersion::kV2Split;
-  full.top_k = 1;
-  const auto best_full = det.run(full).best[0];
+  for (const CpuVersion v : all_versions()) {
+    DetectorOptions full;
+    full.version = v;
+    full.top_k = 1;
+    const auto best_full = det.run(full).best[0];
 
-  // Best of [0, s) and [s, total) merged must equal the global best.
-  for (const std::uint64_t s : {total / 4, total / 2, total - 1}) {
-    DetectorOptions lo = full, hi = full;
-    lo.range = {0, s};
-    hi.range = {s, total};
-    const auto a = det.run(lo);
-    const auto b = det.run(hi);
-    EXPECT_EQ(a.triplets_evaluated + b.triplets_evaluated, total);
-    const auto& merged_best =
-        a.best[0].score <= b.best[0].score ? a.best[0] : b.best[0];
-    EXPECT_EQ(merged_best.triplet, best_full.triplet) << "s=" << s;
+    // Best of [0, s) and [s, total) merged must equal the global best.
+    for (const std::uint64_t s : {std::uint64_t{1}, total / 4, total / 2,
+                                  total - 1}) {
+      DetectorOptions lo = full, hi = full;
+      lo.range = {0, s};
+      hi.range = {s, total};
+      const auto a = det.run(lo);
+      const auto b = det.run(hi);
+      EXPECT_EQ(a.triplets_evaluated + b.triplets_evaluated, total);
+      const auto& merged_best =
+          a.best[0].score <= b.best[0].score ? a.best[0] : b.best[0];
+      EXPECT_EQ(merged_best.triplet, best_full.triplet)
+          << cpu_version_name(v) << " s=" << s;
+    }
+  }
+}
+
+TEST(Detector, KWaySplitReproducesFullTopKExactly) {
+  // Property behind sharded scans and the hetero split: a V4 partial-range
+  // scan union over ANY full-coverage split must reproduce the full-scan
+  // top-k triplet-for-triplet, for any tiling (block boundaries and rank
+  // boundaries are deliberately unaligned).
+  const auto d = random_dataset({16, 200, 7});
+  const Detector det(d);
+  const std::uint64_t total = combinatorics::num_triplets(16);
+
+  for (const TilingParams tiling : {TilingParams{0, 0}, TilingParams{3, 16},
+                                    TilingParams{5, 8}}) {
+    DetectorOptions base;
+    base.version = CpuVersion::kV4Vector;
+    base.top_k = 15;
+    base.tiling = tiling;
+    const auto full = det.run(base);
+
+    for (const unsigned k : {2u, 3u, 5u, 8u}) {
+      TopK merged(base.top_k);
+      std::uint64_t covered = 0;
+      for (unsigned i = 0; i < k; ++i) {
+        DetectorOptions part = base;
+        part.range = {total * i / k, total * (i + 1) / k};
+        const auto r = det.run(part);
+        covered += r.triplets_evaluated;
+        for (const auto& s : r.best) merged.push(s);
+      }
+      ASSERT_EQ(covered, total) << k;
+      const auto got = merged.sorted();
+      ASSERT_EQ(got.size(), full.best.size()) << k;
+      for (std::size_t i = 0; i < got.size(); ++i) {
+        EXPECT_EQ(got[i].triplet, full.best[i].triplet)
+            << "k=" << k << " bs=" << tiling.bs << " rank " << i;
+        EXPECT_DOUBLE_EQ(got[i].score, full.best[i].score);
+      }
+    }
+  }
+}
+
+TEST(Detector, BlockedPartialRangeCountsEveryTripletOnce) {
+  // triplets_evaluated must equal the range size on the blocked paths too
+  // (each in-range triplet is emitted exactly once across boundary blocks).
+  const auto d = random_dataset({12, 96, 3});
+  const Detector det(d);
+  const std::uint64_t total = combinatorics::num_triplets(12);
+  for (const CpuVersion v : {CpuVersion::kV3Blocked, CpuVersion::kV4Vector}) {
+    for (const std::uint64_t first : {std::uint64_t{0}, total / 3}) {
+      for (const std::uint64_t last : {total / 3 + 1, total - 7, total}) {
+        DetectorOptions opt;
+        opt.version = v;
+        opt.tiling = {3, 8};
+        opt.range = {first, last};
+        std::uint64_t seen = 0;
+        opt.progress = [&](std::uint64_t done, std::uint64_t t) {
+          seen = done;
+          EXPECT_EQ(t, last - first);
+        };
+        const auto r = det.run(opt);
+        EXPECT_EQ(r.triplets_evaluated, last - first);
+        EXPECT_EQ(seen, last - first) << cpu_version_name(v);
+      }
+    }
+  }
+}
+
+TEST(Detector, ProgressCallbackIsMonotoneAndComplete) {
+  const auto d = random_dataset({12, 150, 41});
+  const Detector det(d);
+  for (const CpuVersion v : all_versions()) {
+    DetectorOptions opt;
+    opt.version = v;
+    opt.threads = 4;
+    opt.chunk_size = 7;
+    std::vector<std::uint64_t> reports;
+    opt.progress = [&](std::uint64_t done, std::uint64_t total) {
+      EXPECT_EQ(total, combinatorics::num_triplets(12));
+      reports.push_back(done);
+    };
+    det.run(opt);
+    ASSERT_FALSE(reports.empty()) << cpu_version_name(v);
+    EXPECT_TRUE(std::is_sorted(reports.begin(), reports.end()));
+    EXPECT_EQ(reports.back(), combinatorics::num_triplets(12))
+        << cpu_version_name(v);
   }
 }
 

@@ -81,6 +81,28 @@ TEST(PermutationTest, PValueBounds) {
   EXPECT_LE(r.p_value, 1.0);
 }
 
+TEST(PermutationTest, BlockedV4MultiThreadMatchesDefault) {
+  // The null scans reuse the shared scan driver with the config resolved
+  // on the observed scan; version/threads must not change any score.
+  const auto d = planted_dataset(9, 500, 121);
+  PermutationTestOptions a_opt;
+  a_opt.permutations = 5;
+  a_opt.seed = 77;
+  const auto a = permutation_test(d, a_opt);
+
+  PermutationTestOptions b_opt = a_opt;
+  b_opt.detector.version = core::CpuVersion::kV4Vector;
+  b_opt.detector.threads = 4;
+  const auto b = permutation_test(d, b_opt);
+
+  EXPECT_EQ(a.observed.triplet, b.observed.triplet);
+  ASSERT_EQ(a.null_scores.size(), b.null_scores.size());
+  for (std::size_t i = 0; i < a.null_scores.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.null_scores[i], b.null_scores[i]) << i;
+  }
+  EXPECT_DOUBLE_EQ(a.p_value, b.p_value);
+}
+
 TEST(PermutationTest, DeterministicInSeed) {
   const auto d = random_dataset({8, 150, 113});
   PermutationTestOptions opt;

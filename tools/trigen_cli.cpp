@@ -85,6 +85,21 @@ void save(const std::string& path, const dataset::GenotypeMatrix& d) {
   }
 }
 
+/// Percent progress meter on stderr for the scan drivers' callbacks.
+core::ProgressFn make_progress_printer(const char* label) {
+  return [label, last_pct = -1](std::uint64_t done,
+                                std::uint64_t total) mutable {
+    const int pct = total == 0
+                        ? 100
+                        : static_cast<int>(100.0 * static_cast<double>(done) /
+                                           static_cast<double>(total));
+    if (pct == last_pct) return;
+    last_pct = pct;
+    std::fprintf(stderr, "\r%s: %3d%%", label, pct);
+    if (pct >= 100) std::fputc('\n', stderr);
+  };
+}
+
 core::Objective parse_objective(const std::string& s) {
   if (s == "k2") return core::Objective::kK2;
   if (s == "mi") return core::Objective::kMutualInformation;
@@ -172,7 +187,11 @@ int cmd_convert(const Args& a) {
 int cmd_scan(const Args& a) {
   if (a.positional.empty() || a.has("help")) {
     std::puts("usage: trigen scan DATASET.tg[b] [--objective k2|mi|chi2]\n"
-              "  [--top K] [--threads T] [--version 1|2|3|4]");
+              "  [--top K] [--threads T] [--version 1|2|3|4]\n"
+              "  [--range FIRST:LAST] [--progress]\n"
+              "--range scans only triplet ranks [FIRST, LAST) — any version,\n"
+              "including the blocked V3/V4 (shard results merge exactly);\n"
+              "--progress reports percent scanned on stderr.");
     return a.has("help") ? 0 : 2;
   }
   const auto d = load(a.positional[0]);
@@ -187,11 +206,34 @@ int cmd_scan(const Args& a) {
     case 3: opt.version = core::CpuVersion::kV3Blocked; break;
     default: opt.version = core::CpuVersion::kV4Vector; break;
   }
+  const std::uint64_t total = combinatorics::num_triplets(d.num_snps());
+  if (a.has("range")) {
+    unsigned long long first = 0, last = 0;
+    if (std::sscanf(a.get("range", "").c_str(), "%llu:%llu", &first, &last) !=
+            2 ||
+        first >= last || last > total) {
+      std::fprintf(stderr,
+                   "--range expects FIRST:LAST with FIRST < LAST <= %llu\n",
+                   static_cast<unsigned long long>(total));
+      return 2;
+    }
+    opt.range = {first, last};
+  }
+  if (a.has("progress")) opt.progress = make_progress_printer("scan");
   const auto r = det.run(opt);
+  const combinatorics::RankRange eff =
+      opt.range.empty() ? combinatorics::RankRange{0, total} : opt.range;
   std::printf("# %llu triplets, %.3f s, %.2f Gel/s, kernel %s, %u thread(s)\n",
               static_cast<unsigned long long>(r.triplets_evaluated), r.seconds,
               r.elements_per_second() / 1e9,
               core::kernel_isa_name(r.isa_used).c_str(), r.threads_used);
+  std::printf("# partition: ranks [%llu, %llu) of %llu (%.1f%% of the space)\n",
+              static_cast<unsigned long long>(eff.first),
+              static_cast<unsigned long long>(eff.last),
+              static_cast<unsigned long long>(total),
+              total == 0 ? 100.0
+                         : 100.0 * static_cast<double>(eff.size()) /
+                               static_cast<double>(total));
   std::printf("rank,snp_x,snp_y,snp_z,score\n");
   for (std::size_t i = 0; i < r.best.size(); ++i) {
     std::printf("%zu,%u,%u,%u,%.6f\n", i + 1, r.best[i].triplet.x,
@@ -203,7 +245,7 @@ int cmd_scan(const Args& a) {
 int cmd_scan2(const Args& a) {
   if (a.positional.empty() || a.has("help")) {
     std::puts("usage: trigen scan2 DATASET.tg[b] [--objective k2|mi|chi2]\n"
-              "  [--top K] [--threads T]");
+              "  [--top K] [--threads T] [--progress]");
     return a.has("help") ? 0 : 2;
   }
   const auto d = load(a.positional[0]);
@@ -212,6 +254,7 @@ int cmd_scan2(const Args& a) {
   opt.objective = parse_objective(a.get("objective", "k2"));
   opt.top_k = static_cast<std::size_t>(a.get_int("top", 10));
   opt.threads = static_cast<unsigned>(a.get_int("threads", 0));
+  if (a.has("progress")) opt.progress = make_progress_printer("scan2");
   const auto r = det.run(opt);
   std::printf("# %llu pairs, %.3f s, %.2f Gel/s, kernel %s\n",
               static_cast<unsigned long long>(r.pairs_evaluated), r.seconds,
