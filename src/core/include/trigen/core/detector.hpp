@@ -75,7 +75,10 @@ struct DetectorOptions {
   /// iterate it directly, the blocked versions (V3/V4) map it to block
   /// triples and clip only at the partition's boundary blocks, so a union
   /// of partial scans over any full-coverage split reproduces the full
-  /// scan triplet-for-triplet.
+  /// scan triplet-for-triplet.  For production-scale range orchestration —
+  /// planning shards, checkpoint/resume, portable result files and the
+  /// exact merge — use `trigen::shard` (src/shard/) instead of driving
+  /// this field by hand.
   combinatorics::RankRange range{0, 0};
   /// Optional progress callback, reported in triplets scanned out of
   /// `range.size()` (serialized, monotone; runs on worker threads).

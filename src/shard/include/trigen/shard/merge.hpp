@@ -1,0 +1,63 @@
+#pragma once
+/// \file merge.hpp
+/// \brief Deterministic fold of shard results into one scan answer.
+///
+/// Because per-shard top-k sets are computed with the same rank-tie-broken
+/// ordering the full scan uses, the k best triplets of the whole space are
+/// each inside their own shard's top-k — so merging any full-coverage set
+/// of shard results reproduces the unsharded `Detector::run` top-k exactly
+/// (scores bit-for-bit, order included), in whatever order the shards are
+/// presented.  The merge refuses anything that would silently break that
+/// guarantee: mixed fingerprints/objectives/top_k, overlapping shards, or
+/// coverage gaps.
+
+#include <vector>
+
+#include "trigen/core/detector.hpp"
+#include "trigen/shard/result_io.hpp"
+
+namespace trigen::shard {
+
+/// A merged scan plus shard-level accounting.
+struct MergedScan {
+  /// Equivalent scan result over `range`: `best`, `triplets_evaluated`,
+  /// `elements` and `seconds` (sum of per-shard compute seconds) are
+  /// filled; the hardware fields keep their defaults (shards may have run
+  /// anywhere).
+  core::DetectionResult result;
+  /// Contiguous rank interval the inputs covered ([0, C(M,3)) unless a
+  /// partial merge was requested).
+  combinatorics::RankRange range;
+  std::uint64_t fingerprint = 0;
+  std::uint64_t num_snps = 0;
+  std::uint64_t num_samples = 0;
+  std::string objective;
+  std::uint64_t top_k = 0;
+  std::uint64_t num_shards = 0;
+  /// Longest single shard: the wall-clock lower bound when shards ran in
+  /// parallel (aggregate throughput = elements / max_shard_seconds).
+  double max_shard_seconds = 0.0;
+};
+
+/// What a merge must cover.
+enum class MergeCoverage {
+  kFullScan,    ///< exactly [0, C(M,3)): the unsharded-scan reconstruction
+  kContiguous,  ///< any contiguous [lo, hi): an intermediate (tree) merge
+};
+
+/// Merges shard results tiling one contiguous rank interval exactly once,
+/// in any order — with kFullScan (the default), that interval must be the
+/// whole space.  Throws std::invalid_argument when `shards` is empty and
+/// std::runtime_error naming the offending shards for fingerprint /
+/// header mismatches, overlaps and gaps.  A kContiguous merge returns a
+/// result equivalent to one shard scanned over the combined range, so
+/// intermediate merges compose: merging the intermediates (e.g. one per
+/// rack) reproduces the single-level merge exactly.
+MergedScan merge_shards(const std::vector<ShardResult>& shards,
+                        MergeCoverage coverage = MergeCoverage::kFullScan);
+
+/// The merged scan repackaged as a shard result over `m.range` — the
+/// artifact an intermediate merge writes for the next merge level.
+ShardResult to_shard_result(const MergedScan& m);
+
+}  // namespace trigen::shard

@@ -1,0 +1,47 @@
+#pragma once
+/// \file plan.hpp
+/// \brief Splitting one exhaustive scan across W independent shard workers.
+///
+/// A *scan plan* cuts the colex triplet rank space [0, C(M,3)) into W
+/// contiguous, non-empty, non-overlapping rank ranges.  Each shard is an
+/// ordinary `DetectorOptions::range` scan, so any worker — another process,
+/// another node, a resumed crash survivor — produces a result that merges
+/// exactly (see merge.hpp).  The plan also carries a content fingerprint of
+/// the dataset so artifacts produced against a different (or edited) dataset
+/// are rejected instead of silently merged.
+
+#include <cstdint>
+#include <vector>
+
+#include "trigen/combinatorics/scheduler.hpp"
+#include "trigen/dataset/genotype_matrix.hpp"
+
+namespace trigen::shard {
+
+/// Stable 64-bit content fingerprint of a dataset: shape, every genotype
+/// and every phenotype (FNV-1a).  Independent of host, build and file
+/// representation (text and binary round-trips of the same data agree).
+std::uint64_t dataset_fingerprint(const dataset::GenotypeMatrix& d);
+
+/// How shard boundaries are chosen.
+enum class SplitStrategy {
+  /// Equal-size rank ranges: shard i covers [total*i/W, total*(i+1)/W).
+  kEvenRanks,
+  /// Boundaries snapped to whole b2 block layers of a `block_size` grid —
+  /// rank C(b*block_size, 3) cuts — so no block triple of the tiled V3/V4
+  /// engines straddles a shard boundary and boundary clipping is free.
+  kBlockAligned,
+};
+
+/// Splits [0, num_triplets) into `workers` shards.  Throws
+/// std::invalid_argument when workers == 0, workers > num_triplets, or a
+/// block-aligned split cannot produce `workers` non-empty shards (too few
+/// block layers).  `block_size` (SNPs per block, B_S) is only used by
+/// kBlockAligned and must match the grid the workers will scan with for
+/// the alignment to pay off; correctness never depends on it.
+std::vector<combinatorics::RankRange> plan_shards(
+    std::uint64_t num_snps, unsigned workers,
+    SplitStrategy strategy = SplitStrategy::kEvenRanks,
+    std::uint64_t block_size = 0);
+
+}  // namespace trigen::shard

@@ -1,0 +1,81 @@
+#pragma once
+/// \file result_io.hpp
+/// \brief Portable on-disk artifacts of a sharded scan.
+///
+/// Two line-oriented text formats, each with a versioned magic line, the
+/// dataset fingerprint, and an explicit `end` trailer so truncation is
+/// always detected:
+///
+///   TRIGEN-SHARD v1          TRIGEN-CHECKPOINT v1
+///   fingerprint <hex16>      fingerprint <hex16>
+///   snps M                   snps M
+///   samples N                samples N
+///   objective k2             objective k2
+///   top_k K                  top_k K
+///   range FIRST LAST         range FIRST LAST
+///   seconds S                watermark W
+///   entries n                seconds S
+///   e x y z <score-hex>      entries n
+///   ...                      e x y z <score-hex>
+///   end TRIGEN-SHARD         ...
+///                            end TRIGEN-CHECKPOINT
+///
+/// Scores are serialized as C99 hex floats (`%a`), so a write/read round
+/// trip reproduces the exact double bits and a merge of shard files is
+/// bit-identical to the in-memory merge.  Readers validate everything —
+/// magic, version, field order, range sanity, entry ordering (strictly
+/// ascending in (score, triplet rank)), ranks inside the declared range,
+/// entry count == min(top_k, covered ranks) — and throw std::runtime_error
+/// with a message naming the first violation.  A shard-result file is only
+/// ever written for a *completed* range; the checkpoint's `watermark` is
+/// the end of the completed rank prefix, and its entries are the top-k of
+/// [range.first, watermark).
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "trigen/combinatorics/scheduler.hpp"
+#include "trigen/core/topk.hpp"
+
+namespace trigen::shard {
+
+/// Completed scan of one rank-range shard.
+struct ShardResult {
+  std::uint64_t fingerprint = 0;   ///< dataset_fingerprint() of the input
+  std::uint64_t num_snps = 0;
+  std::uint64_t num_samples = 0;
+  std::string objective;           ///< core::objective_name() of the scorer
+  std::uint64_t top_k = 0;
+  combinatorics::RankRange range;  ///< covered triplet ranks (half-open)
+  double seconds = 0.0;            ///< compute time spent on this shard
+  std::vector<core::ScoredTriplet> entries;  ///< best-first, rank-tie-broken
+};
+
+/// Persistent progress of a partially scanned shard.
+struct Checkpoint {
+  std::uint64_t fingerprint = 0;
+  std::uint64_t num_snps = 0;
+  std::uint64_t num_samples = 0;
+  std::string objective;
+  std::uint64_t top_k = 0;
+  combinatorics::RankRange range;
+  std::uint64_t watermark = 0;  ///< ranks [range.first, watermark) are done
+  double seconds = 0.0;
+  std::vector<core::ScoredTriplet> entries;
+};
+
+void write_shard_result(std::ostream& os, const ShardResult& r);
+ShardResult read_shard_result(std::istream& is);
+/// File variants write atomically (temp file + rename), so a crash mid-write
+/// never leaves a half-written artifact under the final name.
+void write_shard_result_file(const std::string& path, const ShardResult& r);
+ShardResult read_shard_result_file(const std::string& path);
+
+void write_checkpoint(std::ostream& os, const Checkpoint& c);
+Checkpoint read_checkpoint(std::istream& is);
+void write_checkpoint_file(const std::string& path, const Checkpoint& c);
+Checkpoint read_checkpoint_file(const std::string& path);
+
+}  // namespace trigen::shard

@@ -1,0 +1,73 @@
+#pragma once
+/// \file runner.hpp
+/// \brief Checkpointing, resumable execution of one shard of a scan plan.
+///
+/// The runner cuts its shard into sequential *checkpoint chunks* and runs
+/// `Detector::run` on each (the detector parallelizes within the chunk).
+/// After every chunk it folds the chunk's top-k into the shard accumulator
+/// and — when a checkpoint path is set — atomically persists the completed
+/// watermark plus the in-progress top-k.  A killed worker therefore loses
+/// at most one chunk of work, and because the rank-tie-broken top-k merge
+/// is exact under any partition (see scan_driver.hpp), the resumed shard's
+/// result is identical to an uninterrupted run, entry for entry and bit
+/// for bit.
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "trigen/combinatorics/scheduler.hpp"
+#include "trigen/core/detector.hpp"
+#include "trigen/shard/result_io.hpp"
+
+namespace trigen::shard {
+
+struct ShardRunOptions {
+  /// Scan configuration (version, ISA, threads, tiling, objective, top_k).
+  /// `detector.range` and `detector.progress` are ignored: the runner owns
+  /// the range, and progress is reported shard-relative through `progress`
+  /// below.  A custom `detector.scorer` is allowed but then `objective`
+  /// must still name it truthfully — it is what merge validates across
+  /// shards.
+  core::DetectorOptions detector;
+  /// Triplet ranks this shard covers; must be non-empty and within
+  /// [0, C(M,3)).
+  combinatorics::RankRange range;
+  /// Ranks scanned between checkpoints; 0 picks range.size()/64 (>= 1).
+  std::uint64_t checkpoint_every = 0;
+  /// Checkpoint file; empty disables checkpointing (and resume).
+  std::string checkpoint_path;
+  /// Forwarded scan progress over the whole shard (resumed ranks count as
+  /// already done).
+  core::ProgressFn progress;
+  /// Polled after each completed (and persisted) checkpoint chunk with the
+  /// ranks done so far; returning false stops the run cleanly — the
+  /// checkpoint on disk stays valid and a later run resumes from it.
+  std::function<bool(std::uint64_t done, std::uint64_t total)> keep_going;
+};
+
+struct ShardRunReport {
+  /// Shard header + top-k.  Complete only when `completed`; on an early
+  /// stop it reflects the checkpointed prefix.
+  ShardResult result;
+  bool completed = false;
+  /// True when a valid checkpoint was adopted instead of starting fresh.
+  bool resumed = false;
+  std::uint64_t resumed_from = 0;  ///< adopted watermark (range.first if not)
+  std::uint64_t checkpoints_written = 0;
+};
+
+/// Runs (or resumes) one shard.  Throws std::invalid_argument for a bad
+/// range and std::runtime_error when an existing checkpoint belongs to a
+/// different dataset/range/objective/top_k (stale artifacts are never
+/// silently overwritten).  An unreadable/truncated checkpoint — the
+/// footprint of a crash predating the atomic write, or external damage —
+/// is reported via `on_checkpoint_discarded` (when set) and the shard
+/// restarts from its beginning, which is always safe.
+ShardRunReport run_shard(
+    const core::Detector& detector, std::uint64_t fingerprint,
+    const ShardRunOptions& options,
+    const std::function<void(const std::string& reason)>&
+        on_checkpoint_discarded = {});
+
+}  // namespace trigen::shard

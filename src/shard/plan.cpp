@@ -1,0 +1,111 @@
+#include "trigen/shard/plan.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+
+#include "trigen/combinatorics/combinations.hpp"
+
+namespace trigen::shard {
+
+namespace {
+
+constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ull;
+constexpr std::uint64_t kFnvPrime = 0x100000001b3ull;
+
+void fnv_bytes(std::uint64_t& h, const void* data, std::size_t n) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= p[i];
+    h *= kFnvPrime;
+  }
+}
+
+void fnv_u64(std::uint64_t& h, std::uint64_t v) {
+  unsigned char buf[8];
+  for (int i = 0; i < 8; ++i) buf[i] = static_cast<unsigned char>(v >> (8 * i));
+  fnv_bytes(h, buf, sizeof buf);
+}
+
+}  // namespace
+
+std::uint64_t dataset_fingerprint(const dataset::GenotypeMatrix& d) {
+  std::uint64_t h = kFnvOffset;
+  fnv_u64(h, d.num_snps());
+  fnv_u64(h, d.num_samples());
+  for (std::size_t m = 0; m < d.num_snps(); ++m) {
+    const auto row = d.snp_row(m);
+    fnv_bytes(h, row.data(), row.size());
+  }
+  const auto ph = d.phenotypes();
+  fnv_bytes(h, ph.data(), ph.size());
+  return h;
+}
+
+std::vector<combinatorics::RankRange> plan_shards(std::uint64_t num_snps,
+                                                  unsigned workers,
+                                                  SplitStrategy strategy,
+                                                  std::uint64_t block_size) {
+  const std::uint64_t total = combinatorics::num_triplets(num_snps);
+  if (workers == 0) {
+    throw std::invalid_argument("plan_shards: workers must be >= 1");
+  }
+  if (workers > total) {
+    throw std::invalid_argument(
+        "plan_shards: " + std::to_string(workers) + " workers for only " +
+        std::to_string(total) + " triplets would leave empty shards");
+  }
+
+  // Boundary ranks between shards: boundaries[i] ends shard i.  Even split
+  // first; kBlockAligned then snaps each interior boundary to a block-layer
+  // cut C(b*bs, 3), keeping the sequence strictly increasing.
+  std::vector<std::uint64_t> bounds(workers);
+  for (unsigned i = 0; i < workers; ++i) {
+    bounds[i] = total * (i + 1) / workers;
+  }
+  if (strategy == SplitStrategy::kBlockAligned) {
+    if (block_size == 0) {
+      throw std::invalid_argument(
+          "plan_shards: block-aligned split needs block_size >= 1");
+    }
+    std::vector<std::uint64_t> cuts;  // strictly increasing, in (0, total)
+    for (std::uint64_t z = block_size; z < num_snps; z += block_size) {
+      const std::uint64_t c = combinatorics::n_choose_k(z, 3);
+      if (c > 0 && c < total) cuts.push_back(c);
+    }
+    if (cuts.size() + 1 < workers) {
+      throw std::invalid_argument(
+          "plan_shards: block-aligned split has only " +
+          std::to_string(cuts.size() + 1) + " block layers for " +
+          std::to_string(workers) + " workers; lower the worker count, "
+          "shrink block_size, or use the even split");
+    }
+    std::uint64_t prev = 0;
+    for (unsigned i = 0; i + 1 < workers; ++i) {
+      // Largest cut <= the even target, but strictly after the previous
+      // boundary and early enough to leave one cut per remaining shard.
+      const auto it = std::upper_bound(cuts.begin(), cuts.end(), bounds[i]);
+      std::size_t pick = static_cast<std::size_t>(it - cuts.begin());
+      pick = pick == 0 ? 0 : pick - 1;
+      const std::size_t lo = [&] {
+        const auto after_prev =
+            std::upper_bound(cuts.begin(), cuts.end(), prev);
+        return static_cast<std::size_t>(after_prev - cuts.begin());
+      }();
+      const std::size_t hi = cuts.size() - (workers - 1 - i);
+      pick = std::clamp(pick, lo, hi);
+      bounds[i] = cuts[pick];
+      prev = bounds[i];
+    }
+  }
+
+  std::vector<combinatorics::RankRange> shards(workers);
+  std::uint64_t first = 0;
+  for (unsigned i = 0; i < workers; ++i) {
+    shards[i] = {first, bounds[i]};
+    first = bounds[i];
+  }
+  return shards;
+}
+
+}  // namespace trigen::shard

@@ -1,0 +1,324 @@
+#include "trigen/shard/result_io.hpp"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "trigen/combinatorics/combinations.hpp"
+
+namespace trigen::shard {
+namespace {
+
+constexpr char kShardMagic[] = "TRIGEN-SHARD";
+constexpr char kCheckpointMagic[] = "TRIGEN-CHECKPOINT";
+constexpr char kFormatVersion[] = "v1";
+
+/// Plausibility bounds mirroring dataset I/O: a corrupted header must fail
+/// with a parse error, not an absurd allocation or a 64-bit overflow in
+/// C(M,3).
+constexpr std::uint64_t kMaxSnps = 1u << 22;
+constexpr std::uint64_t kMaxSamples = 1u << 22;
+constexpr std::uint64_t kMaxTopK = 1u << 24;
+
+[[noreturn]] void fail(const char* kind, const std::string& what) {
+  throw std::runtime_error(std::string(kind) + ": " + what);
+}
+
+std::string next_token(std::istream& is, const char* kind, const char* what) {
+  std::string tok;
+  if (!(is >> tok)) {
+    fail(kind, std::string("truncated file: missing ") + what);
+  }
+  return tok;
+}
+
+void expect_key(std::istream& is, const char* kind, const char* key) {
+  const std::string tok = next_token(is, kind, key);
+  if (tok != key) {
+    fail(kind, "expected '" + std::string(key) + "', got '" + tok + "'");
+  }
+}
+
+std::uint64_t parse_u64(const std::string& tok, const char* kind,
+                        const char* what, int base = 10) {
+  const char* begin = tok.c_str();
+  char* end = nullptr;
+  errno = 0;
+  const unsigned long long v = std::strtoull(begin, &end, base);
+  if (end == begin || *end != '\0' || errno != 0 || tok[0] == '-') {
+    fail(kind, std::string("malformed ") + what + " '" + tok + "'");
+  }
+  return v;
+}
+
+std::uint64_t read_u64_field(std::istream& is, const char* kind,
+                             const char* key, int base = 10) {
+  expect_key(is, kind, key);
+  return parse_u64(next_token(is, kind, key), kind, key, base);
+}
+
+double read_double(std::istream& is, const char* kind, const char* what) {
+  const std::string tok = next_token(is, kind, what);
+  const char* begin = tok.c_str();
+  char* end = nullptr;
+  const double v = std::strtod(begin, &end);
+  if (end == begin || *end != '\0') {
+    fail(kind, std::string("malformed ") + what + " '" + tok + "'");
+  }
+  return v;
+}
+
+/// `%a` hex float: exact double round trip, locale-independent.
+std::string format_double(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%a", v);
+  return buf;
+}
+
+std::string format_fingerprint(std::uint64_t fp) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%016llx",
+                static_cast<unsigned long long>(fp));
+  return buf;
+}
+
+/// Header fields shared by both formats, in file order.
+struct Header {
+  std::uint64_t fingerprint = 0;
+  std::uint64_t num_snps = 0;
+  std::uint64_t num_samples = 0;
+  std::string objective;
+  std::uint64_t top_k = 0;
+  combinatorics::RankRange range;
+};
+
+void write_header(std::ostream& os, const char* magic, const Header& h) {
+  os << magic << ' ' << kFormatVersion << '\n'
+     << "fingerprint " << format_fingerprint(h.fingerprint) << '\n'
+     << "snps " << h.num_snps << '\n'
+     << "samples " << h.num_samples << '\n'
+     << "objective " << h.objective << '\n'
+     << "top_k " << h.top_k << '\n'
+     << "range " << h.range.first << ' ' << h.range.last << '\n';
+}
+
+Header read_header(std::istream& is, const char* magic, const char* kind) {
+  std::string tok;
+  if (!(is >> tok)) fail(kind, "empty file");
+  if (tok != magic) {
+    fail(kind, "bad magic '" + tok + "' (expected " + magic + ")");
+  }
+  tok = next_token(is, kind, "format version");
+  if (tok != kFormatVersion) {
+    fail(kind, "unsupported format version '" + tok + "' (expected " +
+                   kFormatVersion + ")");
+  }
+  Header h;
+  h.fingerprint = read_u64_field(is, kind, "fingerprint", 16);
+  h.num_snps = read_u64_field(is, kind, "snps");
+  h.num_samples = read_u64_field(is, kind, "samples");
+  if (h.num_snps < 3 || h.num_snps > kMaxSnps || h.num_samples == 0 ||
+      h.num_samples > kMaxSamples) {
+    fail(kind, "implausible dataset shape (" + std::to_string(h.num_snps) +
+                   " x " + std::to_string(h.num_samples) + ")");
+  }
+  expect_key(is, kind, "objective");
+  h.objective = next_token(is, kind, "objective name");
+  h.top_k = read_u64_field(is, kind, "top_k");
+  if (h.top_k == 0 || h.top_k > kMaxTopK) {
+    fail(kind, "implausible top_k " + std::to_string(h.top_k));
+  }
+  expect_key(is, kind, "range");
+  h.range.first = parse_u64(next_token(is, kind, "range first"), kind,
+                            "range first");
+  h.range.last = parse_u64(next_token(is, kind, "range last"), kind,
+                           "range last");
+  const std::uint64_t total = combinatorics::num_triplets(h.num_snps);
+  if (h.range.first >= h.range.last || h.range.last > total) {
+    fail(kind, "invalid range [" + std::to_string(h.range.first) + ", " +
+                   std::to_string(h.range.last) + ") for C(" +
+                   std::to_string(h.num_snps) + ",3) = " +
+                   std::to_string(total));
+  }
+  return h;
+}
+
+void write_entries(std::ostream& os,
+                   const std::vector<core::ScoredTriplet>& entries) {
+  os << "entries " << entries.size() << '\n';
+  for (const auto& e : entries) {
+    os << "e " << e.triplet.x << ' ' << e.triplet.y << ' ' << e.triplet.z
+       << ' ' << format_double(e.score) << '\n';
+  }
+}
+
+/// Reads and validates the entry list: count == min(top_k, covered ranks),
+/// each triplet strictly increasing and inside the covered rank interval,
+/// list strictly ascending in (score, rank) — i.e. exactly a TopK dump.
+std::vector<core::ScoredTriplet> read_entries(std::istream& is,
+                                              const char* kind,
+                                              const Header& h,
+                                              std::uint64_t covered) {
+  const std::uint64_t n = read_u64_field(is, kind, "entries");
+  const std::uint64_t expected = std::min<std::uint64_t>(h.top_k, covered);
+  if (n != expected) {
+    fail(kind, "entry count " + std::to_string(n) + " != min(top_k=" +
+                   std::to_string(h.top_k) + ", covered=" +
+                   std::to_string(covered) + ") = " +
+                   std::to_string(expected));
+  }
+  std::vector<core::ScoredTriplet> entries;
+  entries.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    expect_key(is, kind, "e");
+    core::ScoredTriplet s;
+    s.triplet.x = static_cast<std::uint32_t>(
+        parse_u64(next_token(is, kind, "entry snp"), kind, "entry snp"));
+    s.triplet.y = static_cast<std::uint32_t>(
+        parse_u64(next_token(is, kind, "entry snp"), kind, "entry snp"));
+    s.triplet.z = static_cast<std::uint32_t>(
+        parse_u64(next_token(is, kind, "entry snp"), kind, "entry snp"));
+    s.score = read_double(is, kind, "entry score");
+    if (!(s.triplet.x < s.triplet.y && s.triplet.y < s.triplet.z &&
+          s.triplet.z < h.num_snps)) {
+      fail(kind, "entry " + std::to_string(i) + " is not a strictly " +
+                     "increasing triplet below " + std::to_string(h.num_snps));
+    }
+    const std::uint64_t rank = combinatorics::rank_triplet(s.triplet);
+    if (rank < h.range.first || rank >= h.range.first + covered) {
+      fail(kind, "entry " + std::to_string(i) + " rank " +
+                     std::to_string(rank) + " outside the covered ranks [" +
+                     std::to_string(h.range.first) + ", " +
+                     std::to_string(h.range.first + covered) + ")");
+    }
+    if (!entries.empty() && !(entries.back() < s)) {
+      fail(kind, "entries are not strictly ascending in (score, rank) at "
+                 "index " + std::to_string(i));
+    }
+    entries.push_back(s);
+  }
+  return entries;
+}
+
+void read_trailer(std::istream& is, const char* kind, const char* magic) {
+  expect_key(is, kind, "end");
+  const std::string tok = next_token(is, kind, "trailer magic");
+  if (tok != magic) {
+    fail(kind, "trailer names '" + tok + "' (expected " + magic + ")");
+  }
+  std::string extra;
+  if (is >> extra) {
+    fail(kind, "trailing content after the end trailer: '" + extra + "'");
+  }
+}
+
+/// Atomic write: temp file alongside the target, fsync-free rename.
+template <typename WriteFn>
+void write_file_atomically(const std::string& path, const char* kind,
+                           WriteFn&& write_fn) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream os(tmp, std::ios_base::trunc);
+    if (!os) fail(kind, "cannot open '" + tmp + "' for writing");
+    write_fn(os);
+    os.flush();
+    if (!os) fail(kind, "write failure on '" + tmp + "'");
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    fail(kind, "cannot rename '" + tmp + "' to '" + path + "'");
+  }
+}
+
+std::ifstream open_for_read(const std::string& path, const char* kind) {
+  std::ifstream is(path);
+  if (!is) fail(kind, "cannot open '" + path + "' for reading");
+  return is;
+}
+
+}  // namespace
+
+void write_shard_result(std::ostream& os, const ShardResult& r) {
+  write_header(os, kShardMagic,
+               Header{r.fingerprint, r.num_snps, r.num_samples, r.objective,
+                      r.top_k, r.range});
+  os << "seconds " << format_double(r.seconds) << '\n';
+  write_entries(os, r.entries);
+  os << "end " << kShardMagic << '\n';
+}
+
+ShardResult read_shard_result(std::istream& is) {
+  const char* kind = "shard-result";
+  const Header h = read_header(is, kShardMagic, kind);
+  ShardResult r;
+  r.fingerprint = h.fingerprint;
+  r.num_snps = h.num_snps;
+  r.num_samples = h.num_samples;
+  r.objective = h.objective;
+  r.top_k = h.top_k;
+  r.range = h.range;
+  expect_key(is, kind, "seconds");
+  r.seconds = read_double(is, kind, "seconds");
+  r.entries = read_entries(is, kind, h, h.range.size());
+  read_trailer(is, kind, kShardMagic);
+  return r;
+}
+
+void write_shard_result_file(const std::string& path, const ShardResult& r) {
+  write_file_atomically(path, "shard-result",
+                        [&](std::ostream& os) { write_shard_result(os, r); });
+}
+
+ShardResult read_shard_result_file(const std::string& path) {
+  auto is = open_for_read(path, "shard-result");
+  return read_shard_result(is);
+}
+
+void write_checkpoint(std::ostream& os, const Checkpoint& c) {
+  write_header(os, kCheckpointMagic,
+               Header{c.fingerprint, c.num_snps, c.num_samples, c.objective,
+                      c.top_k, c.range});
+  os << "watermark " << c.watermark << '\n';
+  os << "seconds " << format_double(c.seconds) << '\n';
+  write_entries(os, c.entries);
+  os << "end " << kCheckpointMagic << '\n';
+}
+
+Checkpoint read_checkpoint(std::istream& is) {
+  const char* kind = "checkpoint";
+  const Header h = read_header(is, kCheckpointMagic, kind);
+  Checkpoint c;
+  c.fingerprint = h.fingerprint;
+  c.num_snps = h.num_snps;
+  c.num_samples = h.num_samples;
+  c.objective = h.objective;
+  c.top_k = h.top_k;
+  c.range = h.range;
+  c.watermark = read_u64_field(is, kind, "watermark");
+  if (c.watermark < c.range.first || c.watermark > c.range.last) {
+    fail(kind, "watermark " + std::to_string(c.watermark) +
+                   " outside range [" + std::to_string(c.range.first) + ", " +
+                   std::to_string(c.range.last) + "]");
+  }
+  expect_key(is, kind, "seconds");
+  c.seconds = read_double(is, kind, "seconds");
+  c.entries = read_entries(is, kind, h, c.watermark - c.range.first);
+  read_trailer(is, kind, kCheckpointMagic);
+  return c;
+}
+
+void write_checkpoint_file(const std::string& path, const Checkpoint& c) {
+  write_file_atomically(path, "checkpoint",
+                        [&](std::ostream& os) { write_checkpoint(os, c); });
+}
+
+Checkpoint read_checkpoint_file(const std::string& path) {
+  auto is = open_for_read(path, "checkpoint");
+  return read_checkpoint(is);
+}
+
+}  // namespace trigen::shard

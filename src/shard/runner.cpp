@@ -1,0 +1,161 @@
+#include "trigen/shard/runner.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <optional>
+#include <stdexcept>
+#include <string>
+
+#include "trigen/combinatorics/combinations.hpp"
+
+namespace trigen::shard {
+namespace {
+
+[[noreturn]] void stale(const std::string& what) {
+  throw std::runtime_error("shard runner: stale checkpoint: " + what);
+}
+
+/// Loads and validates an existing checkpoint.  A checkpoint for a
+/// *different* scan is a hard error (merging it would corrupt results); an
+/// unparseable file is survivable damage — report it and rescan.
+std::optional<Checkpoint> adopt_checkpoint(
+    const std::string& path, std::uint64_t fingerprint,
+    const combinatorics::RankRange& range, std::uint64_t top_k,
+    const std::string& objective,
+    const std::function<void(const std::string&)>& on_discarded) {
+  if (!std::ifstream(path).good()) return std::nullopt;  // fresh start
+  Checkpoint c;
+  try {
+    c = read_checkpoint_file(path);
+  } catch (const std::runtime_error& e) {
+    if (on_discarded) on_discarded(e.what());
+    return std::nullopt;
+  }
+  if (c.fingerprint != fingerprint) {
+    stale("'" + path + "' was written for a different dataset (fingerprint " +
+          std::to_string(c.fingerprint) + " != " +
+          std::to_string(fingerprint) + ")");
+  }
+  if (c.range.first != range.first || c.range.last != range.last) {
+    stale("'" + path + "' covers ranks [" + std::to_string(c.range.first) +
+          ", " + std::to_string(c.range.last) + "), this shard covers [" +
+          std::to_string(range.first) + ", " + std::to_string(range.last) +
+          ")");
+  }
+  if (c.top_k != top_k) {
+    stale("'" + path + "' has top_k " + std::to_string(c.top_k) +
+          ", this scan wants " + std::to_string(top_k));
+  }
+  if (c.objective != objective) {
+    stale("'" + path + "' used objective '" + c.objective +
+          "', this scan uses '" + objective + "'");
+  }
+  return c;
+}
+
+}  // namespace
+
+ShardRunReport run_shard(
+    const core::Detector& detector, std::uint64_t fingerprint,
+    const ShardRunOptions& options,
+    const std::function<void(const std::string&)>& on_checkpoint_discarded) {
+  const std::uint64_t total =
+      combinatorics::num_triplets(detector.num_snps());
+  const combinatorics::RankRange range = options.range;
+  if (range.empty() || range.last > total) {
+    throw std::invalid_argument(
+        "run_shard: shard range [" + std::to_string(range.first) + ", " +
+        std::to_string(range.last) + ") is empty or exceeds C(M,3) = " +
+        std::to_string(total));
+  }
+  if (options.detector.top_k == 0) {
+    throw std::invalid_argument("run_shard: top_k must be >= 1");
+  }
+
+  const std::uint64_t top_k = options.detector.top_k;
+  const std::string objective = core::objective_name(options.detector.objective);
+
+  ShardRunReport report;
+  report.result.fingerprint = fingerprint;
+  report.result.num_snps = detector.num_snps();
+  report.result.num_samples = detector.num_samples();
+  report.result.objective = objective;
+  report.result.top_k = top_k;
+  report.result.range = range;
+  report.resumed_from = range.first;
+
+  core::TopK acc(top_k);
+  std::uint64_t watermark = range.first;
+  double seconds = 0.0;
+
+  if (!options.checkpoint_path.empty()) {
+    if (const auto c = adopt_checkpoint(options.checkpoint_path, fingerprint,
+                                        range, top_k, objective,
+                                        on_checkpoint_discarded)) {
+      watermark = c->watermark;
+      seconds = c->seconds;
+      for (const auto& e : c->entries) acc.push(e);
+      report.resumed = true;
+      report.resumed_from = watermark;
+    }
+  }
+
+  const std::uint64_t interval =
+      options.checkpoint_every != 0
+          ? options.checkpoint_every
+          : std::max<std::uint64_t>(1, range.size() / 64);
+
+  core::DetectorOptions dopt = options.detector;
+  // Progress is shard-relative and owned by the runner; a caller-supplied
+  // detector.progress would see chunk-local counts, so it is ignored in
+  // favor of ShardRunOptions::progress.
+  dopt.progress = {};
+  if (!dopt.scorer) {
+    dopt.scorer = core::make_normalized_scorer(
+        dopt.objective, static_cast<std::uint32_t>(detector.num_samples()));
+  }
+  if (options.progress) options.progress(watermark - range.first, range.size());
+
+  while (watermark < range.last) {
+    const std::uint64_t next =
+        std::min(watermark + interval, range.last);
+    dopt.range = {watermark, next};
+    if (options.progress) {
+      dopt.progress = [&progress = options.progress,
+                       offset = watermark - range.first,
+                       shard_total = range.size()](std::uint64_t done,
+                                                   std::uint64_t) {
+        progress(offset + done, shard_total);
+      };
+    }
+    const core::DetectionResult r = detector.run(dopt);
+    for (const auto& e : r.best) acc.push(e);
+    seconds += r.seconds;
+    watermark = next;
+    if (!options.checkpoint_path.empty()) {
+      Checkpoint c;
+      c.fingerprint = fingerprint;
+      c.num_snps = report.result.num_snps;
+      c.num_samples = report.result.num_samples;
+      c.objective = objective;
+      c.top_k = top_k;
+      c.range = range;
+      c.watermark = watermark;
+      c.seconds = seconds;
+      c.entries = acc.sorted();
+      write_checkpoint_file(options.checkpoint_path, c);
+      ++report.checkpoints_written;
+    }
+    if (options.keep_going && watermark < range.last &&
+        !options.keep_going(watermark - range.first, range.size())) {
+      break;
+    }
+  }
+
+  report.result.seconds = seconds;
+  report.result.entries = acc.sorted();
+  report.completed = watermark == range.last;
+  return report;
+}
+
+}  // namespace trigen::shard

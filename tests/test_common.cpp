@@ -5,6 +5,7 @@
 #include <thread>
 
 #include "trigen/common/aligned.hpp"
+#include "trigen/common/args.hpp"
 #include "trigen/common/cpuid.hpp"
 #include "trigen/common/log.hpp"
 #include "trigen/common/rng.hpp"
@@ -264,6 +265,70 @@ TEST(Log, EmitDoesNotCrash) {
   log_warn("warn");
   log_error("error ", "concat", '!');
   set_log_level(before);
+}
+
+// --------------------------------------------------------------------------
+// args
+// --------------------------------------------------------------------------
+
+Args parse_args(std::initializer_list<const char*> argv,
+                const std::set<std::string>& switches = {}) {
+  std::vector<const char*> v(argv);
+  return Args::parse(static_cast<int>(v.size()), v.data(), 0, switches);
+}
+
+TEST(Args, KeyValuePairsAndPositionals) {
+  const Args a =
+      parse_args({"data.tg", "--top", "5", "--objective", "mi", "out.tg"});
+  ASSERT_EQ(a.positional.size(), 2u);
+  EXPECT_EQ(a.positional[0], "data.tg");
+  EXPECT_EQ(a.positional[1], "out.tg");
+  EXPECT_EQ(a.get_int("top", 0), 5);
+  EXPECT_EQ(a.get("objective", ""), "mi");
+  EXPECT_FALSE(a.has("missing"));
+  EXPECT_EQ(a.get("missing", "fb"), "fb");
+  EXPECT_DOUBLE_EQ(a.get_double("missing", 1.5), 1.5);
+}
+
+TEST(Args, NegativeNumbersAreValuesNotSwitches) {
+  // The old heuristic (next token must not start with '-') parsed
+  // `--seed -5` as a bare switch and reshuffled the remaining arguments.
+  const Args a = parse_args({"--seed", "-5", "--effect", "-0.25", "in.tg"});
+  EXPECT_EQ(a.get_int("seed", 0), -5);
+  EXPECT_DOUBLE_EQ(a.get_double("effect", 0.0), -0.25);
+  ASSERT_EQ(a.positional.size(), 1u);
+  EXPECT_EQ(a.positional[0], "in.tg");
+}
+
+TEST(Args, SingleDashIsAValue) {
+  const Args a = parse_args({"--range", "-"});
+  EXPECT_EQ(a.get("range", ""), "-");
+}
+
+TEST(Args, DeclaredSwitchesNeverConsumeAValue) {
+  // Without the declaration, `--progress data.tg` would swallow the
+  // dataset path as the switch's value.
+  const Args a = parse_args({"--progress", "data.tg"}, {"progress"});
+  EXPECT_EQ(a.get("progress", ""), "1");
+  ASSERT_EQ(a.positional.size(), 1u);
+  EXPECT_EQ(a.positional[0], "data.tg");
+}
+
+TEST(Args, FlagFollowedByFlagTakesNoValue) {
+  const Args a = parse_args({"--verbose", "--top", "3"});
+  EXPECT_EQ(a.get("verbose", ""), "1");
+  EXPECT_EQ(a.get_int("top", 0), 3);
+}
+
+TEST(Args, TrailingFlagBecomesASwitch) {
+  const Args a = parse_args({"in.tg", "--progress"});
+  EXPECT_EQ(a.get("progress", ""), "1");
+  ASSERT_EQ(a.positional.size(), 1u);
+}
+
+TEST(Args, LaterOccurrenceWins) {
+  const Args a = parse_args({"--top", "3", "--top", "9"});
+  EXPECT_EQ(a.get_int("top", 0), 9);
 }
 
 }  // namespace

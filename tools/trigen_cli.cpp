@@ -5,8 +5,9 @@
 ///   generate   synthesize a case-control dataset (optional planted triple)
 ///   info       print dataset statistics
 ///   convert    text <-> binary dataset conversion
-///   scan       exhaustive 3-way detection
+///   scan       exhaustive 3-way detection (whole space or one shard)
 ///   scan2      exhaustive 2-way detection
+///   merge      fold shard result files into the full-scan answer
 ///   baseline   MPI3SNP-style engine on the same dataset (for comparison)
 ///   significance  permutation test: empirical p-value of the best triplet
 ///   devices    list the Table-I/II device models
@@ -16,59 +17,36 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
-#include <map>
 #include <string>
 #include <vector>
 
 #include "trigen/baseline/mpi3snp.hpp"
+#include "trigen/common/args.hpp"
 #include "trigen/common/table.hpp"
 #include "trigen/core/detector.hpp"
 #include "trigen/dataset/io.hpp"
 #include "trigen/dataset/synthetic.hpp"
 #include "trigen/gpusim/device_spec.hpp"
 #include "trigen/pairwise/pair_detector.hpp"
+#include "trigen/shard/merge.hpp"
+#include "trigen/shard/plan.hpp"
+#include "trigen/shard/runner.hpp"
 #include "trigen/stats/permutation.hpp"
 
 namespace {
 
 using namespace trigen;
 
-/// Tiny flag parser: --key value pairs plus positional arguments.
-struct Args {
-  std::vector<std::string> positional;
-  std::map<std::string, std::string> flags;
+/// Flags that never take a value (see Args::parse) — shared across all
+/// subcommands so e.g. `trigen scan --progress data.tg` keeps its
+/// positional.
+const std::set<std::string>& cli_switches() {
+  static const std::set<std::string> s = {"help", "partial", "progress"};
+  return s;
+}
 
-  static Args parse(int argc, char** argv, int first) {
-    Args a;
-    for (int i = first; i < argc; ++i) {
-      const std::string arg = argv[i];
-      if (arg.rfind("--", 0) == 0) {
-        if (i + 1 < argc && argv[i + 1][0] != '-') {
-          a.flags[arg.substr(2)] = argv[++i];
-        } else {
-          a.flags[arg.substr(2)] = "1";
-        }
-      } else {
-        a.positional.push_back(arg);
-      }
-    }
-    return a;
-  }
-
-  std::string get(const std::string& key, const std::string& fallback) const {
-    const auto it = flags.find(key);
-    return it == flags.end() ? fallback : it->second;
-  }
-  long get_int(const std::string& key, long fallback) const {
-    const auto it = flags.find(key);
-    return it == flags.end() ? fallback : std::atol(it->second.c_str());
-  }
-  double get_double(const std::string& key, double fallback) const {
-    const auto it = flags.find(key);
-    return it == flags.end() ? fallback : std::atof(it->second.c_str());
-  }
-  bool has(const std::string& key) const { return flags.count(key) != 0; }
-};
+/// Exit code of a cleanly interrupted (checkpointed, resumable) shard scan.
+constexpr int kExitInterrupted = 3;
 
 dataset::GenotypeMatrix load(const std::string& path) {
   if (path.size() > 4 && path.substr(path.size() - 4) == ".tgb") {
@@ -184,14 +162,32 @@ int cmd_convert(const Args& a) {
   return 0;
 }
 
+/// The CSV section shared by `scan` (full or shard) and `merge`, so shell
+/// pipelines can diff the two byte-for-byte.
+void print_triplet_csv(const std::vector<core::ScoredTriplet>& best) {
+  std::printf("rank,snp_x,snp_y,snp_z,score\n");
+  for (std::size_t i = 0; i < best.size(); ++i) {
+    std::printf("%zu,%u,%u,%u,%.6f\n", i + 1, best[i].triplet.x,
+                best[i].triplet.y, best[i].triplet.z, best[i].score);
+  }
+}
+
 int cmd_scan(const Args& a) {
   if (a.positional.empty() || a.has("help")) {
     std::puts("usage: trigen scan DATASET.tg[b] [--objective k2|mi|chi2]\n"
               "  [--top K] [--threads T] [--version 1|2|3|4]\n"
               "  [--range FIRST:LAST] [--progress]\n"
+              "  [--shards W --shard I [--split even|block]]\n"
+              "  [--out FILE.shard] [--checkpoint FILE.ckpt]\n"
+              "  [--checkpoint-every RANKS] [--stop-after RANKS]\n"
               "--range scans only triplet ranks [FIRST, LAST) — any version,\n"
               "including the blocked V3/V4 (shard results merge exactly);\n"
-              "--progress reports percent scanned on stderr.");
+              "--progress reports percent scanned on stderr.\n"
+              "--shards/--shard scans shard I (0-based) of a W-way plan;\n"
+              "--out writes a portable shard result file for `trigen merge`;\n"
+              "--checkpoint persists progress after every chunk and resumes\n"
+              "from it when the file already exists; --stop-after stops\n"
+              "cleanly once RANKS ranks are done (exit code 3, resumable).");
     return a.has("help") ? 0 : 2;
   }
   const auto d = load(a.positional[0]);
@@ -207,7 +203,37 @@ int cmd_scan(const Args& a) {
     default: opt.version = core::CpuVersion::kV4Vector; break;
   }
   const std::uint64_t total = combinatorics::num_triplets(d.num_snps());
-  if (a.has("range")) {
+
+  if (a.has("shards") || a.has("shard")) {
+    if (a.has("range")) {
+      std::fprintf(stderr, "--range and --shards are mutually exclusive\n");
+      return 2;
+    }
+    const long w = a.get_int("shards", 0);
+    const long i = a.get_int("shard", -1);
+    if (w < 1 || i < 0 || i >= w) {
+      std::fprintf(stderr,
+                   "--shards W --shard I needs W >= 1 and 0 <= I < W\n");
+      return 2;
+    }
+    const std::string split = a.get("split", "even");
+    shard::SplitStrategy strategy = shard::SplitStrategy::kEvenRanks;
+    std::uint64_t bs = 0;
+    if (split == "block") {
+      strategy = shard::SplitStrategy::kBlockAligned;
+      bs = core::autotune_tiling(core::detect_l1_config(),
+                                 core::kernel_vector_words(
+                                     core::best_kernel_isa()))
+               .bs;
+    } else if (split != "even") {
+      std::fprintf(stderr, "--split expects even|block\n");
+      return 2;
+    }
+    const auto plan = shard::plan_shards(d.num_snps(),
+                                         static_cast<unsigned>(w), strategy,
+                                         bs);
+    opt.range = plan[static_cast<std::size_t>(i)];
+  } else if (a.has("range")) {
     unsigned long long first = 0, last = 0;
     if (std::sscanf(a.get("range", "").c_str(), "%llu:%llu", &first, &last) !=
             2 ||
@@ -219,10 +245,72 @@ int cmd_scan(const Args& a) {
     }
     opt.range = {first, last};
   }
-  if (a.has("progress")) opt.progress = make_progress_printer("scan");
-  const auto r = det.run(opt);
   const combinatorics::RankRange eff =
       opt.range.empty() ? combinatorics::RankRange{0, total} : opt.range;
+
+  // Orchestrated path: any of --out / --checkpoint / --stop-after routes
+  // through the checkpointing shard runner instead of a bare run().
+  if (a.has("out") || a.has("checkpoint") || a.has("stop-after")) {
+    shard::ShardRunOptions ropt;
+    ropt.detector = opt;
+    ropt.range = eff;
+    ropt.checkpoint_path = a.get("checkpoint", "");
+    ropt.checkpoint_every =
+        static_cast<std::uint64_t>(a.get_int("checkpoint-every", 0));
+    if (a.has("stop-after")) {
+      const auto stop_after =
+          static_cast<std::uint64_t>(a.get_int("stop-after", 0));
+      ropt.keep_going = [stop_after](std::uint64_t done, std::uint64_t) {
+        return done < stop_after;
+      };
+    }
+    if (a.has("progress")) ropt.progress = make_progress_printer("scan");
+    const std::uint64_t fp = shard::dataset_fingerprint(d);
+    const auto report = shard::run_shard(
+        det, fp, ropt, [](const std::string& reason) {
+          std::fprintf(stderr,
+                       "warning: discarding unusable checkpoint (%s); "
+                       "rescanning the shard from its start\n",
+                       reason.c_str());
+        });
+    if (report.resumed) {
+      std::printf("# resumed from checkpoint at rank %llu\n",
+                  static_cast<unsigned long long>(report.resumed_from));
+    }
+    if (!report.completed) {
+      std::printf("# interrupted: shard [%llu, %llu) is checkpointed in "
+                  "'%s'; rerun the same command to resume\n",
+                  static_cast<unsigned long long>(eff.first),
+                  static_cast<unsigned long long>(eff.last),
+                  ropt.checkpoint_path.empty() ? "(no checkpoint!)"
+                                               : ropt.checkpoint_path.c_str());
+      return kExitInterrupted;
+    }
+    if (a.has("out")) {
+      shard::write_shard_result_file(a.get("out", ""), report.result);
+      std::printf("# wrote shard result %s\n", a.get("out", "").c_str());
+    }
+    const double eps =
+        report.result.seconds > 0.0
+            ? static_cast<double>(report.result.range.size() *
+                                  d.num_samples()) /
+                  report.result.seconds
+            : 0.0;
+    std::printf(
+        "# %llu triplets, %.3f s, %.2f Gel/s, shard ranks [%llu, %llu) of "
+        "%llu, fingerprint %016llx\n",
+        static_cast<unsigned long long>(report.result.range.size()),
+        report.result.seconds, eps / 1e9,
+        static_cast<unsigned long long>(eff.first),
+        static_cast<unsigned long long>(eff.last),
+        static_cast<unsigned long long>(total),
+        static_cast<unsigned long long>(fp));
+    print_triplet_csv(report.result.entries);
+    return 0;
+  }
+
+  if (a.has("progress")) opt.progress = make_progress_printer("scan");
+  const auto r = det.run(opt);
   std::printf("# %llu triplets, %.3f s, %.2f Gel/s, kernel %s, %u thread(s)\n",
               static_cast<unsigned long long>(r.triplets_evaluated), r.seconds,
               r.elements_per_second() / 1e9,
@@ -234,11 +322,48 @@ int cmd_scan(const Args& a) {
               total == 0 ? 100.0
                          : 100.0 * static_cast<double>(eff.size()) /
                                static_cast<double>(total));
-  std::printf("rank,snp_x,snp_y,snp_z,score\n");
-  for (std::size_t i = 0; i < r.best.size(); ++i) {
-    std::printf("%zu,%u,%u,%u,%.6f\n", i + 1, r.best[i].triplet.x,
-                r.best[i].triplet.y, r.best[i].triplet.z, r.best[i].score);
+  print_triplet_csv(r.best);
+  return 0;
+}
+
+int cmd_merge(const Args& a) {
+  if (a.positional.empty() || a.has("help")) {
+    std::puts("usage: trigen merge SHARD_FILE... [--partial] [--out FILE.shard]\n"
+              "Folds shard result files written by `trigen scan --out` into\n"
+              "the exact full-scan answer.  The shards must share one\n"
+              "dataset fingerprint, objective and top_k, and must cover the\n"
+              "triplet rank space exactly once (any order).  --partial\n"
+              "relaxes that to any contiguous sub-range — an intermediate\n"
+              "merge (e.g. one per rack) whose --out file feeds the next\n"
+              "merge level.  --out writes the merged result as a shard file\n"
+              "over the covered range.");
+    return a.has("help") ? 0 : 2;
   }
+  std::vector<shard::ShardResult> shards;
+  shards.reserve(a.positional.size());
+  for (const auto& path : a.positional) {
+    shards.push_back(shard::read_shard_result_file(path));
+  }
+  const auto m = shard::merge_shards(shards,
+                                     a.has("partial")
+                                         ? shard::MergeCoverage::kContiguous
+                                         : shard::MergeCoverage::kFullScan);
+  if (a.has("out")) {
+    shard::write_shard_result_file(a.get("out", ""), shard::to_shard_result(m));
+    std::printf("# wrote merged result %s\n", a.get("out", "").c_str());
+  }
+  const double aggregate_eps =
+      m.max_shard_seconds > 0.0
+          ? static_cast<double>(m.result.elements) / m.max_shard_seconds
+          : 0.0;
+  std::printf(
+      "# merged %llu shards: %llu triplets, %.3f s compute (slowest shard "
+      "%.3f s), %.2f Gel/s aggregate, objective %s, fingerprint %016llx\n",
+      static_cast<unsigned long long>(m.num_shards),
+      static_cast<unsigned long long>(m.result.triplets_evaluated),
+      m.result.seconds, m.max_shard_seconds, aggregate_eps / 1e9,
+      m.objective.c_str(), static_cast<unsigned long long>(m.fingerprint));
+  print_triplet_csv(m.result.best);
   return 0;
 }
 
@@ -337,7 +462,7 @@ int cmd_devices(const Args&) {
 int usage() {
   std::puts(
       "trigen — three-way gene interaction detection (IPDPS'22 reproduction)\n"
-      "usage: trigen <generate|info|convert|scan|scan2|baseline|significance|devices> ...");
+      "usage: trigen <generate|info|convert|scan|scan2|merge|baseline|significance|devices> ...");
   return 2;
 }
 
@@ -346,13 +471,14 @@ int usage() {
 int main(int argc, char** argv) {
   if (argc < 2) return usage();
   const std::string cmd = argv[1];
-  const Args args = Args::parse(argc, argv, 2);
+  const Args args = Args::parse(argc, argv, 2, cli_switches());
   try {
     if (cmd == "generate") return cmd_generate(args);
     if (cmd == "info") return cmd_info(args);
     if (cmd == "convert") return cmd_convert(args);
     if (cmd == "scan") return cmd_scan(args);
     if (cmd == "scan2") return cmd_scan2(args);
+    if (cmd == "merge") return cmd_merge(args);
     if (cmd == "baseline") return cmd_baseline(args);
     if (cmd == "significance") return cmd_significance(args);
     if (cmd == "devices") return cmd_devices(args);
