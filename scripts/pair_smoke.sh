@@ -1,0 +1,79 @@
+#!/usr/bin/env bash
+# End-to-end smoke of the *pairwise* sharded scan workflow through the
+# trigen binary, mirroring shard_smoke.sh one interaction order down:
+# generate -> 4x `scan2 --shard` (one worker killed partway and resumed from
+# its checkpoint) -> `merge` -> diff against the unsharded pairwise scan.
+# The CSV sections (everything but the '#' comment lines, which carry
+# timings) must be byte-identical.  Also checks that `merge` refuses to mix
+# interaction orders.
+#
+# usage: scripts/pair_smoke.sh path/to/trigen
+set -euo pipefail
+
+TRIGEN=${1:?usage: pair_smoke.sh path/to/trigen}
+TRIGEN=$(realpath "$TRIGEN")   # survive the cd below when given a relative path
+workdir=$(mktemp -d)
+trap 'rm -rf "$workdir"' EXIT
+cd "$workdir"
+
+# C(96,2) = 4560 pairs; each of 4 shards covers ~1140 ranks.
+"$TRIGEN" generate d.tg --snps 96 --samples 256 --seed 11 \
+  --plant 9,33,95 --model xor3 --effect 0.8
+
+# Reference: one unsharded pairwise scan.
+"$TRIGEN" scan2 d.tg --top 12 --threads 2 > full.txt
+
+# 4-shard plan; worker 2 is killed after ~800 of its ~1140 ranks...
+for i in 0 1 3; do
+  "$TRIGEN" scan2 d.tg --shards 4 --shard "$i" --top 12 --threads 2 \
+    --out "p$i.shard" > /dev/null
+done
+rc=0
+"$TRIGEN" scan2 d.tg --shards 4 --shard 2 --top 12 --threads 2 \
+  --out p2.shard --checkpoint p2.ckpt --checkpoint-every 400 \
+  --stop-after 800 > /dev/null || rc=$?
+if [ "$rc" -ne 3 ]; then
+  echo "expected the killed shard to exit with code 3, got $rc" >&2
+  exit 1
+fi
+if [ -e p2.shard ]; then
+  echo "killed shard must not leave a result file" >&2
+  exit 1
+fi
+
+# ...and a fresh invocation resumes from the checkpoint instead of
+# rescanning.
+"$TRIGEN" scan2 d.tg --shards 4 --shard 2 --top 12 --threads 2 \
+  --out p2.shard --checkpoint p2.ckpt --checkpoint-every 400 \
+  | grep -q '^# resumed from checkpoint' \
+  || { echo "resume did not use the checkpoint" >&2; exit 1; }
+
+"$TRIGEN" merge p0.shard p1.shard p2.shard p3.shard > merged.txt
+
+if ! diff <(grep -v '^#' full.txt) <(grep -v '^#' merged.txt); then
+  echo "merged pair shard results differ from the unsharded scan2" >&2
+  exit 1
+fi
+
+# Two-level tree merge: two contiguous intermediate merges, then the
+# final full-coverage merge — must equal the single-level merge.
+"$TRIGEN" merge --partial p0.shard p1.shard --out left.shard > /dev/null
+"$TRIGEN" merge --partial p2.shard p3.shard --out right.shard > /dev/null
+"$TRIGEN" merge left.shard right.shard > tree.txt
+if ! diff <(grep -v '^#' merged.txt) <(grep -v '^#' tree.txt); then
+  echo "tree merge differs from the single-level merge" >&2
+  exit 1
+fi
+
+# Mixing interaction orders must be refused with a precise error: scan one
+# 3-way shard of the same dataset and try to merge it with the pair shards.
+"$TRIGEN" scan d.tg --shards 4 --shard 0 --top 12 --threads 2 \
+  --out t0.shard > /dev/null
+if "$TRIGEN" merge p0.shard t0.shard > /dev/null 2> err.txt; then
+  echo "mixed-order merge unexpectedly succeeded" >&2
+  exit 1
+fi
+grep -q 'order mismatch' err.txt \
+  || { echo "mixed-order merge failed without naming the order" >&2; exit 1; }
+
+echo "pair smoke: order-2 kill/resume/merge reproduces the full scan2 exactly"

@@ -86,4 +86,63 @@ BlockPartition partition_block_triples(const BlockGrid& g, RankRange range) {
   return part;
 }
 
+std::uint64_t num_block_pairs(std::uint64_t nb) {
+  return n_choose_k(nb + 1, 2);
+}
+
+std::uint64_t rank_block_pair(const BlockPair& p) {
+  return n_choose_k(std::uint64_t{p.b1} + 1, 2) + p.b0;
+}
+
+BlockPair unrank_block_pair(std::uint64_t rank) {
+  // b1 = max { b : C(b+1,2) <= rank }.
+  std::uint64_t b = static_cast<std::uint64_t>(
+      std::sqrt(2.0 * static_cast<double>(rank) + 0.25));
+  b = b > 1 ? b - 1 : 0;
+  while (n_choose_k(b + 2, 2) <= rank) ++b;
+  while (b > 0 && n_choose_k(b + 1, 2) > rank) --b;
+  return BlockPair{static_cast<std::uint32_t>(rank - n_choose_k(b + 1, 2)),
+                   static_cast<std::uint32_t>(b)};
+}
+
+RankRange block_pair_span(const BlockGrid& g, const BlockPair& bp) {
+  const std::uint64_t bs = g.bs;
+  const std::uint64_t base0 = bp.b0 * bs;
+  const std::uint64_t base1 = bp.b1 * bs;
+  const std::uint64_t end0 = std::min(base0 + bs, g.m);
+  const std::uint64_t end1 = std::min(base1 + bs, g.m);
+
+  // Colex-minimum pair: smallest y, then smallest x with x < y.
+  const std::uint64_t x_min = base0;
+  const std::uint64_t y_min = std::max(base1, x_min + 1);
+  if (x_min >= end0 || y_min >= end1) return {};
+
+  // Colex-maximum pair: largest y, then largest x.  The min pair being
+  // valid guarantees the clamps stay ordered.
+  const std::uint64_t y_max = end1 - 1;
+  const std::uint64_t x_max = std::min(end0 - 1, y_max - 1);
+
+  const Pair lo{static_cast<std::uint32_t>(x_min),
+                static_cast<std::uint32_t>(y_min)};
+  const Pair hi{static_cast<std::uint32_t>(x_max),
+                static_cast<std::uint32_t>(y_max)};
+  return {rank_pair(lo), rank_pair(hi) + 1};
+}
+
+BlockPartition partition_block_pairs(const BlockGrid& g, RankRange range) {
+  BlockPartition part;
+  part.clip = range;
+  if (range.empty() || g.m < 2 || g.bs == 0) return part;
+
+  // Same prefix/suffix argument as the triple version, one level down:
+  // b1 layers below block(y_first) or above block(y_last) cannot intersect
+  // the range; the two boundary layers are trimmed per-block by span tests.
+  const std::uint64_t y_first = unrank_pair(range.first).y;
+  const std::uint64_t y_last = unrank_pair(range.last - 1).y;
+  const std::uint64_t lo = num_block_pairs(y_first / g.bs);
+  const std::uint64_t hi = num_block_pairs(y_last / g.bs + 1);
+  part.block_ranks = {lo, std::min(hi, num_block_pairs(g.num_blocks()))};
+  return part;
+}
+
 }  // namespace trigen::combinatorics

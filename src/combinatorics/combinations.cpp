@@ -19,6 +19,21 @@ std::uint64_t n_choose_k(std::uint64_t n, unsigned k) {
   return static_cast<std::uint64_t>(acc);
 }
 
+std::uint64_t rank_pair(const Pair& p) {
+  return n_choose_k(p.y, 2) + p.x;
+}
+
+Pair unrank_pair(std::uint64_t rank) {
+  // y = max { b : C(b,2) <= rank }: C(b,2) ~ b^2/2.
+  std::uint64_t y = static_cast<std::uint64_t>(
+      std::sqrt(2.0 * static_cast<double>(rank) + 0.25) + 0.5);
+  if (y < 1) y = 1;
+  while (n_choose_k(y + 1, 2) <= rank) ++y;
+  while (n_choose_k(y, 2) > rank) --y;
+  return Pair{static_cast<std::uint32_t>(rank - n_choose_k(y, 2)),
+              static_cast<std::uint32_t>(y)};
+}
+
 std::uint64_t rank_triplet(const Triplet& t) {
   return n_choose_k(t.z, 3) + n_choose_k(t.y, 2) + t.x;
 }

@@ -1,24 +1,27 @@
 #pragma once
 /// \file block_partition.hpp
-/// \brief Combinatorics of the block-triple space and the mapping from a
-/// triplet rank range onto it.
+/// \brief Combinatorics of the block-combination spaces (pairs and triples)
+/// and the mapping from a combination rank range onto them.
 ///
-/// The cache-blocked engine (paper Algorithm 1, V3/V4) walks multiset block
-/// triples b0 <= b1 <= b2 instead of individual SNP triplets.  To let the
-/// blocked versions participate in rank-range partitioning (heterogeneous
-/// CPU+GPU splits, sharded scans, permutation shards), this header provides
-/// the block-triple rank math plus `partition_block_triples`, which converts
-/// a triplet rank range into a contiguous run of block-triple ranks with
-/// clip bounds.
+/// The cache-blocked engines (paper Algorithm 1, V3/V4) walk multiset block
+/// tuples — b0 <= b1 for the 2-way scan, b0 <= b1 <= b2 for the 3-way scan
+/// — instead of individual SNP combinations.  To let the blocked versions
+/// participate in rank-range partitioning (heterogeneous CPU+GPU splits,
+/// sharded scans, permutation shards), this header provides the block-tuple
+/// rank math for both orders plus `partition_block_pairs` /
+/// `partition_block_triples`, which convert a combination rank range into a
+/// contiguous run of block-tuple ranks with clip bounds.
 ///
-/// Key monotonicity fact: ordering block triples by colex block rank also
-/// orders both the smallest and the largest triplet rank each nonempty
-/// block triple contains.  (Sketch: within fixed b2, raising b1 pushes the
-/// extremal y past the previous block's maximum, and C(y+1,2) - C(y,2) = y
-/// exceeds any in-block x contribution; raising b2 similarly dominates via
-/// C(z+1,3) - C(z,3) = C(z,2).)  Hence the block triples intersecting a
+/// Key monotonicity fact: ordering block tuples by colex block rank also
+/// orders both the smallest and the largest combination rank each nonempty
+/// block tuple contains.  (Sketch for triples: within fixed b2, raising b1
+/// pushes the extremal y past the previous block's maximum, and
+/// C(y+1,2) - C(y,2) = y exceeds any in-block x contribution; raising b2
+/// similarly dominates via C(z+1,3) - C(z,3) = C(z,2).  For pairs the same
+/// argument with one fewer level: raising b1 dominates via
+/// C(y+1,2) - C(y,2) = y.)  Hence the block tuples intersecting a
 /// contiguous rank range form a contiguous run of block ranks, blocks fully
-/// inside the range form its middle, and per-triplet filtering is only
+/// inside the range form its middle, and per-combination filtering is only
 /// needed at the run's two ends.
 
 #include <cstdint>
@@ -58,19 +61,48 @@ struct BlockGrid {
 /// diagonal blocks for small bs, tail blocks clipped by m).
 RankRange block_triplet_span(const BlockGrid& g, const BlockTriple& bt);
 
-/// A triplet rank range mapped onto the block-triple space.
+/// A combination rank range mapped onto a block-tuple space (either order).
 struct BlockPartition {
-  /// Contiguous run of block-triple ranks covering every block triple whose
-  /// span intersects `clip`.  The run is minimal up to b2-layer granularity;
-  /// blocks inside it whose span misses `clip` are cheap span-test skips.
+  /// Contiguous run of block-tuple ranks covering every block tuple whose
+  /// span intersects `clip`.  The run is minimal up to top-layer
+  /// granularity; blocks inside it whose span misses `clip` are cheap
+  /// span-test skips.
   RankRange block_ranks;
-  /// The triplet rank range being covered (clip bounds for the boundary
-  /// blocks; interior blocks need no per-triplet filtering).
+  /// The combination rank range being covered (clip bounds for the boundary
+  /// blocks; interior blocks need no per-combination filtering).
   RankRange clip;
 };
 
 /// Maps triplet rank range `range` (half-open, within [0, C(g.m, 3))) onto
 /// the block-triple space of `g`.  An empty `range` yields an empty run.
 BlockPartition partition_block_triples(const BlockGrid& g, RankRange range);
+
+// ---------------------------------------------------------------------------
+// Second order: block pairs (the k=2 instantiation of the same scheme)
+// ---------------------------------------------------------------------------
+
+/// Ordered block pair b0 <= b1 (blocks may repeat: the diagonal block pairs
+/// contain the within-block SNP pairs).
+struct BlockPair {
+  std::uint32_t b0, b1;
+  friend bool operator==(const BlockPair&, const BlockPair&) = default;
+};
+
+/// Number of block pairs for `nb` blocks: C(nb + 1, 2) (multiset count).
+std::uint64_t num_block_pairs(std::uint64_t nb);
+
+/// Colex rank of a multiset pair: C(b1+1,2) + C(b0,1).
+std::uint64_t rank_block_pair(const BlockPair& p);
+
+/// Inverse of rank_block_pair.
+BlockPair unrank_block_pair(std::uint64_t rank);
+
+/// Pair rank span [lowest, highest + 1) covered by block pair `bp` on grid
+/// `g`; same bracketing semantics as block_triplet_span.
+RankRange block_pair_span(const BlockGrid& g, const BlockPair& bp);
+
+/// Maps pair rank range `range` (half-open, within [0, C(g.m, 2))) onto the
+/// block-pair space of `g`.  An empty `range` yields an empty run.
+BlockPartition partition_block_pairs(const BlockGrid& g, RankRange range);
 
 }  // namespace trigen::combinatorics

@@ -1,12 +1,15 @@
 #pragma once
 /// \file combinations.hpp
-/// \brief k-combination counting and 3-combination ranking/unranking.
+/// \brief k-combination counting and 2-/3-combination ranking/unranking.
 ///
-/// The search space of 3-way epistasis over M SNPs is the set of strictly
-/// increasing triplets (x < y < z) — C(M,3) of them.  The detector and the
-/// GPU simulator address this space through a *colexicographic rank*: an
-/// integer in [0, C(M,3)) that both sides can partition into contiguous
-/// work chunks without materializing the triplets.
+/// The search space of k-way epistasis over M SNPs is the set of strictly
+/// increasing k-tuples — C(M,k) of them.  The detectors and the GPU
+/// simulator address this space through a *colexicographic rank*: an
+/// integer in [0, C(M,k)) that every engine can partition into contiguous
+/// work chunks without materializing the combinations.  Both supported
+/// interaction orders (pairs for the BOOST-class 2-way scans, triplets for
+/// the paper's headline 3-way scans) get the same rank/unrank/iterate
+/// toolkit so higher layers treat the order as a parameter.
 
 #include <array>
 #include <cstdint>
@@ -39,6 +42,40 @@ std::uint64_t rank_triplet(const Triplet& t);
 /// Inverse of rank_triplet; valid for any rank < C(2^32, 3) representable
 /// in 64 bits.  O(1) via cube-root seeded search.
 Triplet unrank_triplet(std::uint64_t rank);
+
+/// Strictly increasing SNP pair (the second-order search space).
+struct Pair {
+  std::uint32_t x, y;
+  friend bool operator==(const Pair&, const Pair&) = default;
+};
+
+/// Number of SNP pairs for M SNPs: C(M, 2).
+inline std::uint64_t num_pairs(std::uint64_t m) { return n_choose_k(m, 2); }
+
+/// Colex rank of (x < y): C(y,2) + C(x,1).
+std::uint64_t rank_pair(const Pair& p);
+
+/// Inverse of rank_pair.  O(1) via square-root seeded search.
+Pair unrank_pair(std::uint64_t rank);
+
+/// Calls `fn(Pair)` for every pair with rank in [first, last), in rank
+/// order, without per-pair unranking cost (one unrank + rolling
+/// increments).
+template <typename Fn>
+void for_each_pair(std::uint64_t first, std::uint64_t last, Fn&& fn) {
+  if (first >= last) return;
+  Pair p = unrank_pair(first);
+  for (std::uint64_t r = first; r < last; ++r) {
+    fn(p);
+    // Colex successor: increment x; on carry advance y.
+    if (p.x + 1 < p.y) {
+      ++p.x;
+    } else {
+      ++p.y;
+      p.x = 0;
+    }
+  }
+}
 
 /// Calls `fn(Triplet)` for every triplet with rank in [first, last), in
 /// rank order, without per-triplet unranking cost (one unrank + rolling

@@ -13,6 +13,7 @@
 /// live in trigen/combinatorics/block_partition.hpp; the names are
 /// re-exported here for the engine's callers.
 
+#include <array>
 #include <cstdint>
 #include <vector>
 
@@ -25,9 +26,13 @@
 
 namespace trigen::core {
 
+using combinatorics::BlockPair;
 using combinatorics::BlockTriple;
+using combinatorics::num_block_pairs;
 using combinatorics::num_block_triples;
+using combinatorics::rank_block_pair;
 using combinatorics::rank_block_triple;
+using combinatorics::unrank_block_pair;
 using combinatorics::unrank_block_triple;
 
 /// Clip sentinel: covers every possible rank, i.e. "no filtering".
@@ -150,6 +155,134 @@ void scan_block_triple(const dataset::PhenoSplitPlanes& planes,
                        OnTable&& on_table) {
   scan_block_triple(planes, tiling, kernel, scratch, bt, kFullRange,
                     static_cast<OnTable&&>(on_table));
+}
+
+// ---------------------------------------------------------------------------
+// Second order: the blocked pair engine
+// ---------------------------------------------------------------------------
+
+/// Per-thread scratch for the blocked pair engine: frequency tables for all
+/// pairs of a block pair.  The pair path drives the *triple* kernel with a
+/// constant z operand (see scan_block_pair), so the raw accumulation is
+/// still 27 cells wide; the finalize step extracts the 9 pair cells.
+/// Layout: [local_pair][class][27] uint32; local_pair =
+/// (i0-base0)*B_S + (i1-base1).
+class PairBlockScratch {
+ public:
+  explicit PairBlockScratch(std::size_t bs)
+      : bs_(bs), ft_(bs * bs * 2 * scoring::kCells) {}
+
+  std::size_t bs() const { return bs_; }
+  std::uint32_t* table(std::size_t local, int cls) {
+    return ft_.data() +
+           (local * 2 + static_cast<std::size_t>(cls)) * scoring::kCells;
+  }
+  void clear() { std::fill(ft_.begin(), ft_.end(), 0u); }
+
+ private:
+  std::size_t bs_;
+  std::vector<std::uint32_t> ft_;
+};
+
+/// Constant per-class z operand that pins g_z = 0: the genotype-0 plane is
+/// all ones and the genotype-1 plane all zeros, so NOR-inferred genotype 2
+/// is empty and cells (g_x, g_y, 0) of the 27-cell kernel output hold the
+/// 9-cell pair table.  `ones[c]` / `zeros[c]` must each span
+/// `planes.words(c)` words (PairDetector builds them once per dataset).
+struct ConstantZPlanes {
+  std::array<const Word*, 2> ones{};
+  std::array<const Word*, 2> zeros{};
+};
+
+/// Evaluates every SNP pair inside block pair `bp` whose colex rank lies in
+/// `clip` and calls `on_table(combinatorics::Pair, const
+/// scoring::PairContingencyTable&)` for each.  Mirrors scan_block_triple:
+/// the same per-ISA triple-block kernel, the same sample-dimension tiling,
+/// and the same three-tier rank clipping (span miss -> skip, interior ->
+/// no per-pair overhead, boundary -> per-pair rank filter).
+template <typename OnTable>
+void scan_block_pair(const dataset::PhenoSplitPlanes& planes,
+                     const TilingParams& tiling, TripleBlockKernel kernel,
+                     PairBlockScratch& scratch, const ConstantZPlanes& z,
+                     const BlockPair& bp,
+                     const combinatorics::RankRange& clip,
+                     OnTable&& on_table) {
+  const std::size_t bs = tiling.bs;
+  const std::size_t m = planes.num_snps();
+  const std::size_t base0 = bp.b0 * bs;
+  const std::size_t base1 = bp.b1 * bs;
+  const std::size_t end0 = std::min(base0 + bs, m);
+  const std::size_t end1 = std::min(base1 + bs, m);
+  if (base0 >= m || base1 >= m) return;
+
+  bool filter = false;
+  if (clip.first != kFullRange.first || clip.last != kFullRange.last) {
+    const combinatorics::RankRange span =
+        block_pair_span(combinatorics::BlockGrid{m, bs}, bp);
+    if (span.empty() || span.last <= clip.first || span.first >= clip.last) {
+      return;  // no pair of this block pair is in range
+    }
+    filter = span.first < clip.first || span.last > clip.last;
+  }
+
+  scratch.clear();
+
+  // Sample-blocked accumulation: for each class, stream B_P words at a
+  // time through all pairs of the block pair (Algorithm 1 loop order with
+  // the innermost SNP level removed).
+  for (int c = 0; c < 2; ++c) {
+    const std::size_t words = planes.words(c);
+    const Word* z0 = z.ones[static_cast<std::size_t>(c)];
+    const Word* z1 = z.zeros[static_cast<std::size_t>(c)];
+    for (std::size_t w0 = 0; w0 < words; w0 += tiling.bp_words) {
+      const std::size_t w1 = std::min(w0 + tiling.bp_words, words);
+      for (std::size_t i0 = base0; i0 < end0; ++i0) {
+        for (std::size_t i1 = std::max(base1, i0 + 1); i1 < end1; ++i1) {
+          const std::size_t local = (i0 - base0) * bs + (i1 - base1);
+          kernel(planes.plane(c, i0, 0), planes.plane(c, i0, 1),
+                 planes.plane(c, i1, 0), planes.plane(c, i1, 1), z0, z1, w0,
+                 w1, scratch.table(local, c));
+        }
+      }
+    }
+  }
+
+  // Finalize: extract the g_z = 0 cells, fold the NOR padding out of pair
+  // cell (2,2) — padding tail bits read as (2, 2, 0) — and emit tables.
+  for (std::size_t i0 = base0; i0 < end0; ++i0) {
+    for (std::size_t i1 = std::max(base1, i0 + 1); i1 < end1; ++i1) {
+      const combinatorics::Pair pair{static_cast<std::uint32_t>(i0),
+                                     static_cast<std::uint32_t>(i1)};
+      if (filter) {
+        const std::uint64_t rank = combinatorics::rank_pair(pair);
+        if (rank < clip.first || rank >= clip.last) continue;
+      }
+      const std::size_t local = (i0 - base0) * bs + (i1 - base1);
+      scoring::PairContingencyTable t;
+      for (int c = 0; c < 2; ++c) {
+        const std::uint32_t* ft = scratch.table(local, c);
+        auto& row = t.counts[static_cast<std::size_t>(c)];
+        for (int gx = 0; gx < 3; ++gx) {
+          for (int gy = 0; gy < 3; ++gy) {
+            row[static_cast<std::size_t>(scoring::pair_cell_index(gx, gy))] =
+                ft[scoring::cell_index(gx, gy, 0)];
+          }
+        }
+        row[8] -= static_cast<std::uint32_t>(planes.pad_bits(c));
+      }
+      on_table(pair, t);
+    }
+  }
+}
+
+/// Unclipped scan: every pair of the block pair is emitted.
+template <typename OnTable>
+void scan_block_pair(const dataset::PhenoSplitPlanes& planes,
+                     const TilingParams& tiling, TripleBlockKernel kernel,
+                     PairBlockScratch& scratch, const ConstantZPlanes& z,
+                     const BlockPair& bp, OnTable&& on_table) {
+  scan_block_pair(planes, tiling, kernel, scratch, z, bp, kFullRange,
+                  static_cast<OnTable&&>(on_table));
 }
 
 }  // namespace trigen::core

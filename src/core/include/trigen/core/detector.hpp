@@ -57,10 +57,13 @@ std::string objective_name(Objective o);
 std::function<double(const scoring::ContingencyTable&)> make_normalized_scorer(
     Objective o, std::uint32_t num_samples);
 
-/// Detection parameters.  Zero-valued fields mean "auto".
-struct DetectorOptions {
+/// Scan parameters shared by every interaction order (the 3-way Detector
+/// and the 2-way PairDetector derive their option structs from this, each
+/// adding only its order-specific scorer hook).  Zero-valued fields mean
+/// "auto".
+struct ScanOptionsBase {
   CpuVersion version = CpuVersion::kV4Vector;
-  /// Vector strategy for V4 (ignored by V1-V3, which are scalar by
+  /// Vector strategy for V4 (ignored by V1/V3, which are scalar by
   /// definition).  Defaults to the widest the host supports.
   KernelIsa isa = KernelIsa::kScalar;
   bool isa_auto = true;  ///< when true, `isa` is replaced by best_kernel_isa()
@@ -68,21 +71,25 @@ struct DetectorOptions {
   unsigned threads = 1;       ///< 0 = hardware_concurrency
   std::uint64_t chunk_size = 0;  ///< scheduler chunk; 0 = auto
   TilingParams tiling{0, 0};  ///< {0,0} = autotune from the host L1D
-  std::size_t top_k = 1;      ///< how many best triplets to report
-  /// Restrict the scan to a triplet-rank sub-range (heterogeneous CPU+GPU
-  /// splits, sharded/multi-node scans).  Empty means the full space.  All
-  /// four versions accept any sub-range: the per-triplet versions (V1/V2)
-  /// iterate it directly, the blocked versions (V3/V4) map it to block
-  /// triples and clip only at the partition's boundary blocks, so a union
-  /// of partial scans over any full-coverage split reproduces the full
-  /// scan triplet-for-triplet.  For production-scale range orchestration —
-  /// planning shards, checkpoint/resume, portable result files and the
-  /// exact merge — use `trigen::shard` (src/shard/) instead of driving
-  /// this field by hand.
+  std::size_t top_k = 1;      ///< how many best combinations to report
+  /// Restrict the scan to a combination-rank sub-range (heterogeneous
+  /// CPU+GPU splits, sharded/multi-node scans).  Empty means the full
+  /// space.  All four versions accept any sub-range: the per-combination
+  /// versions (V1/V2) iterate it directly, the blocked versions (V3/V4)
+  /// map it to block tuples and clip only at the partition's boundary
+  /// blocks, so a union of partial scans over any full-coverage split
+  /// reproduces the full scan combination-for-combination.  For
+  /// production-scale range orchestration — planning shards,
+  /// checkpoint/resume, portable result files and the exact merge — use
+  /// `trigen::shard` (src/shard/) instead of driving this field by hand.
   combinatorics::RankRange range{0, 0};
-  /// Optional progress callback, reported in triplets scanned out of
+  /// Optional progress callback, reported in combinations scanned out of
   /// `range.size()` (serialized, monotone; runs on worker threads).
   ProgressFn progress{};
+};
+
+/// Detection parameters for the 3-way scan.
+struct DetectorOptions : ScanOptionsBase {
   /// Optional pre-built scorer overriding `objective` (must be normalized
   /// to lower-is-better, e.g. from make_normalized_scorer).  Lets repeated
   /// scans — permutation testing above all — share one log-factorial
@@ -90,12 +97,8 @@ struct DetectorOptions {
   std::function<double(const scoring::ContingencyTable&)> scorer{};
 };
 
-/// Outcome of a detection run.
-struct DetectionResult {
-  /// Best triplets, best-first.  Scores are normalized to lower-is-better
-  /// (MI and X^2 are negated; K2 is reported as-is).
-  std::vector<ScoredTriplet> best;
-  std::uint64_t triplets_evaluated = 0;
+/// Execution statistics shared by every scan result, independent of order.
+struct ScanStats {
   /// The paper's "elements" metric: combinations x samples.
   std::uint64_t elements = 0;
   double seconds = 0.0;
@@ -108,6 +111,14 @@ struct DetectionResult {
   double elements_per_second() const {
     return seconds > 0.0 ? static_cast<double>(elements) / seconds : 0.0;
   }
+};
+
+/// Outcome of a 3-way detection run.
+struct DetectionResult : ScanStats {
+  /// Best triplets, best-first.  Scores are normalized to lower-is-better
+  /// (MI and X^2 are negated; K2 is reported as-is).
+  std::vector<ScoredTriplet> best;
+  std::uint64_t triplets_evaluated = 0;
 };
 
 /// Exhaustive 3-way detector over one dataset.  Thread-safe for concurrent

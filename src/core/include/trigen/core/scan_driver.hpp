@@ -66,19 +66,30 @@ void parallel_scan(std::uint64_t total_units, const ScanConfig& cfg,
       });
 }
 
-/// Top-k specialization: per-thread `TopK` accumulators plus the final
-/// rank-ordered merge.  Because `ScoredTriplet`'s ordering breaks score
-/// ties by triplet rank, the merged k-best set is unique — the result is
-/// deterministic for any thread count and work split.
+/// Top-k specialization: per-thread `BasicTopK<Scored>` accumulators plus
+/// the final rank-ordered merge.  Because the scored types break score ties
+/// by combination rank, the merged k-best set is unique — the result is
+/// deterministic for any thread count and work split.  `Scored` is
+/// `ScoredTriplet` for the 3-way scans and `ScoredPair` for the 2-way
+/// scans; `scan_topk` below fixes the former for the existing callers.
+template <typename Scored, typename Body>
+BasicTopK<Scored> scan_best(std::uint64_t total_units, const ScanConfig& cfg,
+                            std::size_t top_k, Body&& body) {
+  std::vector<BasicTopK<Scored>> per_thread(cfg.threads,
+                                            BasicTopK<Scored>(top_k));
+  parallel_scan(total_units, cfg, per_thread,
+                static_cast<Body&&>(body));
+  BasicTopK<Scored> merged(top_k);
+  for (const BasicTopK<Scored>& t : per_thread) merged.merge(t);
+  return merged;
+}
+
+/// Triplet shorthand used by the 3-way detector paths.
 template <typename Body>
 TopK scan_topk(std::uint64_t total_units, const ScanConfig& cfg,
                std::size_t top_k, Body&& body) {
-  std::vector<TopK> per_thread(cfg.threads, TopK(top_k));
-  parallel_scan(total_units, cfg, per_thread,
-                static_cast<Body&&>(body));
-  TopK merged(top_k);
-  for (const TopK& t : per_thread) merged.merge(t);
-  return merged;
+  return scan_best<ScoredTriplet>(total_units, cfg, top_k,
+                                  static_cast<Body&&>(body));
 }
 
 }  // namespace trigen::core

@@ -1,11 +1,14 @@
 #pragma once
 /// \file topk.hpp
-/// \brief Bounded best-K accumulator for detection results.
+/// \brief Bounded best-K accumulator for detection results (any order).
 ///
-/// Each worker thread keeps its own TopK (no synchronization in the hot
-/// loop, §IV-A) and the detector merges them at the end.  Ordering is
+/// Each worker thread keeps its own accumulator (no synchronization in the
+/// hot loop, §IV-A) and the detector merges them at the end.  Ordering is
 /// normalized to lower-is-better; ties break on combination rank so results
-/// are deterministic under any thread count.
+/// are deterministic under any thread count.  The accumulator is generic
+/// over the scored-combination type: `ScoredTriplet` for the 3-way scans,
+/// `ScoredPair` for the 2-way scans — anything with a strict-weak `<` whose
+/// tie-break is a total order.
 
 #include <algorithm>
 #include <cstdint>
@@ -27,12 +30,25 @@ struct ScoredTriplet {
   }
 };
 
-/// Keeps the K best (lowest-score) triplets seen so far.
-class TopK {
- public:
-  explicit TopK(std::size_t k) : k_(k == 0 ? 1 : k) {}
+/// One scored SNP pair (the k=2 counterpart of ScoredTriplet).
+struct ScoredPair {
+  std::uint32_t x = 0, y = 0;
+  double score = 0.0;  ///< normalized: lower is better
 
-  void push(const ScoredTriplet& s) {
+  friend bool operator<(const ScoredPair& a, const ScoredPair& b) {
+    if (a.score != b.score) return a.score < b.score;
+    return combinatorics::rank_pair({a.x, a.y}) <
+           combinatorics::rank_pair({b.x, b.y});
+  }
+};
+
+/// Keeps the K best (lowest-ordered) combinations seen so far.
+template <typename Scored>
+class BasicTopK {
+ public:
+  explicit BasicTopK(std::size_t k) : k_(k == 0 ? 1 : k) {}
+
+  void push(const Scored& s) {
     if (entries_.size() < k_) {
       entries_.push_back(s);
       std::push_heap(entries_.begin(), entries_.end());  // max-heap on worst
@@ -46,13 +62,13 @@ class TopK {
   }
 
   /// Merge another accumulator into this one.
-  void merge(const TopK& other) {
+  void merge(const BasicTopK& other) {
     for (const auto& e : other.entries_) push(e);
   }
 
   /// Entries best-first.
-  std::vector<ScoredTriplet> sorted() const {
-    std::vector<ScoredTriplet> out = entries_;
+  std::vector<Scored> sorted() const {
+    std::vector<Scored> out = entries_;
     std::sort(out.begin(), out.end());
     return out;
   }
@@ -63,7 +79,10 @@ class TopK {
 
  private:
   std::size_t k_;
-  std::vector<ScoredTriplet> entries_;  // max-heap: front() is the worst kept
+  std::vector<Scored> entries_;  // max-heap: front() is the worst kept
 };
+
+using TopK = BasicTopK<ScoredTriplet>;
+using PairTopK = BasicTopK<ScoredPair>;
 
 }  // namespace trigen::core

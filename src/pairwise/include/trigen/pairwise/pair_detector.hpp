@@ -5,65 +5,89 @@
 /// Extension beyond the paper's headline: the related-work systems it
 /// benchmarks its lineage against (BOOST, GBOOST, epiSNP, GWIS_FI) are
 /// *pairwise* tools, and diseases like Crohn's are driven by second-order
-/// interactions (§I).  This module reuses the phenotype-split bit-plane
-/// layout and the per-ISA vector strategies to evaluate all C(M,2) pairs
-/// with 9x2 contingency tables.
+/// interactions (§I).  This module runs all C(M,2) pairs through the same
+/// stack as the 3-way detector: the phenotype-split bit-plane layout, the
+/// full V1-V4 optimization ladder (naive planes, split planes, L1 blocking,
+/// per-ISA vectorization), the shared scan driver, and rank-range
+/// partitioning — so every orchestration layer built for triplets (sharding,
+/// checkpoint/resume, merge, permutation testing) works for pairs too.
+/// Options and results derive from the same order-generic bases as the
+/// triplet detector (core::ScanOptionsBase / core::ScanStats).
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <vector>
 
 #include "trigen/core/detector.hpp"
 #include "trigen/dataset/genotype_matrix.hpp"
+#include "trigen/scoring/contingency.hpp"
 
 namespace trigen::pairwise {
 
-/// One scored SNP pair.
-struct ScoredPair {
-  std::uint32_t x = 0, y = 0;
-  double score = 0.0;  ///< normalized: lower is better
-};
+/// One scored SNP pair (shared with the order-generic top-k machinery).
+using ScoredPair = core::ScoredPair;
 
-/// 9x2 frequency table for a SNP pair.
-struct PairTable {
-  /// counts[class][g_x * 3 + g_y]
-  std::array<std::array<std::uint32_t, 9>, 2> counts{};
-  friend bool operator==(const PairTable&, const PairTable&) = default;
-};
+/// 9x2 frequency table for a SNP pair: counts[class][g_x * 3 + g_y].
+using PairTable = scoring::PairContingencyTable;
 
 /// Ground-truth pair table by per-sample counting (tests, quickchecks).
 PairTable reference_pair_table(const dataset::GenotypeMatrix& d,
                                std::size_t x, std::size_t y);
 
 /// Pair rank in colex order: rank(x < y) = C(y,2) + x.
-std::uint64_t rank_pair(std::uint32_t x, std::uint32_t y);
+inline std::uint64_t rank_pair(std::uint32_t x, std::uint32_t y) {
+  return combinatorics::rank_pair({x, y});
+}
 /// Number of pairs: C(M, 2).
-std::uint64_t num_pairs(std::uint64_t m);
+inline std::uint64_t num_pairs(std::uint64_t m) {
+  return combinatorics::num_pairs(m);
+}
 
-/// Options mirror core::DetectorOptions where meaningful.
-struct PairDetectorOptions {
-  core::Objective objective = core::Objective::kK2;
-  core::KernelIsa isa = core::KernelIsa::kScalar;
-  bool isa_auto = true;
-  unsigned threads = 1;
-  std::size_t top_k = 1;
-  /// Optional progress callback in pairs scanned (see core::ProgressFn).
-  core::ProgressFn progress{};
+/// Scorer for `o` over the 9 pair cells, normalized to lower-is-better
+/// (MI and X^2 are negated), sized for datasets of `num_samples`.  The
+/// pairwise counterpart of core::make_normalized_scorer, shared by the
+/// detector, the shard runner and the permutation test so repeated scans
+/// reuse one log-factorial table.
+std::function<double(const PairTable&)> make_normalized_pair_scorer(
+    core::Objective o, std::uint32_t num_samples);
+
+/// Detection parameters for the 2-way scan.  All order-generic fields
+/// (version, ISA, threads, chunking, tiling, top_k, rank range, progress)
+/// come from core::ScanOptionsBase; `range` addresses the colex pair rank
+/// space [0, C(M,2)).
+struct PairDetectorOptions : core::ScanOptionsBase {
+  /// Optional pre-built scorer overriding `objective` (must be normalized
+  /// to lower-is-better, e.g. from make_normalized_pair_scorer).
+  std::function<double(const PairTable&)> scorer{};
 };
 
-struct PairDetectionResult {
+/// Injects the default normalized scorer for `objective` when none is set
+/// — the shared prelude of every repeated-scan harness (shard runner,
+/// permutation tests), overloaded per interaction order.
+inline void ensure_default_scorer(core::DetectorOptions& opt,
+                                  std::size_t num_samples) {
+  if (!opt.scorer) {
+    opt.scorer = core::make_normalized_scorer(
+        opt.objective, static_cast<std::uint32_t>(num_samples));
+  }
+}
+inline void ensure_default_scorer(PairDetectorOptions& opt,
+                                  std::size_t num_samples) {
+  if (!opt.scorer) {
+    opt.scorer = make_normalized_pair_scorer(
+        opt.objective, static_cast<std::uint32_t>(num_samples));
+  }
+}
+
+/// Outcome of a 2-way detection run.
+struct PairDetectionResult : core::ScanStats {
   std::vector<ScoredPair> best;  ///< best-first
   std::uint64_t pairs_evaluated = 0;
-  std::uint64_t elements = 0;  ///< pairs x samples
-  double seconds = 0.0;
-  core::KernelIsa isa_used = core::KernelIsa::kScalar;
-
-  double elements_per_second() const {
-    return seconds > 0.0 ? static_cast<double>(elements) / seconds : 0.0;
-  }
 };
 
-/// Exhaustive 2-way detector over one dataset.
+/// Exhaustive 2-way detector over one dataset.  Thread-safe for concurrent
+/// run() calls; the bit-plane layouts are built once at construction.
 class PairDetector {
  public:
   explicit PairDetector(const dataset::GenotypeMatrix& d);
@@ -72,10 +96,15 @@ class PairDetector {
   PairDetector(const PairDetector&) = delete;
   PairDetector& operator=(const PairDetector&) = delete;
 
+  /// Runs exhaustive detection; throws std::invalid_argument for
+  /// inconsistent options and std::runtime_error for unavailable ISAs.
+  /// All four versions produce bit-identical results for any rank range
+  /// (cross-checked in the test suite); they differ only in speed.
   PairDetectionResult run(const PairDetectorOptions& options = {}) const;
 
-  /// Pair contingency via the bitwise kernel (cross-checked against
-  /// reference_pair_table in tests).
+  /// Reference per-pair evaluation through the bitwise kernel over the
+  /// full sample range — the cross-check the blocked path is validated
+  /// against (and the V2 per-pair scan path).
   PairTable contingency(std::size_t x, std::size_t y,
                         core::KernelIsa isa = core::KernelIsa::kScalar) const;
 

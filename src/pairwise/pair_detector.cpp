@@ -1,19 +1,22 @@
 #include "trigen/pairwise/pair_detector.hpp"
 
 #include <algorithm>
-#include <cmath>
+#include <bit>
 #include <functional>
 #include <stdexcept>
 
+#include "trigen/combinatorics/block_partition.hpp"
 #include "trigen/combinatorics/scheduler.hpp"
 #include "trigen/common/aligned.hpp"
 #include "trigen/common/stopwatch.hpp"
+#include "trigen/core/blocked_engine.hpp"
 #include "trigen/core/scan_driver.hpp"
+#include "trigen/dataset/bitplanes.hpp"
 #include "trigen/scoring/generic.hpp"
 
 namespace trigen::pairwise {
 
-using combinatorics::n_choose_k;
+using combinatorics::RankRange;
 using dataset::Word;
 
 PairTable reference_pair_table(const dataset::GenotypeMatrix& d,
@@ -29,27 +32,7 @@ PairTable reference_pair_table(const dataset::GenotypeMatrix& d,
   return t;
 }
 
-std::uint64_t rank_pair(std::uint32_t x, std::uint32_t y) {
-  return n_choose_k(y, 2) + x;
-}
-
-std::uint64_t num_pairs(std::uint64_t m) { return n_choose_k(m, 2); }
-
-namespace {
-
-std::pair<std::uint32_t, std::uint32_t> unrank_pair(std::uint64_t rank) {
-  // y = max { b : C(b,2) <= rank }.
-  std::uint64_t y = static_cast<std::uint64_t>(
-      std::sqrt(2.0 * static_cast<double>(rank) + 0.25) + 0.5);
-  if (y < 1) y = 1;
-  while (n_choose_k(y + 1, 2) <= rank) ++y;
-  while (n_choose_k(y, 2) > rank) --y;
-  return {static_cast<std::uint32_t>(rank - n_choose_k(y, 2)),
-          static_cast<std::uint32_t>(y)};
-}
-
-/// Normalized (lower-is-better) scorer over the 9 pair cells.
-std::function<double(const PairTable&)> make_pair_scorer(
+std::function<double(const PairTable&)> make_normalized_pair_scorer(
     core::Objective o, std::uint32_t num_samples) {
   switch (o) {
     case core::Objective::kK2: {
@@ -71,11 +54,47 @@ std::function<double(const PairTable&)> make_pair_scorer(
   throw std::invalid_argument("unknown objective");
 }
 
+namespace {
+
+/// V1 pair evaluation from the naive Fig.-1 layout: genotype-plane ANDs
+/// against the phenotype / negated phenotype plane (the 2-way instance of
+/// core::contingency_v1).  Zero-padded genotype planes contribute nothing.
+PairTable pair_contingency_v1(const dataset::BitPlanesV1& p, std::size_t x,
+                              std::size_t y) {
+  PairTable t;
+  const Word* pheno = p.phenotype_plane();
+  for (int gx = 0; gx < 3; ++gx) {
+    const Word* px = p.plane(x, gx);
+    for (int gy = 0; gy < 3; ++gy) {
+      const Word* py = p.plane(y, gy);
+      const auto cell =
+          static_cast<std::size_t>(scoring::pair_cell_index(gx, gy));
+      std::uint32_t ctrl = 0;
+      std::uint32_t cases = 0;
+      for (std::size_t w = 0; w < p.words(); ++w) {
+        const Word g = px[w] & py[w];
+        cases += static_cast<std::uint32_t>(std::popcount(g & pheno[w]));
+        ctrl += static_cast<std::uint32_t>(std::popcount(g & ~pheno[w]));
+      }
+      t.counts[0][cell] = ctrl;
+      t.counts[1][cell] = cases;
+    }
+  }
+  return t;
+}
+
+unsigned resolve_threads(unsigned requested) {
+  if (requested != 0) return requested;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
 }  // namespace
 
 struct PairDetector::Impl {
   std::size_t num_snps = 0;
   std::size_t num_samples = 0;
+  dataset::BitPlanesV1 v1;
   dataset::PhenoSplitPlanes split;
   /// Synthetic third-SNP planes: genotype-0 all-ones, genotype-1 all-zeros.
   /// Feeding them as the Z operand of the *triple* kernel pins g_z to 0, so
@@ -83,6 +102,11 @@ struct PairDetector::Impl {
   /// which lets the pairwise path reuse every vectorized kernel unchanged.
   std::array<aligned_vector<Word>, 2> ones;
   std::array<aligned_vector<Word>, 2> zeros;
+
+  core::ConstantZPlanes z_planes() const {
+    return core::ConstantZPlanes{{ones[0].data(), ones[1].data()},
+                                 {zeros[0].data(), zeros[1].data()}};
+  }
 };
 
 PairDetector::PairDetector(const dataset::GenotypeMatrix& d)
@@ -90,8 +114,13 @@ PairDetector::PairDetector(const dataset::GenotypeMatrix& d)
   if (d.num_snps() < 2) {
     throw std::invalid_argument("PairDetector: need at least 2 SNPs");
   }
+  if (!d.valid()) {
+    throw std::invalid_argument(
+        "PairDetector: dataset contains invalid values");
+  }
   impl_->num_snps = d.num_snps();
   impl_->num_samples = d.num_samples();
+  impl_->v1 = dataset::BitPlanesV1::build(d);
   impl_->split = dataset::PhenoSplitPlanes::build(d);
   for (int c = 0; c < 2; ++c) {
     const auto cs = static_cast<std::size_t>(c);
@@ -132,74 +161,113 @@ PairTable PairDetector::contingency(std::size_t x, std::size_t y,
 }
 
 PairDetectionResult PairDetector::run(const PairDetectorOptions& options) const {
+  PairDetectionResult result;
+  result.threads_used = resolve_threads(options.threads);
+  // Same ISA resolution as the 3-way detector: V1 and V3 are scalar by
+  // definition, V4 defaults to the widest available strategy, V2 honors an
+  // explicitly requested ISA.
+  result.isa_used = core::KernelIsa::kScalar;
+  if (options.version == core::CpuVersion::kV4Vector) {
+    result.isa_used =
+        options.isa_auto ? core::best_kernel_isa() : options.isa;
+  } else if (options.version == core::CpuVersion::kV2Split &&
+             !options.isa_auto) {
+    result.isa_used = options.isa;
+  }
+  if (!core::kernel_available(result.isa_used)) {
+    throw std::runtime_error("requested kernel ISA not available: " +
+                             core::kernel_isa_name(result.isa_used));
+  }
   if (options.top_k == 0) {
     throw std::invalid_argument("PairDetectorOptions::top_k must be >= 1");
   }
-  PairDetectionResult result;
-  result.isa_used =
-      options.isa_auto ? core::best_kernel_isa() : options.isa;
-  if (!core::kernel_available(result.isa_used)) {
-    throw std::runtime_error("requested kernel ISA not available");
+
+  const std::size_t m = impl_->num_snps;
+  const std::uint64_t total = num_pairs(m);
+  RankRange range = options.range;
+  if (range.empty()) range = {0, total};
+  if (range.last > total) {
+    throw std::invalid_argument(
+        "PairDetectorOptions::range exceeds the space");
   }
-  unsigned threads = options.threads;
-  if (threads == 0) {
-    const unsigned hw = std::thread::hardware_concurrency();
-    threads = hw == 0 ? 1 : hw;
-  }
+  const bool partial = range.first != 0 || range.last != total;
+  result.pairs_evaluated = range.size();
+  result.elements = range.size() * impl_->num_samples;
 
-  const std::uint64_t total = num_pairs(impl_->num_snps);
-  result.pairs_evaluated = total;
-  result.elements = total * impl_->num_samples;
+  const auto scorer =
+      options.scorer
+          ? options.scorer
+          : make_normalized_pair_scorer(
+                options.objective,
+                static_cast<std::uint32_t>(impl_->num_samples));
 
-  const auto scorer = make_pair_scorer(
-      options.objective, static_cast<std::uint32_t>(impl_->num_samples));
-
-  struct Best {
-    std::vector<ScoredPair> entries;  // sorted ascending, <= top_k
-  };
-  std::vector<Best> per_thread(threads);
-  auto push = [&](Best& best, const ScoredPair& s, std::size_t k) {
-    auto it = std::lower_bound(
-        best.entries.begin(), best.entries.end(), s,
-        [](const ScoredPair& a, const ScoredPair& b) {
-          if (a.score != b.score) return a.score < b.score;
-          return rank_pair(a.x, a.y) < rank_pair(b.x, b.y);
-        });
-    best.entries.insert(it, s);
-    if (best.entries.size() > k) best.entries.pop_back();
-  };
-
-  // Shared scan driver: same fork/join, chunking and progress skeleton as
-  // the 3-way detector, with pair-rank work units.
   core::ScanConfig cfg;
-  cfg.threads = threads;
+  cfg.threads = result.threads_used;
+  cfg.chunk_size = options.chunk_size;
   cfg.progress = options.progress;
-  cfg.progress_total = total;
-  Stopwatch sw;
-  core::parallel_scan(
-      total, cfg, per_thread,
-      [&](unsigned, combinatorics::RankRange range,
-          Best& best) -> std::uint64_t {
-        auto [x, y] = unrank_pair(range.first);
-        for (std::uint64_t r = range.first; r < range.last; ++r) {
-          const PairTable t = contingency(x, y, result.isa_used);
-          push(best, ScoredPair{x, y, scorer(t)}, options.top_k);
-          if (x + 1 < y) {  // colex successor
-            ++x;
-          } else {
-            ++y;
-            x = 0;
-          }
-        }
-        return range.size();
-      });
-  result.seconds = sw.seconds();
+  cfg.progress_total = range.size();
 
-  Best merged;
-  for (const auto& b : per_thread) {
-    for (const auto& s : b.entries) push(merged, s, options.top_k);
+  Stopwatch sw;
+  core::PairTopK merged(options.top_k);
+  const bool blocked = options.version == core::CpuVersion::kV3Blocked ||
+                       options.version == core::CpuVersion::kV4Vector;
+  if (!blocked) {
+    // V1/V2: work unit = one pair rank inside `range`.
+    const bool naive = options.version == core::CpuVersion::kV1Naive;
+    const core::KernelIsa isa = result.isa_used;
+    merged = core::scan_best<ScoredPair>(
+        range.size(), cfg, options.top_k,
+        [&](unsigned, RankRange r, core::PairTopK& top) -> std::uint64_t {
+          combinatorics::for_each_pair(
+              range.first + r.first, range.first + r.last,
+              [&](const combinatorics::Pair& p) {
+                const PairTable table =
+                    naive ? pair_contingency_v1(impl_->v1, p.x, p.y)
+                          : contingency(p.x, p.y, isa);
+                top.push(ScoredPair{p.x, p.y, scorer(table)});
+              });
+          return r.size();
+        });
+    result.tiling_used = core::TilingParams{0, 0};
+  } else {
+    // V3/V4: work unit = one block pair of the partition covering `range`;
+    // emitted pairs are clipped to the range at the partition boundary
+    // (interior blocks pay no per-pair overhead).
+    core::TilingParams tiling = options.tiling;
+    if (!tiling.valid()) {
+      tiling = core::autotune_tiling(
+          core::detect_l1_config(),
+          core::kernel_vector_words(result.isa_used));
+    }
+    result.tiling_used = tiling;
+    const core::TripleBlockKernel kernel = core::get_kernel(result.isa_used);
+    const core::ConstantZPlanes z = impl_->z_planes();
+    const combinatorics::BlockGrid grid{m, tiling.bs};
+    const combinatorics::BlockPartition part =
+        combinatorics::partition_block_pairs(grid, range);
+    const RankRange clip = partial ? range : core::kFullRange;
+    std::vector<core::PairBlockScratch> scratch;
+    scratch.reserve(cfg.threads);
+    for (unsigned t = 0; t < cfg.threads; ++t) scratch.emplace_back(tiling.bs);
+    merged = core::scan_best<ScoredPair>(
+        part.block_ranks.size(), cfg, options.top_k,
+        [&](unsigned tid, RankRange r, core::PairTopK& top) -> std::uint64_t {
+          std::uint64_t emitted = 0;
+          for (std::uint64_t b = r.first; b < r.last; ++b) {
+            core::scan_block_pair(
+                impl_->split, tiling, kernel, scratch[tid], z,
+                combinatorics::unrank_block_pair(part.block_ranks.first + b),
+                clip,
+                [&](const combinatorics::Pair& p, const PairTable& table) {
+                  ++emitted;
+                  top.push(ScoredPair{p.x, p.y, scorer(table)});
+                });
+          }
+          return emitted;
+        });
   }
-  result.best = std::move(merged.entries);
+  result.seconds = sw.seconds();
+  result.best = merged.sorted();
   return result;
 }
 

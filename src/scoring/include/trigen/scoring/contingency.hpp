@@ -54,4 +54,37 @@ ContingencyTable reference_contingency(const dataset::GenotypeMatrix& d,
                                        std::size_t x, std::size_t y,
                                        std::size_t z);
 
+// ---------------------------------------------------------------------------
+// Second order: the 9x2 table of a SNP pair
+// ---------------------------------------------------------------------------
+
+/// Number of genotype combinations for a SNP pair: 3^2.
+inline constexpr int kPairCells = 9;
+
+/// Cell index for a pair genotype combination.
+constexpr int pair_cell_index(int gx, int gy) { return gx * 3 + gy; }
+
+/// 9x2 frequency table (the k=2 counterpart of ContingencyTable, consumed
+/// by the pairwise detector and the order-generic scorers in generic.hpp).
+struct PairContingencyTable {
+  /// counts[j][i]: samples of class j with genotype combination i.
+  std::array<std::array<std::uint32_t, kPairCells>, 2> counts{};
+
+  std::uint32_t at(int gx, int gy, int cls) const {
+    return counts[static_cast<std::size_t>(cls)]
+                 [static_cast<std::size_t>(pair_cell_index(gx, gy))];
+  }
+
+  std::uint32_t class_total(int cls) const {
+    std::uint32_t t = 0;
+    for (const auto v : counts[static_cast<std::size_t>(cls)]) t += v;
+    return t;
+  }
+
+  std::uint32_t total() const { return class_total(0) + class_total(1); }
+
+  friend bool operator==(const PairContingencyTable&,
+                         const PairContingencyTable&) = default;
+};
+
 }  // namespace trigen::scoring

@@ -3,29 +3,36 @@
 /// \brief Deterministic fold of shard results into one scan answer.
 ///
 /// Because per-shard top-k sets are computed with the same rank-tie-broken
-/// ordering the full scan uses, the k best triplets of the whole space are
-/// each inside their own shard's top-k — so merging any full-coverage set
-/// of shard results reproduces the unsharded `Detector::run` top-k exactly
+/// ordering the full scan uses, the k best combinations of the whole space
+/// are each inside their own shard's top-k — so merging any full-coverage
+/// set of shard results reproduces the unsharded scan top-k exactly
 /// (scores bit-for-bit, order included), in whatever order the shards are
 /// presented.  The merge refuses anything that would silently break that
 /// guarantee: mixed fingerprints/objectives/top_k, overlapping shards, or
-/// coverage gaps.
+/// coverage gaps.  Both interaction orders merge through one shared
+/// implementation: `merge_shards` for 3-way shard results,
+/// `merge_pair_shards` for 2-way ones (order mixing is impossible by
+/// construction — the readers in result_io.hpp already reject files of the
+/// wrong order).
 
 #include <vector>
 
 #include "trigen/core/detector.hpp"
+#include "trigen/pairwise/pair_detector.hpp"
 #include "trigen/shard/result_io.hpp"
 
 namespace trigen::shard {
 
-/// A merged scan plus shard-level accounting.
-struct MergedScan {
-  /// Equivalent scan result over `range`: `best`, `triplets_evaluated`,
-  /// `elements` and `seconds` (sum of per-shard compute seconds) are
-  /// filled; the hardware fields keep their defaults (shards may have run
-  /// anywhere).
-  core::DetectionResult result;
-  /// Contiguous rank interval the inputs covered ([0, C(M,3)) unless a
+/// A merged scan plus shard-level accounting, generic over the per-order
+/// result type (core::DetectionResult / pairwise::PairDetectionResult).
+template <typename ResultT>
+struct BasicMergedScan {
+  /// Equivalent scan result over `range`: `best`, the evaluated-count
+  /// field, `elements` and `seconds` (sum of per-shard compute seconds)
+  /// are filled; the hardware fields keep their defaults (shards may have
+  /// run anywhere).
+  ResultT result;
+  /// Contiguous rank interval the inputs covered ([0, C(M,k)) unless a
   /// partial merge was requested).
   combinatorics::RankRange range;
   std::uint64_t fingerprint = 0;
@@ -39,9 +46,12 @@ struct MergedScan {
   double max_shard_seconds = 0.0;
 };
 
+using MergedScan = BasicMergedScan<core::DetectionResult>;
+using PairMergedScan = BasicMergedScan<pairwise::PairDetectionResult>;
+
 /// What a merge must cover.
 enum class MergeCoverage {
-  kFullScan,    ///< exactly [0, C(M,3)): the unsharded-scan reconstruction
+  kFullScan,    ///< exactly [0, C(M,k)): the unsharded-scan reconstruction
   kContiguous,  ///< any contiguous [lo, hi): an intermediate (tree) merge
 };
 
@@ -56,8 +66,14 @@ enum class MergeCoverage {
 MergedScan merge_shards(const std::vector<ShardResult>& shards,
                         MergeCoverage coverage = MergeCoverage::kFullScan);
 
+/// Same contract for 2-way shard results.
+PairMergedScan merge_pair_shards(
+    const std::vector<PairShardResult>& shards,
+    MergeCoverage coverage = MergeCoverage::kFullScan);
+
 /// The merged scan repackaged as a shard result over `m.range` — the
 /// artifact an intermediate merge writes for the next merge level.
 ShardResult to_shard_result(const MergedScan& m);
+PairShardResult to_shard_result(const PairMergedScan& m);
 
 }  // namespace trigen::shard

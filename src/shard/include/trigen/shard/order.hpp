@@ -1,0 +1,62 @@
+#pragma once
+/// \file order.hpp
+/// \brief Interaction-order traits for the shard layer.
+///
+/// The shard formats, runner and merge are generic over the interaction
+/// order of the scan they orchestrate: order 3 (the paper's headline
+/// triplet scan) and order 2 (the BOOST-class pairwise scan).  Everything
+/// order-specific — the scored-entry type, the size of the rank space, the
+/// colex rank of an entry, and how an entry's SNP indices serialize — is
+/// captured here once, so adding an order (k = 4, covariate strata) means
+/// adding a specialization, not forking the orchestration code.
+
+#include <array>
+#include <cstdint>
+
+#include "trigen/combinatorics/combinations.hpp"
+#include "trigen/core/topk.hpp"
+
+namespace trigen::shard {
+
+template <typename Scored>
+struct OrderTraits;
+
+template <>
+struct OrderTraits<core::ScoredTriplet> {
+  static constexpr unsigned kOrder = 3;
+  /// Size of the rank space: C(m, 3).
+  static std::uint64_t space(std::uint64_t m) {
+    return combinatorics::num_triplets(m);
+  }
+  static std::uint64_t rank(const core::ScoredTriplet& s) {
+    return combinatorics::rank_triplet(s.triplet);
+  }
+  static std::array<std::uint32_t, kOrder> snps(const core::ScoredTriplet& s) {
+    return {s.triplet.x, s.triplet.y, s.triplet.z};
+  }
+  static core::ScoredTriplet make(const std::array<std::uint32_t, kOrder>& v,
+                                  double score) {
+    return {combinatorics::Triplet{v[0], v[1], v[2]}, score};
+  }
+};
+
+template <>
+struct OrderTraits<core::ScoredPair> {
+  static constexpr unsigned kOrder = 2;
+  /// Size of the rank space: C(m, 2).
+  static std::uint64_t space(std::uint64_t m) {
+    return combinatorics::num_pairs(m);
+  }
+  static std::uint64_t rank(const core::ScoredPair& s) {
+    return combinatorics::rank_pair({s.x, s.y});
+  }
+  static std::array<std::uint32_t, kOrder> snps(const core::ScoredPair& s) {
+    return {s.x, s.y};
+  }
+  static core::ScoredPair make(const std::array<std::uint32_t, kOrder>& v,
+                               double score) {
+    return {v[0], v[1], score};
+  }
+};
+
+}  // namespace trigen::shard

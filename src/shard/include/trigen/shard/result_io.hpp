@@ -1,12 +1,13 @@
 #pragma once
 /// \file result_io.hpp
-/// \brief Portable on-disk artifacts of a sharded scan.
+/// \brief Portable on-disk artifacts of a sharded scan (any order).
 ///
 /// Two line-oriented text formats, each with a versioned magic line, the
-/// dataset fingerprint, and an explicit `end` trailer so truncation is
-/// always detected:
+/// interaction order, the dataset fingerprint, and an explicit `end`
+/// trailer so truncation is always detected:
 ///
-///   TRIGEN-SHARD v1          TRIGEN-CHECKPOINT v1
+///   TRIGEN-SHARD v2          TRIGEN-CHECKPOINT v2
+///   order 3                  order 3
 ///   fingerprint <hex16>      fingerprint <hex16>
 ///   snps M                   snps M
 ///   samples N                samples N
@@ -20,16 +21,25 @@
 ///   end TRIGEN-SHARD         ...
 ///                            end TRIGEN-CHECKPOINT
 ///
+/// `order` is the interaction order k of the scan: ranks address the colex
+/// space [0, C(M,k)) and each entry line carries k SNP indices
+/// (`e x y z <score-hex>` for order 3, `e x y <score-hex>` for order 2).
+/// The v1 formats —
+/// identical except that the `order` line is absent — predate pairwise
+/// sharding and are still read (their order is 3 by definition); writers
+/// always emit v2.  Reading a file of the wrong order throws a precise
+/// "order mismatch" error instead of misinterpreting ranks.
+///
 /// Scores are serialized as C99 hex floats (`%a`), so a write/read round
 /// trip reproduces the exact double bits and a merge of shard files is
 /// bit-identical to the in-memory merge.  Readers validate everything —
-/// magic, version, field order, range sanity, entry ordering (strictly
-/// ascending in (score, triplet rank)), ranks inside the declared range,
-/// entry count == min(top_k, covered ranks) — and throw std::runtime_error
-/// with a message naming the first violation.  A shard-result file is only
-/// ever written for a *completed* range; the checkpoint's `watermark` is
-/// the end of the completed rank prefix, and its entries are the top-k of
-/// [range.first, watermark).
+/// magic, version, order, field order, range sanity, entry ordering
+/// (strictly ascending in (score, combination rank)), ranks inside the
+/// declared range, entry count == min(top_k, covered ranks) — and throw
+/// std::runtime_error with a message naming the first violation.  A
+/// shard-result file is only ever written for a *completed* range; the
+/// checkpoint's `watermark` is the end of the completed rank prefix, and
+/// its entries are the top-k of [range.first, watermark).
 
 #include <cstdint>
 #include <iosfwd>
@@ -38,23 +48,30 @@
 
 #include "trigen/combinatorics/scheduler.hpp"
 #include "trigen/core/topk.hpp"
+#include "trigen/shard/order.hpp"
 
 namespace trigen::shard {
 
-/// Completed scan of one rank-range shard.
-struct ShardResult {
+/// Completed scan of one rank-range shard, generic over the scored-entry
+/// type (core::ScoredTriplet for order 3, core::ScoredPair for order 2).
+template <typename Scored>
+struct BasicShardResult {
   std::uint64_t fingerprint = 0;   ///< dataset_fingerprint() of the input
   std::uint64_t num_snps = 0;
   std::uint64_t num_samples = 0;
   std::string objective;           ///< core::objective_name() of the scorer
   std::uint64_t top_k = 0;
-  combinatorics::RankRange range;  ///< covered triplet ranks (half-open)
+  combinatorics::RankRange range;  ///< covered combination ranks (half-open)
   double seconds = 0.0;            ///< compute time spent on this shard
-  std::vector<core::ScoredTriplet> entries;  ///< best-first, rank-tie-broken
+  std::vector<Scored> entries;     ///< best-first, rank-tie-broken
 };
 
+using ShardResult = BasicShardResult<core::ScoredTriplet>;
+using PairShardResult = BasicShardResult<core::ScoredPair>;
+
 /// Persistent progress of a partially scanned shard.
-struct Checkpoint {
+template <typename Scored>
+struct BasicCheckpoint {
   std::uint64_t fingerprint = 0;
   std::uint64_t num_snps = 0;
   std::uint64_t num_samples = 0;
@@ -63,19 +80,41 @@ struct Checkpoint {
   combinatorics::RankRange range;
   std::uint64_t watermark = 0;  ///< ranks [range.first, watermark) are done
   double seconds = 0.0;
-  std::vector<core::ScoredTriplet> entries;
+  std::vector<Scored> entries;
 };
 
+using Checkpoint = BasicCheckpoint<core::ScoredTriplet>;
+using PairCheckpoint = BasicCheckpoint<core::ScoredPair>;
+
+// Writers overload on the artifact's entry type; readers are named per
+// order (the return type selects the instantiation).  File variants write
+// atomically (temp file + rename), so a crash mid-write never leaves a
+// half-written artifact under the final name.
+
 void write_shard_result(std::ostream& os, const ShardResult& r);
+void write_shard_result(std::ostream& os, const PairShardResult& r);
 ShardResult read_shard_result(std::istream& is);
-/// File variants write atomically (temp file + rename), so a crash mid-write
-/// never leaves a half-written artifact under the final name.
+PairShardResult read_pair_shard_result(std::istream& is);
 void write_shard_result_file(const std::string& path, const ShardResult& r);
+void write_shard_result_file(const std::string& path,
+                             const PairShardResult& r);
 ShardResult read_shard_result_file(const std::string& path);
+PairShardResult read_pair_shard_result_file(const std::string& path);
 
 void write_checkpoint(std::ostream& os, const Checkpoint& c);
+void write_checkpoint(std::ostream& os, const PairCheckpoint& c);
 Checkpoint read_checkpoint(std::istream& is);
+PairCheckpoint read_pair_checkpoint(std::istream& is);
 void write_checkpoint_file(const std::string& path, const Checkpoint& c);
+void write_checkpoint_file(const std::string& path, const PairCheckpoint& c);
 Checkpoint read_checkpoint_file(const std::string& path);
+PairCheckpoint read_pair_checkpoint_file(const std::string& path);
+
+/// Reads just enough of a shard-result file to report its interaction
+/// order (3 for v1 files, the `order` field for v2) so callers — above
+/// all `trigen merge` — can dispatch to the right reader.  Throws
+/// std::runtime_error for unreadable files, bad magic or unsupported
+/// versions/orders.
+unsigned probe_shard_order(const std::string& path);
 
 }  // namespace trigen::shard

@@ -3,7 +3,7 @@
 /// \brief Checkpointing, resumable execution of one shard of a scan plan.
 ///
 /// The runner cuts its shard into sequential *checkpoint chunks* and runs
-/// `Detector::run` on each (the detector parallelizes within the chunk).
+/// the detector on each (the detector parallelizes within the chunk).
 /// After every chunk it folds the chunk's top-k into the shard accumulator
 /// and — when a checkpoint path is set — atomically persists the completed
 /// watermark plus the in-progress top-k.  A killed worker therefore loses
@@ -11,6 +11,10 @@
 /// is exact under any partition (see scan_driver.hpp), the resumed shard's
 /// result is identical to an uninterrupted run, entry for entry and bit
 /// for bit.
+///
+/// The runner is order-generic: `run_shard` drives the 3-way
+/// `core::Detector`, `run_pair_shard` the 2-way `pairwise::PairDetector`,
+/// through one shared implementation.
 
 #include <cstdint>
 #include <functional>
@@ -18,20 +22,22 @@
 
 #include "trigen/combinatorics/scheduler.hpp"
 #include "trigen/core/detector.hpp"
+#include "trigen/pairwise/pair_detector.hpp"
 #include "trigen/shard/result_io.hpp"
 
 namespace trigen::shard {
 
-struct ShardRunOptions {
+template <typename DetectorOptionsT>
+struct BasicShardRunOptions {
   /// Scan configuration (version, ISA, threads, tiling, objective, top_k).
   /// `detector.range` and `detector.progress` are ignored: the runner owns
   /// the range, and progress is reported shard-relative through `progress`
   /// below.  A custom `detector.scorer` is allowed but then `objective`
   /// must still name it truthfully — it is what merge validates across
   /// shards.
-  core::DetectorOptions detector;
-  /// Triplet ranks this shard covers; must be non-empty and within
-  /// [0, C(M,3)).
+  DetectorOptionsT detector;
+  /// Combination ranks this shard covers; must be non-empty and within
+  /// [0, C(M,k)).
   combinatorics::RankRange range;
   /// Ranks scanned between checkpoints; 0 picks range.size()/64 (>= 1).
   std::uint64_t checkpoint_every = 0;
@@ -46,10 +52,14 @@ struct ShardRunOptions {
   std::function<bool(std::uint64_t done, std::uint64_t total)> keep_going;
 };
 
-struct ShardRunReport {
+using ShardRunOptions = BasicShardRunOptions<core::DetectorOptions>;
+using PairShardRunOptions = BasicShardRunOptions<pairwise::PairDetectorOptions>;
+
+template <typename Scored>
+struct BasicShardRunReport {
   /// Shard header + top-k.  Complete only when `completed`; on an early
   /// stop it reflects the checkpointed prefix.
-  ShardResult result;
+  BasicShardResult<Scored> result;
   bool completed = false;
   /// True when a valid checkpoint was adopted instead of starting fresh.
   bool resumed = false;
@@ -57,16 +67,27 @@ struct ShardRunReport {
   std::uint64_t checkpoints_written = 0;
 };
 
-/// Runs (or resumes) one shard.  Throws std::invalid_argument for a bad
-/// range and std::runtime_error when an existing checkpoint belongs to a
-/// different dataset/range/objective/top_k (stale artifacts are never
-/// silently overwritten).  An unreadable/truncated checkpoint — the
-/// footprint of a crash predating the atomic write, or external damage —
-/// is reported via `on_checkpoint_discarded` (when set) and the shard
-/// restarts from its beginning, which is always safe.
+using ShardRunReport = BasicShardRunReport<core::ScoredTriplet>;
+using PairShardRunReport = BasicShardRunReport<core::ScoredPair>;
+
+/// Runs (or resumes) one shard of a 3-way scan.  Throws
+/// std::invalid_argument for a bad range and std::runtime_error when an
+/// existing checkpoint belongs to a different dataset/range/objective/
+/// top_k (stale artifacts are never silently overwritten).  An
+/// unreadable/truncated checkpoint — the footprint of a crash predating
+/// the atomic write, or external damage — is reported via
+/// `on_checkpoint_discarded` (when set) and the shard restarts from its
+/// beginning, which is always safe.
 ShardRunReport run_shard(
     const core::Detector& detector, std::uint64_t fingerprint,
     const ShardRunOptions& options,
+    const std::function<void(const std::string& reason)>&
+        on_checkpoint_discarded = {});
+
+/// Same contract for one shard of a 2-way scan.
+PairShardRunReport run_pair_shard(
+    const pairwise::PairDetector& detector, std::uint64_t fingerprint,
+    const PairShardRunOptions& options,
     const std::function<void(const std::string& reason)>&
         on_checkpoint_discarded = {});
 

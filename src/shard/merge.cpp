@@ -17,16 +17,18 @@ std::string range_str(const combinatorics::RankRange& r) {
   return "[" + std::to_string(r.first) + ", " + std::to_string(r.last) + ")";
 }
 
-}  // namespace
-
-MergedScan merge_shards(const std::vector<ShardResult>& shards,
-                        MergeCoverage coverage) {
+/// The shared merge body.  `evaluated` names the per-order evaluated-count
+/// member of the result type (triplets_evaluated / pairs_evaluated).
+template <typename Scored, typename ResultT>
+BasicMergedScan<ResultT> merge_impl(
+    const std::vector<BasicShardResult<Scored>>& shards,
+    MergeCoverage coverage, std::uint64_t ResultT::*evaluated) {
   if (shards.empty()) {
     throw std::invalid_argument("shard merge: no shard results to merge");
   }
 
-  const ShardResult& ref = shards.front();
-  for (const ShardResult& s : shards) {
+  const BasicShardResult<Scored>& ref = shards.front();
+  for (const BasicShardResult<Scored>& s : shards) {
     if (s.fingerprint != ref.fingerprint) {
       reject("fingerprint mismatch: shard " + range_str(s.range) +
              " was scanned against a different dataset than shard " +
@@ -52,17 +54,18 @@ MergedScan merge_shards(const std::vector<ShardResult>& shards,
   }
 
   // Coverage check: sorted by first rank, the ranges must tile [0, total).
-  std::vector<const ShardResult*> by_rank;
+  std::vector<const BasicShardResult<Scored>*> by_rank;
   by_rank.reserve(shards.size());
-  for (const ShardResult& s : shards) by_rank.push_back(&s);
+  for (const BasicShardResult<Scored>& s : shards) by_rank.push_back(&s);
   std::sort(by_rank.begin(), by_rank.end(),
-            [](const ShardResult* a, const ShardResult* b) {
+            [](const BasicShardResult<Scored>* a,
+               const BasicShardResult<Scored>* b) {
               return a->range.first < b->range.first;
             });
-  const std::uint64_t total = combinatorics::num_triplets(ref.num_snps);
+  const std::uint64_t total = OrderTraits<Scored>::space(ref.num_snps);
   const bool full = coverage == MergeCoverage::kFullScan;
   std::uint64_t expect = full ? 0 : by_rank.front()->range.first;
-  for (const ShardResult* s : by_rank) {
+  for (const BasicShardResult<Scored>* s : by_rank) {
     if (s->range.first > expect) {
       reject("coverage gap: ranks [" + std::to_string(expect) + ", " +
              std::to_string(s->range.first) + ") are in no shard");
@@ -78,7 +81,7 @@ MergedScan merge_shards(const std::vector<ShardResult>& shards,
            std::to_string(total) + ") are in no shard");
   }
 
-  MergedScan m;
+  BasicMergedScan<ResultT> m;
   m.range = {by_rank.front()->range.first, expect};
   m.fingerprint = ref.fingerprint;
   m.num_snps = ref.num_snps;
@@ -87,20 +90,22 @@ MergedScan merge_shards(const std::vector<ShardResult>& shards,
   m.top_k = ref.top_k;
   m.num_shards = shards.size();
 
-  core::TopK acc(static_cast<std::size_t>(ref.top_k));
-  for (const ShardResult& s : shards) {
+  core::BasicTopK<Scored> acc(static_cast<std::size_t>(ref.top_k));
+  for (const BasicShardResult<Scored>& s : shards) {
     for (const auto& e : s.entries) acc.push(e);
-    m.result.triplets_evaluated += s.range.size();
+    m.result.*evaluated += s.range.size();
     m.result.seconds += s.seconds;
     m.max_shard_seconds = std::max(m.max_shard_seconds, s.seconds);
   }
-  m.result.elements = m.result.triplets_evaluated * ref.num_samples;
+  m.result.elements = m.result.*evaluated * ref.num_samples;
   m.result.best = acc.sorted();
   return m;
 }
 
-ShardResult to_shard_result(const MergedScan& m) {
-  ShardResult r;
+template <typename Scored, typename ResultT>
+BasicShardResult<Scored> to_shard_result_impl(
+    const BasicMergedScan<ResultT>& m) {
+  BasicShardResult<Scored> r;
   r.fingerprint = m.fingerprint;
   r.num_snps = m.num_snps;
   r.num_samples = m.num_samples;
@@ -110,6 +115,28 @@ ShardResult to_shard_result(const MergedScan& m) {
   r.seconds = m.result.seconds;
   r.entries = m.result.best;
   return r;
+}
+
+}  // namespace
+
+MergedScan merge_shards(const std::vector<ShardResult>& shards,
+                        MergeCoverage coverage) {
+  return merge_impl<core::ScoredTriplet, core::DetectionResult>(
+      shards, coverage, &core::DetectionResult::triplets_evaluated);
+}
+
+PairMergedScan merge_pair_shards(const std::vector<PairShardResult>& shards,
+                                 MergeCoverage coverage) {
+  return merge_impl<core::ScoredPair, pairwise::PairDetectionResult>(
+      shards, coverage, &pairwise::PairDetectionResult::pairs_evaluated);
+}
+
+ShardResult to_shard_result(const MergedScan& m) {
+  return to_shard_result_impl<core::ScoredTriplet>(m);
+}
+
+PairShardResult to_shard_result(const PairMergedScan& m) {
+  return to_shard_result_impl<core::ScoredPair>(m);
 }
 
 }  // namespace trigen::shard

@@ -45,15 +45,21 @@ std::uint64_t dataset_fingerprint(const dataset::GenotypeMatrix& d) {
 std::vector<combinatorics::RankRange> plan_shards(std::uint64_t num_snps,
                                                   unsigned workers,
                                                   SplitStrategy strategy,
-                                                  std::uint64_t block_size) {
-  const std::uint64_t total = combinatorics::num_triplets(num_snps);
+                                                  std::uint64_t block_size,
+                                                  unsigned order) {
+  if (order < 2 || order > 3) {
+    throw std::invalid_argument("plan_shards: order must be 2 or 3, got " +
+                                std::to_string(order));
+  }
+  const std::uint64_t total = combinatorics::n_choose_k(num_snps, order);
   if (workers == 0) {
     throw std::invalid_argument("plan_shards: workers must be >= 1");
   }
   if (workers > total) {
     throw std::invalid_argument(
         "plan_shards: " + std::to_string(workers) + " workers for only " +
-        std::to_string(total) + " triplets would leave empty shards");
+        std::to_string(total) + " order-" + std::to_string(order) +
+        " combinations would leave empty shards");
   }
 
   // Boundary ranks between shards: boundaries[i] ends shard i.  Even split
@@ -70,7 +76,7 @@ std::vector<combinatorics::RankRange> plan_shards(std::uint64_t num_snps,
     }
     std::vector<std::uint64_t> cuts;  // strictly increasing, in (0, total)
     for (std::uint64_t z = block_size; z < num_snps; z += block_size) {
-      const std::uint64_t c = combinatorics::n_choose_k(z, 3);
+      const std::uint64_t c = combinatorics::n_choose_k(z, order);
       if (c > 0 && c < total) cuts.push_back(c);
     }
     if (cuts.size() + 1 < workers) {

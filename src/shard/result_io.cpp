@@ -15,11 +15,14 @@ namespace {
 
 constexpr char kShardMagic[] = "TRIGEN-SHARD";
 constexpr char kCheckpointMagic[] = "TRIGEN-CHECKPOINT";
-constexpr char kFormatVersion[] = "v1";
+/// Writers emit v2 (with the `order` field); readers also accept the
+/// pre-pairwise v1, whose order is 3 by definition.
+constexpr char kFormatVersion[] = "v2";
+constexpr char kLegacyVersion[] = "v1";
 
 /// Plausibility bounds mirroring dataset I/O: a corrupted header must fail
 /// with a parse error, not an absurd allocation or a 64-bit overflow in
-/// C(M,3).
+/// C(M,k).
 constexpr std::uint64_t kMaxSnps = 1u << 22;
 constexpr std::uint64_t kMaxSamples = 1u << 22;
 constexpr std::uint64_t kMaxTopK = 1u << 24;
@@ -96,8 +99,10 @@ struct Header {
   combinatorics::RankRange range;
 };
 
-void write_header(std::ostream& os, const char* magic, const Header& h) {
+void write_header(std::ostream& os, const char* magic, unsigned order,
+                  const Header& h) {
   os << magic << ' ' << kFormatVersion << '\n'
+     << "order " << order << '\n'
      << "fingerprint " << format_fingerprint(h.fingerprint) << '\n'
      << "snps " << h.num_snps << '\n'
      << "samples " << h.num_samples << '\n'
@@ -106,22 +111,47 @@ void write_header(std::ostream& os, const char* magic, const Header& h) {
      << "range " << h.range.first << ' ' << h.range.last << '\n';
 }
 
-Header read_header(std::istream& is, const char* magic, const char* kind) {
+/// Reads magic + version + order (v2) or magic + version (v1, order 3).
+/// Fails on anything else; a wrong-order file is rejected here with a
+/// precise message rather than misread downstream.  `expected_order` 0
+/// accepts any supported order (the probing mode of probe_shard_order).
+unsigned read_preamble(std::istream& is, const char* magic, const char* kind,
+                       unsigned expected_order) {
   std::string tok;
   if (!(is >> tok)) fail(kind, "empty file");
   if (tok != magic) {
     fail(kind, "bad magic '" + tok + "' (expected " + magic + ")");
   }
   tok = next_token(is, kind, "format version");
-  if (tok != kFormatVersion) {
+  unsigned order = 3;  // v1 predates pairwise shards: always a triplet scan
+  if (tok == kFormatVersion) {
+    const std::uint64_t o = read_u64_field(is, kind, "order");
+    if (o != 2 && o != 3) {
+      fail(kind, "unsupported order " + std::to_string(o) +
+                     " (this build reads orders 2 and 3)");
+    }
+    order = static_cast<unsigned>(o);
+  } else if (tok != kLegacyVersion) {
     fail(kind, "unsupported format version '" + tok + "' (expected " +
-                   kFormatVersion + ")");
+                   kFormatVersion + " or " + kLegacyVersion + ")");
   }
+  if (expected_order != 0 && order != expected_order) {
+    fail(kind, "order mismatch: file holds an order-" +
+                   std::to_string(order) + " scan, but an order-" +
+                   std::to_string(expected_order) +
+                   " artifact was requested");
+  }
+  return order;
+}
+
+template <unsigned Order>
+Header read_header(std::istream& is, const char* magic, const char* kind) {
+  read_preamble(is, magic, kind, Order);
   Header h;
   h.fingerprint = read_u64_field(is, kind, "fingerprint", 16);
   h.num_snps = read_u64_field(is, kind, "snps");
   h.num_samples = read_u64_field(is, kind, "samples");
-  if (h.num_snps < 3 || h.num_snps > kMaxSnps || h.num_samples == 0 ||
+  if (h.num_snps < Order || h.num_snps > kMaxSnps || h.num_samples == 0 ||
       h.num_samples > kMaxSamples) {
     fail(kind, "implausible dataset shape (" + std::to_string(h.num_snps) +
                    " x " + std::to_string(h.num_samples) + ")");
@@ -137,32 +167,35 @@ Header read_header(std::istream& is, const char* magic, const char* kind) {
                             "range first");
   h.range.last = parse_u64(next_token(is, kind, "range last"), kind,
                            "range last");
-  const std::uint64_t total = combinatorics::num_triplets(h.num_snps);
+  const std::uint64_t total = combinatorics::n_choose_k(h.num_snps, Order);
   if (h.range.first >= h.range.last || h.range.last > total) {
     fail(kind, "invalid range [" + std::to_string(h.range.first) + ", " +
                    std::to_string(h.range.last) + ") for C(" +
-                   std::to_string(h.num_snps) + ",3) = " +
-                   std::to_string(total));
+                   std::to_string(h.num_snps) + "," + std::to_string(Order) +
+                   ") = " + std::to_string(total));
   }
   return h;
 }
 
-void write_entries(std::ostream& os,
-                   const std::vector<core::ScoredTriplet>& entries) {
+template <typename Scored>
+void write_entries(std::ostream& os, const std::vector<Scored>& entries) {
+  using Traits = OrderTraits<Scored>;
   os << "entries " << entries.size() << '\n';
   for (const auto& e : entries) {
-    os << "e " << e.triplet.x << ' ' << e.triplet.y << ' ' << e.triplet.z
-       << ' ' << format_double(e.score) << '\n';
+    os << 'e';
+    for (const std::uint32_t snp : Traits::snps(e)) os << ' ' << snp;
+    os << ' ' << format_double(e.score) << '\n';
   }
 }
 
 /// Reads and validates the entry list: count == min(top_k, covered ranks),
-/// each triplet strictly increasing and inside the covered rank interval,
-/// list strictly ascending in (score, rank) — i.e. exactly a TopK dump.
-std::vector<core::ScoredTriplet> read_entries(std::istream& is,
-                                              const char* kind,
-                                              const Header& h,
-                                              std::uint64_t covered) {
+/// each combination strictly increasing and inside the covered rank
+/// interval, list strictly ascending in (score, rank) — i.e. exactly a
+/// top-k dump.
+template <typename Scored>
+std::vector<Scored> read_entries(std::istream& is, const char* kind,
+                                 const Header& h, std::uint64_t covered) {
+  using Traits = OrderTraits<Scored>;
   const std::uint64_t n = read_u64_field(is, kind, "entries");
   const std::uint64_t expected = std::min<std::uint64_t>(h.top_k, covered);
   if (n != expected) {
@@ -171,24 +204,25 @@ std::vector<core::ScoredTriplet> read_entries(std::istream& is,
                    std::to_string(covered) + ") = " +
                    std::to_string(expected));
   }
-  std::vector<core::ScoredTriplet> entries;
+  std::vector<Scored> entries;
   entries.reserve(n);
   for (std::uint64_t i = 0; i < n; ++i) {
     expect_key(is, kind, "e");
-    core::ScoredTriplet s;
-    s.triplet.x = static_cast<std::uint32_t>(
-        parse_u64(next_token(is, kind, "entry snp"), kind, "entry snp"));
-    s.triplet.y = static_cast<std::uint32_t>(
-        parse_u64(next_token(is, kind, "entry snp"), kind, "entry snp"));
-    s.triplet.z = static_cast<std::uint32_t>(
-        parse_u64(next_token(is, kind, "entry snp"), kind, "entry snp"));
-    s.score = read_double(is, kind, "entry score");
-    if (!(s.triplet.x < s.triplet.y && s.triplet.y < s.triplet.z &&
-          s.triplet.z < h.num_snps)) {
-      fail(kind, "entry " + std::to_string(i) + " is not a strictly " +
-                     "increasing triplet below " + std::to_string(h.num_snps));
+    std::array<std::uint32_t, Traits::kOrder> snps{};
+    bool increasing = true;
+    for (unsigned j = 0; j < Traits::kOrder; ++j) {
+      snps[j] = static_cast<std::uint32_t>(
+          parse_u64(next_token(is, kind, "entry snp"), kind, "entry snp"));
+      if (j > 0 && snps[j] <= snps[j - 1]) increasing = false;
     }
-    const std::uint64_t rank = combinatorics::rank_triplet(s.triplet);
+    const double score = read_double(is, kind, "entry score");
+    if (!increasing || snps[Traits::kOrder - 1] >= h.num_snps) {
+      fail(kind, "entry " + std::to_string(i) + " is not a strictly " +
+                     "increasing order-" + std::to_string(Traits::kOrder) +
+                     " combination below " + std::to_string(h.num_snps));
+    }
+    const Scored s = Traits::make(snps, score);
+    const std::uint64_t rank = Traits::rank(s);
     if (rank < h.range.first || rank >= h.range.first + covered) {
       fail(kind, "entry " + std::to_string(i) + " rank " +
                      std::to_string(rank) + " outside the covered ranks [" +
@@ -240,10 +274,12 @@ std::ifstream open_for_read(const std::string& path, const char* kind) {
   return is;
 }
 
-}  // namespace
+// -- Generic format bodies ---------------------------------------------------
 
-void write_shard_result(std::ostream& os, const ShardResult& r) {
-  write_header(os, kShardMagic,
+template <typename Scored>
+void write_shard_result_impl(std::ostream& os,
+                             const BasicShardResult<Scored>& r) {
+  write_header(os, kShardMagic, OrderTraits<Scored>::kOrder,
                Header{r.fingerprint, r.num_snps, r.num_samples, r.objective,
                       r.top_k, r.range});
   os << "seconds " << format_double(r.seconds) << '\n';
@@ -251,10 +287,12 @@ void write_shard_result(std::ostream& os, const ShardResult& r) {
   os << "end " << kShardMagic << '\n';
 }
 
-ShardResult read_shard_result(std::istream& is) {
+template <typename Scored>
+BasicShardResult<Scored> read_shard_result_impl(std::istream& is) {
   const char* kind = "shard-result";
-  const Header h = read_header(is, kShardMagic, kind);
-  ShardResult r;
+  const Header h =
+      read_header<OrderTraits<Scored>::kOrder>(is, kShardMagic, kind);
+  BasicShardResult<Scored> r;
   r.fingerprint = h.fingerprint;
   r.num_snps = h.num_snps;
   r.num_samples = h.num_samples;
@@ -263,23 +301,15 @@ ShardResult read_shard_result(std::istream& is) {
   r.range = h.range;
   expect_key(is, kind, "seconds");
   r.seconds = read_double(is, kind, "seconds");
-  r.entries = read_entries(is, kind, h, h.range.size());
+  r.entries = read_entries<Scored>(is, kind, h, h.range.size());
   read_trailer(is, kind, kShardMagic);
   return r;
 }
 
-void write_shard_result_file(const std::string& path, const ShardResult& r) {
-  write_file_atomically(path, "shard-result",
-                        [&](std::ostream& os) { write_shard_result(os, r); });
-}
-
-ShardResult read_shard_result_file(const std::string& path) {
-  auto is = open_for_read(path, "shard-result");
-  return read_shard_result(is);
-}
-
-void write_checkpoint(std::ostream& os, const Checkpoint& c) {
-  write_header(os, kCheckpointMagic,
+template <typename Scored>
+void write_checkpoint_impl(std::ostream& os,
+                           const BasicCheckpoint<Scored>& c) {
+  write_header(os, kCheckpointMagic, OrderTraits<Scored>::kOrder,
                Header{c.fingerprint, c.num_snps, c.num_samples, c.objective,
                       c.top_k, c.range});
   os << "watermark " << c.watermark << '\n';
@@ -288,10 +318,12 @@ void write_checkpoint(std::ostream& os, const Checkpoint& c) {
   os << "end " << kCheckpointMagic << '\n';
 }
 
-Checkpoint read_checkpoint(std::istream& is) {
+template <typename Scored>
+BasicCheckpoint<Scored> read_checkpoint_impl(std::istream& is) {
   const char* kind = "checkpoint";
-  const Header h = read_header(is, kCheckpointMagic, kind);
-  Checkpoint c;
+  const Header h =
+      read_header<OrderTraits<Scored>::kOrder>(is, kCheckpointMagic, kind);
+  BasicCheckpoint<Scored> c;
   c.fingerprint = h.fingerprint;
   c.num_snps = h.num_snps;
   c.num_samples = h.num_samples;
@@ -306,12 +338,65 @@ Checkpoint read_checkpoint(std::istream& is) {
   }
   expect_key(is, kind, "seconds");
   c.seconds = read_double(is, kind, "seconds");
-  c.entries = read_entries(is, kind, h, c.watermark - c.range.first);
+  c.entries = read_entries<Scored>(is, kind, h, c.watermark - c.range.first);
   read_trailer(is, kind, kCheckpointMagic);
   return c;
 }
 
+}  // namespace
+
+void write_shard_result(std::ostream& os, const ShardResult& r) {
+  write_shard_result_impl(os, r);
+}
+void write_shard_result(std::ostream& os, const PairShardResult& r) {
+  write_shard_result_impl(os, r);
+}
+
+ShardResult read_shard_result(std::istream& is) {
+  return read_shard_result_impl<core::ScoredTriplet>(is);
+}
+PairShardResult read_pair_shard_result(std::istream& is) {
+  return read_shard_result_impl<core::ScoredPair>(is);
+}
+
+void write_shard_result_file(const std::string& path, const ShardResult& r) {
+  write_file_atomically(path, "shard-result",
+                        [&](std::ostream& os) { write_shard_result(os, r); });
+}
+void write_shard_result_file(const std::string& path,
+                             const PairShardResult& r) {
+  write_file_atomically(path, "shard-result",
+                        [&](std::ostream& os) { write_shard_result(os, r); });
+}
+
+ShardResult read_shard_result_file(const std::string& path) {
+  auto is = open_for_read(path, "shard-result");
+  return read_shard_result(is);
+}
+PairShardResult read_pair_shard_result_file(const std::string& path) {
+  auto is = open_for_read(path, "shard-result");
+  return read_pair_shard_result(is);
+}
+
+void write_checkpoint(std::ostream& os, const Checkpoint& c) {
+  write_checkpoint_impl(os, c);
+}
+void write_checkpoint(std::ostream& os, const PairCheckpoint& c) {
+  write_checkpoint_impl(os, c);
+}
+
+Checkpoint read_checkpoint(std::istream& is) {
+  return read_checkpoint_impl<core::ScoredTriplet>(is);
+}
+PairCheckpoint read_pair_checkpoint(std::istream& is) {
+  return read_checkpoint_impl<core::ScoredPair>(is);
+}
+
 void write_checkpoint_file(const std::string& path, const Checkpoint& c) {
+  write_file_atomically(path, "checkpoint",
+                        [&](std::ostream& os) { write_checkpoint(os, c); });
+}
+void write_checkpoint_file(const std::string& path, const PairCheckpoint& c) {
   write_file_atomically(path, "checkpoint",
                         [&](std::ostream& os) { write_checkpoint(os, c); });
 }
@@ -319,6 +404,16 @@ void write_checkpoint_file(const std::string& path, const Checkpoint& c) {
 Checkpoint read_checkpoint_file(const std::string& path) {
   auto is = open_for_read(path, "checkpoint");
   return read_checkpoint(is);
+}
+PairCheckpoint read_pair_checkpoint_file(const std::string& path) {
+  auto is = open_for_read(path, "checkpoint");
+  return read_pair_checkpoint(is);
+}
+
+unsigned probe_shard_order(const std::string& path) {
+  const char* kind = "shard-result";
+  auto is = open_for_read(path, kind);
+  return read_preamble(is, kShardMagic, kind, /*expected_order=*/0);
 }
 
 }  // namespace trigen::shard

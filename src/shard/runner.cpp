@@ -5,6 +5,7 @@
 #include <optional>
 #include <stdexcept>
 #include <string>
+#include <type_traits>
 
 #include "trigen/combinatorics/combinations.hpp"
 
@@ -15,18 +16,30 @@ namespace {
   throw std::runtime_error("shard runner: stale checkpoint: " + what);
 }
 
+/// Order dispatch for the checkpoint reader (readers are named per order
+/// because they differ only in return type).
+template <typename Scored>
+BasicCheckpoint<Scored> read_checkpoint_file_as(const std::string& path) {
+  if constexpr (std::is_same_v<Scored, core::ScoredTriplet>) {
+    return read_checkpoint_file(path);
+  } else {
+    return read_pair_checkpoint_file(path);
+  }
+}
+
 /// Loads and validates an existing checkpoint.  A checkpoint for a
 /// *different* scan is a hard error (merging it would corrupt results); an
 /// unparseable file is survivable damage — report it and rescan.
-std::optional<Checkpoint> adopt_checkpoint(
+template <typename Scored>
+std::optional<BasicCheckpoint<Scored>> adopt_checkpoint(
     const std::string& path, std::uint64_t fingerprint,
     const combinatorics::RankRange& range, std::uint64_t top_k,
     const std::string& objective,
     const std::function<void(const std::string&)>& on_discarded) {
   if (!std::ifstream(path).good()) return std::nullopt;  // fresh start
-  Checkpoint c;
+  BasicCheckpoint<Scored> c;
   try {
-    c = read_checkpoint_file(path);
+    c = read_checkpoint_file_as<Scored>(path);
   } catch (const std::runtime_error& e) {
     if (on_discarded) on_discarded(e.what());
     return std::nullopt;
@@ -53,29 +66,32 @@ std::optional<Checkpoint> adopt_checkpoint(
   return c;
 }
 
-}  // namespace
-
-ShardRunReport run_shard(
-    const core::Detector& detector, std::uint64_t fingerprint,
-    const ShardRunOptions& options,
+/// The shared runner body: everything order-specific comes in through
+/// `Scored` (entry type + rank space via OrderTraits) and the detector /
+/// options types.
+template <typename Scored, typename Detector, typename Options>
+BasicShardRunReport<Scored> run_shard_impl(
+    const Detector& detector, std::uint64_t fingerprint,
+    const BasicShardRunOptions<Options>& options,
     const std::function<void(const std::string&)>& on_checkpoint_discarded) {
-  const std::uint64_t total =
-      combinatorics::num_triplets(detector.num_snps());
+  using Traits = OrderTraits<Scored>;
+  const std::uint64_t total = Traits::space(detector.num_snps());
   const combinatorics::RankRange range = options.range;
   if (range.empty() || range.last > total) {
     throw std::invalid_argument(
         "run_shard: shard range [" + std::to_string(range.first) + ", " +
-        std::to_string(range.last) + ") is empty or exceeds C(M,3) = " +
-        std::to_string(total));
+        std::to_string(range.last) + ") is empty or exceeds C(M," +
+        std::to_string(Traits::kOrder) + ") = " + std::to_string(total));
   }
   if (options.detector.top_k == 0) {
     throw std::invalid_argument("run_shard: top_k must be >= 1");
   }
 
   const std::uint64_t top_k = options.detector.top_k;
-  const std::string objective = core::objective_name(options.detector.objective);
+  const std::string objective =
+      core::objective_name(options.detector.objective);
 
-  ShardRunReport report;
+  BasicShardRunReport<Scored> report;
   report.result.fingerprint = fingerprint;
   report.result.num_snps = detector.num_snps();
   report.result.num_samples = detector.num_samples();
@@ -84,14 +100,14 @@ ShardRunReport run_shard(
   report.result.range = range;
   report.resumed_from = range.first;
 
-  core::TopK acc(top_k);
+  core::BasicTopK<Scored> acc(top_k);
   std::uint64_t watermark = range.first;
   double seconds = 0.0;
 
   if (!options.checkpoint_path.empty()) {
-    if (const auto c = adopt_checkpoint(options.checkpoint_path, fingerprint,
-                                        range, top_k, objective,
-                                        on_checkpoint_discarded)) {
+    if (const auto c = adopt_checkpoint<Scored>(
+            options.checkpoint_path, fingerprint, range, top_k, objective,
+            on_checkpoint_discarded)) {
       watermark = c->watermark;
       seconds = c->seconds;
       for (const auto& e : c->entries) acc.push(e);
@@ -105,15 +121,12 @@ ShardRunReport run_shard(
           ? options.checkpoint_every
           : std::max<std::uint64_t>(1, range.size() / 64);
 
-  core::DetectorOptions dopt = options.detector;
+  Options dopt = options.detector;
   // Progress is shard-relative and owned by the runner; a caller-supplied
   // detector.progress would see chunk-local counts, so it is ignored in
-  // favor of ShardRunOptions::progress.
+  // favor of BasicShardRunOptions::progress.
   dopt.progress = {};
-  if (!dopt.scorer) {
-    dopt.scorer = core::make_normalized_scorer(
-        dopt.objective, static_cast<std::uint32_t>(detector.num_samples()));
-  }
+  pairwise::ensure_default_scorer(dopt, detector.num_samples());
   if (options.progress) options.progress(watermark - range.first, range.size());
 
   while (watermark < range.last) {
@@ -128,12 +141,12 @@ ShardRunReport run_shard(
         progress(offset + done, shard_total);
       };
     }
-    const core::DetectionResult r = detector.run(dopt);
+    const auto r = detector.run(dopt);
     for (const auto& e : r.best) acc.push(e);
     seconds += r.seconds;
     watermark = next;
     if (!options.checkpoint_path.empty()) {
-      Checkpoint c;
+      BasicCheckpoint<Scored> c;
       c.fingerprint = fingerprint;
       c.num_snps = report.result.num_snps;
       c.num_samples = report.result.num_samples;
@@ -156,6 +169,24 @@ ShardRunReport run_shard(
   report.result.entries = acc.sorted();
   report.completed = watermark == range.last;
   return report;
+}
+
+}  // namespace
+
+ShardRunReport run_shard(
+    const core::Detector& detector, std::uint64_t fingerprint,
+    const ShardRunOptions& options,
+    const std::function<void(const std::string&)>& on_checkpoint_discarded) {
+  return run_shard_impl<core::ScoredTriplet>(detector, fingerprint, options,
+                                             on_checkpoint_discarded);
+}
+
+PairShardRunReport run_pair_shard(
+    const pairwise::PairDetector& detector, std::uint64_t fingerprint,
+    const PairShardRunOptions& options,
+    const std::function<void(const std::string&)>& on_checkpoint_discarded) {
+  return run_shard_impl<core::ScoredPair>(detector, fingerprint, options,
+                                          on_checkpoint_discarded);
 }
 
 }  // namespace trigen::shard

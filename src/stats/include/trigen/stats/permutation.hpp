@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "trigen/core/detector.hpp"
+#include "trigen/pairwise/pair_detector.hpp"
 
 namespace trigen::stats {
 
@@ -42,6 +43,30 @@ struct PermutationTestResult {
 /// Throws std::invalid_argument for zero permutations.
 PermutationTestResult permutation_test(const dataset::GenotypeMatrix& d,
                                        const PermutationTestOptions& options);
+
+/// Second-order significance testing: the same phenotype-permutation
+/// procedure over the pairwise scan (the BOOST/GBOOST setting).  Both
+/// orders share one implementation — the observed scan pins the resolved
+/// ISA/threads/tiling and one normalized scorer is shared across every
+/// null scan.
+struct PairPermutationTestOptions {
+  unsigned permutations = 50;
+  std::uint64_t seed = 7;
+  pairwise::PairDetectorOptions detector;  ///< configuration for every scan
+};
+
+struct PairPermutationTestResult {
+  core::ScoredPair observed;         ///< best pair on the real labels
+  std::vector<double> null_scores;   ///< best normalized score per permutation
+  double p_value = 1.0;
+
+  bool significant_at(double alpha) const { return p_value <= alpha; }
+};
+
+/// Runs the pairwise permutation test; same contract as permutation_test.
+PairPermutationTestResult pair_permutation_test(
+    const dataset::GenotypeMatrix& d,
+    const PairPermutationTestOptions& options);
 
 /// Phenotype-shuffled copy of `d` (Fisher-Yates, deterministic in `seed`);
 /// exposed for tests and custom pipelines.

@@ -23,24 +23,28 @@ dataset::GenotypeMatrix shuffle_phenotypes(const dataset::GenotypeMatrix& d,
   return out;
 }
 
-PermutationTestResult permutation_test(const dataset::GenotypeMatrix& d,
-                                       const PermutationTestOptions& options) {
-  if (options.permutations == 0) {
+namespace {
+
+/// The shared test body, generic over the interaction order: `Detector`
+/// is core::Detector or pairwise::PairDetector, `Result` the matching
+/// *PermutationTestResult.
+template <typename Detector, typename Result, typename Options>
+Result permutation_test_impl(const dataset::GenotypeMatrix& d,
+                             unsigned permutations, std::uint64_t seed,
+                             Options dopt) {
+  if (permutations == 0) {
     throw std::invalid_argument("permutation_test: need >= 1 permutation");
   }
-  core::DetectorOptions dopt = options.detector;
+  // Every scan of the test shares one normalized scorer (the K2
+  // log-factorial table depends only on the sample count, which
+  // permutation preserves).
   dopt.top_k = 1;
-  // Every scan shares one normalized scorer (the K2 log-factorial table
-  // depends only on the sample count, which permutation preserves).
-  if (!dopt.scorer) {
-    dopt.scorer = core::make_normalized_scorer(
-        dopt.objective, static_cast<std::uint32_t>(d.num_samples()));
-  }
+  pairwise::ensure_default_scorer(dopt, d.num_samples());
 
-  PermutationTestResult result;
+  Result result;
   {
-    const core::Detector det(d);
-    const core::DetectionResult observed = det.run(dopt);
+    const Detector det(d);
+    const auto observed = det.run(dopt);
     result.observed = observed.best.front();
     // Pin the auto-resolved execution config so the null scans reuse it
     // through the shared driver instead of re-detecting ISA, L1 geometry
@@ -51,19 +55,35 @@ PermutationTestResult permutation_test(const dataset::GenotypeMatrix& d,
     if (observed.tiling_used.valid()) dopt.tiling = observed.tiling_used;
   }
 
-  result.null_scores.reserve(options.permutations);
-  SplitMix64 seeds(options.seed);
+  result.null_scores.reserve(permutations);
+  SplitMix64 seeds(seed);
   unsigned as_good = 0;
-  for (unsigned p = 0; p < options.permutations; ++p) {
+  for (unsigned p = 0; p < permutations; ++p) {
     const auto shuffled = shuffle_phenotypes(d, seeds.next());
-    const core::Detector det(shuffled);
+    const Detector det(shuffled);
     const double best = det.run(dopt).best.front().score;
     result.null_scores.push_back(best);
     if (best <= result.observed.score) ++as_good;
   }
   result.p_value = static_cast<double>(1 + as_good) /
-                   static_cast<double>(options.permutations + 1);
+                   static_cast<double>(permutations + 1);
   return result;
+}
+
+}  // namespace
+
+PermutationTestResult permutation_test(const dataset::GenotypeMatrix& d,
+                                       const PermutationTestOptions& options) {
+  return permutation_test_impl<core::Detector, PermutationTestResult>(
+      d, options.permutations, options.seed, options.detector);
+}
+
+PairPermutationTestResult pair_permutation_test(
+    const dataset::GenotypeMatrix& d,
+    const PairPermutationTestOptions& options) {
+  return permutation_test_impl<pairwise::PairDetector,
+                               PairPermutationTestResult>(
+      d, options.permutations, options.seed, options.detector);
 }
 
 }  // namespace trigen::stats

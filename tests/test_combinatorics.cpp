@@ -140,6 +140,61 @@ TEST(TripletIteration, EmptyRangeDoesNothing) {
 }
 
 // --------------------------------------------------------------------------
+// Pair rank / unrank / iteration (the order-2 instantiation)
+// --------------------------------------------------------------------------
+
+TEST(PairRank, FirstPairs) {
+  EXPECT_EQ(rank_pair({0, 1}), 0u);
+  EXPECT_EQ(rank_pair({0, 2}), 1u);
+  EXPECT_EQ(rank_pair({1, 2}), 2u);
+  EXPECT_EQ(rank_pair({0, 3}), 3u);
+}
+
+TEST(PairRank, RoundTripExhaustiveSmall) {
+  std::uint64_t rank = 0;
+  for (std::uint32_t y = 1; y < 80; ++y) {
+    for (std::uint32_t x = 0; x < y; ++x) {
+      const Pair p{x, y};
+      ASSERT_EQ(rank_pair(p), rank);
+      ASSERT_EQ(unrank_pair(rank), p);
+      ++rank;
+    }
+  }
+  EXPECT_EQ(rank, num_pairs(80));
+}
+
+TEST(PairRank, RoundTripLargeRandomRanks) {
+  std::uint64_t r = 0x9e3779b97f4a7c15ull % n_choose_k(1u << 20, 2);
+  for (int i = 0; i < 200; ++i) {
+    const Pair p = unrank_pair(r);
+    ASSERT_LT(p.x, p.y);
+    ASSERT_EQ(rank_pair(p), r);
+    r = (r * 6364136223846793005ull + 1442695040888963407ull) %
+        n_choose_k(1u << 20, 2);
+  }
+}
+
+TEST(PairIteration, MatchesUnrankEverywhere) {
+  const std::uint64_t total = num_pairs(40);
+  std::uint64_t expect = 0;
+  for_each_pair(0, total, [&](const Pair& p) {
+    ASSERT_EQ(p, unrank_pair(expect));
+    ++expect;
+  });
+  EXPECT_EQ(expect, total);
+}
+
+TEST(PairIteration, SubrangeAndEmpty) {
+  std::uint64_t expect = 137;
+  for_each_pair(137, 512, [&](const Pair& p) {
+    ASSERT_EQ(rank_pair(p), expect);
+    ++expect;
+  });
+  EXPECT_EQ(expect, 512u);
+  for_each_pair(9, 9, [&](const Pair&) { FAIL(); });
+}
+
+// --------------------------------------------------------------------------
 // Block partition (triplet rank range -> block triples)
 // --------------------------------------------------------------------------
 
@@ -233,6 +288,108 @@ TEST(BlockPartition, EmptyRangeYieldsEmptyRun) {
   const BlockGrid g{10, 3};
   EXPECT_TRUE(partition_block_triples(g, {5, 5}).block_ranks.empty());
   EXPECT_TRUE(partition_block_triples(g, {}).block_ranks.empty());
+}
+
+// --------------------------------------------------------------------------
+// Block partition, order 2 (pair rank range -> block pairs)
+// --------------------------------------------------------------------------
+
+TEST(BlockPairRank, RoundTripExhaustive) {
+  std::uint64_t rank = 0;
+  for (std::uint32_t b1 = 0; b1 < 40; ++b1) {
+    for (std::uint32_t b0 = 0; b0 <= b1; ++b0) {
+      const BlockPair bp{b0, b1};
+      ASSERT_EQ(rank_block_pair(bp), rank);
+      ASSERT_EQ(unrank_block_pair(rank), bp);
+      ++rank;
+    }
+  }
+  EXPECT_EQ(rank, num_block_pairs(40));
+}
+
+/// Brute-force span of a block pair: min/max rank over every pair in it.
+RankRange brute_pair_span(const BlockGrid& g, const BlockPair& bp) {
+  std::uint64_t lo = ~std::uint64_t{0}, hi = 0;
+  bool any = false;
+  for (std::uint32_t y = 1; y < g.m; ++y) {
+    for (std::uint32_t x = 0; x < y; ++x) {
+      if (x / g.bs != bp.b0 || y / g.bs != bp.b1) continue;
+      const std::uint64_t r = rank_pair({x, y});
+      lo = std::min(lo, r);
+      hi = std::max(hi, r);
+      any = true;
+    }
+  }
+  return any ? RankRange{lo, hi + 1} : RankRange{};
+}
+
+TEST(BlockPairPartition, SpanMatchesBruteForceExhaustively) {
+  for (const std::uint64_t m : {2ull, 3ull, 4ull, 6ull, 7ull, 10ull, 13ull}) {
+    for (const std::uint64_t bs : {1ull, 2ull, 3ull, 5ull, 16ull}) {
+      const BlockGrid g{m, bs};
+      for (std::uint64_t r = 0; r < num_block_pairs(g.num_blocks()); ++r) {
+        const BlockPair bp = unrank_block_pair(r);
+        const RankRange expect = brute_pair_span(g, bp);
+        const RankRange got = block_pair_span(g, bp);
+        ASSERT_EQ(got.empty(), expect.empty())
+            << "m=" << m << " bs=" << bs << " block " << r;
+        if (!expect.empty()) {
+          ASSERT_EQ(got.first, expect.first) << "m=" << m << " bs=" << bs;
+          ASSERT_EQ(got.last, expect.last) << "m=" << m << " bs=" << bs;
+        }
+      }
+    }
+  }
+}
+
+TEST(BlockPairPartition, SpansAreMonotoneOverNonemptyBlocks) {
+  // The fact partition_block_pairs relies on: block rank order sorts both
+  // span endpoints over nonempty block pairs.
+  for (const std::uint64_t bs : {1ull, 2ull, 3ull, 5ull}) {
+    const BlockGrid g{17, bs};
+    RankRange prev{};
+    bool have_prev = false;
+    for (std::uint64_t r = 0; r < num_block_pairs(g.num_blocks()); ++r) {
+      const RankRange s = block_pair_span(g, unrank_block_pair(r));
+      if (s.empty()) continue;
+      if (have_prev) {
+        ASSERT_GT(s.first, prev.first) << "bs=" << bs << " block " << r;
+        ASSERT_GT(s.last, prev.last) << "bs=" << bs << " block " << r;
+      }
+      prev = s;
+      have_prev = true;
+    }
+  }
+}
+
+TEST(BlockPairPartition, RunCoversEveryBlockIntersectingTheRange) {
+  for (const std::uint64_t bs : {1ull, 2ull, 3ull, 5ull}) {
+    const BlockGrid g{12, bs};
+    const std::uint64_t total = num_pairs(g.m);
+    for (const RankRange range :
+         {RankRange{0, total}, RankRange{0, 1}, RankRange{total - 1, total},
+          RankRange{7, 23}, RankRange{total / 3, 2 * total / 3}}) {
+      const BlockPartition part = partition_block_pairs(g, range);
+      EXPECT_EQ(part.clip.first, range.first);
+      EXPECT_EQ(part.clip.last, range.last);
+      ASSERT_LE(part.block_ranks.last, num_block_pairs(g.num_blocks()));
+      // Every pair of the range lives in a block inside the run.
+      for (std::uint64_t r = range.first; r < range.last; ++r) {
+        const Pair p = unrank_pair(r);
+        const std::uint64_t br =
+            rank_block_pair({static_cast<std::uint32_t>(p.x / bs),
+                             static_cast<std::uint32_t>(p.y / bs)});
+        ASSERT_GE(br, part.block_ranks.first) << "bs=" << bs << " r=" << r;
+        ASSERT_LT(br, part.block_ranks.last) << "bs=" << bs << " r=" << r;
+      }
+    }
+  }
+}
+
+TEST(BlockPairPartition, EmptyRangeYieldsEmptyRun) {
+  const BlockGrid g{10, 3};
+  EXPECT_TRUE(partition_block_pairs(g, {5, 5}).block_ranks.empty());
+  EXPECT_TRUE(partition_block_pairs(g, {}).block_ranks.empty());
 }
 
 // --------------------------------------------------------------------------

@@ -394,6 +394,115 @@ TEST(Io, BinaryRejectsTruncation) {
   EXPECT_THROW(read_binary(cut), std::runtime_error);
 }
 
+// --------------------------------------------------------------------------
+// TGBIN1 corruption battery: every section must fail with a precise error
+// (mirrors the strictness battery of the shard formats)
+// --------------------------------------------------------------------------
+
+/// Runs the reader on `bytes`, expecting a throw; returns the message.
+std::string binary_error_of(const std::string& bytes) {
+  std::stringstream ss(bytes);
+  try {
+    read_binary(ss);
+  } catch (const std::exception& e) {
+    return e.what();
+  }
+  ADD_FAILURE() << "expected read_binary to reject the payload";
+  return {};
+}
+
+void expect_message_contains(const std::string& msg,
+                             const std::string& needle) {
+  EXPECT_NE(msg.find(needle), std::string::npos)
+      << "message '" << msg << "' lacks '" << needle << "'";
+}
+
+/// A serialized TGBIN1 file: 7-byte magic, two u64 shape fields, snps
+/// genotype rows of `samples` bytes, one phenotype row.
+std::string serialized_binary(const GenotypeMatrix& d) {
+  std::stringstream ss;
+  write_binary(ss, d);
+  return ss.str();
+}
+
+TEST(IoBinaryStrictness, BadMagicNamesTheProblem) {
+  std::string bytes = serialized_binary(random_dataset({3, 16, 5}));
+  bytes[0] = 'X';
+  expect_message_contains(binary_error_of(bytes), "bad binary magic");
+}
+
+TEST(IoBinaryStrictness, TruncatedMagicAndHeader) {
+  const std::string bytes = serialized_binary(random_dataset({3, 16, 5}));
+  // Inside the 7-byte magic: reported as a magic failure.
+  expect_message_contains(binary_error_of(bytes.substr(0, 4)),
+                          "bad binary magic");
+  // Inside the two 8-byte shape fields (bytes 7..22): a header truncation.
+  expect_message_contains(binary_error_of(bytes.substr(0, 7 + 3)),
+                          "truncated binary header");
+  expect_message_contains(binary_error_of(bytes.substr(0, 7 + 8 + 2)),
+                          "truncated binary header");
+}
+
+TEST(IoBinaryStrictness, TruncatedGenotypeSection) {
+  const GenotypeMatrix d = random_dataset({4, 16, 7});
+  const std::string bytes = serialized_binary(d);
+  const std::size_t header = 7 + 16;
+  // Cut inside the first genotype row and inside the last one.
+  expect_message_contains(binary_error_of(bytes.substr(0, header + 5)),
+                          "truncated genotype payload");
+  expect_message_contains(
+      binary_error_of(bytes.substr(0, header + 4 * 16 - 1)),
+      "truncated genotype payload");
+}
+
+TEST(IoBinaryStrictness, TruncatedPhenotypeSection) {
+  const GenotypeMatrix d = random_dataset({4, 16, 9});
+  const std::string bytes = serialized_binary(d);
+  const std::size_t before_pheno = 7 + 16 + 4 * 16;
+  // The genotype payload is complete; the phenotype row is cut short (or
+  // missing entirely).
+  expect_message_contains(
+      binary_error_of(bytes.substr(0, before_pheno + 7)),
+      "truncated phenotype payload");
+  expect_message_contains(binary_error_of(bytes.substr(0, before_pheno)),
+                          "truncated phenotype payload");
+}
+
+TEST(IoBinaryStrictness, InvalidGenotypeAndPhenotypeBytes) {
+  const GenotypeMatrix d = random_dataset({4, 16, 11});
+  const std::size_t header = 7 + 16;
+
+  std::string bad_geno = serialized_binary(d);
+  bad_geno[header + 3] = 7;  // genotypes are 0..2
+  expect_message_contains(binary_error_of(bad_geno),
+                          "invalid genotype byte");
+
+  std::string bad_pheno = serialized_binary(d);
+  bad_pheno[header + 4 * 16 + 3] = 2;  // phenotypes are 0..1
+  expect_message_contains(binary_error_of(bad_pheno),
+                          "invalid phenotype byte");
+}
+
+TEST(IoBinaryStrictness, ImplausibleHeaderShapesAreParseErrors) {
+  // A corrupted header must fail fast, not attempt a huge allocation.
+  std::stringstream ss;
+  ss.write("TGBIN1\n", 7);
+  for (const std::uint64_t v : {std::uint64_t{1} << 40, std::uint64_t{16}}) {
+    for (int i = 0; i < 8; ++i) {
+      const char byte = static_cast<char>((v >> (8 * i)) & 0xff);
+      ss.write(&byte, 1);
+    }
+  }
+  expect_message_contains(binary_error_of(ss.str()),
+                          "implausible dataset shape");
+
+  std::stringstream zero;
+  zero.write("TGBIN1\n", 7);
+  for (int i = 0; i < 16; ++i) zero.write("\0", 1);
+  expect_message_contains(binary_error_of(zero.str()),
+                          "zero-sized dataset");
+}
+
 TEST(Io, FileRoundTrip) {
   const GenotypeMatrix d = random_dataset({6, 40, 12});
   const std::string txt = testing::TempDir() + "/trigen_io_test.tg";

@@ -1,5 +1,9 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstring>
+#include <random>
+
 #include "test_util.hpp"
 #include "trigen/pairwise/pair_detector.hpp"
 #include "trigen/scoring/chi_squared.hpp"
@@ -206,6 +210,155 @@ TEST(PairDetector, BadOptionsThrow) {
   PairDetectorOptions opt;
   opt.top_k = 0;
   EXPECT_THROW(det.run(opt), std::invalid_argument);
+  PairDetectorOptions bad_range;
+  bad_range.range = {0, num_pairs(6) + 1};
+  EXPECT_THROW(det.run(bad_range), std::invalid_argument);
+}
+
+// --------------------------------------------------------------------------
+// The optimization ladder: V1-V4 (x ISAs, x tilings) are bit-identical
+// --------------------------------------------------------------------------
+
+bool same_bits(double a, double b) {
+  std::uint64_t ua = 0, ub = 0;
+  std::memcpy(&ua, &a, sizeof a);
+  std::memcpy(&ub, &b, sizeof b);
+  return ua == ub;
+}
+
+void expect_same_pairs(const std::vector<ScoredPair>& got,
+                       const std::vector<ScoredPair>& want) {
+  ASSERT_EQ(got.size(), want.size());
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i].x, want[i].x) << "entry " << i;
+    EXPECT_EQ(got[i].y, want[i].y) << "entry " << i;
+    EXPECT_TRUE(same_bits(got[i].score, want[i].score))
+        << "entry " << i << ": " << got[i].score << " vs " << want[i].score;
+  }
+}
+
+class PairVersionShapeTest : public ::testing::TestWithParam<Shape> {};
+
+INSTANTIATE_TEST_SUITE_P(Shapes, PairVersionShapeTest,
+                         ::testing::ValuesIn(small_shapes()));
+
+TEST_P(PairVersionShapeTest, EveryVersionMatchesTheNaiveReferenceExactly) {
+  const auto d = random_dataset(GetParam());
+  const PairDetector det(d);
+  PairDetectorOptions ref_opt;
+  ref_opt.version = core::CpuVersion::kV1Naive;
+  ref_opt.top_k = 6;
+  const auto ref = det.run(ref_opt);
+
+  for (const auto version :
+       {core::CpuVersion::kV2Split, core::CpuVersion::kV3Blocked,
+        core::CpuVersion::kV4Vector}) {
+    for (const core::KernelIsa isa : core::all_kernel_isas()) {
+      if (!core::kernel_available(isa)) continue;
+      PairDetectorOptions opt;
+      opt.version = version;
+      opt.isa = isa;
+      opt.isa_auto = false;
+      opt.top_k = 6;
+      if (version == core::CpuVersion::kV3Blocked) {
+        opt.tiling = {3, 8};  // deliberately unaligned with the dataset
+      }
+      const auto r = det.run(opt);
+      expect_same_pairs(r.best, ref.best);
+    }
+  }
+}
+
+TEST(PairDetector, PlantedPairFoundByEveryVersion) {
+  const auto d = planted_pair_dataset(21);
+  const PairDetector det(d);
+  for (const auto version :
+       {core::CpuVersion::kV1Naive, core::CpuVersion::kV2Split,
+        core::CpuVersion::kV3Blocked, core::CpuVersion::kV4Vector}) {
+    PairDetectorOptions opt;
+    opt.version = version;
+    const auto r = det.run(opt);
+    EXPECT_EQ(r.best[0].x, 2u) << core::cpu_version_name(version);
+    EXPECT_EQ(r.best[0].y, 6u) << core::cpu_version_name(version);
+  }
+}
+
+// --------------------------------------------------------------------------
+// Rank-range partitioning: K-way splits reproduce the full scan
+// --------------------------------------------------------------------------
+
+TEST(PairDetectorRange, KWayRandomSplitsReproduceTheFullScanExactly) {
+  const auto d = random_dataset({18, 150, 37});
+  const PairDetector det(d);
+  const std::uint64_t total = num_pairs(18);
+
+  PairDetectorOptions base;
+  base.top_k = 9;
+  const auto full = det.run(base);
+
+  std::mt19937_64 rng(4242);
+  for (int round = 0; round < 5; ++round) {
+    // Random full-coverage split into 2 + round parts.
+    std::vector<std::uint64_t> cuts = {0, total};
+    std::uniform_int_distribution<std::uint64_t> dist(1, total - 1);
+    while (cuts.size() < static_cast<std::size_t>(round) + 3) {
+      cuts.push_back(dist(rng));
+    }
+    std::sort(cuts.begin(), cuts.end());
+    cuts.erase(std::unique(cuts.begin(), cuts.end()), cuts.end());
+
+    core::PairTopK acc(base.top_k);
+    for (std::size_t i = 0; i + 1 < cuts.size(); ++i) {
+      PairDetectorOptions opt = base;
+      opt.range = {cuts[i], cuts[i + 1]};
+      // Rotate the engine version (and an odd tiling) across partitions:
+      // the merged result must not care who scanned what.
+      opt.version = static_cast<core::CpuVersion>(i % 4);
+      if (opt.version == core::CpuVersion::kV3Blocked ||
+          opt.version == core::CpuVersion::kV4Vector) {
+        opt.tiling = {3, 16};
+      }
+      const auto part = det.run(opt);
+      EXPECT_EQ(part.pairs_evaluated, opt.range.size());
+      for (const auto& s : part.best) acc.push(s);
+    }
+    expect_same_pairs(acc.sorted(), full.best);
+  }
+}
+
+TEST(PairDetectorRange, SinglePairRangesCoverTheSpace) {
+  const auto d = random_dataset({8, 100, 41});
+  const PairDetector det(d);
+  const std::uint64_t total = num_pairs(8);
+  PairDetectorOptions base;
+  base.top_k = 4;
+  const auto full = det.run(base);
+  core::PairTopK acc(base.top_k);
+  for (std::uint64_t r = 0; r < total; ++r) {
+    PairDetectorOptions opt = base;
+    opt.range = {r, r + 1};
+    const auto part = det.run(opt);
+    ASSERT_EQ(part.best.size(), 1u);
+    acc.push(part.best[0]);
+  }
+  expect_same_pairs(acc.sorted(), full.best);
+}
+
+TEST(PairDetectorRange, ProgressSumsToTheRange) {
+  const auto d = random_dataset({16, 200, 43});
+  const PairDetector det(d);
+  PairDetectorOptions opt;
+  opt.range = {11, 97};
+  std::uint64_t last_done = 0;
+  std::uint64_t reported_total = 0;
+  opt.progress = [&](std::uint64_t done, std::uint64_t total) {
+    EXPECT_GE(done, last_done);
+    last_done = done;
+    reported_total = total;
+  };
+  (void)det.run(opt);
+  EXPECT_EQ(last_done, opt.range.size());
+  EXPECT_EQ(reported_total, opt.range.size());
 }
 
 // --------------------------------------------------------------------------

@@ -14,6 +14,7 @@
 #include "trigen/combinatorics/combinations.hpp"
 #include "trigen/core/detector.hpp"
 #include "trigen/dataset/io.hpp"
+#include "trigen/pairwise/pair_detector.hpp"
 #include "trigen/shard/merge.hpp"
 #include "trigen/shard/plan.hpp"
 #include "trigen/shard/result_io.hpp"
@@ -278,7 +279,7 @@ TEST_F(ShardResultIo, RejectsBadMagicAndVersion) {
   expect_error_contains(error_of([&] { parse(wrong_magic); }), "bad magic");
 
   std::string wrong_version = text;
-  wrong_version.replace(wrong_version.find(" v1"), 3, " v9");
+  wrong_version.replace(wrong_version.find(" v2"), 3, " v9");
   expect_error_contains(error_of([&] { parse(wrong_version); }),
                         "unsupported format version");
 
@@ -364,6 +365,295 @@ TEST_F(ShardResultIo, RejectsEntriesOutsideTheDeclaredRange) {
   text.replace(text.find("range 0 6"), 9, "range 0 5");
   expect_error_contains(error_of([&] { parse(text); }),
                         "outside the covered ranks");
+}
+
+// --------------------------------------------------------------------------
+// Format versioning: v1 compatibility and the order field
+// --------------------------------------------------------------------------
+
+/// Rewrites a v2 artifact as its v1 equivalent (no `order` line).  Only
+/// valid for order-3 artifacts — which is the point: v1 predates pairwise
+/// shards.
+std::string as_v1(std::string text) {
+  const auto pos = text.find(" v2\norder 3\n");
+  EXPECT_NE(pos, std::string::npos);
+  text.replace(pos, 12, " v1\n");
+  return text;
+}
+
+TEST_F(ShardResultIo, LegacyV1FilesStillParse) {
+  const ShardResult r = real_result();
+  const ShardResult back = parse(as_v1(serialized(r)));
+  EXPECT_EQ(back.fingerprint, r.fingerprint);
+  EXPECT_EQ(back.range.first, r.range.first);
+  EXPECT_EQ(back.range.last, r.range.last);
+  expect_same_entries(back.entries, r.entries);
+}
+
+TEST_F(ShardResultIo, WriterEmitsV2WithTheOrderField) {
+  const std::string text = serialized(real_result());
+  EXPECT_NE(text.find("TRIGEN-SHARD v2\norder 3\n"), std::string::npos);
+}
+
+TEST_F(ShardResultIo, OrderMismatchesAreRejectedPrecisely) {
+  const std::string triplet_text = serialized(real_result());
+
+  // An order-3 file is not an order-2 artifact — v2 and legacy v1 alike.
+  expect_error_contains(error_of([&] {
+                          std::istringstream is(triplet_text);
+                          read_pair_shard_result(is);
+                        }),
+                        "order mismatch");
+  expect_error_contains(error_of([&] {
+                          std::istringstream is(as_v1(triplet_text));
+                          read_pair_shard_result(is);
+                        }),
+                        "order mismatch");
+
+  // And an order-2 file is not an order-3 artifact.
+  std::string pair_text = triplet_text;
+  pair_text.replace(pair_text.find("order 3"), 7, "order 2");
+  expect_error_contains(error_of([&] { parse(pair_text); }),
+                        "order mismatch");
+
+  // Unknown orders are refused outright.
+  std::string weird = triplet_text;
+  weird.replace(weird.find("order 3"), 7, "order 4");
+  expect_error_contains(error_of([&] {
+                          std::istringstream is(weird);
+                          read_pair_shard_result(is);
+                        }),
+                        "unsupported order");
+}
+
+TEST_F(ShardResultIo, ProbeShardOrderDispatches) {
+  const std::string triplet_path = temp_path("probe3.shard");
+  write_shard_result_file(triplet_path, real_result());
+  EXPECT_EQ(probe_shard_order(triplet_path), 3u);
+
+  // A legacy v1 file probes as order 3.
+  const std::string v1_path = temp_path("probe_v1.shard");
+  {
+    std::ofstream os(v1_path);
+    os << as_v1(serialized(real_result()));
+  }
+  EXPECT_EQ(probe_shard_order(v1_path), 3u);
+
+  expect_error_contains(
+      error_of([&] { probe_shard_order(temp_path("probe_none.shard")); }),
+      "cannot open");
+  const std::string junk_path = temp_path("probe_junk.shard");
+  {
+    std::ofstream os(junk_path);
+    os << "not-a-shard-file\n";
+  }
+  expect_error_contains(error_of([&] { probe_shard_order(junk_path); }),
+                        "bad magic");
+}
+
+// --------------------------------------------------------------------------
+// Order 2: pair shard results, runner, files and merge
+// --------------------------------------------------------------------------
+
+void expect_same_pair_entries(const std::vector<core::ScoredPair>& got,
+                              const std::vector<core::ScoredPair>& want) {
+  ASSERT_EQ(got.size(), want.size());
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i].x, want[i].x) << "entry " << i;
+    EXPECT_EQ(got[i].y, want[i].y) << "entry " << i;
+    EXPECT_TRUE(same_bits(got[i].score, want[i].score)) << "entry " << i;
+  }
+}
+
+class PairShard : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    d_ = random_dataset({24, 150, 53});
+    det_ = std::make_unique<pairwise::PairDetector>(d_);
+    fp_ = dataset_fingerprint(d_);
+    total_ = pairwise::num_pairs(24);
+  }
+
+  PairShardResult scan_pair_range(RankRange range, std::size_t top_k,
+                                  pairwise::PairDetectorOptions dopt = {}) {
+    PairShardRunOptions opt;
+    opt.detector = dopt;
+    opt.detector.top_k = top_k;
+    opt.range = range;
+    const PairShardRunReport rep = run_pair_shard(*det_, fp_, opt);
+    EXPECT_TRUE(rep.completed);
+    return rep.result;
+  }
+
+  dataset::GenotypeMatrix d_;
+  std::unique_ptr<pairwise::PairDetector> det_;
+  std::uint64_t fp_ = 0;
+  std::uint64_t total_ = 0;
+};
+
+TEST_F(PairShard, PlanShardsTilesThePairSpace) {
+  const auto shards =
+      plan_shards(24, 5, SplitStrategy::kEvenRanks, 0, /*order=*/2);
+  ASSERT_EQ(shards.size(), 5u);
+  std::uint64_t expect = 0;
+  for (const RankRange& s : shards) {
+    EXPECT_EQ(s.first, expect);
+    EXPECT_FALSE(s.empty());
+    expect = s.last;
+  }
+  EXPECT_EQ(expect, total_);
+  EXPECT_THROW(plan_shards(24, 5, SplitStrategy::kEvenRanks, 0, 7),
+               std::invalid_argument);
+}
+
+TEST_F(PairShard, ResultFileRoundTripIsExact) {
+  const PairShardResult r = scan_pair_range({30, 200}, 7);
+  ASSERT_EQ(r.entries.size(), 7u);
+  std::stringstream ss;
+  write_shard_result(ss, r);
+  EXPECT_NE(ss.str().find("TRIGEN-SHARD v2\norder 2\n"), std::string::npos);
+  std::istringstream is(ss.str());
+  const PairShardResult back = read_pair_shard_result(is);
+  EXPECT_EQ(back.fingerprint, r.fingerprint);
+  EXPECT_EQ(back.range.first, r.range.first);
+  EXPECT_EQ(back.range.last, r.range.last);
+  expect_same_pair_entries(back.entries, r.entries);
+
+  const std::string path = temp_path("pair_roundtrip.shard");
+  write_shard_result_file(path, r);
+  EXPECT_EQ(probe_shard_order(path), 2u);
+  expect_same_pair_entries(read_pair_shard_result_file(path).entries,
+                           r.entries);
+}
+
+TEST_F(PairShard, EveryTruncationIsRejected) {
+  std::stringstream ss;
+  write_shard_result(ss, scan_pair_range({0, 120}, 5));
+  const std::string text = ss.str();
+  for (std::size_t cut = 0; cut + 1 < text.size(); cut += 7) {
+    std::istringstream is(text.substr(0, cut));
+    EXPECT_THROW(read_pair_shard_result(is), std::runtime_error)
+        << "prefix of " << cut << " bytes parsed";
+  }
+}
+
+TEST_F(PairShard, RandomFullCoverageSplitsReproduceTheFullPairScanExactly) {
+  std::mt19937_64 rng(777);
+  pairwise::PairDetectorOptions base;
+  base.top_k = 11;
+  const auto full = det_->run(base);
+
+  for (int round = 0; round < 4; ++round) {
+    std::vector<std::uint64_t> cuts = {0, total_};
+    std::uniform_int_distribution<std::uint64_t> dist(1, total_ - 1);
+    while (cuts.size() < static_cast<std::size_t>(round) + 4) {
+      cuts.push_back(dist(rng));
+    }
+    std::sort(cuts.begin(), cuts.end());
+    cuts.erase(std::unique(cuts.begin(), cuts.end()), cuts.end());
+
+    std::vector<PairShardResult> shards;
+    for (std::size_t i = 0; i + 1 < cuts.size(); ++i) {
+      // Rotate engine versions across shards, like the triplet battery.
+      pairwise::PairDetectorOptions dopt;
+      dopt.version = static_cast<core::CpuVersion>(i % 4);
+      if (dopt.version == core::CpuVersion::kV3Blocked ||
+          dopt.version == core::CpuVersion::kV4Vector) {
+        dopt.tiling = {3, 16};
+      }
+      shards.push_back(scan_pair_range({cuts[i], cuts[i + 1]}, 11, dopt));
+    }
+    std::shuffle(shards.begin(), shards.end(), rng);
+    const PairMergedScan m = merge_pair_shards(shards);
+    expect_same_pair_entries(m.result.best, full.best);
+    EXPECT_EQ(m.result.pairs_evaluated, total_);
+    EXPECT_EQ(m.result.elements, total_ * d_.num_samples());
+  }
+}
+
+TEST_F(PairShard, MergeRejectsGapsOverlapsAndMismatches) {
+  const PairShardResult lo = scan_pair_range({0, 60}, 4);
+  const PairShardResult mid = scan_pair_range({60, 180}, 4);
+  const PairShardResult hi = scan_pair_range({180, total_}, 4);
+  EXPECT_NO_THROW(merge_pair_shards({hi, lo, mid}));
+  expect_error_contains(error_of([&] { merge_pair_shards({lo, hi}); }),
+                        "coverage gap");
+  PairShardResult foreign = mid;
+  foreign.fingerprint ^= 1;
+  expect_error_contains(
+      error_of([&] { merge_pair_shards({lo, foreign, hi}); }),
+      "fingerprint mismatch");
+
+  // Contiguous partial merges compose, as for triplets.
+  const PairMergedScan left =
+      merge_pair_shards({lo, mid}, MergeCoverage::kContiguous);
+  EXPECT_EQ(left.range.first, 0u);
+  EXPECT_EQ(left.range.last, 180u);
+  const PairMergedScan all =
+      merge_pair_shards({to_shard_result(left), hi});
+  pairwise::PairDetectorOptions base;
+  base.top_k = 4;
+  expect_same_pair_entries(all.result.best, det_->run(base).best);
+}
+
+TEST_F(PairShard, KillAndResumeIsIdenticalToUninterrupted) {
+  const RankRange range{10, 250};
+  const PairShardResult uninterrupted = scan_pair_range(range, 8);
+
+  const std::string ckpt = temp_path("pair_kill.ckpt");
+  PairShardRunOptions killed;
+  killed.detector.top_k = 8;
+  killed.range = range;
+  killed.checkpoint_every = 32;
+  killed.checkpoint_path = ckpt;
+  killed.keep_going = [](std::uint64_t done, std::uint64_t) {
+    return done < 64;
+  };
+  const auto first = run_pair_shard(*det_, fp_, killed);
+  EXPECT_FALSE(first.completed);
+  EXPECT_GT(first.checkpoints_written, 0u);
+
+  // The on-disk checkpoint is an order-2 v2 artifact...
+  const PairCheckpoint c = read_pair_checkpoint_file(ckpt);
+  EXPECT_EQ(c.watermark, 74u);  // 64 done rounds up to the next 32-chunk
+  // ...that the order-3 reader refuses.
+  expect_error_contains(error_of([&] { read_checkpoint_file(ckpt); }),
+                        "order mismatch");
+
+  PairShardRunOptions resume = killed;
+  resume.keep_going = {};
+  const auto second = run_pair_shard(*det_, fp_, resume);
+  EXPECT_TRUE(second.completed);
+  EXPECT_TRUE(second.resumed);
+  EXPECT_GT(second.resumed_from, range.first);
+  expect_same_pair_entries(second.result.entries, uninterrupted.entries);
+}
+
+TEST_F(PairShard, StalePairCheckpointsAreRejected) {
+  const RankRange range{0, 200};
+  const std::string ckpt = temp_path("pair_stale.ckpt");
+  PairShardRunOptions opt;
+  opt.detector.top_k = 5;
+  opt.range = range;
+  opt.checkpoint_every = 32;
+  opt.checkpoint_path = ckpt;
+  opt.keep_going = [](std::uint64_t done, std::uint64_t) {
+    return done < 64;
+  };
+  ASSERT_FALSE(run_pair_shard(*det_, fp_, opt).completed);
+
+  opt.keep_going = {};
+  expect_error_contains(error_of([&] {
+                          auto o = opt;
+                          run_pair_shard(*det_, fp_ ^ 9, o);
+                        }),
+                        "different dataset");
+  expect_error_contains(error_of([&] {
+                          auto o = opt;
+                          o.detector.top_k = 2;
+                          run_pair_shard(*det_, fp_, o);
+                        }),
+                        "top_k");
 }
 
 // --------------------------------------------------------------------------
