@@ -7,9 +7,9 @@
 /// the 3-way kernel while the combination count drops from C(M,3) to
 /// C(M,2) — this harness quantifies both effects per ISA.  It also pits
 /// the pre-refactor engine (the per-pair unrank loop, now the V2 rung)
-/// against the blocked/tiled V4 engine the pairwise detector runs on
-/// today, so the speedup of moving k=2 onto Algorithm 1 is captured in
-/// the bench trajectory.
+/// against the blocked/tiled V4 engine and the V5 cache-direct engine
+/// (whose pair table falls straight out of the pair-plane build phase),
+/// so the payoff of each k=2 rung is captured in the bench trajectory.
 
 #include <cstdio>
 
@@ -35,7 +35,7 @@ int main(int argc, char** argv) {
   TextTable t({"scan", "ISA", "combinations", "time [s]", "Gel/s"});
   const pairwise::PairDetector pairs(d);
   const core::Detector triples(d);
-  double best_loop_eps = 0.0, best_blocked_eps = 0.0;
+  double best_loop_eps = 0.0, best_blocked_eps = 0.0, best_cached_eps = 0.0;
   for (const core::KernelIsa isa : core::all_kernel_isas()) {
     if (!core::kernel_available(isa)) continue;
 
@@ -64,6 +64,19 @@ int main(int argc, char** argv) {
                TextTable::fmt(pr.seconds, 3),
                TextTable::fmt(pr.elements_per_second() / 1e9, 2)});
 
+    // The V5 cache-direct pairwise engine: 9 ANDs + 9 POPCNTs per word,
+    // no z operand.
+    pairwise::PairDetectorOptions copt;
+    copt.version = core::CpuVersion::kV5PairCache;
+    copt.isa = isa;
+    copt.isa_auto = false;
+    const auto cr = pairs.run(copt);
+    best_cached_eps = std::max(best_cached_eps, cr.elements_per_second());
+    t.add_row({"2-way cached", core::kernel_isa_name(isa),
+               std::to_string(cr.pairs_evaluated),
+               TextTable::fmt(cr.seconds, 3),
+               TextTable::fmt(cr.elements_per_second() / 1e9, 2)});
+
     core::DetectorOptions topt;
     topt.version = core::CpuVersion::kV4Vector;
     topt.isa = isa;
@@ -79,6 +92,12 @@ int main(int argc, char** argv) {
     std::printf(
         "blocked pairwise engine vs per-pair loop (best ISA each): %.2fx\n",
         best_blocked_eps / best_loop_eps);
+  }
+  if (best_blocked_eps > 0.0) {
+    std::printf(
+        "cache-direct V5 pairwise engine vs blocked V4 (best ISA each): "
+        "%.2fx\n",
+        best_cached_eps / best_blocked_eps);
   }
   return 0;
 }

@@ -1,26 +1,37 @@
 /// \file bench_fig3_cpu.cpp
 /// \brief Reproduces paper Fig. 3 (a/b/c): CPU performance across devices
-/// and data sizes.
+/// and data sizes, extended with the repo's V5 pair-plane-cached engine.
 ///
-/// Two ingredients (DESIGN.md §2):
-///  1. **Host measurements**: the V4 kernel is run with every vectorization
-///     strategy the host supports (scalar, AVX2+scalar-POPCNT,
-///     AVX-512+extract, AVX-512+VPOPCNTDQ), one thread, for each dataset
-///     size — these are real silicon numbers for the per-ISA rates the
-///     figure isolates.
+/// Three ingredients (DESIGN.md §2):
+///  1. **Host measurements**: the blocked kernel is run with every
+///     vectorization strategy the host supports (scalar,
+///     AVX2+scalar-POPCNT, AVX-512+extract, AVX-512+VPOPCNTDQ), one
+///     thread, for each dataset size — these are real silicon numbers for
+///     the per-ISA rates the figure isolates.  Both the paper's V4 and the
+///     V5 pair-plane-cached rung are measured, and the V5-vs-V4 speedup is
+///     reported per ISA.
 ///  2. **Table-I projection**: each paper CPU is assigned the host-measured
-///     elements/cycle/core rate of its strategy class and scaled by its
+///     V4 elements/cycle/core rate of its strategy class and scaled by its
 ///     core count and frequency — reproducing the figure's cross-device
 ///     comparison without the hardware.
+///  3. **JSON trajectory**: `--json FILE` appends every measurement as
+///     `bench name -> {ns_per_op, triplets_per_s}` so scripts/run_benches.sh
+///     can maintain BENCH_cpu.json at the repo root; `--quick` shrinks the
+///     dataset grid for CI.
 ///
 /// Expected shape (paper §V-B): AVX-512+VPOPCNTDQ dominates per core and
 /// per cycle (~3.8x); all scalar-POPCNT variants land near the same
 /// elements/cycle/core; AVX-512-without-vector-POPCNT is the *worst* per
 /// cycle (double-extract overhead); per (cycle x vector width), narrow
-/// vectors look best (CA1) alongside VPOPCNTDQ.
+/// vectors look best (CA1) alongside VPOPCNTDQ.  V5 should beat V4 on
+/// every ISA whose popcount path dominates (it retires 18 POPCNTs + 18
+/// ANDs per word against V4's 27 + 42).
 
 #include <cstdio>
 #include <map>
+#include <string>
+#include <utility>
+#include <vector>
 
 #include "bench_util.hpp"
 #include "trigen/common/table.hpp"
@@ -43,61 +54,122 @@ unsigned lanes_for(core::KernelIsa isa) {
   return 1;
 }
 
+/// Value following `flag` in argv, or `fallback`.
+const char* get_arg(int argc, char** argv, const char* flag,
+                    const char* fallback) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], flag) == 0) return argv[i + 1];
+  }
+  return fallback;
+}
+
+struct Measurement {
+  std::string name;         ///< e.g. "fig3_cpu/V5-paircache/avx2/snps=160"
+  double ns_per_op = 0;     ///< nanoseconds per evaluated triplet
+  double triplets_per_s = 0;
+  double elements_per_s = 0;
+};
+
 }  // namespace
 
 int main(int argc, char** argv) {
   const bool paper = bench::has_flag(argc, argv, "--paper-scale");
+  const bool quick = bench::has_flag(argc, argv, "--quick");
+  const std::string json_path = get_arg(argc, argv, "--json", "");
   // Keep the paper's sample count (the vector kernels need long plane
-  // streams to amortize per-call overhead) and scale the SNP axis down.
+  // streams to amortize per-call overhead) and scale the SNP axis down;
+  // --quick shrinks both for the CI trajectory run.
   const std::vector<std::size_t> snp_sizes =
       paper ? std::vector<std::size_t>{2048, 4096, 8192}
-            : std::vector<std::size_t>{96, 128, 160};
-  const std::size_t samples = 16384;
+      : quick ? std::vector<std::size_t>{64, 96}
+              : std::vector<std::size_t>{96, 128, 160};
+  const std::size_t samples = quick ? 8192 : 16384;
   const double freq = bench::host_frequency_hz();
 
   bench::print_header("Fig. 3 — CPU performance evaluation");
   std::printf("host frequency estimate: %.2f GHz; samples: %zu\n", freq / 1e9,
               samples);
 
-  // ---- host measurements per ISA and size -------------------------------
-  TextTable host({"SNPs", "strategy", "Gel/s/core (3a)", "el/cyc/core (3b)",
-                  "el/cyc/(core x lanes) (3c)"});
+  const std::vector<core::CpuVersion> versions = {
+      core::CpuVersion::kV4Vector, core::CpuVersion::kV5PairCache};
+
+  // ---- host measurements per ISA, version and size ----------------------
+  TextTable host({"SNPs", "version", "strategy", "Gel/s/core (3a)",
+                  "el/cyc/core (3b)", "el/cyc/(core x lanes) (3c)"});
   // Host-measured elements/cycle/core per strategy, from the largest size.
-  std::map<core::KernelIsa, double> measured_rate;
+  std::map<core::KernelIsa, double> measured_rate_v4;
+  // elements/s per (version, isa) at the largest size, for the speedup
+  // report.
+  std::map<std::pair<core::CpuVersion, core::KernelIsa>, double> largest_eps;
+  std::vector<Measurement> log;
   for (const std::size_t snps : snp_sizes) {
     const auto d = bench::paper_style_dataset(snps, samples);
     const core::Detector det(d);
     for (const core::KernelIsa isa : core::all_kernel_isas()) {
       if (!core::kernel_available(isa)) continue;
-      core::DetectorOptions opt;
-      opt.version = core::CpuVersion::kV4Vector;
-      opt.isa = isa;
-      opt.isa_auto = false;
-      opt.threads = 1;
-      const auto r = det.run(opt);
-      const double eps = r.elements_per_second();
-      const double per_cyc = eps / freq;
-      measured_rate[isa] = per_cyc;
-      host.add_row({std::to_string(snps), core::kernel_isa_name(isa),
-                    TextTable::fmt(eps / 1e9, 2), TextTable::fmt(per_cyc, 2),
-                    TextTable::fmt(per_cyc / lanes_for(isa), 3)});
+      for (const core::CpuVersion version : versions) {
+        core::DetectorOptions opt;
+        opt.version = version;
+        opt.isa = isa;
+        opt.isa_auto = false;
+        opt.threads = 1;
+        const auto r = det.run(opt);
+        const double eps = r.elements_per_second();
+        const double per_cyc = eps / freq;
+        const double tps =
+            r.seconds > 0.0
+                ? static_cast<double>(r.triplets_evaluated) / r.seconds
+                : 0.0;
+        if (version == core::CpuVersion::kV4Vector) {
+          measured_rate_v4[isa] = per_cyc;
+        }
+        largest_eps[{version, isa}] = eps;
+        host.add_row({std::to_string(snps), core::cpu_version_name(version),
+                      core::kernel_isa_name(isa),
+                      TextTable::fmt(eps / 1e9, 2),
+                      TextTable::fmt(per_cyc, 2),
+                      TextTable::fmt(per_cyc / lanes_for(isa), 3)});
+        log.push_back({"fig3_cpu/" + core::cpu_version_name(version) + "/" +
+                           core::kernel_isa_name(isa) +
+                           "/snps=" + std::to_string(snps),
+                       tps > 0.0 ? 1e9 / tps : 0.0, tps, eps});
+      }
     }
   }
-  std::printf("\nHost-measured V4 kernel, one core, every available ISA:\n%s",
-              host.to_ascii().c_str());
+  std::printf(
+      "\nHost-measured blocked engine, one core, every available ISA:\n%s",
+      host.to_ascii().c_str());
+
+  // ---- V5-vs-V4 speedup per ISA (largest size) --------------------------
+  TextTable speedup({"strategy", "V4 Gel/s", "V5 Gel/s", "V5/V4"});
+  for (const core::KernelIsa isa : core::all_kernel_isas()) {
+    if (!core::kernel_available(isa)) continue;
+    const double v4 = largest_eps[{core::CpuVersion::kV4Vector, isa}];
+    const double v5 = largest_eps[{core::CpuVersion::kV5PairCache, isa}];
+    if (v4 <= 0.0 || v5 <= 0.0) continue;
+    speedup.add_row({core::kernel_isa_name(isa), TextTable::fmt(v4 / 1e9, 2),
+                     TextTable::fmt(v5 / 1e9, 2),
+                     TextTable::fmt(v5 / v4, 2)});
+    log.push_back({"fig3_cpu/speedup_v5_vs_v4/" + core::kernel_isa_name(isa),
+                   0.0, 0.0, v5 / v4});
+  }
+  std::printf(
+      "\nV5 pair-plane cache vs V4, largest size (%zu SNPs), one core:\n%s",
+      snp_sizes.back(), speedup.to_ascii().c_str());
 
   // ---- Table-I device projection -----------------------------------------
   gpusim::CpuIsaRates rates;  // paper-derived defaults
-  // Substitute host-measured rates where the host can execute the class.
-  if (measured_rate.count(core::KernelIsa::kAvx2)) {
-    rates.avx256 = measured_rate[core::KernelIsa::kAvx2];
-    rates.avx128 = measured_rate[core::KernelIsa::kAvx2];  // scalar-POPCNT bound
+  // Substitute host-measured V4 rates where the host can execute the class.
+  if (measured_rate_v4.count(core::KernelIsa::kAvx2)) {
+    rates.avx256 = measured_rate_v4[core::KernelIsa::kAvx2];
+    rates.avx128 =
+        measured_rate_v4[core::KernelIsa::kAvx2];  // scalar-POPCNT bound
   }
-  if (measured_rate.count(core::KernelIsa::kAvx512Extract)) {
-    rates.avx512_extract = measured_rate[core::KernelIsa::kAvx512Extract];
+  if (measured_rate_v4.count(core::KernelIsa::kAvx512Extract)) {
+    rates.avx512_extract = measured_rate_v4[core::KernelIsa::kAvx512Extract];
   }
-  if (measured_rate.count(core::KernelIsa::kAvx512Vpopcnt)) {
-    rates.avx512_vpopcnt = measured_rate[core::KernelIsa::kAvx512Vpopcnt];
+  if (measured_rate_v4.count(core::KernelIsa::kAvx512Vpopcnt)) {
+    rates.avx512_vpopcnt = measured_rate_v4[core::KernelIsa::kAvx512Vpopcnt];
   }
 
   TextTable proj({"device", "variant", "Gel/s/core (3a)", "el/cyc/core (3b)",
@@ -125,5 +197,31 @@ int main(int argc, char** argv) {
       "\nPaper shape check (Fig. 3): CI3+AVX512 dominates 3a/3b; CI2+AVX512 "
       "is slowest per core\n(extract overhead); AVX rows cluster in 3b; CA1 "
       "and CI3 lead 3c (~0.4).\n");
+
+  // ---- JSON trajectory ---------------------------------------------------
+  if (!json_path.empty()) {
+    std::FILE* f = std::fopen(json_path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+      return 1;
+    }
+    std::fprintf(f, "{\n");
+    for (std::size_t i = 0; i < log.size(); ++i) {
+      const Measurement& e = log[i];
+      if (e.name.find("speedup") != std::string::npos) {
+        std::fprintf(f, "  \"%s\": {\"speedup\": %.4f}%s\n", e.name.c_str(),
+                     e.elements_per_s, i + 1 < log.size() ? "," : "");
+      } else {
+        std::fprintf(f,
+                     "  \"%s\": {\"ns_per_op\": %.3f, \"triplets_per_s\": "
+                     "%.1f, \"elements_per_s\": %.0f}%s\n",
+                     e.name.c_str(), e.ns_per_op, e.triplets_per_s,
+                     e.elements_per_s, i + 1 < log.size() ? "," : "");
+      }
+    }
+    std::fprintf(f, "}\n");
+    std::fclose(f);
+    std::printf("wrote %s (%zu entries)\n", json_path.c_str(), log.size());
+  }
   return 0;
 }

@@ -37,7 +37,8 @@ int main() {
   const core::Detector det(data);
   for (const auto v :
        {core::CpuVersion::kV1Naive, core::CpuVersion::kV2Split,
-        core::CpuVersion::kV3Blocked, core::CpuVersion::kV4Vector}) {
+        core::CpuVersion::kV3Blocked, core::CpuVersion::kV4Vector,
+        core::CpuVersion::kV5PairCache}) {
     core::DetectorOptions opt;
     opt.version = v;
     const auto r = det.run(opt);

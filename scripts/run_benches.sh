@@ -1,0 +1,76 @@
+#!/usr/bin/env bash
+# run_benches.sh — populate the repo's CPU performance trajectory.
+#
+# Runs the fig3 harness (V4 + V5 per ISA, with the V5-vs-V4 speedup) and,
+# when built, the google-benchmark kernel ablation with
+# --benchmark_format=json, and folds everything into one JSON file keyed
+# by bench name with ns/op and triplets/s (kernel-level entries carry
+# words/s and elements/s instead):
+#
+#   usage: scripts/run_benches.sh [BUILD_DIR] [OUT.json] [--quick]
+#
+# Defaults: BUILD_DIR=build, OUT=BENCH_cpu.json (repo root).  --quick
+# shrinks the dataset grid for CI; the checked-in BENCH_cpu.json is the CI
+# Release job's quick run.
+set -euo pipefail
+
+BUILD_DIR=build
+OUT=BENCH_cpu.json
+QUICK=""
+for arg in "$@"; do
+  case "$arg" in
+    --quick) QUICK="--quick" ;;
+    *) if [ "$BUILD_DIR" = build ] && [ -d "$arg" ]; then BUILD_DIR="$arg"
+       else OUT="$arg"; fi ;;
+  esac
+done
+
+FIG3="$BUILD_DIR/bench/bench_fig3_cpu"
+ABL="$BUILD_DIR/bench/bench_ablation_kernels"
+if [ ! -x "$FIG3" ]; then
+  echo "error: $FIG3 not built (configure with -DTRIGEN_BUILD_BENCH=ON)" >&2
+  exit 1
+fi
+
+tmpdir=$(mktemp -d)
+trap 'rm -rf "$tmpdir"' EXIT
+
+echo "== fig3 CPU bench ($( [ -n "$QUICK" ] && echo quick || echo full ) mode)"
+"$FIG3" $QUICK --json "$tmpdir/fig3.json"
+
+have_abl=0
+if [ -x "$ABL" ]; then
+  echo "== kernel ablation bench (google-benchmark)"
+  # 0.05s min time keeps the quick CI run short; the counters are rates,
+  # unaffected by the shortened measurement window.
+  min_time=""
+  [ -n "$QUICK" ] && min_time="--benchmark_min_time=0.05"
+  if "$ABL" $min_time --benchmark_format=json > "$tmpdir/abl.json"; then
+    have_abl=1
+  else
+    echo "warning: ablation bench failed; continuing with fig3 only" >&2
+  fi
+fi
+
+if command -v python3 > /dev/null; then
+  python3 - "$tmpdir/fig3.json" "$tmpdir/abl.json" "$have_abl" "$OUT" <<'PYEOF'
+import json, sys
+fig3_path, abl_path, have_abl, out_path = sys.argv[1:5]
+merged = json.load(open(fig3_path))
+if have_abl == "1":
+    for b in json.load(open(abl_path)).get("benchmarks", []):
+        name = "ablation_kernels/" + b["name"]
+        entry = {"ns_per_op": round(float(b.get("real_time", 0.0)), 3)}
+        for counter in ("words/s", "elements/s"):
+            if counter in b:
+                entry[counter.replace("/s", "_per_s")] = round(float(b[counter]), 1)
+        merged[name] = entry
+json.dump(merged, open(out_path, "w"), indent=1, sort_keys=True)
+open(out_path, "a").write("\n")
+print(f"wrote {out_path} ({len(merged)} entries)")
+PYEOF
+else
+  # No python3: ship the fig3 measurements unmerged.
+  cp "$tmpdir/fig3.json" "$OUT"
+  echo "wrote $OUT (fig3 only; python3 unavailable for the ablation merge)"
+fi

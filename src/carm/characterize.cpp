@@ -14,6 +14,23 @@ using gpusim::OpCountModel;
 using gpusim::OpMix;
 
 OpMix cpu_op_mix(CpuVersion v, OpCountModel model) {
+  if (v == CpuVersion::kV5PairCache) {
+    // Steady-state cached kernel (the build phase amortizes over the B_S
+    // z-SNPs of a block): 18 ANDs (z0/z1 against each cached plane; the z2
+    // cells derive from the cached popcounts) and 18 POPCNTs per word per
+    // triplet.  The implementation is plane-major — the word loop runs
+    // inside each of the 9 plane passes — so z0/z1 are re-read per pass:
+    // 9 * (1 cache + 2 z) = 27 32-bit loads per word, all L1-resident
+    // (the loop-order tradeoff buys minimal register pressure).  The paper
+    // predates V5 and prints no counts for it, and the kernel computes no
+    // NOR (the one op the kPaper/kExact models count differently), so the
+    // same mix serves both models.
+    OpMix m;
+    m.popcnt = 18;
+    m.logic = 18;
+    m.loads = 27;
+    return m;
+  }
   const GpuVersion mapped = v == CpuVersion::kV1Naive
                                 ? GpuVersion::kV1Naive
                                 : GpuVersion::kV2Split;
@@ -52,7 +69,7 @@ std::vector<KernelPoint> characterize_cpu_ladder(
   std::vector<KernelPoint> points;
   for (const CpuVersion v :
        {CpuVersion::kV1Naive, CpuVersion::kV2Split, CpuVersion::kV3Blocked,
-        CpuVersion::kV4Vector}) {
+        CpuVersion::kV4Vector, CpuVersion::kV5PairCache}) {
     points.push_back(characterize_cpu_version(det, v, threads, model));
   }
   return points;

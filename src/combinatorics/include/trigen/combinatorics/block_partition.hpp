@@ -3,7 +3,7 @@
 /// \brief Combinatorics of the block-combination spaces (pairs and triples)
 /// and the mapping from a combination rank range onto them.
 ///
-/// The cache-blocked engines (paper Algorithm 1, V3/V4) walk multiset block
+/// The cache-blocked engines (paper Algorithm 1, V3/V4/V5) walk multiset block
 /// tuples — b0 <= b1 for the 2-way scan, b0 <= b1 <= b2 for the 3-way scan
 /// — instead of individual SNP combinations.  To let the blocked versions
 /// participate in rank-range partitioning (heterogeneous CPU+GPU splits,

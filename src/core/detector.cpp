@@ -23,6 +23,7 @@ std::string cpu_version_name(CpuVersion v) {
     case CpuVersion::kV2Split: return "V2-split";
     case CpuVersion::kV3Blocked: return "V3-blocked";
     case CpuVersion::kV4Vector: return "V4-vector";
+    case CpuVersion::kV5PairCache: return "V5-paircache";
   }
   return "unknown";
 }
@@ -99,11 +100,13 @@ unsigned resolve_threads(unsigned requested) {
 DetectionResult Detector::run(const DetectorOptions& options) const {
   DetectionResult result;
   result.threads_used = resolve_threads(options.threads);
-  // V1 and V3 are scalar by definition; V4 defaults to the widest available
-  // strategy.  V2 honors an explicitly requested ISA (the heterogeneous
-  // coordinator pairs the per-triplet path with a vector kernel).
+  // V1 and V3 are scalar by definition; V4/V5 default to the widest
+  // available strategy.  V2 honors an explicitly requested ISA (the
+  // heterogeneous coordinator pairs the per-triplet path with a vector
+  // kernel).
   result.isa_used = KernelIsa::kScalar;
-  if (options.version == CpuVersion::kV4Vector) {
+  if (options.version == CpuVersion::kV4Vector ||
+      options.version == CpuVersion::kV5PairCache) {
     result.isa_used = options.isa_auto ? best_kernel_isa() : options.isa;
   } else if (options.version == CpuVersion::kV2Split && !options.isa_auto) {
     result.isa_used = options.isa;
@@ -146,8 +149,9 @@ DetectionResult Detector::run(const DetectorOptions& options) const {
 
   Stopwatch sw;
   TopK merged(options.top_k);
+  const bool cached = options.version == CpuVersion::kV5PairCache;
   const bool blocked = options.version == CpuVersion::kV3Blocked ||
-                       options.version == CpuVersion::kV4Vector;
+                       options.version == CpuVersion::kV4Vector || cached;
   if (!blocked) {
     // V1/V2: work unit = one triplet rank inside `range`.
     const bool naive = options.version == CpuVersion::kV1Naive;
@@ -168,16 +172,16 @@ DetectionResult Detector::run(const DetectorOptions& options) const {
         });
     result.tiling_used = TilingParams{0, 0};
   } else {
-    // V3/V4: work unit = one block triple of the partition covering
+    // V3/V4/V5: work unit = one block triple of the partition covering
     // `range`; emitted triplets are clipped to the range at the partition
-    // boundary (interior blocks pay no per-triplet overhead).
+    // boundary (interior blocks pay no per-triplet overhead).  V5 budgets
+    // L1 for the pair-plane cache when autotuning.
     TilingParams tiling = options.tiling;
     if (!tiling.valid()) {
       tiling = autotune_tiling(detect_l1_config(),
-                               kernel_vector_words(result.isa_used));
+                               kernel_vector_words(result.isa_used), cached);
     }
     result.tiling_used = tiling;
-    const TripleBlockKernel kernel = get_kernel(result.isa_used);
     const combinatorics::BlockGrid grid{m, tiling.bs};
     const combinatorics::BlockPartition part =
         combinatorics::partition_block_triples(grid, range);
@@ -185,21 +189,25 @@ DetectionResult Detector::run(const DetectorOptions& options) const {
     std::vector<BlockScratch> scratch;
     scratch.reserve(cfg.threads);
     for (unsigned t = 0; t < cfg.threads; ++t) scratch.emplace_back(tiling.bs);
-    merged = scan_topk(
-        part.block_ranks.size(), cfg, options.top_k,
-        [&](unsigned tid, RankRange r, TopK& top) -> std::uint64_t {
-          std::uint64_t emitted = 0;
-          for (std::uint64_t b = r.first; b < r.last; ++b) {
-            scan_block_triple(
-                impl_->split, tiling, kernel, scratch[tid],
-                unrank_block_triple(part.block_ranks.first + b), clip,
-                [&](const Triplet& t, const ContingencyTable& table) {
-                  ++emitted;
-                  top.push(ScoredTriplet{t, scorer(table)});
-                });
-          }
-          return emitted;
-        });
+    const auto scan_blocks = [&](auto&& engine_kernels) {
+      return scan_topk(
+          part.block_ranks.size(), cfg, options.top_k,
+          [&](unsigned tid, RankRange r, TopK& top) -> std::uint64_t {
+            std::uint64_t emitted = 0;
+            for (std::uint64_t b = r.first; b < r.last; ++b) {
+              scan_block_triple(
+                  impl_->split, tiling, engine_kernels, scratch[tid],
+                  unrank_block_triple(part.block_ranks.first + b), clip,
+                  [&](const Triplet& t, const ContingencyTable& table) {
+                    ++emitted;
+                    top.push(ScoredTriplet{t, scorer(table)});
+                  });
+            }
+            return emitted;
+          });
+    };
+    merged = cached ? scan_blocks(get_cached_kernels(result.isa_used))
+                    : scan_blocks(get_kernel(result.isa_used));
   }
   result.seconds = sw.seconds();
   result.best = merged.sorted();

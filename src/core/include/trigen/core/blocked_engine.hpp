@@ -1,6 +1,6 @@
 #pragma once
 /// \file blocked_engine.hpp
-/// \brief Cache-blocked triple evaluation (paper Algorithm 1, V3/V4).
+/// \brief Cache-blocked triple evaluation (paper Algorithm 1, V3/V4/V5).
 ///
 /// The engine walks SNP *block* triples (b0 <= b1 <= b2, each covering B_S
 /// SNPs).  For one block triple it holds the frequency tables of all
@@ -9,16 +9,25 @@
 /// reused by up to B_S^2 triplets before eviction.  This is the paper's V3;
 /// selecting a vector kernel turns it into V4.
 ///
+/// V5 goes one step further: all B_S z-SNPs of a block share the same
+/// (x, y) pair, so the nine x∩y intersection planes are materialized once
+/// per (i0, i1, sample-chunk) in a PairPlaneCache (plus their popcounts)
+/// and the z loop runs the two-operand cached kernel against them.  The
+/// pair engine degenerates to the build phase alone: the cached plane
+/// popcounts *are* the 9-cell pair table of the chunk.
+///
 /// The block-triple rank math and the rank-range -> block-triple mapping
 /// live in trigen/combinatorics/block_partition.hpp; the names are
 /// re-exported here for the engine's callers.
 
+#include <algorithm>
 #include <array>
 #include <cstdint>
 #include <vector>
 
 #include "trigen/combinatorics/block_partition.hpp"
 #include "trigen/combinatorics/combinations.hpp"
+#include "trigen/common/aligned.hpp"
 #include "trigen/core/kernels.hpp"
 #include "trigen/core/tiling.hpp"
 #include "trigen/dataset/bitplanes.hpp"
@@ -39,6 +48,39 @@ using combinatorics::unrank_block_triple;
 inline constexpr combinatorics::RankRange kFullRange{
     0, ~std::uint64_t{0}};
 
+/// V5 per-thread scratch: the nine x∩y intersection planes of the current
+/// (i0, i1, sample-chunk) plus their chunk popcounts.  Planes are stored
+/// with a common stride rounded up to a whole number of AVX-512 registers,
+/// so every plane start stays 64-byte aligned (aligned_vector provides the
+/// base alignment).
+class PairPlaneCache {
+ public:
+  /// Grows the per-plane capacity to at least `words` (never shrinks, so a
+  /// scan reuses one allocation across every chunk and block).
+  void ensure(std::size_t words) {
+    const std::size_t s = (words + dataset::kWordsPerVector - 1) /
+                          dataset::kWordsPerVector * dataset::kWordsPerVector;
+    if (s > stride_) {
+      stride_ = s;
+      planes_.assign(9 * s, 0);
+    }
+  }
+
+  Word* planes() { return planes_.data(); }
+  const Word* planes() const { return planes_.data(); }
+  std::size_t stride() const { return stride_; }
+
+  /// Chunk popcounts of the nine planes; zeroed by the engine before each
+  /// build call.
+  std::uint32_t* pops() { return pops_.data(); }
+  const std::uint32_t* pops() const { return pops_.data(); }
+
+ private:
+  std::size_t stride_ = 0;
+  aligned_vector<Word> planes_;
+  std::array<std::uint32_t, 9> pops_{};
+};
+
 /// Per-thread scratch: frequency tables for all triplets of a block triple.
 /// Layout: [local_triple][class][27] uint32; local_triple =
 /// ((i0-base0)*B_S + (i1-base1))*B_S + (i2-base2).
@@ -52,30 +94,37 @@ class BlockScratch {
     return ft_.data() +
            (local * 2 + static_cast<std::size_t>(cls)) * scoring::kCells;
   }
-  void clear() { std::fill(ft_.begin(), ft_.end(), 0u); }
+  /// Zeroes only the tables (both classes) of locals [first, last) — the
+  /// engine clears exactly the triplets a block triple evaluates, so tail
+  /// and diagonal blocks skip the untouched bulk of the bs^3 array.
+  void clear_tables(std::size_t first, std::size_t last) {
+    std::fill(ft_.begin() +
+                  static_cast<std::ptrdiff_t>(first * 2 * scoring::kCells),
+              ft_.begin() +
+                  static_cast<std::ptrdiff_t>(last * 2 * scoring::kCells),
+              0u);
+  }
+  /// V5 pair-plane cache (unused and unallocated for V3/V4 scans).
+  PairPlaneCache& pair_cache() { return cache_; }
 
  private:
   std::size_t bs_;
   std::vector<std::uint32_t> ft_;
+  PairPlaneCache cache_;
 };
 
-/// Evaluates every SNP triplet inside block triple `bt` whose colex rank
-/// lies in `clip` and calls `on_table(Triplet, const ContingencyTable&)`
-/// for each.  `kernel` is the triple-block kernel to use; `scratch.bs()`
-/// must equal `tiling.bs`.
-///
-/// Clipping is rank-aware in three tiers: a block triple whose span misses
-/// `clip` entirely returns before any kernel work; a block triple fully
-/// inside `clip` (the interior of a partition) runs with zero per-triplet
-/// overhead; only the partition's boundary blocks filter each emission by
-/// rank.  Pass `kFullRange` (the default overload below) to disable
-/// clipping altogether.
-template <typename OnTable>
-void scan_block_triple(const dataset::PhenoSplitPlanes& planes,
-                       const TilingParams& tiling, TripleBlockKernel kernel,
-                       BlockScratch& scratch, const BlockTriple& bt,
-                       const combinatorics::RankRange& clip,
-                       OnTable&& on_table) {
+namespace engine_detail {
+
+/// Shared skeleton of the blocked triple scan: block bounds, three-tier
+/// rank clipping, targeted scratch clear and table emission.  `accumulate`
+/// fills the scratch tables for all in-block triplets; the V4 (direct
+/// kernel) and V5 (cached two-phase) engines differ only there.
+template <typename Accumulate, typename OnTable>
+void scan_block_triple_impl(const dataset::PhenoSplitPlanes& planes,
+                            const TilingParams& tiling, BlockScratch& scratch,
+                            const BlockTriple& bt,
+                            const combinatorics::RankRange& clip,
+                            Accumulate&& accumulate, OnTable&& on_table) {
   const std::size_t bs = tiling.bs;
   const std::size_t m = planes.num_snps();
   const std::size_t base0 = bt.b0 * bs;
@@ -96,28 +145,21 @@ void scan_block_triple(const dataset::PhenoSplitPlanes& planes,
     filter = span.first < clip.first || span.last > clip.last;
   }
 
-  scratch.clear();
-
-  // Sample-blocked accumulation: for each class, stream B_P words at a
-  // time through all triplets of the block triple (Algorithm 1 loop order).
-  for (int c = 0; c < 2; ++c) {
-    const std::size_t words = planes.words(c);
-    for (std::size_t w0 = 0; w0 < words; w0 += tiling.bp_words) {
-      const std::size_t w1 = std::min(w0 + tiling.bp_words, words);
-      for (std::size_t i0 = base0; i0 < end0; ++i0) {
-        for (std::size_t i1 = std::max(base1, i0 + 1); i1 < end1; ++i1) {
-          for (std::size_t i2 = std::max(base2, i1 + 1); i2 < end2; ++i2) {
-            const std::size_t local =
-                ((i0 - base0) * bs + (i1 - base1)) * bs + (i2 - base2);
-            kernel(planes.plane(c, i0, 0), planes.plane(c, i0, 1),
-                   planes.plane(c, i1, 0), planes.plane(c, i1, 1),
-                   planes.plane(c, i2, 0), planes.plane(c, i2, 1), w0, w1,
-                   scratch.table(local, c));
-          }
-        }
-      }
+  // Clear only the tables this block triple accumulates into: tail blocks
+  // cover fewer than bs SNPs per axis and diagonal blocks only the strict
+  // upper-triangular locals, so a full bs^3 clear would zero (and finalize
+  // would skip) mostly untouched memory.
+  for (std::size_t i0 = base0; i0 < end0; ++i0) {
+    for (std::size_t i1 = std::max(base1, i0 + 1); i1 < end1; ++i1) {
+      const std::size_t z_first = std::max(base2, i1 + 1);
+      if (z_first >= end2) continue;
+      const std::size_t lo =
+          ((i0 - base0) * bs + (i1 - base1)) * bs + (z_first - base2);
+      scratch.clear_tables(lo, lo + (end2 - z_first));
     }
   }
+
+  accumulate(base0, end0, base1, end1, base2, end2);
 
   // Finalize: fold the NOR padding out of cell (2,2,2) and emit tables.
   for (std::size_t i0 = base0; i0 < end0; ++i0) {
@@ -147,6 +189,57 @@ void scan_block_triple(const dataset::PhenoSplitPlanes& planes,
   }
 }
 
+}  // namespace engine_detail
+
+/// Evaluates every SNP triplet inside block triple `bt` whose colex rank
+/// lies in `clip` and calls `on_table(Triplet, const ContingencyTable&)`
+/// for each.  `kernel` is the triple-block kernel to use; `scratch.bs()`
+/// must equal `tiling.bs`.
+///
+/// Clipping is rank-aware in three tiers: a block triple whose span misses
+/// `clip` entirely returns before any kernel work; a block triple fully
+/// inside `clip` (the interior of a partition) runs with zero per-triplet
+/// overhead; only the partition's boundary blocks filter each emission by
+/// rank.  Pass `kFullRange` (the default overload below) to disable
+/// clipping altogether.
+template <typename OnTable>
+void scan_block_triple(const dataset::PhenoSplitPlanes& planes,
+                       const TilingParams& tiling, TripleBlockKernel kernel,
+                       BlockScratch& scratch, const BlockTriple& bt,
+                       const combinatorics::RankRange& clip,
+                       OnTable&& on_table) {
+  const std::size_t bs = tiling.bs;
+  engine_detail::scan_block_triple_impl(
+      planes, tiling, scratch, bt, clip,
+      [&](std::size_t base0, std::size_t end0, std::size_t base1,
+          std::size_t end1, std::size_t base2, std::size_t end2) {
+        // Sample-blocked accumulation: for each class, stream B_P words at
+        // a time through all triplets of the block triple (Algorithm 1
+        // loop order).
+        for (int c = 0; c < 2; ++c) {
+          const std::size_t words = planes.words(c);
+          for (std::size_t w0 = 0; w0 < words; w0 += tiling.bp_words) {
+            const std::size_t w1 = std::min(w0 + tiling.bp_words, words);
+            for (std::size_t i0 = base0; i0 < end0; ++i0) {
+              for (std::size_t i1 = std::max(base1, i0 + 1); i1 < end1;
+                   ++i1) {
+                for (std::size_t i2 = std::max(base2, i1 + 1); i2 < end2;
+                     ++i2) {
+                  const std::size_t local =
+                      ((i0 - base0) * bs + (i1 - base1)) * bs + (i2 - base2);
+                  kernel(planes.plane(c, i0, 0), planes.plane(c, i0, 1),
+                         planes.plane(c, i1, 0), planes.plane(c, i1, 1),
+                         planes.plane(c, i2, 0), planes.plane(c, i2, 1), w0,
+                         w1, scratch.table(local, c));
+                }
+              }
+            }
+          }
+        }
+      },
+      static_cast<OnTable&&>(on_table));
+}
+
 /// Unclipped scan: every triplet of the block triple is emitted.
 template <typename OnTable>
 void scan_block_triple(const dataset::PhenoSplitPlanes& planes,
@@ -154,6 +247,66 @@ void scan_block_triple(const dataset::PhenoSplitPlanes& planes,
                        BlockScratch& scratch, const BlockTriple& bt,
                        OnTable&& on_table) {
   scan_block_triple(planes, tiling, kernel, scratch, bt, kFullRange,
+                    static_cast<OnTable&&>(on_table));
+}
+
+/// V5: same walk as above, but the x∩y planes of each (i0, i1) are built
+/// once per sample chunk into `scratch.pair_cache()` and the z loop runs
+/// the two-operand cached kernel — the x/y plane streams and their nine
+/// intersection ANDs leave the innermost loop entirely, and the z-NOR
+/// plane is never materialized (cells (gx, gy, 2) derive from the cached
+/// chunk popcounts).  Bit-identical to the direct kernels for every clip.
+template <typename OnTable>
+void scan_block_triple(const dataset::PhenoSplitPlanes& planes,
+                       const TilingParams& tiling,
+                       const CachedKernelSet& kernels, BlockScratch& scratch,
+                       const BlockTriple& bt,
+                       const combinatorics::RankRange& clip,
+                       OnTable&& on_table) {
+  const std::size_t bs = tiling.bs;
+  PairPlaneCache& cache = scratch.pair_cache();
+  cache.ensure(tiling.bp_words);
+  engine_detail::scan_block_triple_impl(
+      planes, tiling, scratch, bt, clip,
+      [&](std::size_t base0, std::size_t end0, std::size_t base1,
+          std::size_t end1, std::size_t base2, std::size_t end2) {
+        for (int c = 0; c < 2; ++c) {
+          const std::size_t words = planes.words(c);
+          for (std::size_t w0 = 0; w0 < words; w0 += tiling.bp_words) {
+            const std::size_t w1 = std::min(w0 + tiling.bp_words, words);
+            for (std::size_t i0 = base0; i0 < end0; ++i0) {
+              for (std::size_t i1 = std::max(base1, i0 + 1); i1 < end1;
+                   ++i1) {
+                const std::size_t z_first = std::max(base2, i1 + 1);
+                if (z_first >= end2) continue;
+                std::fill(cache.pops(), cache.pops() + 9, 0u);
+                kernels.build(planes.plane(c, i0, 0), planes.plane(c, i0, 1),
+                              planes.plane(c, i1, 0), planes.plane(c, i1, 1),
+                              w0, w1, cache.planes(), cache.stride(),
+                              cache.pops());
+                for (std::size_t i2 = z_first; i2 < end2; ++i2) {
+                  const std::size_t local =
+                      ((i0 - base0) * bs + (i1 - base1)) * bs + (i2 - base2);
+                  kernels.cached(cache.planes(), cache.stride(), cache.pops(),
+                                 planes.plane(c, i2, 0),
+                                 planes.plane(c, i2, 1), w0, w1,
+                                 scratch.table(local, c));
+                }
+              }
+            }
+          }
+        }
+      },
+      static_cast<OnTable&&>(on_table));
+}
+
+/// Unclipped V5 scan: every triplet of the block triple is emitted.
+template <typename OnTable>
+void scan_block_triple(const dataset::PhenoSplitPlanes& planes,
+                       const TilingParams& tiling,
+                       const CachedKernelSet& kernels, BlockScratch& scratch,
+                       const BlockTriple& bt, OnTable&& on_table) {
+  scan_block_triple(planes, tiling, kernels, scratch, bt, kFullRange,
                     static_cast<OnTable&&>(on_table));
 }
 
@@ -177,7 +330,15 @@ class PairBlockScratch {
     return ft_.data() +
            (local * 2 + static_cast<std::size_t>(cls)) * scoring::kCells;
   }
-  void clear() { std::fill(ft_.begin(), ft_.end(), 0u); }
+  /// Zeroes only the tables (both classes) of locals [first, last) — the
+  /// engine clears exactly the pairs a block pair evaluates.
+  void clear_tables(std::size_t first, std::size_t last) {
+    std::fill(ft_.begin() +
+                  static_cast<std::ptrdiff_t>(first * 2 * scoring::kCells),
+              ft_.begin() +
+                  static_cast<std::ptrdiff_t>(last * 2 * scoring::kCells),
+              0u);
+  }
 
  private:
   std::size_t bs_;
@@ -194,19 +355,16 @@ struct ConstantZPlanes {
   std::array<const Word*, 2> zeros{};
 };
 
-/// Evaluates every SNP pair inside block pair `bp` whose colex rank lies in
-/// `clip` and calls `on_table(combinatorics::Pair, const
-/// scoring::PairContingencyTable&)` for each.  Mirrors scan_block_triple:
-/// the same per-ISA triple-block kernel, the same sample-dimension tiling,
-/// and the same three-tier rank clipping (span miss -> skip, interior ->
-/// no per-pair overhead, boundary -> per-pair rank filter).
-template <typename OnTable>
-void scan_block_pair(const dataset::PhenoSplitPlanes& planes,
-                     const TilingParams& tiling, TripleBlockKernel kernel,
-                     PairBlockScratch& scratch, const ConstantZPlanes& z,
-                     const BlockPair& bp,
-                     const combinatorics::RankRange& clip,
-                     OnTable&& on_table) {
+namespace engine_detail {
+
+/// Shared skeleton of the blocked pair scan, mirroring
+/// scan_block_triple_impl.
+template <typename Accumulate, typename OnTable>
+void scan_block_pair_impl(const dataset::PhenoSplitPlanes& planes,
+                          const TilingParams& tiling,
+                          PairBlockScratch& scratch, const BlockPair& bp,
+                          const combinatorics::RankRange& clip,
+                          Accumulate&& accumulate, OnTable&& on_table) {
   const std::size_t bs = tiling.bs;
   const std::size_t m = planes.num_snps();
   const std::size_t base0 = bp.b0 * bs;
@@ -225,27 +383,15 @@ void scan_block_pair(const dataset::PhenoSplitPlanes& planes,
     filter = span.first < clip.first || span.last > clip.last;
   }
 
-  scratch.clear();
-
-  // Sample-blocked accumulation: for each class, stream B_P words at a
-  // time through all pairs of the block pair (Algorithm 1 loop order with
-  // the innermost SNP level removed).
-  for (int c = 0; c < 2; ++c) {
-    const std::size_t words = planes.words(c);
-    const Word* z0 = z.ones[static_cast<std::size_t>(c)];
-    const Word* z1 = z.zeros[static_cast<std::size_t>(c)];
-    for (std::size_t w0 = 0; w0 < words; w0 += tiling.bp_words) {
-      const std::size_t w1 = std::min(w0 + tiling.bp_words, words);
-      for (std::size_t i0 = base0; i0 < end0; ++i0) {
-        for (std::size_t i1 = std::max(base1, i0 + 1); i1 < end1; ++i1) {
-          const std::size_t local = (i0 - base0) * bs + (i1 - base1);
-          kernel(planes.plane(c, i0, 0), planes.plane(c, i0, 1),
-                 planes.plane(c, i1, 0), planes.plane(c, i1, 1), z0, z1, w0,
-                 w1, scratch.table(local, c));
-        }
-      }
-    }
+  // Clear only the tables this block pair accumulates into.
+  for (std::size_t i0 = base0; i0 < end0; ++i0) {
+    const std::size_t y_first = std::max(base1, i0 + 1);
+    if (y_first >= end1) continue;
+    const std::size_t lo = (i0 - base0) * bs + (y_first - base1);
+    scratch.clear_tables(lo, lo + (end1 - y_first));
   }
+
+  accumulate(base0, end0, base1, end1);
 
   // Finalize: extract the g_z = 0 cells, fold the NOR padding out of pair
   // cell (2,2) — padding tail bits read as (2, 2, 0) — and emit tables.
@@ -275,6 +421,50 @@ void scan_block_pair(const dataset::PhenoSplitPlanes& planes,
   }
 }
 
+}  // namespace engine_detail
+
+/// Evaluates every SNP pair inside block pair `bp` whose colex rank lies in
+/// `clip` and calls `on_table(combinatorics::Pair, const
+/// scoring::PairContingencyTable&)` for each.  Mirrors scan_block_triple:
+/// the same per-ISA triple-block kernel, the same sample-dimension tiling,
+/// and the same three-tier rank clipping (span miss -> skip, interior ->
+/// no per-pair overhead, boundary -> per-pair rank filter).
+template <typename OnTable>
+void scan_block_pair(const dataset::PhenoSplitPlanes& planes,
+                     const TilingParams& tiling, TripleBlockKernel kernel,
+                     PairBlockScratch& scratch, const ConstantZPlanes& z,
+                     const BlockPair& bp,
+                     const combinatorics::RankRange& clip,
+                     OnTable&& on_table) {
+  const std::size_t bs = tiling.bs;
+  engine_detail::scan_block_pair_impl(
+      planes, tiling, scratch, bp, clip,
+      [&](std::size_t base0, std::size_t end0, std::size_t base1,
+          std::size_t end1) {
+        // Sample-blocked accumulation: for each class, stream B_P words at
+        // a time through all pairs of the block pair (Algorithm 1 loop
+        // order with the innermost SNP level removed).
+        for (int c = 0; c < 2; ++c) {
+          const std::size_t words = planes.words(c);
+          const Word* z0 = z.ones[static_cast<std::size_t>(c)];
+          const Word* z1 = z.zeros[static_cast<std::size_t>(c)];
+          for (std::size_t w0 = 0; w0 < words; w0 += tiling.bp_words) {
+            const std::size_t w1 = std::min(w0 + tiling.bp_words, words);
+            for (std::size_t i0 = base0; i0 < end0; ++i0) {
+              for (std::size_t i1 = std::max(base1, i0 + 1); i1 < end1;
+                   ++i1) {
+                const std::size_t local = (i0 - base0) * bs + (i1 - base1);
+                kernel(planes.plane(c, i0, 0), planes.plane(c, i0, 1),
+                       planes.plane(c, i1, 0), planes.plane(c, i1, 1), z0,
+                       z1, w0, w1, scratch.table(local, c));
+              }
+            }
+          }
+        }
+      },
+      static_cast<OnTable&&>(on_table));
+}
+
 /// Unclipped scan: every pair of the block pair is emitted.
 template <typename OnTable>
 void scan_block_pair(const dataset::PhenoSplitPlanes& planes,
@@ -282,6 +472,60 @@ void scan_block_pair(const dataset::PhenoSplitPlanes& planes,
                      PairBlockScratch& scratch, const ConstantZPlanes& z,
                      const BlockPair& bp, OnTable&& on_table) {
   scan_block_pair(planes, tiling, kernel, scratch, z, bp, kFullRange,
+                  static_cast<OnTable&&>(on_table));
+}
+
+/// V5 pair scan: the counts phase *is* the whole evaluation.  The chunk
+/// popcounts of the nine x∩y intersection planes are exactly the pair
+/// table cells (g_x, g_y) restricted to this chunk — g_z is pinned to 0
+/// with no constant z operand, no 27-cell AND/POPCNT sweep, and no z plane
+/// stream at all.  The counts-only kernel never materializes the planes
+/// (nothing would read them), so the pair path retires zero stores and
+/// needs no L1 cache budget.  Needs no ConstantZPlanes; bit-identical to
+/// the V4 pair path.
+template <typename OnTable>
+void scan_block_pair(const dataset::PhenoSplitPlanes& planes,
+                     const TilingParams& tiling,
+                     const CachedKernelSet& kernels, PairBlockScratch& scratch,
+                     const BlockPair& bp,
+                     const combinatorics::RankRange& clip,
+                     OnTable&& on_table) {
+  const std::size_t bs = tiling.bs;
+  engine_detail::scan_block_pair_impl(
+      planes, tiling, scratch, bp, clip,
+      [&](std::size_t base0, std::size_t end0, std::size_t base1,
+          std::size_t end1) {
+        for (int c = 0; c < 2; ++c) {
+          const std::size_t words = planes.words(c);
+          for (std::size_t w0 = 0; w0 < words; w0 += tiling.bp_words) {
+            const std::size_t w1 = std::min(w0 + tiling.bp_words, words);
+            for (std::size_t i0 = base0; i0 < end0; ++i0) {
+              for (std::size_t i1 = std::max(base1, i0 + 1); i1 < end1;
+                   ++i1) {
+                std::array<std::uint32_t, 9> pops{};
+                kernels.count(planes.plane(c, i0, 0), planes.plane(c, i0, 1),
+                              planes.plane(c, i1, 0), planes.plane(c, i1, 1),
+                              w0, w1, pops.data());
+                const std::size_t local = (i0 - base0) * bs + (i1 - base1);
+                std::uint32_t* ft = scratch.table(local, c);
+                for (int p = 0; p < 9; ++p) {
+                  ft[scoring::cell_index(p / 3, p % 3, 0)] += pops[p];
+                }
+              }
+            }
+          }
+        }
+      },
+      static_cast<OnTable&&>(on_table));
+}
+
+/// Unclipped V5 pair scan: every pair of the block pair is emitted.
+template <typename OnTable>
+void scan_block_pair(const dataset::PhenoSplitPlanes& planes,
+                     const TilingParams& tiling,
+                     const CachedKernelSet& kernels, PairBlockScratch& scratch,
+                     const BlockPair& bp, OnTable&& on_table) {
+  scan_block_pair(planes, tiling, kernels, scratch, bp, kFullRange,
                   static_cast<OnTable&&>(on_table));
 }
 

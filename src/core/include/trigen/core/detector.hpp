@@ -12,9 +12,10 @@
 ///   // r.best.front().triplet is the most likely epistatic triplet.
 /// \endcode
 ///
-/// The four `CpuVersion`s implement the paper's optimization ladder; all
-/// produce identical results, they only differ in speed (and are
-/// cross-checked against each other in the test suite).
+/// The five `CpuVersion`s implement the paper's optimization ladder plus
+/// the pair-plane-cached V5 extension; all produce identical results, they
+/// only differ in speed (and are cross-checked against each other in the
+/// test suite).
 
 #include <cstdint>
 #include <functional>
@@ -34,10 +35,15 @@ namespace trigen::core {
 
 /// Which rung of the paper's CPU optimization ladder to run.
 enum class CpuVersion {
-  kV1Naive,     ///< Fig.-1 layout, phenotype ANDs (memory bound, §IV-A)
-  kV2Split,     ///< phenotype-split planes, genotype-2 inferred via NOR
-  kV3Blocked,   ///< + loop tiling to L1 (Algorithm 1)
-  kV4Vector,    ///< + vector intrinsics (per-ISA POPCNT strategy)
+  kV1Naive,      ///< Fig.-1 layout, phenotype ANDs (memory bound, §IV-A)
+  kV2Split,      ///< phenotype-split planes, genotype-2 inferred via NOR
+  kV3Blocked,    ///< + loop tiling to L1 (Algorithm 1)
+  kV4Vector,     ///< + vector intrinsics (per-ISA POPCNT strategy)
+  kV5PairCache,  ///< + x∩y planes cached per (x, y, sample-chunk): the
+                 ///< nine intersection planes and their popcounts are built
+                 ///< once and shared by all B_S z-SNPs, cutting the hot
+                 ///< loop to 18 ANDs + 18 POPCNTs per word (same per-ISA
+                 ///< strategies, bit-identical results)
 };
 
 std::string cpu_version_name(CpuVersion v);
@@ -62,8 +68,10 @@ std::function<double(const scoring::ContingencyTable&)> make_normalized_scorer(
 /// adding only its order-specific scorer hook).  Zero-valued fields mean
 /// "auto".
 struct ScanOptionsBase {
+  /// Default stays V4 until the fig3 benchmarks justify flipping; opt into
+  /// the pair-plane-cached engine with kV5PairCache (CLI: --version 5).
   CpuVersion version = CpuVersion::kV4Vector;
-  /// Vector strategy for V4 (ignored by V1/V3, which are scalar by
+  /// Vector strategy for V4/V5 (ignored by V1/V3, which are scalar by
   /// definition).  Defaults to the widest the host supports.
   KernelIsa isa = KernelIsa::kScalar;
   bool isa_auto = true;  ///< when true, `isa` is replaced by best_kernel_isa()
@@ -74,8 +82,8 @@ struct ScanOptionsBase {
   std::size_t top_k = 1;      ///< how many best combinations to report
   /// Restrict the scan to a combination-rank sub-range (heterogeneous
   /// CPU+GPU splits, sharded/multi-node scans).  Empty means the full
-  /// space.  All four versions accept any sub-range: the per-combination
-  /// versions (V1/V2) iterate it directly, the blocked versions (V3/V4)
+  /// space.  All five versions accept any sub-range: the per-combination
+  /// versions (V1/V2) iterate it directly, the blocked versions (V3/V4/V5)
   /// map it to block tuples and clip only at the partition's boundary
   /// blocks, so a union of partial scans over any full-coverage split
   /// reproduces the full scan combination-for-combination.  For

@@ -11,12 +11,24 @@
 ///  * the **triple-block kernel** consumes one phenotype class of the
 ///    `PhenoSplitPlanes` layout over a word range: genotype 2 is inferred
 ///    by NOR, there is no phenotype AND, and the word range allows the
-///    blocked engine (V3/V4) to tile the sample dimension.
+///    blocked engine (V3/V4/V5) to tile the sample dimension.
 ///
 /// The triple-block kernel has one implementation per vectorization
 /// strategy (scalar, AVX2, AVX-512 + extracts, AVX-512 + VPOPCNTDQ),
 /// matching the per-ISA strategies of the paper's V4; the scalar
 /// implementation doubles as the V2/V3 kernel.
+///
+/// The **V5 pair-plane-cached** kernels split the work in two phases so
+/// the x∩y intersections are computed once per (x, y) instead of once per
+/// (x, y, z): `pair_plane_build` materializes the nine genotype
+/// intersection planes xg∩yg for one sample-word chunk (plus their
+/// popcounts), and `triple_block_cached` combines them with a z operand.
+/// Because the three z genotype planes partition every sample bit,
+/// |xy∩z2| = |xy| - |xy∩z0| - |xy∩z1|: the cached kernel needs only 18
+/// ANDs + 18 POPCNTs per word against V4's 42 ANDs + 27 POPCNTs, never
+/// materializes the z NOR plane, and streams two plane operands instead
+/// of six.  Both phases exist per ISA and are exact, so V5 is
+/// bit-identical to V2-V4.
 ///
 /// NOR padding: plane tail bits are zero, so the inferred genotype-2 plane
 /// has ones there and the kernels over-count cell (2,2,2) by exactly the
@@ -44,6 +56,50 @@ using TripleBlockKernel = void (*)(const Word* x0, const Word* x1,
                                    std::size_t w_begin, std::size_t w_end,
                                    std::uint32_t* ft27);
 
+/// V5 phase 1: materializes the nine x∩y genotype intersection planes of
+/// one (x, y) SNP pair for words [w_begin, w_end).  Plane p = gx*3 + gy is
+/// written to `xy[p*stride + (w - w_begin)]`; each plane's popcount over
+/// the chunk is *added* into `xy_pop9[p]` (callers zero it per chunk).
+/// `stride` must be >= w_end - w_begin; planes start 64-byte aligned when
+/// `xy` is 64-byte aligned and `stride` is a multiple of 16 words.
+using PairPlaneBuildKernel = void (*)(const Word* x0, const Word* x1,
+                                      const Word* y0, const Word* y1,
+                                      std::size_t w_begin, std::size_t w_end,
+                                      Word* xy, std::size_t stride,
+                                      std::uint32_t* xy_pop9);
+
+/// V5 phase 2: accumulates the 27 counts of one triplet from the cached
+/// planes of its (x, y) pair plus the z operand planes.  The cache is read
+/// at relative offsets [0, w_end - w_begin); z0/z1 are indexed absolutely
+/// at [w_begin, w_end).  Cells (gx, gy, 2) are derived from the chunk
+/// popcounts: |xy ∩ z2| = xy_pop9[p] - |xy ∩ z0| - |xy ∩ z1| (the z
+/// genotype planes partition every bit, padding included, so the phantom
+/// (2,2,2) padding observations behave exactly as in the direct kernels).
+/// Adds into `ft27` (not zeroed here).
+using TripleBlockCachedKernel = void (*)(const Word* xy, std::size_t stride,
+                                         const std::uint32_t* xy_pop9,
+                                         const Word* z0, const Word* z1,
+                                         std::size_t w_begin,
+                                         std::size_t w_end,
+                                         std::uint32_t* ft27);
+
+/// Counts-only sibling of the build phase: accumulates the nine x∩y
+/// intersection-plane popcounts over [w_begin, w_end) into `xy_pop9`
+/// without materializing the planes.  The blocked *pair* engine consumes
+/// only the popcounts (they are the 9-cell pair table of the chunk), so it
+/// uses this variant and retires no stores at all.
+using PairPlaneCountKernel = void (*)(const Word* x0, const Word* x1,
+                                      const Word* y0, const Word* y1,
+                                      std::size_t w_begin, std::size_t w_end,
+                                      std::uint32_t* xy_pop9);
+
+/// The V5 phases for one vectorization strategy.
+struct CachedKernelSet {
+  PairPlaneBuildKernel build = nullptr;
+  TripleBlockCachedKernel cached = nullptr;
+  PairPlaneCountKernel count = nullptr;
+};
+
 /// Vectorization strategy of the triple-block kernel.
 enum class KernelIsa {
   kScalar,         ///< 32-bit words, builtin POPCNT (V2/V3 and AVX-less V4)
@@ -68,6 +124,11 @@ std::string kernel_isa_name(KernelIsa isa);
 
 /// Fetch the kernel for `isa`; throws std::runtime_error if unavailable.
 TripleBlockKernel get_kernel(KernelIsa isa);
+
+/// Fetch the V5 two-phase kernel set for `isa`; throws std::runtime_error
+/// if unavailable.  Availability is identical to get_kernel's: every ISA
+/// that carries a triple-block kernel carries the cached pair as well.
+CachedKernelSet get_cached_kernels(KernelIsa isa);
 
 /// Words processed per kernel iteration (1, 8 or 16): callers sizing word
 /// blocks should use multiples of this for full-vector main loops.

@@ -37,8 +37,12 @@ struct L1Config {
 /// Applies the paper's sizing formulas to `l1`.  `vector_words` rounds
 /// bp_words down to a multiple of the kernel's vector width ("B_P is
 /// rounded to the closest multiple of the number of 32-bit integers that
-/// fit in the vector registers").
-TilingParams autotune_tiling(const L1Config& l1, std::size_t vector_words);
+/// fit in the vector registers").  When `pair_cache` is set (the V5
+/// engine), the streamed-block budget additionally covers the nine cached
+/// x∩y planes, so B_P solves B_S*B_P*4*2 + 9*B_P*4 <= size_Block instead
+/// of the plain two-plane-stream formula.
+TilingParams autotune_tiling(const L1Config& l1, std::size_t vector_words,
+                             bool pair_cache = false);
 
 /// Reads the host's L1D geometry from sysfs; falls back to 32 kB / 8-way
 /// when unavailable.  Way split follows the paper: 7 ways for tables, the
@@ -53,6 +57,12 @@ constexpr std::size_t tables_bytes(std::size_t bs) {
 /// Bytes one B_S x B_P bit-plane block occupies.
 constexpr std::size_t block_bytes(std::size_t bs, std::size_t bp_words) {
   return bs * bp_words * 4 * 2;
+}
+
+/// Bytes the V5 pair-plane cache occupies for a B_P-word chunk (nine x∩y
+/// intersection planes of 32-bit words).
+constexpr std::size_t pair_cache_bytes(std::size_t bp_words) {
+  return 9 * bp_words * 4;
 }
 
 }  // namespace trigen::core

@@ -25,12 +25,45 @@ inline std::uint32_t popcnt256_extract(__m256i v) {
       std::popcount(static_cast<std::uint64_t>(_mm256_extract_epi64(v, 3))));
 }
 
+/// Per-byte set-bit counts of `v` via the Harley-Seal nibble LUT (Mula's
+/// algorithm): the SWAR alternative to extract + scalar POPCNT.
+inline __m256i hs_popcnt_bytes(__m256i v) {
+  const __m256i lut = _mm256_setr_epi8(
+      0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4,
+      0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4);
+  const __m256i low_mask = _mm256_set1_epi8(0x0f);
+  const __m256i lo = _mm256_and_si256(v, low_mask);
+  const __m256i hi = _mm256_and_si256(_mm256_srli_epi16(v, 4), low_mask);
+  return _mm256_add_epi8(_mm256_shuffle_epi8(lut, lo),
+                         _mm256_shuffle_epi8(lut, hi));
+}
+
+/// Folds the per-byte counts of `v` into `acc`'s four 64-bit lanes (SAD
+/// against zero cannot overflow for any realistic plane length).
+inline __m256i hs_accumulate(__m256i acc, __m256i v) {
+  return _mm256_add_epi64(
+      acc, _mm256_sad_epu8(hs_popcnt_bytes(v), _mm256_setzero_si256()));
+}
+
+/// Horizontal sum of the four 64-bit lanes of a SAD accumulator.
+inline std::uint32_t hsum_sad256(__m256i acc) {
+  return static_cast<std::uint32_t>(
+      static_cast<std::uint64_t>(_mm256_extract_epi64(acc, 0)) +
+      static_cast<std::uint64_t>(_mm256_extract_epi64(acc, 1)) +
+      static_cast<std::uint64_t>(_mm256_extract_epi64(acc, 2)) +
+      static_cast<std::uint64_t>(_mm256_extract_epi64(acc, 3)));
+}
+
 }  // namespace
 
-void triple_block_avx2(const Word* x0, const Word* x1, const Word* y0,
-                       const Word* y1, const Word* z0, const Word* z1,
+void triple_block_avx2(const Word* TRIGEN_RESTRICT x0,
+                       const Word* TRIGEN_RESTRICT x1,
+                       const Word* TRIGEN_RESTRICT y0,
+                       const Word* TRIGEN_RESTRICT y1,
+                       const Word* TRIGEN_RESTRICT z0,
+                       const Word* TRIGEN_RESTRICT z1,
                        std::size_t w_begin, std::size_t w_end,
-                       std::uint32_t* ft27) {
+                       std::uint32_t* TRIGEN_RESTRICT ft27) {
   const __m256i ones = _mm256_set1_epi32(-1);
   std::size_t w = w_begin;
   for (; w + 8 <= w_end; w += 8) {
@@ -59,23 +92,19 @@ void triple_block_avx2(const Word* x0, const Word* x1, const Word* y0,
   triple_block_scalar(x0, x1, y0, y1, z0, z1, w, w_end, ft27);
 }
 
-void triple_block_avx2_harley_seal(const Word* x0, const Word* x1,
-                                   const Word* y0, const Word* y1,
-                                   const Word* z0, const Word* z1,
+void triple_block_avx2_harley_seal(const Word* TRIGEN_RESTRICT x0,
+                                   const Word* TRIGEN_RESTRICT x1,
+                                   const Word* TRIGEN_RESTRICT y0,
+                                   const Word* TRIGEN_RESTRICT y1,
+                                   const Word* TRIGEN_RESTRICT z0,
+                                   const Word* TRIGEN_RESTRICT z1,
                                    std::size_t w_begin, std::size_t w_end,
-                                   std::uint32_t* ft27) {
-  // Ablation strategy: SWAR nibble-LUT popcount (Mula's algorithm) instead
-  // of extract + scalar POPCNT.  Per-cell byte counts are horizontally
-  // summed with SAD against zero into 64-bit lanes, which cannot overflow
-  // for any realistic plane length; one final extract chain per cell.
+                                   std::uint32_t* TRIGEN_RESTRICT ft27) {
+  // Ablation strategy: nibble-LUT popcount bytes folded with SAD into
+  // 64-bit lanes per cell; one final extract chain per cell.
   const __m256i ones = _mm256_set1_epi32(-1);
-  const __m256i lut = _mm256_setr_epi8(
-      0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4,
-      0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4);
-  const __m256i low_mask = _mm256_set1_epi8(0x0f);
-  const __m256i zero = _mm256_setzero_si256();
   __m256i acc[27];
-  for (auto& a : acc) a = zero;
+  for (auto& a : acc) a = _mm256_setzero_si256();
 
   std::size_t w = w_begin;
   for (; w + 8 <= w_end; w += 8) {
@@ -95,26 +124,202 @@ void triple_block_avx2_harley_seal(const Word* x0, const Word* x1,
       for (int gy = 0; gy < 3; ++gy) {
         const __m256i xy = _mm256_and_si256(xg[gx], yg[gy]);
         for (int gz = 0; gz < 3; ++gz) {
-          const __m256i v = _mm256_and_si256(xy, zg[gz]);
-          const __m256i lo = _mm256_and_si256(v, low_mask);
-          const __m256i hi =
-              _mm256_and_si256(_mm256_srli_epi16(v, 4), low_mask);
-          const __m256i cnt = _mm256_add_epi8(_mm256_shuffle_epi8(lut, lo),
-                                              _mm256_shuffle_epi8(lut, hi));
-          acc[cell] = _mm256_add_epi64(acc[cell], _mm256_sad_epu8(cnt, zero));
+          acc[cell] = hs_accumulate(acc[cell], _mm256_and_si256(xy, zg[gz]));
           ++cell;
         }
       }
     }
   }
   for (int cell = 0; cell < 27; ++cell) {
-    ft27[cell] += static_cast<std::uint32_t>(
-        static_cast<std::uint64_t>(_mm256_extract_epi64(acc[cell], 0)) +
-        static_cast<std::uint64_t>(_mm256_extract_epi64(acc[cell], 1)) +
-        static_cast<std::uint64_t>(_mm256_extract_epi64(acc[cell], 2)) +
-        static_cast<std::uint64_t>(_mm256_extract_epi64(acc[cell], 3)));
+    ft27[cell] += hsum_sad256(acc[cell]);
   }
   triple_block_scalar(x0, x1, y0, y1, z0, z1, w, w_end, ft27);
+}
+
+void pair_plane_build_avx2(const Word* TRIGEN_RESTRICT x0,
+                           const Word* TRIGEN_RESTRICT x1,
+                           const Word* TRIGEN_RESTRICT y0,
+                           const Word* TRIGEN_RESTRICT y1,
+                           std::size_t w_begin, std::size_t w_end,
+                           Word* TRIGEN_RESTRICT xy, std::size_t stride,
+                           std::uint32_t* TRIGEN_RESTRICT xy_pop9) {
+  const __m256i ones = _mm256_set1_epi32(-1);
+  std::size_t w = w_begin;
+  for (; w + 8 <= w_end; w += 8) {
+    __m256i xg[3], yg[3];
+    xg[0] = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(x0 + w));
+    xg[1] = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(x1 + w));
+    xg[2] = _mm256_xor_si256(_mm256_or_si256(xg[0], xg[1]), ones);
+    yg[0] = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(y0 + w));
+    yg[1] = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(y1 + w));
+    yg[2] = _mm256_xor_si256(_mm256_or_si256(yg[0], yg[1]), ones);
+    const std::size_t rel = w - w_begin;
+    for (int p = 0; p < 9; ++p) {
+      const __m256i v = _mm256_and_si256(xg[p / 3], yg[p % 3]);
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(
+                              xy + static_cast<std::size_t>(p) * stride + rel),
+                          v);
+      xy_pop9[p] += popcnt256_extract(v);
+    }
+  }
+  pair_plane_build_scalar(x0, x1, y0, y1, w, w_end, xy + (w - w_begin),
+                          stride, xy_pop9);
+}
+
+void triple_block_cached_avx2(const Word* TRIGEN_RESTRICT xy,
+                              std::size_t stride,
+                              const std::uint32_t* TRIGEN_RESTRICT xy_pop9,
+                              const Word* TRIGEN_RESTRICT z0,
+                              const Word* TRIGEN_RESTRICT z1,
+                              std::size_t w_begin, std::size_t w_end,
+                              std::uint32_t* TRIGEN_RESTRICT ft27) {
+  for (int p = 0; p < 9; ++p) {
+    const Word* TRIGEN_RESTRICT xyp =
+        xy + static_cast<std::size_t>(p) * stride;
+    std::uint32_t c0 = 0;
+    std::uint32_t c1 = 0;
+    std::size_t w = w_begin;
+    for (; w + 8 <= w_end; w += 8) {
+      const __m256i v = _mm256_loadu_si256(
+          reinterpret_cast<const __m256i*>(xyp + (w - w_begin)));
+      c0 += popcnt256_extract(_mm256_and_si256(
+          v, _mm256_loadu_si256(reinterpret_cast<const __m256i*>(z0 + w))));
+      c1 += popcnt256_extract(_mm256_and_si256(
+          v, _mm256_loadu_si256(reinterpret_cast<const __m256i*>(z1 + w))));
+    }
+    for (; w < w_end; ++w) {
+      const Word v = xyp[w - w_begin];
+      c0 += static_cast<std::uint32_t>(std::popcount(v & z0[w]));
+      c1 += static_cast<std::uint32_t>(std::popcount(v & z1[w]));
+    }
+    const int cell = (p / 3) * 9 + (p % 3) * 3;
+    ft27[cell] += c0;
+    ft27[cell + 1] += c1;
+    ft27[cell + 2] += xy_pop9[p] - c0 - c1;
+  }
+}
+
+void pair_plane_count_avx2(const Word* TRIGEN_RESTRICT x0,
+                           const Word* TRIGEN_RESTRICT x1,
+                           const Word* TRIGEN_RESTRICT y0,
+                           const Word* TRIGEN_RESTRICT y1,
+                           std::size_t w_begin, std::size_t w_end,
+                           std::uint32_t* TRIGEN_RESTRICT xy_pop9) {
+  const __m256i ones = _mm256_set1_epi32(-1);
+  std::size_t w = w_begin;
+  for (; w + 8 <= w_end; w += 8) {
+    __m256i xg[3], yg[3];
+    xg[0] = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(x0 + w));
+    xg[1] = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(x1 + w));
+    xg[2] = _mm256_xor_si256(_mm256_or_si256(xg[0], xg[1]), ones);
+    yg[0] = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(y0 + w));
+    yg[1] = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(y1 + w));
+    yg[2] = _mm256_xor_si256(_mm256_or_si256(yg[0], yg[1]), ones);
+    for (int p = 0; p < 9; ++p) {
+      xy_pop9[p] += popcnt256_extract(_mm256_and_si256(xg[p / 3], yg[p % 3]));
+    }
+  }
+  pair_plane_count_scalar(x0, x1, y0, y1, w, w_end, xy_pop9);
+}
+
+void pair_plane_build_avx2_harley_seal(
+    const Word* TRIGEN_RESTRICT x0, const Word* TRIGEN_RESTRICT x1,
+    const Word* TRIGEN_RESTRICT y0, const Word* TRIGEN_RESTRICT y1,
+    std::size_t w_begin, std::size_t w_end, Word* TRIGEN_RESTRICT xy,
+    std::size_t stride, std::uint32_t* TRIGEN_RESTRICT xy_pop9) {
+  const __m256i ones = _mm256_set1_epi32(-1);
+  __m256i acc[9];
+  for (auto& a : acc) a = _mm256_setzero_si256();
+
+  std::size_t w = w_begin;
+  for (; w + 8 <= w_end; w += 8) {
+    __m256i xg[3], yg[3];
+    xg[0] = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(x0 + w));
+    xg[1] = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(x1 + w));
+    xg[2] = _mm256_xor_si256(_mm256_or_si256(xg[0], xg[1]), ones);
+    yg[0] = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(y0 + w));
+    yg[1] = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(y1 + w));
+    yg[2] = _mm256_xor_si256(_mm256_or_si256(yg[0], yg[1]), ones);
+    const std::size_t rel = w - w_begin;
+    for (int p = 0; p < 9; ++p) {
+      const __m256i v = _mm256_and_si256(xg[p / 3], yg[p % 3]);
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(
+                              xy + static_cast<std::size_t>(p) * stride + rel),
+                          v);
+      acc[p] = hs_accumulate(acc[p], v);
+    }
+  }
+  for (int p = 0; p < 9; ++p) {
+    xy_pop9[p] += hsum_sad256(acc[p]);
+  }
+  pair_plane_build_scalar(x0, x1, y0, y1, w, w_end, xy + (w - w_begin),
+                          stride, xy_pop9);
+}
+
+void pair_plane_count_avx2_harley_seal(
+    const Word* TRIGEN_RESTRICT x0, const Word* TRIGEN_RESTRICT x1,
+    const Word* TRIGEN_RESTRICT y0, const Word* TRIGEN_RESTRICT y1,
+    std::size_t w_begin, std::size_t w_end,
+    std::uint32_t* TRIGEN_RESTRICT xy_pop9) {
+  const __m256i ones = _mm256_set1_epi32(-1);
+  __m256i acc[9];
+  for (auto& a : acc) a = _mm256_setzero_si256();
+
+  std::size_t w = w_begin;
+  for (; w + 8 <= w_end; w += 8) {
+    __m256i xg[3], yg[3];
+    xg[0] = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(x0 + w));
+    xg[1] = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(x1 + w));
+    xg[2] = _mm256_xor_si256(_mm256_or_si256(xg[0], xg[1]), ones);
+    yg[0] = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(y0 + w));
+    yg[1] = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(y1 + w));
+    yg[2] = _mm256_xor_si256(_mm256_or_si256(yg[0], yg[1]), ones);
+    for (int p = 0; p < 9; ++p) {
+      acc[p] = hs_accumulate(acc[p], _mm256_and_si256(xg[p / 3], yg[p % 3]));
+    }
+  }
+  for (int p = 0; p < 9; ++p) {
+    xy_pop9[p] += hsum_sad256(acc[p]);
+  }
+  pair_plane_count_scalar(x0, x1, y0, y1, w, w_end, xy_pop9);
+}
+
+void triple_block_cached_avx2_harley_seal(
+    const Word* TRIGEN_RESTRICT xy, std::size_t stride,
+    const std::uint32_t* TRIGEN_RESTRICT xy_pop9,
+    const Word* TRIGEN_RESTRICT z0, const Word* TRIGEN_RESTRICT z1,
+    std::size_t w_begin, std::size_t w_end,
+    std::uint32_t* TRIGEN_RESTRICT ft27) {
+  for (int p = 0; p < 9; ++p) {
+    const Word* TRIGEN_RESTRICT xyp =
+        xy + static_cast<std::size_t>(p) * stride;
+    __m256i acc0 = _mm256_setzero_si256();
+    __m256i acc1 = _mm256_setzero_si256();
+    std::size_t w = w_begin;
+    for (; w + 8 <= w_end; w += 8) {
+      const __m256i v = _mm256_loadu_si256(
+          reinterpret_cast<const __m256i*>(xyp + (w - w_begin)));
+      acc0 = hs_accumulate(
+          acc0, _mm256_and_si256(v, _mm256_loadu_si256(
+                                        reinterpret_cast<const __m256i*>(
+                                            z0 + w))));
+      acc1 = hs_accumulate(
+          acc1, _mm256_and_si256(v, _mm256_loadu_si256(
+                                        reinterpret_cast<const __m256i*>(
+                                            z1 + w))));
+    }
+    std::uint32_t c0 = hsum_sad256(acc0);
+    std::uint32_t c1 = hsum_sad256(acc1);
+    for (; w < w_end; ++w) {
+      const Word v = xyp[w - w_begin];
+      c0 += static_cast<std::uint32_t>(std::popcount(v & z0[w]));
+      c1 += static_cast<std::uint32_t>(std::popcount(v & z1[w]));
+    }
+    const int cell = (p / 3) * 9 + (p % 3) * 3;
+    ft27[cell] += c0;
+    ft27[cell + 1] += c1;
+    ft27[cell + 2] += xy_pop9[p] - c0 - c1;
+  }
 }
 
 }  // namespace trigen::core::detail

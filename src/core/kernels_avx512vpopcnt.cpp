@@ -7,15 +7,21 @@
 
 #include "kernels_detail.hpp"
 
+#include <bit>
+
 #if defined(TRIGEN_KERNEL_AVX512VPOPCNT)
 #include <immintrin.h>
 
 namespace trigen::core::detail {
 
-void triple_block_avx512_vpopcnt(const Word* x0, const Word* x1, const Word* y0,
-                                 const Word* y1, const Word* z0, const Word* z1,
+void triple_block_avx512_vpopcnt(const Word* TRIGEN_RESTRICT x0,
+                                 const Word* TRIGEN_RESTRICT x1,
+                                 const Word* TRIGEN_RESTRICT y0,
+                                 const Word* TRIGEN_RESTRICT y1,
+                                 const Word* TRIGEN_RESTRICT z0,
+                                 const Word* TRIGEN_RESTRICT z1,
                                  std::size_t w_begin, std::size_t w_end,
-                                 std::uint32_t* ft27) {
+                                 std::uint32_t* TRIGEN_RESTRICT ft27) {
   // Ice Lake SP strategy (§IV-A, last paragraph): vector POPCNT per cell,
   // frequency table updated with a reduction.  The table is kept as 27
   // lane-wise vector accumulators for the duration of the word loop — the
@@ -57,6 +63,113 @@ void triple_block_avx512_vpopcnt(const Word* x0, const Word* x1, const Word* y0,
         static_cast<std::uint32_t>(_mm512_reduce_add_epi32(acc[cell]));
   }
   triple_block_scalar(x0, x1, y0, y1, z0, z1, w, w_end, ft27);
+}
+
+void pair_plane_build_avx512_vpopcnt(
+    const Word* TRIGEN_RESTRICT x0, const Word* TRIGEN_RESTRICT x1,
+    const Word* TRIGEN_RESTRICT y0, const Word* TRIGEN_RESTRICT y1,
+    std::size_t w_begin, std::size_t w_end, Word* TRIGEN_RESTRICT xy,
+    std::size_t stride, std::uint32_t* TRIGEN_RESTRICT xy_pop9) {
+  const __m512i ones = _mm512_set1_epi32(-1);
+  __m512i acc[9];
+  for (auto& a : acc) a = _mm512_setzero_si512();
+
+  std::size_t w = w_begin;
+  for (; w + 16 <= w_end; w += 16) {
+    __m512i xg[3], yg[3];
+    xg[0] = _mm512_loadu_si512(reinterpret_cast<const void*>(x0 + w));
+    xg[1] = _mm512_loadu_si512(reinterpret_cast<const void*>(x1 + w));
+    xg[2] = _mm512_xor_si512(_mm512_or_si512(xg[0], xg[1]), ones);
+    yg[0] = _mm512_loadu_si512(reinterpret_cast<const void*>(y0 + w));
+    yg[1] = _mm512_loadu_si512(reinterpret_cast<const void*>(y1 + w));
+    yg[2] = _mm512_xor_si512(_mm512_or_si512(yg[0], yg[1]), ones);
+    const std::size_t rel = w - w_begin;
+    for (int p = 0; p < 9; ++p) {
+      const __m512i v = _mm512_and_si512(xg[p / 3], yg[p % 3]);
+      _mm512_storeu_si512(
+          reinterpret_cast<void*>(xy + static_cast<std::size_t>(p) * stride +
+                                  rel),
+          v);
+      acc[p] = _mm512_add_epi32(acc[p], _mm512_popcnt_epi32(v));
+    }
+  }
+  for (int p = 0; p < 9; ++p) {
+    xy_pop9[p] +=
+        static_cast<std::uint32_t>(_mm512_reduce_add_epi32(acc[p]));
+  }
+  pair_plane_build_scalar(x0, x1, y0, y1, w, w_end, xy + (w - w_begin),
+                          stride, xy_pop9);
+}
+
+void pair_plane_count_avx512_vpopcnt(
+    const Word* TRIGEN_RESTRICT x0, const Word* TRIGEN_RESTRICT x1,
+    const Word* TRIGEN_RESTRICT y0, const Word* TRIGEN_RESTRICT y1,
+    std::size_t w_begin, std::size_t w_end,
+    std::uint32_t* TRIGEN_RESTRICT xy_pop9) {
+  const __m512i ones = _mm512_set1_epi32(-1);
+  __m512i acc[9];
+  for (auto& a : acc) a = _mm512_setzero_si512();
+
+  std::size_t w = w_begin;
+  for (; w + 16 <= w_end; w += 16) {
+    __m512i xg[3], yg[3];
+    xg[0] = _mm512_loadu_si512(reinterpret_cast<const void*>(x0 + w));
+    xg[1] = _mm512_loadu_si512(reinterpret_cast<const void*>(x1 + w));
+    xg[2] = _mm512_xor_si512(_mm512_or_si512(xg[0], xg[1]), ones);
+    yg[0] = _mm512_loadu_si512(reinterpret_cast<const void*>(y0 + w));
+    yg[1] = _mm512_loadu_si512(reinterpret_cast<const void*>(y1 + w));
+    yg[2] = _mm512_xor_si512(_mm512_or_si512(yg[0], yg[1]), ones);
+    for (int p = 0; p < 9; ++p) {
+      acc[p] = _mm512_add_epi32(
+          acc[p],
+          _mm512_popcnt_epi32(_mm512_and_si512(xg[p / 3], yg[p % 3])));
+    }
+  }
+  for (int p = 0; p < 9; ++p) {
+    xy_pop9[p] +=
+        static_cast<std::uint32_t>(_mm512_reduce_add_epi32(acc[p]));
+  }
+  pair_plane_count_scalar(x0, x1, y0, y1, w, w_end, xy_pop9);
+}
+
+void triple_block_cached_avx512_vpopcnt(
+    const Word* TRIGEN_RESTRICT xy, std::size_t stride,
+    const std::uint32_t* TRIGEN_RESTRICT xy_pop9,
+    const Word* TRIGEN_RESTRICT z0, const Word* TRIGEN_RESTRICT z1,
+    std::size_t w_begin, std::size_t w_end,
+    std::uint32_t* TRIGEN_RESTRICT ft27) {
+  for (int p = 0; p < 9; ++p) {
+    const Word* TRIGEN_RESTRICT xyp =
+        xy + static_cast<std::size_t>(p) * stride;
+    __m512i acc0 = _mm512_setzero_si512();
+    __m512i acc1 = _mm512_setzero_si512();
+    std::size_t w = w_begin;
+    for (; w + 16 <= w_end; w += 16) {
+      const __m512i v =
+          _mm512_loadu_si512(reinterpret_cast<const void*>(xyp + (w - w_begin)));
+      acc0 = _mm512_add_epi32(
+          acc0, _mm512_popcnt_epi32(_mm512_and_si512(
+                    v, _mm512_loadu_si512(
+                           reinterpret_cast<const void*>(z0 + w)))));
+      acc1 = _mm512_add_epi32(
+          acc1, _mm512_popcnt_epi32(_mm512_and_si512(
+                    v, _mm512_loadu_si512(
+                           reinterpret_cast<const void*>(z1 + w)))));
+    }
+    std::uint32_t c0 =
+        static_cast<std::uint32_t>(_mm512_reduce_add_epi32(acc0));
+    std::uint32_t c1 =
+        static_cast<std::uint32_t>(_mm512_reduce_add_epi32(acc1));
+    for (; w < w_end; ++w) {
+      const Word v = xyp[w - w_begin];
+      c0 += static_cast<std::uint32_t>(std::popcount(v & z0[w]));
+      c1 += static_cast<std::uint32_t>(std::popcount(v & z1[w]));
+    }
+    const int cell = (p / 3) * 9 + (p % 3) * 3;
+    ft27[cell] += c0;
+    ft27[cell + 1] += c1;
+    ft27[cell + 2] += xy_pop9[p] - c0 - c1;
+  }
 }
 
 }  // namespace trigen::core::detail

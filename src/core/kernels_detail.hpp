@@ -15,47 +15,166 @@
 /// Which variants were compiled in is communicated by the build system
 /// through the TRIGEN_KERNEL_AVX2 / TRIGEN_KERNEL_AVX512 /
 /// TRIGEN_KERNEL_AVX512VPOPCNT macros (target-wide compile definitions).
+///
+/// Every kernel parameter is __restrict-qualified: the engine never passes
+/// aliasing planes (SNP indices of a combination are strictly increasing,
+/// the pair path's constant z operands are dedicated buffers, and the V5
+/// cache is written only by the build phase), and the qualifier lets the
+/// compiler keep plane words in registers across the unrolled cell loops.
 
 #include <cstddef>
 #include <cstdint>
 
 #include "trigen/core/kernels.hpp"
 
+#if defined(_MSC_VER)
+#define TRIGEN_RESTRICT __restrict
+#else
+#define TRIGEN_RESTRICT __restrict__
+#endif
+
 namespace trigen::core::detail {
 
 // Defined in kernels_scalar.cpp; always present.
-void triple_block_scalar(const Word* x0, const Word* x1, const Word* y0,
-                         const Word* y1, const Word* z0, const Word* z1,
+void triple_block_scalar(const Word* TRIGEN_RESTRICT x0,
+                         const Word* TRIGEN_RESTRICT x1,
+                         const Word* TRIGEN_RESTRICT y0,
+                         const Word* TRIGEN_RESTRICT y1,
+                         const Word* TRIGEN_RESTRICT z0,
+                         const Word* TRIGEN_RESTRICT z1,
                          std::size_t w_begin, std::size_t w_end,
-                         std::uint32_t* ft27);
+                         std::uint32_t* TRIGEN_RESTRICT ft27);
+void pair_plane_build_scalar(const Word* TRIGEN_RESTRICT x0,
+                             const Word* TRIGEN_RESTRICT x1,
+                             const Word* TRIGEN_RESTRICT y0,
+                             const Word* TRIGEN_RESTRICT y1,
+                             std::size_t w_begin, std::size_t w_end,
+                             Word* TRIGEN_RESTRICT xy, std::size_t stride,
+                             std::uint32_t* TRIGEN_RESTRICT xy_pop9);
+void triple_block_cached_scalar(const Word* TRIGEN_RESTRICT xy,
+                                std::size_t stride,
+                                const std::uint32_t* TRIGEN_RESTRICT xy_pop9,
+                                const Word* TRIGEN_RESTRICT z0,
+                                const Word* TRIGEN_RESTRICT z1,
+                                std::size_t w_begin, std::size_t w_end,
+                                std::uint32_t* TRIGEN_RESTRICT ft27);
+void pair_plane_count_scalar(const Word* TRIGEN_RESTRICT x0,
+                             const Word* TRIGEN_RESTRICT x1,
+                             const Word* TRIGEN_RESTRICT y0,
+                             const Word* TRIGEN_RESTRICT y1,
+                             std::size_t w_begin, std::size_t w_end,
+                             std::uint32_t* TRIGEN_RESTRICT xy_pop9);
 
 #if defined(TRIGEN_KERNEL_AVX2)
 // Defined in kernels_avx2.cpp (compiled with -mavx2).
-void triple_block_avx2(const Word* x0, const Word* x1, const Word* y0,
-                       const Word* y1, const Word* z0, const Word* z1,
+void triple_block_avx2(const Word* TRIGEN_RESTRICT x0,
+                       const Word* TRIGEN_RESTRICT x1,
+                       const Word* TRIGEN_RESTRICT y0,
+                       const Word* TRIGEN_RESTRICT y1,
+                       const Word* TRIGEN_RESTRICT z0,
+                       const Word* TRIGEN_RESTRICT z1,
                        std::size_t w_begin, std::size_t w_end,
-                       std::uint32_t* ft27);
-void triple_block_avx2_harley_seal(const Word* x0, const Word* x1,
-                                   const Word* y0, const Word* y1,
-                                   const Word* z0, const Word* z1,
+                       std::uint32_t* TRIGEN_RESTRICT ft27);
+void triple_block_avx2_harley_seal(const Word* TRIGEN_RESTRICT x0,
+                                   const Word* TRIGEN_RESTRICT x1,
+                                   const Word* TRIGEN_RESTRICT y0,
+                                   const Word* TRIGEN_RESTRICT y1,
+                                   const Word* TRIGEN_RESTRICT z0,
+                                   const Word* TRIGEN_RESTRICT z1,
                                    std::size_t w_begin, std::size_t w_end,
-                                   std::uint32_t* ft27);
+                                   std::uint32_t* TRIGEN_RESTRICT ft27);
+void pair_plane_build_avx2(const Word* TRIGEN_RESTRICT x0,
+                           const Word* TRIGEN_RESTRICT x1,
+                           const Word* TRIGEN_RESTRICT y0,
+                           const Word* TRIGEN_RESTRICT y1,
+                           std::size_t w_begin, std::size_t w_end,
+                           Word* TRIGEN_RESTRICT xy, std::size_t stride,
+                           std::uint32_t* TRIGEN_RESTRICT xy_pop9);
+void triple_block_cached_avx2(const Word* TRIGEN_RESTRICT xy,
+                              std::size_t stride,
+                              const std::uint32_t* TRIGEN_RESTRICT xy_pop9,
+                              const Word* TRIGEN_RESTRICT z0,
+                              const Word* TRIGEN_RESTRICT z1,
+                              std::size_t w_begin, std::size_t w_end,
+                              std::uint32_t* TRIGEN_RESTRICT ft27);
+void pair_plane_count_avx2(const Word* TRIGEN_RESTRICT x0,
+                           const Word* TRIGEN_RESTRICT x1,
+                           const Word* TRIGEN_RESTRICT y0,
+                           const Word* TRIGEN_RESTRICT y1,
+                           std::size_t w_begin, std::size_t w_end,
+                           std::uint32_t* TRIGEN_RESTRICT xy_pop9);
+void pair_plane_build_avx2_harley_seal(
+    const Word* TRIGEN_RESTRICT x0, const Word* TRIGEN_RESTRICT x1,
+    const Word* TRIGEN_RESTRICT y0, const Word* TRIGEN_RESTRICT y1,
+    std::size_t w_begin, std::size_t w_end, Word* TRIGEN_RESTRICT xy,
+    std::size_t stride, std::uint32_t* TRIGEN_RESTRICT xy_pop9);
+void triple_block_cached_avx2_harley_seal(
+    const Word* TRIGEN_RESTRICT xy, std::size_t stride,
+    const std::uint32_t* TRIGEN_RESTRICT xy_pop9,
+    const Word* TRIGEN_RESTRICT z0, const Word* TRIGEN_RESTRICT z1,
+    std::size_t w_begin, std::size_t w_end,
+    std::uint32_t* TRIGEN_RESTRICT ft27);
+void pair_plane_count_avx2_harley_seal(
+    const Word* TRIGEN_RESTRICT x0, const Word* TRIGEN_RESTRICT x1,
+    const Word* TRIGEN_RESTRICT y0, const Word* TRIGEN_RESTRICT y1,
+    std::size_t w_begin, std::size_t w_end,
+    std::uint32_t* TRIGEN_RESTRICT xy_pop9);
 #endif
 
 #if defined(TRIGEN_KERNEL_AVX512)
 // Defined in kernels_avx512.cpp (compiled with -mavx512f -mavx512bw).
-void triple_block_avx512_extract(const Word* x0, const Word* x1, const Word* y0,
-                                 const Word* y1, const Word* z0, const Word* z1,
+void triple_block_avx512_extract(const Word* TRIGEN_RESTRICT x0,
+                                 const Word* TRIGEN_RESTRICT x1,
+                                 const Word* TRIGEN_RESTRICT y0,
+                                 const Word* TRIGEN_RESTRICT y1,
+                                 const Word* TRIGEN_RESTRICT z0,
+                                 const Word* TRIGEN_RESTRICT z1,
                                  std::size_t w_begin, std::size_t w_end,
-                                 std::uint32_t* ft27);
+                                 std::uint32_t* TRIGEN_RESTRICT ft27);
+void pair_plane_build_avx512_extract(
+    const Word* TRIGEN_RESTRICT x0, const Word* TRIGEN_RESTRICT x1,
+    const Word* TRIGEN_RESTRICT y0, const Word* TRIGEN_RESTRICT y1,
+    std::size_t w_begin, std::size_t w_end, Word* TRIGEN_RESTRICT xy,
+    std::size_t stride, std::uint32_t* TRIGEN_RESTRICT xy_pop9);
+void triple_block_cached_avx512_extract(
+    const Word* TRIGEN_RESTRICT xy, std::size_t stride,
+    const std::uint32_t* TRIGEN_RESTRICT xy_pop9,
+    const Word* TRIGEN_RESTRICT z0, const Word* TRIGEN_RESTRICT z1,
+    std::size_t w_begin, std::size_t w_end,
+    std::uint32_t* TRIGEN_RESTRICT ft27);
+void pair_plane_count_avx512_extract(
+    const Word* TRIGEN_RESTRICT x0, const Word* TRIGEN_RESTRICT x1,
+    const Word* TRIGEN_RESTRICT y0, const Word* TRIGEN_RESTRICT y1,
+    std::size_t w_begin, std::size_t w_end,
+    std::uint32_t* TRIGEN_RESTRICT xy_pop9);
 #endif
 
 #if defined(TRIGEN_KERNEL_AVX512VPOPCNT)
 // Defined in kernels_avx512vpopcnt.cpp (compiled with -mavx512vpopcntdq).
-void triple_block_avx512_vpopcnt(const Word* x0, const Word* x1, const Word* y0,
-                                 const Word* y1, const Word* z0, const Word* z1,
+void triple_block_avx512_vpopcnt(const Word* TRIGEN_RESTRICT x0,
+                                 const Word* TRIGEN_RESTRICT x1,
+                                 const Word* TRIGEN_RESTRICT y0,
+                                 const Word* TRIGEN_RESTRICT y1,
+                                 const Word* TRIGEN_RESTRICT z0,
+                                 const Word* TRIGEN_RESTRICT z1,
                                  std::size_t w_begin, std::size_t w_end,
-                                 std::uint32_t* ft27);
+                                 std::uint32_t* TRIGEN_RESTRICT ft27);
+void pair_plane_build_avx512_vpopcnt(
+    const Word* TRIGEN_RESTRICT x0, const Word* TRIGEN_RESTRICT x1,
+    const Word* TRIGEN_RESTRICT y0, const Word* TRIGEN_RESTRICT y1,
+    std::size_t w_begin, std::size_t w_end, Word* TRIGEN_RESTRICT xy,
+    std::size_t stride, std::uint32_t* TRIGEN_RESTRICT xy_pop9);
+void triple_block_cached_avx512_vpopcnt(
+    const Word* TRIGEN_RESTRICT xy, std::size_t stride,
+    const std::uint32_t* TRIGEN_RESTRICT xy_pop9,
+    const Word* TRIGEN_RESTRICT z0, const Word* TRIGEN_RESTRICT z1,
+    std::size_t w_begin, std::size_t w_end,
+    std::uint32_t* TRIGEN_RESTRICT ft27);
+void pair_plane_count_avx512_vpopcnt(
+    const Word* TRIGEN_RESTRICT x0, const Word* TRIGEN_RESTRICT x1,
+    const Word* TRIGEN_RESTRICT y0, const Word* TRIGEN_RESTRICT y1,
+    std::size_t w_begin, std::size_t w_end,
+    std::uint32_t* TRIGEN_RESTRICT xy_pop9);
 #endif
 
 }  // namespace trigen::core::detail

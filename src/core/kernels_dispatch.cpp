@@ -110,6 +110,43 @@ TripleBlockKernel get_kernel(KernelIsa isa) {
   }
 }
 
+CachedKernelSet get_cached_kernels(KernelIsa isa) {
+  if (!kernel_available(isa)) {
+    throw std::runtime_error("kernel '" + kernel_isa_name(isa) +
+                             "' not available on this host");
+  }
+  switch (isa) {
+    case KernelIsa::kScalar:
+      return {&detail::pair_plane_build_scalar,
+              &detail::triple_block_cached_scalar,
+              &detail::pair_plane_count_scalar};
+#if defined(TRIGEN_KERNEL_AVX2)
+    case KernelIsa::kAvx2:
+      return {&detail::pair_plane_build_avx2,
+              &detail::triple_block_cached_avx2,
+              &detail::pair_plane_count_avx2};
+    case KernelIsa::kAvx2HarleySeal:
+      return {&detail::pair_plane_build_avx2_harley_seal,
+              &detail::triple_block_cached_avx2_harley_seal,
+              &detail::pair_plane_count_avx2_harley_seal};
+#endif
+#if defined(TRIGEN_KERNEL_AVX512)
+    case KernelIsa::kAvx512Extract:
+      return {&detail::pair_plane_build_avx512_extract,
+              &detail::triple_block_cached_avx512_extract,
+              &detail::pair_plane_count_avx512_extract};
+#endif
+#if defined(TRIGEN_KERNEL_AVX512VPOPCNT)
+    case KernelIsa::kAvx512Vpopcnt:
+      return {&detail::pair_plane_build_avx512_vpopcnt,
+              &detail::triple_block_cached_avx512_vpopcnt,
+              &detail::pair_plane_count_avx512_vpopcnt};
+#endif
+    default:
+      throw std::runtime_error("kernel not compiled in");
+  }
+}
+
 std::size_t kernel_vector_words(KernelIsa isa) {
   switch (isa) {
     case KernelIsa::kScalar: return 1;

@@ -8,10 +8,14 @@ namespace trigen::core {
 
 namespace detail {
 
-void triple_block_scalar(const Word* x0, const Word* x1, const Word* y0,
-                         const Word* y1, const Word* z0, const Word* z1,
+void triple_block_scalar(const Word* TRIGEN_RESTRICT x0,
+                         const Word* TRIGEN_RESTRICT x1,
+                         const Word* TRIGEN_RESTRICT y0,
+                         const Word* TRIGEN_RESTRICT y1,
+                         const Word* TRIGEN_RESTRICT z0,
+                         const Word* TRIGEN_RESTRICT z1,
                          std::size_t w_begin, std::size_t w_end,
-                         std::uint32_t* ft27) {
+                         std::uint32_t* TRIGEN_RESTRICT ft27) {
   for (std::size_t w = w_begin; w < w_end; ++w) {
     const Word xg[3] = {x0[w], x1[w], static_cast<Word>(~(x0[w] | x1[w]))};
     const Word yg[3] = {y0[w], y1[w], static_cast<Word>(~(y0[w] | y1[w]))};
@@ -25,6 +29,66 @@ void triple_block_scalar(const Word* x0, const Word* x1, const Word* y0,
         }
       }
     }
+  }
+}
+
+void pair_plane_build_scalar(const Word* TRIGEN_RESTRICT x0,
+                             const Word* TRIGEN_RESTRICT x1,
+                             const Word* TRIGEN_RESTRICT y0,
+                             const Word* TRIGEN_RESTRICT y1,
+                             std::size_t w_begin, std::size_t w_end,
+                             Word* TRIGEN_RESTRICT xy, std::size_t stride,
+                             std::uint32_t* TRIGEN_RESTRICT xy_pop9) {
+  for (std::size_t w = w_begin; w < w_end; ++w) {
+    const Word xg[3] = {x0[w], x1[w], static_cast<Word>(~(x0[w] | x1[w]))};
+    const Word yg[3] = {y0[w], y1[w], static_cast<Word>(~(y0[w] | y1[w]))};
+    const std::size_t rel = w - w_begin;
+    for (int p = 0; p < 9; ++p) {
+      const Word v = xg[p / 3] & yg[p % 3];
+      xy[static_cast<std::size_t>(p) * stride + rel] = v;
+      xy_pop9[p] += static_cast<std::uint32_t>(std::popcount(v));
+    }
+  }
+}
+
+void pair_plane_count_scalar(const Word* TRIGEN_RESTRICT x0,
+                             const Word* TRIGEN_RESTRICT x1,
+                             const Word* TRIGEN_RESTRICT y0,
+                             const Word* TRIGEN_RESTRICT y1,
+                             std::size_t w_begin, std::size_t w_end,
+                             std::uint32_t* TRIGEN_RESTRICT xy_pop9) {
+  for (std::size_t w = w_begin; w < w_end; ++w) {
+    const Word xg[3] = {x0[w], x1[w], static_cast<Word>(~(x0[w] | x1[w]))};
+    const Word yg[3] = {y0[w], y1[w], static_cast<Word>(~(y0[w] | y1[w]))};
+    for (int p = 0; p < 9; ++p) {
+      xy_pop9[p] +=
+          static_cast<std::uint32_t>(std::popcount(xg[p / 3] & yg[p % 3]));
+    }
+  }
+}
+
+void triple_block_cached_scalar(const Word* TRIGEN_RESTRICT xy,
+                                std::size_t stride,
+                                const std::uint32_t* TRIGEN_RESTRICT xy_pop9,
+                                const Word* TRIGEN_RESTRICT z0,
+                                const Word* TRIGEN_RESTRICT z1,
+                                std::size_t w_begin, std::size_t w_end,
+                                std::uint32_t* TRIGEN_RESTRICT ft27) {
+  const std::size_t n = w_end - w_begin;
+  for (int p = 0; p < 9; ++p) {
+    const Word* TRIGEN_RESTRICT xyp =
+        xy + static_cast<std::size_t>(p) * stride;
+    std::uint32_t c0 = 0;
+    std::uint32_t c1 = 0;
+    for (std::size_t r = 0; r < n; ++r) {
+      const Word v = xyp[r];
+      c0 += static_cast<std::uint32_t>(std::popcount(v & z0[w_begin + r]));
+      c1 += static_cast<std::uint32_t>(std::popcount(v & z1[w_begin + r]));
+    }
+    const int cell = (p / 3) * 9 + (p % 3) * 3;
+    ft27[cell] += c0;
+    ft27[cell + 1] += c1;
+    ft27[cell + 2] += xy_pop9[p] - c0 - c1;
   }
 }
 

@@ -5,9 +5,12 @@
 #include <fstream>
 #include <string>
 
+#include "trigen/dataset/bitplanes.hpp"
+
 namespace trigen::core {
 
-TilingParams autotune_tiling(const L1Config& l1, std::size_t vector_words) {
+TilingParams autotune_tiling(const L1Config& l1, std::size_t vector_words,
+                             bool pair_cache) {
   const double way_bytes =
       static_cast<double>(l1.size_bytes) / std::max(1u, l1.ways);
   const double size_ft = way_bytes * l1.ways_for_tables;
@@ -20,9 +23,19 @@ TilingParams autotune_tiling(const L1Config& l1, std::size_t vector_words) {
   while (bs > 1 && tables_bytes(bs) > static_cast<std::size_t>(size_ft)) --bs;
 
   // B_S * B_P * 4 * 2 <= size_Block, B_P a multiple of the vector width.
-  std::size_t bp = static_cast<std::size_t>(size_block / (4.0 * 2 * bs));
-  if (vector_words > 1) bp = bp / vector_words * vector_words;
-  bp = std::max<std::size_t>(std::max<std::size_t>(1, vector_words), bp);
+  // The V5 engine keeps the nine cached x∩y planes hot alongside the
+  // streamed block, so its chunk adds 9 * B_P * 4 bytes to the budget.
+  // PairPlaneCache rounds its per-plane stride up to a whole number of
+  // AVX-512 registers, so B_P itself is rounded to that granularity —
+  // stride == B_P and the budgeted footprint is the allocated one.
+  const double bytes_per_bp =
+      4.0 * 2 * static_cast<double>(bs) + (pair_cache ? 4.0 * 9 : 0.0);
+  std::size_t bp = static_cast<std::size_t>(size_block / bytes_per_bp);
+  const std::size_t granule =
+      pair_cache ? std::max(vector_words, dataset::kWordsPerVector)
+                 : vector_words;
+  if (granule > 1) bp = bp / granule * granule;
+  bp = std::max<std::size_t>(std::max<std::size_t>(1, granule), bp);
 
   return TilingParams{bs, bp};
 }

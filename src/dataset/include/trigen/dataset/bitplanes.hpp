@@ -9,7 +9,7 @@
 ///  * `PhenoSplitPlanes` — §IV-A second method: the dataset is split into a
 ///                       control plane-set and a case plane-set, and only
 ///                       genotypes 0 and 1 are stored (genotype 2 is
-///                       reconstructed with a NOR).  Used by CPU V2/V3/V4
+///                       reconstructed with a NOR).  Used by CPU V2-V5
 ///                       and GPU V2.
 ///  * `TransposedPlanes` — §IV-B third method: SNP-minor (sample-word-major)
 ///                       layout so that consecutive GPU threads touch
@@ -83,7 +83,7 @@ class BitPlanesV1 {
 };
 
 // ---------------------------------------------------------------------------
-// V2: phenotype-split, genotype-2 inferred (CPU V2/V3/V4, GPU V2)
+// V2: phenotype-split, genotype-2 inferred (CPU V2-V5, GPU V2)
 // ---------------------------------------------------------------------------
 
 /// Class-split layout: one plane-set per phenotype class, storing only

@@ -41,17 +41,20 @@ HeteroResult HeteroCoordinator::run(const HeteroOptions& options) const {
   }
   const std::uint64_t total = combinatorics::num_triplets(impl_->num_snps);
 
-  // The CPU side runs at full blocked-V4 speed on a partial rank range —
-  // the range-aware blocked engine is what makes the co-run competitive
-  // (§V-D only pays off when the CPU is within a small factor of the GPU).
+  // The CPU side runs at full blocked speed on a partial rank range — the
+  // range-aware blocked engine is what makes the co-run competitive (§V-D
+  // only pays off when the CPU is within a small factor of the GPU).  The
+  // engine defaults to the pair-plane-cached V5 rung; its autotuned tiling
+  // budgets L1 for the cache.
   core::DetectorOptions cpu_base;
-  cpu_base.version = core::CpuVersion::kV4Vector;
+  cpu_base.version = options.cpu_version;
   cpu_base.isa = core::best_kernel_isa();
   cpu_base.isa_auto = false;
   cpu_base.objective = options.objective;
   cpu_base.threads = options.cpu_threads;
   cpu_base.tiling = core::autotune_tiling(
-      core::detect_l1_config(), core::kernel_vector_words(cpu_base.isa));
+      core::detect_l1_config(), core::kernel_vector_words(cpu_base.isa),
+      cpu_base.version == core::CpuVersion::kV5PairCache);
 
   HeteroResult result;
   result.cpu_version = cpu_base.version;

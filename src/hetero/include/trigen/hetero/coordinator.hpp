@@ -35,6 +35,10 @@ HeteroEstimate estimate_hetero(double cpu_eps, double gpu_eps);
 /// Options for a functional co-run.
 struct HeteroOptions {
   core::Objective objective = core::Objective::kK2;
+  /// Engine for the CPU share.  Defaults to the fastest rung, the
+  /// pair-plane-cached blocked V5; must be a blocked version (V3/V4/V5) so
+  /// the partial-range scan runs at full speed.
+  core::CpuVersion cpu_version = core::CpuVersion::kV5PairCache;
   unsigned cpu_threads = 1;
   /// Fraction of the rank space handled by the CPU; negative = derive the
   /// optimal share from a calibration sample plus the GPU cost model.
@@ -55,8 +59,10 @@ struct HeteroResult {
   /// Simulated wall time under perfect overlap: max of the two sides.
   double overlap_seconds = 0;
   /// Engine the CPU side ran (or would run, when its share is zero): the
-  /// range-partitioned blocked V4 with the widest kernel the host supports.
-  core::CpuVersion cpu_version = core::CpuVersion::kV4Vector;
+  /// range-partitioned blocked engine from `HeteroOptions::cpu_version`
+  /// (default V5 pair-plane-cached) with the widest kernel the host
+  /// supports.
+  core::CpuVersion cpu_version = core::CpuVersion::kV5PairCache;
   core::KernelIsa cpu_isa_used = core::KernelIsa::kScalar;
   /// CPU elements/s measured during calibration (0 when `cpu_share` was
   /// given explicitly).
@@ -73,9 +79,10 @@ class HeteroCoordinator {
   HeteroCoordinator(const HeteroCoordinator&) = delete;
   HeteroCoordinator& operator=(const HeteroCoordinator&) = delete;
 
-  /// Functional co-run: CPU detector (blocked V4 on a partial rank range,
-  /// widest vector kernel) on [0, s), simulated GPU on [s, total).  Every
-  /// triplet is evaluated exactly once across the two devices.
+  /// Functional co-run: CPU detector (blocked engine on a partial rank
+  /// range, widest vector kernel, V5 pair-plane-cached by default) on
+  /// [0, s), simulated GPU on [s, total).  Every triplet is evaluated
+  /// exactly once across the two devices.
   HeteroResult run(const HeteroOptions& options = {}) const;
 
  private:

@@ -164,10 +164,11 @@ PairDetectionResult PairDetector::run(const PairDetectorOptions& options) const 
   PairDetectionResult result;
   result.threads_used = resolve_threads(options.threads);
   // Same ISA resolution as the 3-way detector: V1 and V3 are scalar by
-  // definition, V4 defaults to the widest available strategy, V2 honors an
-  // explicitly requested ISA.
+  // definition, V4/V5 default to the widest available strategy, V2 honors
+  // an explicitly requested ISA.
   result.isa_used = core::KernelIsa::kScalar;
-  if (options.version == core::CpuVersion::kV4Vector) {
+  if (options.version == core::CpuVersion::kV4Vector ||
+      options.version == core::CpuVersion::kV5PairCache) {
     result.isa_used =
         options.isa_auto ? core::best_kernel_isa() : options.isa;
   } else if (options.version == core::CpuVersion::kV2Split &&
@@ -209,8 +210,10 @@ PairDetectionResult PairDetector::run(const PairDetectorOptions& options) const 
 
   Stopwatch sw;
   core::PairTopK merged(options.top_k);
+  const bool cached = options.version == core::CpuVersion::kV5PairCache;
   const bool blocked = options.version == core::CpuVersion::kV3Blocked ||
-                       options.version == core::CpuVersion::kV4Vector;
+                       options.version == core::CpuVersion::kV4Vector ||
+                       cached;
   if (!blocked) {
     // V1/V2: work unit = one pair rank inside `range`.
     const bool naive = options.version == core::CpuVersion::kV1Naive;
@@ -230,9 +233,13 @@ PairDetectionResult PairDetector::run(const PairDetectorOptions& options) const 
         });
     result.tiling_used = core::TilingParams{0, 0};
   } else {
-    // V3/V4: work unit = one block pair of the partition covering `range`;
-    // emitted pairs are clipped to the range at the partition boundary
-    // (interior blocks pay no per-pair overhead).
+    // V3/V4/V5: work unit = one block pair of the partition covering
+    // `range`; emitted pairs are clipped to the range at the partition
+    // boundary (interior blocks pay no per-pair overhead).  The V5 rung
+    // reads the pair table straight off the x∩y plane popcounts — no
+    // constant z operand, no 27-cell sweep, and no materialized planes
+    // (counts-only kernel), so no L1 budget beyond V4's is needed (see
+    // scan_block_pair).
     core::TilingParams tiling = options.tiling;
     if (!tiling.valid()) {
       tiling = core::autotune_tiling(
@@ -240,8 +247,6 @@ PairDetectionResult PairDetector::run(const PairDetectorOptions& options) const 
           core::kernel_vector_words(result.isa_used));
     }
     result.tiling_used = tiling;
-    const core::TripleBlockKernel kernel = core::get_kernel(result.isa_used);
-    const core::ConstantZPlanes z = impl_->z_planes();
     const combinatorics::BlockGrid grid{m, tiling.bs};
     const combinatorics::BlockPartition part =
         combinatorics::partition_block_pairs(grid, range);
@@ -249,22 +254,44 @@ PairDetectionResult PairDetector::run(const PairDetectorOptions& options) const 
     std::vector<core::PairBlockScratch> scratch;
     scratch.reserve(cfg.threads);
     for (unsigned t = 0; t < cfg.threads; ++t) scratch.emplace_back(tiling.bs);
-    merged = core::scan_best<ScoredPair>(
-        part.block_ranks.size(), cfg, options.top_k,
-        [&](unsigned tid, RankRange r, core::PairTopK& top) -> std::uint64_t {
-          std::uint64_t emitted = 0;
-          for (std::uint64_t b = r.first; b < r.last; ++b) {
-            core::scan_block_pair(
-                impl_->split, tiling, kernel, scratch[tid], z,
-                combinatorics::unrank_block_pair(part.block_ranks.first + b),
-                clip,
-                [&](const combinatorics::Pair& p, const PairTable& table) {
-                  ++emitted;
-                  top.push(ScoredPair{p.x, p.y, scorer(table)});
-                });
-          }
-          return emitted;
-        });
+    const auto scan_blocks = [&](auto&& run_block) {
+      return core::scan_best<ScoredPair>(
+          part.block_ranks.size(), cfg, options.top_k,
+          [&](unsigned tid, RankRange r,
+              core::PairTopK& top) -> std::uint64_t {
+            std::uint64_t emitted = 0;
+            const auto on_table = [&](const combinatorics::Pair& p,
+                                      const PairTable& table) {
+              ++emitted;
+              top.push(ScoredPair{p.x, p.y, scorer(table)});
+            };
+            for (std::uint64_t b = r.first; b < r.last; ++b) {
+              run_block(
+                  tid,
+                  combinatorics::unrank_block_pair(part.block_ranks.first + b),
+                  on_table);
+            }
+            return emitted;
+          });
+    };
+    if (cached) {
+      const core::CachedKernelSet kernels =
+          core::get_cached_kernels(result.isa_used);
+      merged = scan_blocks([&](unsigned tid, const core::BlockPair& bp,
+                               const auto& on_table) {
+        core::scan_block_pair(impl_->split, tiling, kernels, scratch[tid], bp,
+                              clip, on_table);
+      });
+    } else {
+      const core::TripleBlockKernel kernel =
+          core::get_kernel(result.isa_used);
+      const core::ConstantZPlanes z = impl_->z_planes();
+      merged = scan_blocks([&](unsigned tid, const core::BlockPair& bp,
+                               const auto& on_table) {
+        core::scan_block_pair(impl_->split, tiling, kernel, scratch[tid], z,
+                              bp, clip, on_table);
+      });
+    }
   }
   result.seconds = sw.seconds();
   result.best = merged.sorted();

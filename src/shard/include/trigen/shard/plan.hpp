@@ -31,7 +31,7 @@ enum class SplitStrategy {
   kEvenRanks,
   /// Boundaries snapped to whole top-level block layers of a `block_size`
   /// grid — rank C(b*block_size, k) cuts — so no block tuple of the tiled
-  /// V3/V4 engines straddles a shard boundary and boundary clipping is
+  /// V3/V4/V5 engines straddles a shard boundary and boundary clipping is
   /// free.
   kBlockAligned,
 };

@@ -94,22 +94,32 @@ TEST(Characterize, CpuOpMixMapping) {
   const auto v2 = cpu_op_mix(core::CpuVersion::kV2Split);
   const auto v3 = cpu_op_mix(core::CpuVersion::kV3Blocked);
   const auto v4 = cpu_op_mix(core::CpuVersion::kV4Vector);
+  const auto v5 = cpu_op_mix(core::CpuVersion::kV5PairCache);
   EXPECT_GT(v1.popcnt + v1.logic, v2.popcnt + v2.logic);
   // V2, V3 and V4 share the phenotype-split arithmetic.
   EXPECT_DOUBLE_EQ(v2.popcnt, v3.popcnt);
   EXPECT_DOUBLE_EQ(v3.popcnt, v4.popcnt);
   EXPECT_DOUBLE_EQ(v2.logic, v4.logic);
+  // The pair-plane cache removes a third of the POPCNTs and over half the
+  // logic from the hot loop.
+  EXPECT_LT(v5.popcnt, v4.popcnt);
+  EXPECT_LT(v5.logic, v4.logic);
+  EXPECT_GT(v5.loads, v4.loads);  // cache reads replace the x/y streams
 }
 
 TEST(Characterize, CpuLadderPointsHaveExpectedAiOrdering) {
   const auto d = random_dataset({10, 256, 3});
   const auto points = characterize_cpu_ladder(d, 1);
-  ASSERT_EQ(points.size(), 4u);
+  ASSERT_EQ(points.size(), 5u);
   EXPECT_EQ(points[0].name, "V1-naive");
-  // Fig. 2a: AI drops from V1 to V2 and stays constant through V4.
+  EXPECT_EQ(points[4].name, "V5-paircache");
+  // Fig. 2a: AI drops from V1 to V2 and stays constant through V4; V5
+  // trades streamed x/y loads for L1-resident cache reads, dropping AI
+  // again while raising throughput.
   EXPECT_LT(points[1].ai, points[0].ai);
   EXPECT_DOUBLE_EQ(points[1].ai, points[2].ai);
   EXPECT_DOUBLE_EQ(points[2].ai, points[3].ai);
+  EXPECT_LT(points[4].ai, points[3].ai);
   for (const auto& p : points) {
     EXPECT_GT(p.gintops, 0.0) << p.name;
     EXPECT_GT(p.seconds, 0.0) << p.name;

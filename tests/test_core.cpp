@@ -1,6 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <map>
+#include <random>
 #include <set>
 
 #include "test_util.hpp"
@@ -88,6 +90,23 @@ TEST(KernelRegistry, GetKernelThrowsForUnavailableIsa) {
   }
 }
 
+TEST(KernelRegistry, CachedKernelsExistForEveryAvailableIsa) {
+  // The V5 kernel set mirrors the triple-block registry: every ISA that
+  // can hand out a direct kernel hands out build+cached+count, and an
+  // unavailable ISA must throw rather than return a pointer.
+  for (const KernelIsa isa : every_isa()) {
+    if (kernel_available(isa)) {
+      const CachedKernelSet ks = get_cached_kernels(isa);
+      EXPECT_NE(ks.build, nullptr) << kernel_isa_name(isa);
+      EXPECT_NE(ks.cached, nullptr) << kernel_isa_name(isa);
+      EXPECT_NE(ks.count, nullptr) << kernel_isa_name(isa);
+    } else {
+      EXPECT_THROW(get_cached_kernels(isa), std::runtime_error)
+          << kernel_isa_name(isa);
+    }
+  }
+}
+
 TEST(KernelRegistry, AvailableImpliesCompiledIn) {
   const auto& all = all_kernel_isas();
   const std::set<KernelIsa> compiled(all.begin(), all.end());
@@ -137,6 +156,77 @@ TEST_P(KernelShapeTest, SplitKernelMatchesReferenceForEveryIsa) {
         }
       }
     }
+  }
+}
+
+TEST_P(KernelShapeTest, CachedKernelMatchesReferenceForEveryIsa) {
+  // Two-phase V5 evaluation at the kernel level: build the x∩y planes of
+  // (x, y) over the full word range, then run the cached kernel for every
+  // z — the table must match the brute-force reference bit for bit.
+  const auto d = random_dataset(GetParam());
+  const auto planes = dataset::PhenoSplitPlanes::build(d);
+  const std::size_t m = d.num_snps();
+  for (const KernelIsa isa : all_kernel_isas()) {
+    if (!kernel_available(isa)) continue;
+    const CachedKernelSet ks = get_cached_kernels(isa);
+    PairPlaneCache cache;
+    for (std::size_t x = 0; x < m; ++x) {
+      for (std::size_t y = x + 1; y < m; ++y) {
+        for (std::size_t z = y + 1; z < m; ++z) {
+          ContingencyTable t;
+          for (int c = 0; c < 2; ++c) {
+            const std::size_t words = planes.words(c);
+            cache.ensure(words);
+            std::fill(cache.pops(), cache.pops() + 9, 0u);
+            ks.build(planes.plane(c, x, 0), planes.plane(c, x, 1),
+                     planes.plane(c, y, 0), planes.plane(c, y, 1), 0, words,
+                     cache.planes(), cache.stride(), cache.pops());
+            ks.cached(cache.planes(), cache.stride(), cache.pops(),
+                      planes.plane(c, z, 0), planes.plane(c, z, 1), 0, words,
+                      t.counts[static_cast<std::size_t>(c)].data());
+            t.counts[static_cast<std::size_t>(c)][26] -=
+                static_cast<std::uint32_t>(planes.pad_bits(c));
+          }
+          ASSERT_EQ(t, reference_contingency(d, x, y, z))
+              << kernel_isa_name(isa) << " " << x << "," << y << "," << z;
+        }
+      }
+    }
+  }
+}
+
+TEST(Kernels, CachedKernelWordSubrangesCompose) {
+  // Accumulating chunk [0, mid) and [mid, words) through separate
+  // build+cached calls must equal one full-range call (the blocked V5
+  // engine streams exactly such chunks).
+  const auto d = random_dataset({6, 200, 17});
+  const auto planes = dataset::PhenoSplitPlanes::build(d);
+  const CachedKernelSet ks = get_cached_kernels(KernelIsa::kScalar);
+  PairPlaneCache cache;
+  for (int c = 0; c < 2; ++c) {
+    const std::size_t words = planes.words(c);
+    cache.ensure(words);
+    std::uint32_t full[27] = {};
+    std::uint32_t split_acc[27] = {};
+    std::fill(cache.pops(), cache.pops() + 9, 0u);
+    ks.build(planes.plane(c, 0, 0), planes.plane(c, 0, 1),
+             planes.plane(c, 1, 0), planes.plane(c, 1, 1), 0, words,
+             cache.planes(), cache.stride(), cache.pops());
+    ks.cached(cache.planes(), cache.stride(), cache.pops(),
+              planes.plane(c, 2, 0), planes.plane(c, 2, 1), 0, words, full);
+    const std::size_t mid = words / 2;
+    for (const auto range :
+         {std::pair<std::size_t, std::size_t>{0, mid},
+          std::pair<std::size_t, std::size_t>{mid, words}}) {
+      std::fill(cache.pops(), cache.pops() + 9, 0u);
+      ks.build(planes.plane(c, 0, 0), planes.plane(c, 0, 1),
+               planes.plane(c, 1, 0), planes.plane(c, 1, 1), range.first,
+               range.second, cache.planes(), cache.stride(), cache.pops());
+      ks.cached(cache.planes(), cache.stride(), cache.pops(),
+                planes.plane(c, 2, 0), planes.plane(c, 2, 1), range.first,
+                range.second, split_acc);
+    }
+    for (int i = 0; i < 27; ++i) ASSERT_EQ(full[i], split_acc[i]) << i;
   }
 }
 
@@ -296,6 +386,123 @@ TEST(BlockedEngine, BpSmallerThanWordsStillCorrect) {
   }
 }
 
+TEST_P(BlockedEngineTest, CachedEngineCoversEveryTripletExactlyOnceWithCorrectTables) {
+  const auto d = random_dataset(std::get<0>(GetParam()));
+  const std::size_t bs = std::get<1>(GetParam());
+  const auto planes = dataset::PhenoSplitPlanes::build(d);
+  const TilingParams tiling{bs, 32};
+  const CachedKernelSet ks = get_cached_kernels(KernelIsa::kScalar);
+  BlockScratch scratch(bs);
+
+  const std::size_t m = d.num_snps();
+  const std::uint64_t nb = (m + bs - 1) / bs;
+  std::map<std::uint64_t, int> seen;
+  for (std::uint64_t r = 0; r < num_block_triples(nb); ++r) {
+    scan_block_triple(planes, tiling, ks, scratch, unrank_block_triple(r),
+                      [&](const Triplet& t, const ContingencyTable& table) {
+                        ++seen[combinatorics::rank_triplet(t)];
+                        ASSERT_EQ(table,
+                                  reference_contingency(d, t.x, t.y, t.z))
+                            << t.x << "," << t.y << "," << t.z;
+                      });
+  }
+  const std::uint64_t total = combinatorics::num_triplets(m);
+  ASSERT_EQ(seen.size(), total);
+  for (const auto& [rank, count] : seen) {
+    ASSERT_EQ(count, 1) << "rank " << rank;
+  }
+}
+
+TEST(BlockedEngine, CachedClipEmitsExactlyTheTripletsInRange) {
+  const auto d = random_dataset({10, 100, 13});
+  const auto planes = dataset::PhenoSplitPlanes::build(d);
+  const std::size_t bs = 3;
+  const TilingParams tiling{bs, 16};
+  const CachedKernelSet ks = get_cached_kernels(KernelIsa::kScalar);
+  BlockScratch scratch(bs);
+  const std::uint64_t nb = (10 + bs - 1) / bs;
+  const std::uint64_t total = combinatorics::num_triplets(10);
+
+  for (const auto clip :
+       {combinatorics::RankRange{0, total}, combinatorics::RankRange{17, 18},
+        combinatorics::RankRange{0, total / 2},
+        combinatorics::RankRange{total / 2, total},
+        combinatorics::RankRange{3, total - 3}}) {
+    std::set<std::uint64_t> emitted;
+    for (std::uint64_t r = 0; r < num_block_triples(nb); ++r) {
+      scan_block_triple(planes, tiling, ks, scratch, unrank_block_triple(r),
+                        clip,
+                        [&](const Triplet& t, const ContingencyTable& table) {
+                          const std::uint64_t rank =
+                              combinatorics::rank_triplet(t);
+                          ASSERT_TRUE(emitted.insert(rank).second) << rank;
+                          ASSERT_EQ(table,
+                                    reference_contingency(d, t.x, t.y, t.z));
+                        });
+    }
+    ASSERT_EQ(emitted.size(), clip.size());
+    for (const std::uint64_t rank : emitted) {
+      ASSERT_GE(rank, clip.first);
+      ASSERT_LT(rank, clip.last);
+    }
+  }
+}
+
+// --------------------------------------------------------------------------
+// Alignment guarantees
+// --------------------------------------------------------------------------
+
+TEST(Alignment, KernelVisiblePlanesAre64ByteAligned) {
+  // Every plane the kernels stream must start on a 64-byte boundary so
+  // aligned vector loads stay legal after any future layout refactor.
+  const auto d = random_dataset({9, 123, 77});
+  const auto split = dataset::PhenoSplitPlanes::build(d);
+  for (int c = 0; c < 2; ++c) {
+    EXPECT_EQ(split.words(c) % dataset::kWordsPerVector, 0u) << c;
+    for (std::size_t snp = 0; snp < d.num_snps(); ++snp) {
+      for (int g = 0; g < 2; ++g) {
+        EXPECT_EQ(reinterpret_cast<std::uintptr_t>(split.plane(c, snp, g)) %
+                      kVectorAlign,
+                  0u)
+            << c << "," << snp << "," << g;
+      }
+    }
+  }
+  const auto v1 = dataset::BitPlanesV1::build(d);
+  EXPECT_EQ(v1.words() % dataset::kWordsPerVector, 0u);
+  for (std::size_t snp = 0; snp < d.num_snps(); ++snp) {
+    for (int g = 0; g < 3; ++g) {
+      EXPECT_EQ(reinterpret_cast<std::uintptr_t>(v1.plane(snp, g)) %
+                    kVectorAlign,
+                0u)
+          << snp << "," << g;
+    }
+  }
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(v1.phenotype_plane()) %
+                kVectorAlign,
+            0u);
+}
+
+TEST(Alignment, PairPlaneCachePlanesAre64ByteAligned) {
+  PairPlaneCache cache;
+  for (const std::size_t words : {1u, 17u, 400u, 1000u}) {
+    cache.ensure(words);
+    ASSERT_GE(cache.stride(), words);
+    EXPECT_EQ(cache.stride() % dataset::kWordsPerVector, 0u) << words;
+    for (int p = 0; p < 9; ++p) {
+      EXPECT_EQ(reinterpret_cast<std::uintptr_t>(cache.planes() +
+                                                 p * cache.stride()) %
+                    kVectorAlign,
+                0u)
+          << words << " plane " << p;
+    }
+  }
+  // ensure() never shrinks: capacity stays usable by earlier chunks.
+  const std::size_t grown = cache.stride();
+  cache.ensure(8);
+  EXPECT_EQ(cache.stride(), grown);
+}
+
 // --------------------------------------------------------------------------
 // Tiling autotuner
 // --------------------------------------------------------------------------
@@ -333,6 +540,33 @@ TEST(Tiling, BpMultipleOfVectorWords) {
     const TilingParams p = autotune_tiling(l1, vec);
     EXPECT_EQ(p.bp_words % vec, 0u) << vec;
     EXPECT_GE(p.bp_words, vec);
+  }
+}
+
+TEST(Tiling, PairCacheFootprintStaysInsideTheL1Budget) {
+  // The V5 autotuner must budget the streamed block AND the 9-plane cache
+  // inside the block ways, for every cache geometry and vector width.
+  for (const L1Config l1 :
+       {L1Config{48 * 1024, 12, 7, 4}, L1Config{32 * 1024, 8, 7, 1},
+        L1Config{64 * 1024, 16, 7, 8}, L1Config{24 * 1024, 6, 4, 2}}) {
+    const std::size_t ft_budget = l1.size_bytes / l1.ways * l1.ways_for_tables;
+    const std::size_t block_budget =
+        l1.size_bytes / l1.ways * l1.ways_for_block;
+    for (const std::size_t vec : {std::size_t{1}, std::size_t{8},
+                                  std::size_t{16}}) {
+      const TilingParams p = autotune_tiling(l1, vec, true);
+      EXPECT_LE(tables_bytes(p.bs), ft_budget) << vec;
+      EXPECT_LE(block_bytes(p.bs, p.bp_words) + pair_cache_bytes(p.bp_words),
+                block_budget)
+          << "L1 " << l1.size_bytes << " vec " << vec;
+      EXPECT_EQ(p.bp_words % vec, 0u);
+      // B_P lands on the PairPlaneCache stride granule, so the budgeted
+      // footprint equals the allocated one (ensure() rounds the stride up
+      // to whole AVX-512 registers).
+      EXPECT_EQ(p.bp_words % dataset::kWordsPerVector, 0u);
+      // The cache-aware B_P can only shrink relative to the V4 sizing.
+      EXPECT_LE(p.bp_words, autotune_tiling(l1, vec, false).bp_words);
+    }
   }
 }
 
@@ -403,7 +637,7 @@ TEST(TopK, ZeroCapacityClampsToOne) {
 const std::vector<CpuVersion>& all_versions() {
   static const std::vector<CpuVersion> v = {
       CpuVersion::kV1Naive, CpuVersion::kV2Split, CpuVersion::kV3Blocked,
-      CpuVersion::kV4Vector};
+      CpuVersion::kV4Vector, CpuVersion::kV5PairCache};
   return v;
 }
 
@@ -521,9 +755,11 @@ TEST_P(DetectorVersionTest, CountsAndMetadata) {
 TEST(Detector, V4UsesWidestIsaByDefault) {
   const auto d = random_dataset({8, 64, 3});
   const Detector det(d);
-  DetectorOptions opt;
-  opt.version = CpuVersion::kV4Vector;
-  EXPECT_EQ(det.run(opt).isa_used, best_kernel_isa());
+  for (const CpuVersion v : {CpuVersion::kV4Vector, CpuVersion::kV5PairCache}) {
+    DetectorOptions opt;
+    opt.version = v;
+    EXPECT_EQ(det.run(opt).isa_used, best_kernel_isa()) << cpu_version_name(v);
+  }
 }
 
 TEST(Detector, V4ExplicitIsaRespected) {
@@ -630,8 +866,10 @@ TEST(Detector, KWaySplitReproducesFullTopKExactly) {
 
   for (const TilingParams tiling : {TilingParams{0, 0}, TilingParams{3, 16},
                                     TilingParams{5, 8}}) {
+   for (const CpuVersion version :
+        {CpuVersion::kV4Vector, CpuVersion::kV5PairCache}) {
     DetectorOptions base;
-    base.version = CpuVersion::kV4Vector;
+    base.version = version;
     base.top_k = 15;
     base.tiling = tiling;
     const auto full = det.run(base);
@@ -651,8 +889,72 @@ TEST(Detector, KWaySplitReproducesFullTopKExactly) {
       ASSERT_EQ(got.size(), full.best.size()) << k;
       for (std::size_t i = 0; i < got.size(); ++i) {
         EXPECT_EQ(got[i].triplet, full.best[i].triplet)
-            << "k=" << k << " bs=" << tiling.bs << " rank " << i;
+            << "k=" << k << " bs=" << tiling.bs << " rank " << i << " "
+            << cpu_version_name(version);
         EXPECT_DOUBLE_EQ(got[i].score, full.best[i].score);
+      }
+    }
+   }
+  }
+}
+
+TEST(Detector, V5BitIdenticalToV2OverRandomRankRanges) {
+  // The V5 acceptance property: for every compiled-in ISA, the cached
+  // engine reproduces the V2 per-triplet reference score-bit-for-score-bit
+  // over the full space and over arbitrary K-way rank splits.
+  const auto d = random_dataset({17, 210, 97});
+  const Detector det(d);
+  const std::uint64_t total = combinatorics::num_triplets(17);
+
+  DetectorOptions ref_opt;
+  ref_opt.version = CpuVersion::kV2Split;
+  ref_opt.top_k = 12;
+  const auto ref = det.run(ref_opt);
+
+  for (const KernelIsa isa : all_kernel_isas()) {
+    if (!kernel_available(isa)) continue;
+    DetectorOptions v5;
+    v5.version = CpuVersion::kV5PairCache;
+    v5.isa = isa;
+    v5.isa_auto = false;
+    v5.top_k = 12;
+    v5.tiling = {3, 16};  // deliberately unaligned with the dataset
+    const auto full = det.run(v5);
+    ASSERT_EQ(full.best.size(), ref.best.size()) << kernel_isa_name(isa);
+    for (std::size_t i = 0; i < ref.best.size(); ++i) {
+      EXPECT_EQ(full.best[i].triplet, ref.best[i].triplet)
+          << kernel_isa_name(isa) << " rank " << i;
+      EXPECT_EQ(full.best[i].score, ref.best[i].score)
+          << kernel_isa_name(isa) << " rank " << i;
+    }
+
+    // Random full-coverage splits: the merged partial V5 scans must also
+    // reproduce the V2 reference exactly.
+    std::mt19937_64 rng(53 + static_cast<unsigned>(isa));
+    for (int round = 0; round < 3; ++round) {
+      std::vector<std::uint64_t> cuts = {0, total};
+      std::uniform_int_distribution<std::uint64_t> dist(1, total - 1);
+      while (cuts.size() < static_cast<std::size_t>(round) + 3) {
+        cuts.push_back(dist(rng));
+      }
+      std::sort(cuts.begin(), cuts.end());
+      cuts.erase(std::unique(cuts.begin(), cuts.end()), cuts.end());
+      TopK acc(v5.top_k);
+      std::uint64_t covered = 0;
+      for (std::size_t i = 0; i + 1 < cuts.size(); ++i) {
+        DetectorOptions part = v5;
+        part.range = {cuts[i], cuts[i + 1]};
+        const auto r = det.run(part);
+        covered += r.triplets_evaluated;
+        for (const auto& s : r.best) acc.push(s);
+      }
+      ASSERT_EQ(covered, total);
+      const auto got = acc.sorted();
+      ASSERT_EQ(got.size(), ref.best.size());
+      for (std::size_t i = 0; i < got.size(); ++i) {
+        EXPECT_EQ(got[i].triplet, ref.best[i].triplet)
+            << kernel_isa_name(isa) << " round " << round << " rank " << i;
+        EXPECT_EQ(got[i].score, ref.best[i].score);
       }
     }
   }
@@ -664,7 +966,8 @@ TEST(Detector, BlockedPartialRangeCountsEveryTripletOnce) {
   const auto d = random_dataset({12, 96, 3});
   const Detector det(d);
   const std::uint64_t total = combinatorics::num_triplets(12);
-  for (const CpuVersion v : {CpuVersion::kV3Blocked, CpuVersion::kV4Vector}) {
+  for (const CpuVersion v : {CpuVersion::kV3Blocked, CpuVersion::kV4Vector,
+                             CpuVersion::kV5PairCache}) {
     for (const std::uint64_t first : {std::uint64_t{0}, total / 3}) {
       for (const std::uint64_t last : {total / 3 + 1, total - 7, total}) {
         DetectorOptions opt;

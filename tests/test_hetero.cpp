@@ -83,15 +83,16 @@ TEST(HeteroCoordinator, OverlapTimeIsMaxOfSides) {
                    std::max(r.cpu_seconds, r.gpu_sim_seconds));
 }
 
-TEST(HeteroCoordinator, CpuSideRunsBlockedV4WithTheWidestIsa) {
-  // The range-aware blocked engine lets the CPU share run at full V4 speed
-  // instead of the per-triplet V2 fallback; the coordinator must report it.
+TEST(HeteroCoordinator, CpuSideRunsCachedBlockedV5WithTheWidestIsa) {
+  // The range-aware blocked engine lets the CPU share run at full speed
+  // instead of the per-triplet V2 fallback; the default rung is the
+  // pair-plane-cached V5 and the coordinator must report it.
   const auto d = planted_dataset(10, 600, 17);
   const HeteroCoordinator h(d, gpusim::gpu_device("GN3"));
   HeteroOptions opt;
   opt.cpu_share = 0.5;
   const HeteroResult r = h.run(opt);
-  EXPECT_EQ(r.cpu_version, core::CpuVersion::kV4Vector);
+  EXPECT_EQ(r.cpu_version, core::CpuVersion::kV5PairCache);
   EXPECT_EQ(r.cpu_isa_used, core::best_kernel_isa());
   if (core::best_kernel_isa() != core::KernelIsa::kScalar) {
     EXPECT_NE(r.cpu_isa_used, core::KernelIsa::kScalar);
@@ -99,12 +100,24 @@ TEST(HeteroCoordinator, CpuSideRunsBlockedV4WithTheWidestIsa) {
   EXPECT_EQ(r.best[0].triplet, (Triplet{1, 3, 5}));
 }
 
-TEST(HeteroCoordinator, CalibrationMeasuresTheV4Engine) {
+TEST(HeteroCoordinator, CpuVersionOptionSelectsTheEngine) {
+  // Any blocked rung can be pinned explicitly; results are identical.
+  const auto d = planted_dataset(10, 600, 17);
+  const HeteroCoordinator h(d, gpusim::gpu_device("GN3"));
+  HeteroOptions opt;
+  opt.cpu_share = 0.5;
+  opt.cpu_version = core::CpuVersion::kV4Vector;
+  const HeteroResult r = h.run(opt);
+  EXPECT_EQ(r.cpu_version, core::CpuVersion::kV4Vector);
+  EXPECT_EQ(r.best[0].triplet, (Triplet{1, 3, 5}));
+}
+
+TEST(HeteroCoordinator, CalibrationMeasuresTheConfiguredEngine) {
   const auto d = random_dataset({12, 256, 23});
   const HeteroCoordinator h(d, gpusim::gpu_device("GN1"));
   const HeteroResult r = h.run({});  // cpu_share < 0: calibrate
   EXPECT_GT(r.cpu_calibrated_eps, 0.0);
-  EXPECT_EQ(r.cpu_version, core::CpuVersion::kV4Vector);
+  EXPECT_EQ(r.cpu_version, core::CpuVersion::kV5PairCache);
   EXPECT_EQ(r.cpu_isa_used, core::best_kernel_isa());
 }
 

@@ -252,7 +252,7 @@ TEST_P(PairVersionShapeTest, EveryVersionMatchesTheNaiveReferenceExactly) {
 
   for (const auto version :
        {core::CpuVersion::kV2Split, core::CpuVersion::kV3Blocked,
-        core::CpuVersion::kV4Vector}) {
+        core::CpuVersion::kV4Vector, core::CpuVersion::kV5PairCache}) {
     for (const core::KernelIsa isa : core::all_kernel_isas()) {
       if (!core::kernel_available(isa)) continue;
       PairDetectorOptions opt;
@@ -274,7 +274,8 @@ TEST(PairDetector, PlantedPairFoundByEveryVersion) {
   const PairDetector det(d);
   for (const auto version :
        {core::CpuVersion::kV1Naive, core::CpuVersion::kV2Split,
-        core::CpuVersion::kV3Blocked, core::CpuVersion::kV4Vector}) {
+        core::CpuVersion::kV3Blocked, core::CpuVersion::kV4Vector,
+        core::CpuVersion::kV5PairCache}) {
     PairDetectorOptions opt;
     opt.version = version;
     const auto r = det.run(opt);
@@ -313,9 +314,10 @@ TEST(PairDetectorRange, KWayRandomSplitsReproduceTheFullScanExactly) {
       opt.range = {cuts[i], cuts[i + 1]};
       // Rotate the engine version (and an odd tiling) across partitions:
       // the merged result must not care who scanned what.
-      opt.version = static_cast<core::CpuVersion>(i % 4);
+      opt.version = static_cast<core::CpuVersion>(i % 5);
       if (opt.version == core::CpuVersion::kV3Blocked ||
-          opt.version == core::CpuVersion::kV4Vector) {
+          opt.version == core::CpuVersion::kV4Vector ||
+          opt.version == core::CpuVersion::kV5PairCache) {
         opt.tiling = {3, 16};
       }
       const auto part = det.run(opt);
@@ -323,6 +325,53 @@ TEST(PairDetectorRange, KWayRandomSplitsReproduceTheFullScanExactly) {
       for (const auto& s : part.best) acc.push(s);
     }
     expect_same_pairs(acc.sorted(), full.best);
+  }
+}
+
+TEST(PairDetectorRange, V5BitIdenticalToV2OverRandomRankRanges) {
+  // Pair-order V5 acceptance property: the cache-direct pair engine
+  // reproduces the V2 per-pair reference exactly, full-scan and over
+  // random K-way splits, for every compiled-in ISA.
+  const auto d = random_dataset({18, 150, 37});
+  const PairDetector det(d);
+  const std::uint64_t total = num_pairs(18);
+
+  PairDetectorOptions ref_opt;
+  ref_opt.version = core::CpuVersion::kV2Split;
+  ref_opt.top_k = 9;
+  const auto ref = det.run(ref_opt);
+
+  for (const core::KernelIsa isa : core::all_kernel_isas()) {
+    if (!core::kernel_available(isa)) continue;
+    PairDetectorOptions v5;
+    v5.version = core::CpuVersion::kV5PairCache;
+    v5.isa = isa;
+    v5.isa_auto = false;
+    v5.top_k = 9;
+    v5.tiling = {3, 16};
+    expect_same_pairs(det.run(v5).best, ref.best);
+
+    std::mt19937_64 rng(99 + static_cast<unsigned>(isa));
+    for (int round = 0; round < 3; ++round) {
+      std::vector<std::uint64_t> cuts = {0, total};
+      std::uniform_int_distribution<std::uint64_t> dist(1, total - 1);
+      while (cuts.size() < static_cast<std::size_t>(round) + 3) {
+        cuts.push_back(dist(rng));
+      }
+      std::sort(cuts.begin(), cuts.end());
+      cuts.erase(std::unique(cuts.begin(), cuts.end()), cuts.end());
+      core::PairTopK acc(v5.top_k);
+      std::uint64_t covered = 0;
+      for (std::size_t i = 0; i + 1 < cuts.size(); ++i) {
+        PairDetectorOptions part = v5;
+        part.range = {cuts[i], cuts[i + 1]};
+        const auto r = det.run(part);
+        covered += r.pairs_evaluated;
+        for (const auto& sp : r.best) acc.push(sp);
+      }
+      ASSERT_EQ(covered, total) << core::kernel_isa_name(isa);
+      expect_same_pairs(acc.sorted(), ref.best);
+    }
   }
 }
 

@@ -90,6 +90,34 @@ core::Objective parse_objective(const std::string& s) {
   std::exit(2);
 }
 
+/// Parse-time --version validation: rejects anything outside 1..5 with a
+/// message naming the ladder rungs and the vector ISAs this binary carries
+/// (and whether this host can run them), instead of failing deep inside
+/// the detector.
+core::CpuVersion parse_version(const Args& a) {
+  const long v = a.get_int("version", 4);
+  switch (v) {
+    case 1: return core::CpuVersion::kV1Naive;
+    case 2: return core::CpuVersion::kV2Split;
+    case 3: return core::CpuVersion::kV3Blocked;
+    case 4: return core::CpuVersion::kV4Vector;
+    case 5: return core::CpuVersion::kV5PairCache;
+    default: break;
+  }
+  std::string isas;
+  for (const core::KernelIsa isa : core::all_kernel_isas()) {
+    if (!isas.empty()) isas += ", ";
+    isas += core::kernel_isa_name(isa);
+    if (!core::kernel_available(isa)) isas += " (not on this host)";
+  }
+  std::fprintf(stderr,
+               "--version expects 1..5: 1 naive planes, 2 split planes, "
+               "3 + L1 blocking, 4 + vector kernels, 5 + pair-plane cache "
+               "(got %ld)\nvector ISAs in this binary: %s\n",
+               v, isas.c_str());
+  std::exit(2);
+}
+
 int cmd_generate(const Args& a) {
   if (a.positional.empty() || a.has("help")) {
     std::puts("usage: trigen generate OUT.tg[b] --snps M --samples N [--seed S]\n"
@@ -260,15 +288,16 @@ template <typename Cli>
 void print_scan_usage() {
   std::printf(
       "usage: trigen %s DATASET.tg[b] [--objective k2|mi|chi2]\n"
-      "  [--top K] [--threads T] [--version 1|2|3|4]\n"
+      "  [--top K] [--threads T] [--version 1|2|3|4|5]\n"
       "  [--range FIRST:LAST] [--progress]\n"
       "  [--shards W --shard I [--split even|block]]\n"
       "  [--out FILE.shard] [--checkpoint FILE.ckpt]\n"
       "  [--checkpoint-every RANKS] [--stop-after RANKS]\n"
       "--version picks the optimization-ladder rung (1 naive planes,\n"
-      "2 split planes, 3 + L1 blocking, 4 + vector kernels; default 4);\n"
+      "2 split planes, 3 + L1 blocking, 4 + vector kernels, 5 + pair-\n"
+      "plane cache; default 4);\n"
       "--range scans only %s ranks [FIRST, LAST) — any version,\n"
-      "including the blocked V3/V4 (shard results merge exactly);\n"
+      "including the blocked V3/V4/V5 (shard results merge exactly);\n"
       "--progress reports percent scanned on stderr.\n"
       "--shards/--shard scans shard I (0-based) of a W-way plan;\n"
       "--out writes a portable shard result file for `trigen merge`;\n"
@@ -287,18 +316,15 @@ int cmd_scan_generic(const Args& a) {
     print_scan_usage<Cli>();
     return a.has("help") ? 0 : 2;
   }
-  const auto d = load(a.positional[0]);
-  typename Cli::Detector det(d);
+  // Validate cheap flags before touching the dataset, so a typo'd
+  // `--version` fails instantly even on a multi-gigabyte input.
   typename Cli::DetectorOptions opt;
   opt.objective = parse_objective(a.get("objective", "k2"));
   opt.top_k = static_cast<std::size_t>(a.get_int("top", 10));
   opt.threads = static_cast<unsigned>(a.get_int("threads", 0));
-  switch (a.get_int("version", 4)) {
-    case 1: opt.version = core::CpuVersion::kV1Naive; break;
-    case 2: opt.version = core::CpuVersion::kV2Split; break;
-    case 3: opt.version = core::CpuVersion::kV3Blocked; break;
-    default: opt.version = core::CpuVersion::kV4Vector; break;
-  }
+  opt.version = parse_version(a);
+  const auto d = load(a.positional[0]);
+  typename Cli::Detector det(d);
   const std::uint64_t total = Cli::space(d.num_snps());
 
   if (a.has("shards") || a.has("shard")) {
@@ -588,7 +614,7 @@ int usage() {
       "  info DATASET.tg[b]\n"
       "  convert IN.tg[b] OUT.tg[b]\n"
       "  scan|scan2 DATASET.tg[b] [--objective k2|mi|chi2] [--top K]\n"
-      "    [--threads T] [--version 1|2|3|4] [--range FIRST:LAST]\n"
+      "    [--threads T] [--version 1|2|3|4|5] [--range FIRST:LAST]\n"
       "    [--progress] [--shards W --shard I [--split even|block]]\n"
       "    [--out FILE.shard] [--checkpoint FILE.ckpt]\n"
       "    [--checkpoint-every RANKS] [--stop-after RANKS]\n"
