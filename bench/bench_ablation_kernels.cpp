@@ -105,6 +105,119 @@ void bench_build_kernel(benchmark::State& state, core::KernelIsa isa) {
       benchmark::Counter::kIsRate);
 }
 
+// ---------------------------------------------------------------------------
+// Order 4: the generic kernel family (K >= 4 rungs of the prefix ladder)
+// ---------------------------------------------------------------------------
+
+/// Direct order-4 contingency accumulation (the V4 analogue for K >= 4):
+/// 8 loads, 4 NOR, 81 AND-trees, 81 POPCNT per word.
+void bench_tuple_kernel_k4(benchmark::State& state, core::KernelIsa isa) {
+  if (!core::kernel_available(isa)) {
+    state.SkipWithError("ISA not available on this host");
+    return;
+  }
+  const auto samples = static_cast<std::size_t>(state.range(0));
+  const auto d = dataset::generate_balanced(5, samples, 7);
+  const auto planes = dataset::PhenoSplitPlanes::build(d);
+  const core::GenericKernelSet ks = core::get_generic_kernels(isa);
+  std::array<const core::Word*, 4> g0;
+  std::array<const core::Word*, 4> g1;
+  for (std::size_t i = 0; i < 4; ++i) {
+    g0[i] = planes.plane(0, i, 0);
+    g1[i] = planes.plane(0, i, 1);
+  }
+
+  std::uint32_t ft[81] = {};
+  for (auto _ : state) {
+    ks.direct(g0.data(), g1.data(), 4, 0, planes.words(0), ft);
+    benchmark::DoNotOptimize(ft);
+  }
+  state.counters["words/s"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) *
+          static_cast<double>(planes.words(0)),
+      benchmark::Counter::kIsRate);
+  state.counters["elements/s"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) *
+          static_cast<double>(planes.words(0)) * 32,
+      benchmark::Counter::kIsRate);
+}
+
+/// Order-4 prefix ladder, finalize phase: the 27 cached (x∩y∩z) planes
+/// against the last SNP's operands — 54 AND, 54 POPCNT per word, with the
+/// 27 genotype-2 cells derived from the partition identity.
+void bench_tuple_cached_kernel_k4(benchmark::State& state,
+                                  core::KernelIsa isa) {
+  if (!core::kernel_available(isa)) {
+    state.SkipWithError("ISA not available on this host");
+    return;
+  }
+  const auto samples = static_cast<std::size_t>(state.range(0));
+  const auto d = dataset::generate_balanced(5, samples, 7);
+  const auto planes = dataset::PhenoSplitPlanes::build(d);
+  const core::CachedKernelSet cached = core::get_cached_kernels(isa);
+  const core::GenericKernelSet ks = core::get_generic_kernels(isa);
+  const std::size_t words = planes.words(0);
+  core::PrefixPlaneCache cache;
+  cache.ensure(4, words);
+  std::fill(cache.rung_pops(2), cache.rung_pops(2) + 9, 0u);
+  cached.build(planes.plane(0, 0, 0), planes.plane(0, 0, 1),
+               planes.plane(0, 1, 0), planes.plane(0, 1, 1), 0, words,
+               cache.rung(2), cache.stride(), cache.rung_pops(2));
+  std::fill(cache.rung_pops(3), cache.rung_pops(3) + 27, 0u);
+  ks.extend(cache.rung(2), 9, cache.stride(), planes.plane(0, 2, 0),
+            planes.plane(0, 2, 1), 0, words, cache.rung(3), cache.stride(),
+            cache.rung_pops(3));
+
+  std::uint32_t ft[81] = {};
+  for (auto _ : state) {
+    ks.finalize(cache.rung(3), 27, cache.stride(), cache.rung_pops(3),
+                planes.plane(0, 3, 0), planes.plane(0, 3, 1), 0, words, ft);
+    benchmark::DoNotOptimize(ft);
+  }
+  state.counters["words/s"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) *
+          static_cast<double>(words),
+      benchmark::Counter::kIsRate);
+  state.counters["elements/s"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) *
+          static_cast<double>(words) * 32,
+      benchmark::Counter::kIsRate);
+}
+
+/// Order-4 prefix ladder, extend phase: growing the 9 x∩y planes into the
+/// 27 x∩y∩z planes (18 AND + 9 derived XOR per word, plus the final-rung
+/// popcounts) — the amortized cost the finalize savings pay for.
+void bench_prefix_extend_k4(benchmark::State& state, core::KernelIsa isa) {
+  if (!core::kernel_available(isa)) {
+    state.SkipWithError("ISA not available on this host");
+    return;
+  }
+  const auto samples = static_cast<std::size_t>(state.range(0));
+  const auto d = dataset::generate_balanced(5, samples, 7);
+  const auto planes = dataset::PhenoSplitPlanes::build(d);
+  const core::CachedKernelSet cached = core::get_cached_kernels(isa);
+  const core::GenericKernelSet ks = core::get_generic_kernels(isa);
+  const std::size_t words = planes.words(0);
+  core::PrefixPlaneCache cache;
+  cache.ensure(4, words);
+  std::fill(cache.rung_pops(2), cache.rung_pops(2) + 9, 0u);
+  cached.build(planes.plane(0, 0, 0), planes.plane(0, 0, 1),
+               planes.plane(0, 1, 0), planes.plane(0, 1, 1), 0, words,
+               cache.rung(2), cache.stride(), cache.rung_pops(2));
+
+  for (auto _ : state) {
+    std::fill(cache.rung_pops(3), cache.rung_pops(3) + 27, 0u);
+    ks.extend(cache.rung(2), 9, cache.stride(), planes.plane(0, 2, 0),
+              planes.plane(0, 2, 1), 0, words, cache.rung(3), cache.stride(),
+              cache.rung_pops(3));
+    benchmark::DoNotOptimize(cache.rung(3));
+  }
+  state.counters["words/s"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) *
+          static_cast<double>(words),
+      benchmark::Counter::kIsRate);
+}
+
 void register_all() {
   for (const auto isa : core::all_kernel_isas()) {
     benchmark::RegisterBenchmark(
@@ -122,6 +235,31 @@ void register_all() {
     benchmark::RegisterBenchmark(
         ("pair_plane_build/" + core::kernel_isa_name(isa)).c_str(),
         [isa](benchmark::State& s) { bench_build_kernel(s, isa); })
+        ->Arg(2048)
+        ->Arg(65536);
+  }
+  // The order-4 generic family.  Vector strategies all dispatch to the
+  // widest compiled generic path (see get_generic_kernels), so one vector
+  // ISA representative plus scalar covers the distinct code paths.
+  std::vector<core::KernelIsa> generic_isas = {core::KernelIsa::kScalar};
+  if (core::best_kernel_isa() != core::KernelIsa::kScalar) {
+    generic_isas.push_back(core::best_kernel_isa());
+  }
+  for (const auto isa : generic_isas) {
+    const std::string tag = core::kernel_isa_name(isa);
+    benchmark::RegisterBenchmark(
+        ("tuple_block_k4/" + tag).c_str(),
+        [isa](benchmark::State& s) { bench_tuple_kernel_k4(s, isa); })
+        ->Arg(2048)
+        ->Arg(65536);
+    benchmark::RegisterBenchmark(
+        ("tuple_block_k4_cached/" + tag).c_str(),
+        [isa](benchmark::State& s) { bench_tuple_cached_kernel_k4(s, isa); })
+        ->Arg(2048)
+        ->Arg(65536);
+    benchmark::RegisterBenchmark(
+        ("prefix_extend_k4/" + tag).c_str(),
+        [isa](benchmark::State& s) { bench_prefix_extend_k4(s, isa); })
         ->Arg(2048)
         ->Arg(65536);
   }

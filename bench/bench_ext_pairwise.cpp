@@ -48,7 +48,7 @@ int main(int argc, char** argv) {
     const auto lr = pairs.run(loop_opt);
     best_loop_eps = std::max(best_loop_eps, lr.elements_per_second());
     t.add_row({"2-way per-pair", core::kernel_isa_name(isa),
-               std::to_string(lr.pairs_evaluated),
+               std::to_string(lr.combinations_evaluated),
                TextTable::fmt(lr.seconds, 3),
                TextTable::fmt(lr.elements_per_second() / 1e9, 2)});
 
@@ -60,7 +60,7 @@ int main(int argc, char** argv) {
     const auto pr = pairs.run(popt);
     best_blocked_eps = std::max(best_blocked_eps, pr.elements_per_second());
     t.add_row({"2-way blocked", core::kernel_isa_name(isa),
-               std::to_string(pr.pairs_evaluated),
+               std::to_string(pr.combinations_evaluated),
                TextTable::fmt(pr.seconds, 3),
                TextTable::fmt(pr.elements_per_second() / 1e9, 2)});
 
@@ -73,7 +73,7 @@ int main(int argc, char** argv) {
     const auto cr = pairs.run(copt);
     best_cached_eps = std::max(best_cached_eps, cr.elements_per_second());
     t.add_row({"2-way cached", core::kernel_isa_name(isa),
-               std::to_string(cr.pairs_evaluated),
+               std::to_string(cr.combinations_evaluated),
                TextTable::fmt(cr.seconds, 3),
                TextTable::fmt(cr.elements_per_second() / 1e9, 2)});
 
@@ -83,7 +83,7 @@ int main(int argc, char** argv) {
     topt.isa_auto = false;
     const auto tr = triples.run(topt);
     t.add_row({"3-way blocked", core::kernel_isa_name(isa),
-               std::to_string(tr.triplets_evaluated),
+               std::to_string(tr.combinations_evaluated),
                TextTable::fmt(tr.seconds, 3),
                TextTable::fmt(tr.elements_per_second() / 1e9, 2)});
   }

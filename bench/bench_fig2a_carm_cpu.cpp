@@ -65,7 +65,7 @@ int main(int argc, char** argv) {
     const double words =
         static_cast<double>(det.planes_split().words(0) +
                             det.planes_split().words(1)) *
-        static_cast<double>(r.triplets_evaluated);
+        static_cast<double>(r.combinations_evaluated);
     carm::KernelPoint p;
     p.name = "V4-unblocked";
     p.ai = (mix.popcnt + mix.logic) / (mix.loads * 4.0);

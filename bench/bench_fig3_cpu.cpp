@@ -118,7 +118,7 @@ int main(int argc, char** argv) {
         const double per_cyc = eps / freq;
         const double tps =
             r.seconds > 0.0
-                ? static_cast<double>(r.triplets_evaluated) / r.seconds
+                ? static_cast<double>(r.combinations_evaluated) / r.seconds
                 : 0.0;
         if (version == core::CpuVersion::kV4Vector) {
           measured_rate_v4[isa] = per_cyc;
@@ -156,6 +156,60 @@ int main(int argc, char** argv) {
   std::printf(
       "\nV5 pair-plane cache vs V4, largest size (%zu SNPs), one core:\n%s",
       snp_sizes.back(), speedup.to_ascii().c_str());
+
+  // ---- k=4 generic engine: prefix-plane cached vs direct ----------------
+  // One size per mode (the order-4 space grows as M^4/24); both blocked
+  // rungs of the generic engine, every ISA, one core.  This is the
+  // trajectory anchor for the K >= 4 engine: V5's ladder must not lose to
+  // the direct kernels anywhere.
+  {
+    const std::size_t snps4 = quick ? 40 : 64;
+    const auto d4 = bench::paper_style_dataset(snps4, samples);
+    const core::BasicDetector<4> det4(d4);
+    TextTable order4({"SNPs", "version", "strategy", "Gel/s/core",
+                      "Mtuples/s", "V5/V4"});
+    for (const core::KernelIsa isa : core::all_kernel_isas()) {
+      if (!core::kernel_available(isa)) continue;
+      std::map<core::CpuVersion, double> eps4;
+      for (const core::CpuVersion version : versions) {
+        core::BasicDetectorOptions<4> opt;
+        opt.version = version;
+        opt.isa = isa;
+        opt.isa_auto = false;
+        opt.threads = 1;
+        const auto r = det4.run(opt);
+        const double eps = r.elements_per_second();
+        const double tps =
+            r.seconds > 0.0
+                ? static_cast<double>(r.combinations_evaluated) / r.seconds
+                : 0.0;
+        eps4[version] = eps;
+        order4.add_row(
+            {std::to_string(snps4), core::cpu_version_name(version),
+             core::kernel_isa_name(isa), TextTable::fmt(eps / 1e9, 2),
+             TextTable::fmt(tps / 1e6, 3),
+             version == core::CpuVersion::kV5PairCache &&
+                     eps4[core::CpuVersion::kV4Vector] > 0.0
+                 ? TextTable::fmt(eps / eps4[core::CpuVersion::kV4Vector], 2)
+                 : "-"});
+        log.push_back({"fig3_cpu/order4-" + core::cpu_version_name(version) +
+                           "/" + core::kernel_isa_name(isa) +
+                           "/snps=" + std::to_string(snps4),
+                       tps > 0.0 ? 1e9 / tps : 0.0, tps, eps});
+      }
+      const double v4 = eps4[core::CpuVersion::kV4Vector];
+      const double v5 = eps4[core::CpuVersion::kV5PairCache];
+      if (v4 > 0.0 && v5 > 0.0) {
+        log.push_back(
+            {"fig3_cpu/order4_speedup_v5_vs_v4/" + core::kernel_isa_name(isa),
+             0.0, 0.0, v5 / v4});
+      }
+    }
+    std::printf(
+        "\nk=4 generic engine (prefix-plane ladder vs direct kernels), "
+        "%zu SNPs, one core:\n%s",
+        snps4, order4.to_ascii().c_str());
+  }
 
   // ---- Table-I device projection -----------------------------------------
   gpusim::CpuIsaRates rates;  // paper-derived defaults

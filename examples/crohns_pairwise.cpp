@@ -40,7 +40,7 @@ int main() {
   popt.top_k = 5;
   const auto pr = pairs.run(popt);
   std::printf("2-way scan: %llu pairs in %.3f s\n",
-              static_cast<unsigned long long>(pr.pairs_evaluated), pr.seconds);
+              static_cast<unsigned long long>(pr.combinations_evaluated), pr.seconds);
   for (std::size_t i = 0; i < pr.best.size(); ++i) {
     std::printf("  #%zu (%2u, %2u)  K2 = %.3f%s\n", i + 1, pr.best[i].x,
                 pr.best[i].y, pr.best[i].score,
@@ -53,7 +53,7 @@ int main() {
   topt.top_k = 5;
   const auto tr = triples.run(topt);
   std::printf("\n3-way scan: %llu triplets in %.3f s\n",
-              static_cast<unsigned long long>(tr.triplets_evaluated),
+              static_cast<unsigned long long>(tr.combinations_evaluated),
               tr.seconds);
   int containing = 0;
   for (std::size_t i = 0; i < tr.best.size(); ++i) {
@@ -67,7 +67,7 @@ int main() {
   std::printf("\n%d of the top-5 triplets contain the causal pair; the "
               "pairwise scan needed %.1fx\nfewer combination evaluations.\n",
               containing,
-              static_cast<double>(tr.triplets_evaluated) /
-                  static_cast<double>(pr.pairs_evaluated));
+              static_cast<double>(tr.combinations_evaluated) /
+                  static_cast<double>(pr.combinations_evaluated));
   return 0;
 }

@@ -85,7 +85,7 @@ int main(int argc, char** argv) {
 
   std::printf("scan: %llu triplets in %.3f s (%.2f Gel/s) using %s / %u "
               "thread(s)\n\nrank, snp_x, snp_y, snp_z, score\n",
-              static_cast<unsigned long long>(result.triplets_evaluated),
+              static_cast<unsigned long long>(result.combinations_evaluated),
               result.seconds, result.elements_per_second() / 1e9,
               core::kernel_isa_name(result.isa_used).c_str(),
               result.threads_used);

@@ -39,7 +39,7 @@ int main() {
   // 3. Report.
   std::printf("scanned %llu triplets (%llu elements) in %.3f s — %.2f Giga "
               "elements/s\nkernel: %s, tiling <BS=%zu, BP=%zu>\n\n",
-              static_cast<unsigned long long>(result.triplets_evaluated),
+              static_cast<unsigned long long>(result.combinations_evaluated),
               static_cast<unsigned long long>(result.elements), result.seconds,
               result.elements_per_second() / 1e9,
               core::kernel_isa_name(result.isa_used).c_str(),

@@ -50,7 +50,7 @@ KernelPoint characterize_cpu_version(const core::Detector& det, CpuVersion v,
           ? static_cast<double>(det.planes_v1().words())
           : static_cast<double>(det.planes_split().words(0) +
                                 det.planes_split().words(1));
-  const double total_words = words * static_cast<double>(r.triplets_evaluated);
+  const double total_words = words * static_cast<double>(r.combinations_evaluated);
   const double ops = total_words * (mix.popcnt + mix.logic);
   const double bytes = total_words * mix.loads * 4.0;
 

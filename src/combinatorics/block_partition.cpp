@@ -1,148 +1,47 @@
 #include "trigen/combinatorics/block_partition.hpp"
 
-#include <algorithm>
-#include <cmath>
-
 namespace trigen::combinatorics {
 
 std::uint64_t num_block_triples(std::uint64_t nb) {
-  return n_choose_k(nb + 2, 3);
+  return num_block_tuples<3>(nb);
 }
 
 std::uint64_t rank_block_triple(const BlockTriple& t) {
-  return n_choose_k(std::uint64_t{t.b2} + 2, 3) +
-         n_choose_k(std::uint64_t{t.b1} + 1, 2) + t.b0;
+  return rank_block_tuple<3>({t.b0, t.b1, t.b2});
 }
 
 BlockTriple unrank_block_triple(std::uint64_t rank) {
-  // b2 = max { c : C(c+2,3) <= rank }.
-  std::uint64_t c = static_cast<std::uint64_t>(
-      std::cbrt(6.0 * static_cast<double>(rank) + 1.0));
-  c = c > 2 ? c - 2 : 0;
-  while (n_choose_k(c + 3, 3) <= rank) ++c;
-  while (c > 0 && n_choose_k(c + 2, 3) > rank) --c;
-  std::uint64_t rem = rank - n_choose_k(c + 2, 3);
-
-  // b1 = max { b : C(b+1,2) <= rem }.
-  std::uint64_t b = static_cast<std::uint64_t>(
-      std::sqrt(2.0 * static_cast<double>(rem) + 0.25));
-  b = b > 1 ? b - 1 : 0;
-  while (n_choose_k(b + 2, 2) <= rem) ++b;
-  while (b > 0 && n_choose_k(b + 1, 2) > rem) --b;
-  rem -= n_choose_k(b + 1, 2);
-
-  return BlockTriple{static_cast<std::uint32_t>(rem),
-                     static_cast<std::uint32_t>(b),
-                     static_cast<std::uint32_t>(c)};
+  const BlockTuple<3> t = unrank_block_tuple<3>(rank);
+  return BlockTriple{t[0], t[1], t[2]};
 }
 
 RankRange block_triplet_span(const BlockGrid& g, const BlockTriple& bt) {
-  const std::uint64_t bs = g.bs;
-  const std::uint64_t base0 = bt.b0 * bs;
-  const std::uint64_t base1 = bt.b1 * bs;
-  const std::uint64_t base2 = bt.b2 * bs;
-  const std::uint64_t end0 = std::min(base0 + bs, g.m);
-  const std::uint64_t end1 = std::min(base1 + bs, g.m);
-  const std::uint64_t end2 = std::min(base2 + bs, g.m);
-
-  // Colex-minimum triplet: smallest z, then smallest y, then smallest x
-  // satisfying x < y < z within the three block extents.
-  const std::uint64_t x_min = base0;
-  const std::uint64_t y_min = std::max(base1, x_min + 1);
-  const std::uint64_t z_min = std::max(base2, y_min + 1);
-  if (x_min >= end0 || y_min >= end1 || z_min >= end2) return {};
-
-  // Colex-maximum triplet: largest z, then largest y, then largest x.  The
-  // min triplet being valid guarantees these clamps stay ordered.
-  const std::uint64_t z_max = end2 - 1;
-  const std::uint64_t y_max = std::min(end1 - 1, z_max - 1);
-  const std::uint64_t x_max = std::min(end0 - 1, y_max - 1);
-
-  const Triplet lo{static_cast<std::uint32_t>(x_min),
-                   static_cast<std::uint32_t>(y_min),
-                   static_cast<std::uint32_t>(z_min)};
-  const Triplet hi{static_cast<std::uint32_t>(x_max),
-                   static_cast<std::uint32_t>(y_max),
-                   static_cast<std::uint32_t>(z_max)};
-  return {rank_triplet(lo), rank_triplet(hi) + 1};
+  return block_tuple_span<3>(g, {bt.b0, bt.b1, bt.b2});
 }
 
 BlockPartition partition_block_triples(const BlockGrid& g, RankRange range) {
-  BlockPartition part;
-  part.clip = range;
-  if (range.empty() || g.m < 3 || g.bs == 0) return part;
-
-  // Blocks with b2 < block(z_first) contain only triplets with z < z_first,
-  // i.e. ranks < C(z_first, 3) <= range.first: skip the whole prefix.
-  // Blocks with b2 > block(z_last) contain only triplets with z > z_last,
-  // i.e. ranks > range.last - 1: skip the whole suffix.  Within the two
-  // boundary b2 layers individual blocks may still miss the range; callers
-  // skip those with a span test.
-  const std::uint64_t z_first = unrank_triplet(range.first).z;
-  const std::uint64_t z_last = unrank_triplet(range.last - 1).z;
-  const std::uint64_t lo = num_block_triples(z_first / g.bs);
-  const std::uint64_t hi = num_block_triples(z_last / g.bs + 1);
-  part.block_ranks = {lo, std::min(hi, num_block_triples(g.num_blocks()))};
-  return part;
+  return partition_block_tuples<3>(g, range);
 }
 
 std::uint64_t num_block_pairs(std::uint64_t nb) {
-  return n_choose_k(nb + 1, 2);
+  return num_block_tuples<2>(nb);
 }
 
 std::uint64_t rank_block_pair(const BlockPair& p) {
-  return n_choose_k(std::uint64_t{p.b1} + 1, 2) + p.b0;
+  return rank_block_tuple<2>({p.b0, p.b1});
 }
 
 BlockPair unrank_block_pair(std::uint64_t rank) {
-  // b1 = max { b : C(b+1,2) <= rank }.
-  std::uint64_t b = static_cast<std::uint64_t>(
-      std::sqrt(2.0 * static_cast<double>(rank) + 0.25));
-  b = b > 1 ? b - 1 : 0;
-  while (n_choose_k(b + 2, 2) <= rank) ++b;
-  while (b > 0 && n_choose_k(b + 1, 2) > rank) --b;
-  return BlockPair{static_cast<std::uint32_t>(rank - n_choose_k(b + 1, 2)),
-                   static_cast<std::uint32_t>(b)};
+  const BlockTuple<2> t = unrank_block_tuple<2>(rank);
+  return BlockPair{t[0], t[1]};
 }
 
 RankRange block_pair_span(const BlockGrid& g, const BlockPair& bp) {
-  const std::uint64_t bs = g.bs;
-  const std::uint64_t base0 = bp.b0 * bs;
-  const std::uint64_t base1 = bp.b1 * bs;
-  const std::uint64_t end0 = std::min(base0 + bs, g.m);
-  const std::uint64_t end1 = std::min(base1 + bs, g.m);
-
-  // Colex-minimum pair: smallest y, then smallest x with x < y.
-  const std::uint64_t x_min = base0;
-  const std::uint64_t y_min = std::max(base1, x_min + 1);
-  if (x_min >= end0 || y_min >= end1) return {};
-
-  // Colex-maximum pair: largest y, then largest x.  The min pair being
-  // valid guarantees the clamps stay ordered.
-  const std::uint64_t y_max = end1 - 1;
-  const std::uint64_t x_max = std::min(end0 - 1, y_max - 1);
-
-  const Pair lo{static_cast<std::uint32_t>(x_min),
-                static_cast<std::uint32_t>(y_min)};
-  const Pair hi{static_cast<std::uint32_t>(x_max),
-                static_cast<std::uint32_t>(y_max)};
-  return {rank_pair(lo), rank_pair(hi) + 1};
+  return block_tuple_span<2>(g, {bp.b0, bp.b1});
 }
 
 BlockPartition partition_block_pairs(const BlockGrid& g, RankRange range) {
-  BlockPartition part;
-  part.clip = range;
-  if (range.empty() || g.m < 2 || g.bs == 0) return part;
-
-  // Same prefix/suffix argument as the triple version, one level down:
-  // b1 layers below block(y_first) or above block(y_last) cannot intersect
-  // the range; the two boundary layers are trimmed per-block by span tests.
-  const std::uint64_t y_first = unrank_pair(range.first).y;
-  const std::uint64_t y_last = unrank_pair(range.last - 1).y;
-  const std::uint64_t lo = num_block_pairs(y_first / g.bs);
-  const std::uint64_t hi = num_block_pairs(y_last / g.bs + 1);
-  part.block_ranks = {lo, std::min(hi, num_block_pairs(g.num_blocks()))};
-  return part;
+  return partition_block_tuples<2>(g, range);
 }
 
 }  // namespace trigen::combinatorics

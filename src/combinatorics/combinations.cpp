@@ -1,7 +1,7 @@
 #include "trigen/combinatorics/combinations.hpp"
 
-#include <cmath>
 #include <stdexcept>
+#include <string>
 
 namespace trigen::combinatorics {
 
@@ -13,51 +13,69 @@ std::uint64_t n_choose_k(std::uint64_t n, unsigned k) {
   for (unsigned i = 1; i <= k; ++i) {
     acc = acc * (n - k + i) / i;  // exact: product of i consecutive ints is divisible by i!
     if (acc > static_cast<unsigned __int128>(~std::uint64_t{0})) {
-      throw std::overflow_error("n_choose_k: result exceeds 64 bits");
+      detail::throw_rank_overflow("n_choose_k");
     }
   }
   return static_cast<std::uint64_t>(acc);
 }
 
+namespace detail {
+
+u128 binom_saturating(std::uint64_t n, unsigned k) noexcept {
+  if (k > n) return 0;
+  if (k == 0 || k == n) return 1;
+  if (k > n - k) k = static_cast<unsigned>(n - k);
+  u128 acc = 1;
+  for (unsigned i = 1; i <= k; ++i) {
+    acc = acc * (n - k + i) / i;
+    if (acc >= kBinomSat) return kBinomSat;  // clamp before the next multiply
+  }
+  return acc;
+}
+
+std::uint64_t max_n_with_binom_le(std::uint64_t rank, unsigned k) noexcept {
+  // Invariant: C(lo, k) <= rank < C(hi, k).  C(k-1, k) = 0 establishes it;
+  // galloping doubles hi until the saturating binomial exceeds rank (it
+  // always does: kBinomSat > 2^64 > rank).
+  std::uint64_t lo = k - 1;
+  std::uint64_t hi = k;
+  while (binom_saturating(hi, k) <= rank) {
+    lo = hi;
+    hi *= 2;
+  }
+  while (hi - lo > 1) {
+    const std::uint64_t mid = lo + (hi - lo) / 2;
+    if (binom_saturating(mid, k) <= rank) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+void throw_rank_overflow(const char* fn) {
+  throw std::overflow_error(std::string(fn) + ": rank space exceeds 2^64");
+}
+
+}  // namespace detail
+
 std::uint64_t rank_pair(const Pair& p) {
-  return n_choose_k(p.y, 2) + p.x;
+  return rank_combination<2>({p.x, p.y});
 }
 
 Pair unrank_pair(std::uint64_t rank) {
-  // y = max { b : C(b,2) <= rank }: C(b,2) ~ b^2/2.
-  std::uint64_t y = static_cast<std::uint64_t>(
-      std::sqrt(2.0 * static_cast<double>(rank) + 0.25) + 0.5);
-  if (y < 1) y = 1;
-  while (n_choose_k(y + 1, 2) <= rank) ++y;
-  while (n_choose_k(y, 2) > rank) --y;
-  return Pair{static_cast<std::uint32_t>(rank - n_choose_k(y, 2)),
-              static_cast<std::uint32_t>(y)};
+  const Combination<2> c = unrank_combination<2>(rank);
+  return Pair{c[0], c[1]};
 }
 
 std::uint64_t rank_triplet(const Triplet& t) {
-  return n_choose_k(t.z, 3) + n_choose_k(t.y, 2) + t.x;
+  return rank_combination<3>({t.x, t.y, t.z});
 }
 
 Triplet unrank_triplet(std::uint64_t rank) {
-  // Find z = max { c : C(c,3) <= rank } starting from a cube-root estimate.
-  // C(c,3) ~ c^3/6, so c0 = floor(cbrt(6*rank)) is within a couple of steps.
-  std::uint64_t z = static_cast<std::uint64_t>(
-      std::cbrt(6.0 * static_cast<double>(rank) + 1.0));
-  if (z < 2) z = 2;
-  while (n_choose_k(z + 1, 3) <= rank) ++z;
-  while (n_choose_k(z, 3) > rank) --z;
-  std::uint64_t rem = rank - n_choose_k(z, 3);
-
-  // y = max { b : C(b,2) <= rem }: C(b,2) ~ b^2/2.
-  std::uint64_t y = static_cast<std::uint64_t>(
-      std::sqrt(2.0 * static_cast<double>(rem) + 0.25) + 0.5);
-  if (y < 1) y = 1;
-  while (n_choose_k(y + 1, 2) <= rem) ++y;
-  while (n_choose_k(y, 2) > rem) --y;
-  rem -= n_choose_k(y, 2);
-
-  return Triplet{static_cast<std::uint32_t>(rem), static_cast<std::uint32_t>(y),
-                 static_cast<std::uint32_t>(z)};
+  const Combination<3> c = unrank_combination<3>(rank);
+  return Triplet{c[0], c[1], c[2]};
 }
 
 }  // namespace trigen::combinatorics

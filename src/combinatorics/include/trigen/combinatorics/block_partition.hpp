@@ -1,29 +1,29 @@
 #pragma once
 /// \file block_partition.hpp
-/// \brief Combinatorics of the block-combination spaces (pairs and triples)
-/// and the mapping from a combination rank range onto them.
+/// \brief Combinatorics of the block-combination spaces (any order) and the
+/// mapping from a combination rank range onto them.
 ///
-/// The cache-blocked engines (paper Algorithm 1, V3/V4/V5) walk multiset block
-/// tuples — b0 <= b1 for the 2-way scan, b0 <= b1 <= b2 for the 3-way scan
-/// — instead of individual SNP combinations.  To let the blocked versions
-/// participate in rank-range partitioning (heterogeneous CPU+GPU splits,
-/// sharded scans, permutation shards), this header provides the block-tuple
-/// rank math for both orders plus `partition_block_pairs` /
-/// `partition_block_triples`, which convert a combination rank range into a
-/// contiguous run of block-tuple ranks with clip bounds.
+/// The cache-blocked engines (paper Algorithm 1, V3/V4/V5) walk multiset
+/// block tuples — b0 <= b1 <= ... <= b_{K-1} — instead of individual SNP
+/// combinations.  To let the blocked versions participate in rank-range
+/// partitioning (heterogeneous CPU+GPU splits, sharded scans, permutation
+/// shards), this header provides the block-tuple rank math for every order
+/// plus `partition_block_tuples<K>`, which converts a combination rank
+/// range into a contiguous run of block-tuple ranks with clip bounds.  The
+/// `BlockPair`/`BlockTriple` types remain as the named k=2/k=3 views,
+/// implemented on the generic machinery.
 ///
 /// Key monotonicity fact: ordering block tuples by colex block rank also
 /// orders both the smallest and the largest combination rank each nonempty
-/// block tuple contains.  (Sketch for triples: within fixed b2, raising b1
-/// pushes the extremal y past the previous block's maximum, and
-/// C(y+1,2) - C(y,2) = y exceeds any in-block x contribution; raising b2
-/// similarly dominates via C(z+1,3) - C(z,3) = C(z,2).  For pairs the same
-/// argument with one fewer level: raising b1 dominates via
-/// C(y+1,2) - C(y,2) = y.)  Hence the block tuples intersecting a
-/// contiguous rank range form a contiguous run of block ranks, blocks fully
-/// inside the range form its middle, and per-combination filtering is only
-/// needed at the run's two ends.
+/// block tuple contains.  (Sketch, per level i > 0: within fixed higher
+/// levels, raising b_i pushes the extremal c_i past the previous block's
+/// maximum, and C(c+1, i+1) - C(c, i+1) = C(c, i) exceeds any contribution
+/// the levels below can make.)  Hence the block tuples intersecting a
+/// contiguous rank range form a contiguous run of block ranks, blocks
+/// fully inside the range form its middle, and per-combination filtering
+/// is only needed at the run's two ends.
 
+#include <algorithm>
 #include <cstdint>
 
 #include "trigen/combinatorics/combinations.hpp"
@@ -31,21 +31,48 @@
 
 namespace trigen::combinatorics {
 
-/// Ordered block triple b0 <= b1 <= b2 (blocks may repeat: the diagonal
-/// block triples contain the within-block SNP triplets).
-struct BlockTriple {
-  std::uint32_t b0, b1, b2;
-  friend bool operator==(const BlockTriple&, const BlockTriple&) = default;
-};
+/// Ordered multiset block tuple b0 <= b1 <= ... <= b_{K-1} (blocks may
+/// repeat: the diagonal tuples contain the within-block combinations).
+template <unsigned K>
+using BlockTuple = std::array<std::uint32_t, K>;
 
-/// Number of block triples for `nb` blocks: C(nb + 2, 3) (multiset count).
-std::uint64_t num_block_triples(std::uint64_t nb);
+/// Number of block tuples for `nb` blocks: C(nb + K - 1, K) (multiset
+/// count).
+template <unsigned K>
+std::uint64_t num_block_tuples(std::uint64_t nb) {
+  return n_choose_k(nb + K - 1, K);
+}
 
-/// Colex rank of a multiset triple: C(b2+2,3) + C(b1+1,2) + C(b0,1).
-std::uint64_t rank_block_triple(const BlockTriple& t);
+/// Colex rank of a multiset tuple: sum_i C(b_i + i, i + 1)
+/// (overflow-checked like rank_combination).
+template <unsigned K>
+std::uint64_t rank_block_tuple(const BlockTuple<K>& t) {
+  static_assert(K >= 1);
+  detail::u128 acc = 0;
+  for (unsigned i = 0; i < K; ++i) {
+    acc += detail::binom_saturating(std::uint64_t{t[i]} + i, i + 1);
+  }
+  if (acc > static_cast<detail::u128>(~std::uint64_t{0})) {
+    detail::throw_rank_overflow("rank_block_tuple");
+  }
+  return static_cast<std::uint64_t>(acc);
+}
 
-/// Inverse of rank_block_triple.
-BlockTriple unrank_block_triple(std::uint64_t rank);
+/// Inverse of rank_block_tuple.
+template <unsigned K>
+BlockTuple<K> unrank_block_tuple(std::uint64_t rank) {
+  static_assert(K >= 1);
+  BlockTuple<K> t{};
+  std::uint64_t rem = rank;
+  for (unsigned i = K; i-- > 0;) {
+    // b_i = max { b : C(b + i, i+1) <= rem }.
+    const std::uint64_t n = detail::max_n_with_binom_le(rem, i + 1);
+    const std::uint64_t b = n > i ? n - i : 0;
+    t[i] = static_cast<std::uint32_t>(b);
+    rem -= static_cast<std::uint64_t>(detail::binom_saturating(b + i, i + 1));
+  }
+  return t;
+}
 
 /// Geometry of a block decomposition: `m` SNPs cut into blocks of `bs`.
 struct BlockGrid {
@@ -54,14 +81,41 @@ struct BlockGrid {
   std::uint64_t num_blocks() const { return bs == 0 ? 0 : (m + bs - 1) / bs; }
 };
 
-/// Triplet rank span [lowest, highest + 1) covered by block triple `bt` on
-/// grid `g`.  The contained ranks are generally *not* contiguous within the
-/// span (spans of adjacent block triples overlap); the span only brackets
-/// them.  Empty when the block triple contains no valid triplet (degenerate
-/// diagonal blocks for small bs, tail blocks clipped by m).
-RankRange block_triplet_span(const BlockGrid& g, const BlockTriple& bt);
+/// Combination rank span [lowest, highest + 1) covered by block tuple `bt`
+/// on grid `g`.  The contained ranks are generally *not* contiguous within
+/// the span (spans of adjacent block tuples overlap); the span only
+/// brackets them.  Empty when the block tuple contains no valid
+/// combination (degenerate diagonal blocks for small bs, tail blocks
+/// clipped by m).
+template <unsigned K>
+RankRange block_tuple_span(const BlockGrid& g, const BlockTuple<K>& bt) {
+  static_assert(K >= 1);
+  const std::uint64_t bs = g.bs;
+  std::uint64_t end[K];
+  Combination<K> lo{};
+  // Colex-minimum combination: per level the smallest index inside the
+  // block extent that stays strictly above the level below.
+  for (unsigned i = 0; i < K; ++i) {
+    const std::uint64_t base = std::uint64_t{bt[i]} * bs;
+    end[i] = std::min(base + bs, g.m);
+    const std::uint64_t v = i == 0 ? base : std::max(base, std::uint64_t{lo[i - 1]} + 1);
+    if (v >= end[i]) return {};
+    lo[i] = static_cast<std::uint32_t>(v);
+  }
+  // Colex-maximum combination: per level the largest index that stays
+  // strictly below the level above.  The min combination being valid
+  // guarantees these clamps stay ordered.
+  Combination<K> hi{};
+  for (unsigned i = K; i-- > 0;) {
+    const std::uint64_t v =
+        i + 1 == K ? end[i] - 1
+                   : std::min(end[i] - 1, std::uint64_t{hi[i + 1]} - 1);
+    hi[i] = static_cast<std::uint32_t>(v);
+  }
+  return {rank_combination<K>(lo), rank_combination<K>(hi) + 1};
+}
 
-/// A combination rank range mapped onto a block-tuple space (either order).
+/// A combination rank range mapped onto a block-tuple space (any order).
 struct BlockPartition {
   /// Contiguous run of block-tuple ranks covering every block tuple whose
   /// span intersects `clip`.  The run is minimal up to top-layer
@@ -73,22 +127,62 @@ struct BlockPartition {
   RankRange clip;
 };
 
-/// Maps triplet rank range `range` (half-open, within [0, C(g.m, 3))) onto
-/// the block-triple space of `g`.  An empty `range` yields an empty run.
+/// Maps combination rank range `range` (half-open, within [0, C(g.m, K)))
+/// onto the block-tuple space of `g`.  An empty `range` yields an empty
+/// run.
+template <unsigned K>
+BlockPartition partition_block_tuples(const BlockGrid& g, RankRange range) {
+  static_assert(K >= 1);
+  BlockPartition part;
+  part.clip = range;
+  if (range.empty() || g.m < K || g.bs == 0) return part;
+
+  // Block tuples whose top layer lies below block(top_first) contain only
+  // combinations with top index < top_first, i.e. ranks < range.first:
+  // skip the whole prefix.  Tuples above block(top_last) contain only
+  // ranks > range.last - 1: skip the whole suffix.  Within the two
+  // boundary top layers individual blocks may still miss the range;
+  // callers skip those with a span test.
+  const std::uint64_t top_first = unrank_combination<K>(range.first)[K - 1];
+  const std::uint64_t top_last = unrank_combination<K>(range.last - 1)[K - 1];
+  const std::uint64_t lo = num_block_tuples<K>(top_first / g.bs);
+  const std::uint64_t hi = num_block_tuples<K>(top_last / g.bs + 1);
+  part.block_ranks = {lo, std::min(hi, num_block_tuples<K>(g.num_blocks()))};
+  return part;
+}
+
+// ---------------------------------------------------------------------------
+// Named k=3 / k=2 views (the orders the engine grew up with)
+// ---------------------------------------------------------------------------
+
+/// Ordered block triple b0 <= b1 <= b2.
+struct BlockTriple {
+  std::uint32_t b0, b1, b2;
+  friend bool operator==(const BlockTriple&, const BlockTriple&) = default;
+};
+
+/// Number of block triples for `nb` blocks: C(nb + 2, 3).
+std::uint64_t num_block_triples(std::uint64_t nb);
+
+/// Colex rank of a multiset triple: C(b2+2,3) + C(b1+1,2) + C(b0,1).
+std::uint64_t rank_block_triple(const BlockTriple& t);
+
+/// Inverse of rank_block_triple.
+BlockTriple unrank_block_triple(std::uint64_t rank);
+
+/// Triplet rank span covered by block triple `bt` on grid `g`.
+RankRange block_triplet_span(const BlockGrid& g, const BlockTriple& bt);
+
+/// Maps triplet rank range `range` onto the block-triple space of `g`.
 BlockPartition partition_block_triples(const BlockGrid& g, RankRange range);
 
-// ---------------------------------------------------------------------------
-// Second order: block pairs (the k=2 instantiation of the same scheme)
-// ---------------------------------------------------------------------------
-
-/// Ordered block pair b0 <= b1 (blocks may repeat: the diagonal block pairs
-/// contain the within-block SNP pairs).
+/// Ordered block pair b0 <= b1.
 struct BlockPair {
   std::uint32_t b0, b1;
   friend bool operator==(const BlockPair&, const BlockPair&) = default;
 };
 
-/// Number of block pairs for `nb` blocks: C(nb + 1, 2) (multiset count).
+/// Number of block pairs for `nb` blocks: C(nb + 1, 2).
 std::uint64_t num_block_pairs(std::uint64_t nb);
 
 /// Colex rank of a multiset pair: C(b1+1,2) + C(b0,1).
@@ -97,12 +191,10 @@ std::uint64_t rank_block_pair(const BlockPair& p);
 /// Inverse of rank_block_pair.
 BlockPair unrank_block_pair(std::uint64_t rank);
 
-/// Pair rank span [lowest, highest + 1) covered by block pair `bp` on grid
-/// `g`; same bracketing semantics as block_triplet_span.
+/// Pair rank span covered by block pair `bp` on grid `g`.
 RankRange block_pair_span(const BlockGrid& g, const BlockPair& bp);
 
-/// Maps pair rank range `range` (half-open, within [0, C(g.m, 2))) onto the
-/// block-pair space of `g`.  An empty `range` yields an empty run.
+/// Maps pair rank range `range` onto the block-pair space of `g`.
 BlockPartition partition_block_pairs(const BlockGrid& g, RankRange range);
 
 }  // namespace trigen::combinatorics

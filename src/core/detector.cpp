@@ -8,13 +8,14 @@
 #include "trigen/common/stopwatch.hpp"
 #include "trigen/core/scan_driver.hpp"
 #include "trigen/scoring/chi_squared.hpp"
+#include "trigen/scoring/generic.hpp"
 #include "trigen/scoring/k2.hpp"
 #include "trigen/scoring/mutual_information.hpp"
 
 namespace trigen::core {
 
+using combinatorics::Combination;
 using combinatorics::RankRange;
-using combinatorics::Triplet;
 using scoring::ContingencyTable;
 
 std::string cpu_version_name(CpuVersion v) {
@@ -37,34 +38,46 @@ std::string objective_name(Objective o) {
   return "unknown";
 }
 
-struct Detector::Impl {
+template <unsigned K>
+struct BasicDetector<K>::Impl {
   std::size_t num_snps;
   std::size_t num_samples;
   dataset::BitPlanesV1 v1;
   dataset::PhenoSplitPlanes split;
 };
 
-Detector::Detector(const dataset::GenotypeMatrix& d)
+template <unsigned K>
+BasicDetector<K>::BasicDetector(const dataset::GenotypeMatrix& d)
     : impl_(std::make_unique<Impl>(Impl{
           d.num_snps(),
           d.num_samples(),
           dataset::BitPlanesV1::build(d),
           dataset::PhenoSplitPlanes::build(d),
       })) {
-  if (d.num_snps() < 3) {
-    throw std::invalid_argument("Detector: need at least 3 SNPs");
+  if (d.num_snps() < K) {
+    throw std::invalid_argument("Detector: need at least " +
+                                std::to_string(K) + " SNPs");
   }
   if (!d.valid()) {
     throw std::invalid_argument("Detector: dataset contains invalid values");
   }
 }
 
-Detector::~Detector() = default;
+template <unsigned K>
+BasicDetector<K>::~BasicDetector() = default;
 
-std::size_t Detector::num_snps() const { return impl_->num_snps; }
-std::size_t Detector::num_samples() const { return impl_->num_samples; }
-const dataset::BitPlanesV1& Detector::planes_v1() const { return impl_->v1; }
-const dataset::PhenoSplitPlanes& Detector::planes_split() const {
+template <unsigned K>
+std::size_t BasicDetector<K>::num_snps() const { return impl_->num_snps; }
+template <unsigned K>
+std::size_t BasicDetector<K>::num_samples() const {
+  return impl_->num_samples;
+}
+template <unsigned K>
+const dataset::BitPlanesV1& BasicDetector<K>::planes_v1() const {
+  return impl_->v1;
+}
+template <unsigned K>
+const dataset::PhenoSplitPlanes& BasicDetector<K>::planes_split() const {
   return impl_->split;
 }
 
@@ -87,6 +100,34 @@ std::function<double(const ContingencyTable&)> make_normalized_scorer(
   throw std::invalid_argument("unknown objective");
 }
 
+template <unsigned K>
+std::function<double(const scoring::BasicContingencyTable<K>&)>
+make_normalized_scorer_of(Objective o, std::uint32_t num_samples) {
+  if constexpr (K == 3) {
+    return make_normalized_scorer(o, num_samples);
+  } else {
+    using Table = scoring::BasicContingencyTable<K>;
+    switch (o) {
+      case Objective::kK2: {
+        auto logfact =
+            std::make_shared<scoring::LogFactorialTable>(num_samples + 1);
+        return [logfact](const Table& t) {
+          return scoring::k2_score_cells(*logfact, t.counts[0], t.counts[1]);
+        };
+      }
+      case Objective::kMutualInformation:
+        return [](const Table& t) {
+          return -scoring::mutual_information_cells(t.counts[0], t.counts[1]);
+        };
+      case Objective::kChiSquared:
+        return [](const Table& t) {
+          return -scoring::chi_squared_cells(t.counts[0], t.counts[1]);
+        };
+    }
+    throw std::invalid_argument("unknown objective");
+  }
+}
+
 namespace {
 
 unsigned resolve_threads(unsigned requested) {
@@ -95,14 +136,90 @@ unsigned resolve_threads(unsigned requested) {
   return hw == 0 ? 1 : hw;
 }
 
+/// V1 evaluation at any order from the naive Fig.-1 layout: per-cell
+/// genotype-plane ANDs against the phenotype / negated phenotype plane.
+/// Zero-padded genotype planes contribute nothing, so no pad correction.
+template <unsigned K>
+scoring::BasicContingencyTable<K> contingency_v1_of(
+    const dataset::BitPlanesV1& p, const Combination<K>& s) {
+  scoring::BasicContingencyTable<K> t;
+  const Word* pheno = p.phenotype_plane();
+  for (std::size_t cell = 0; cell < scoring::num_cells(K); ++cell) {
+    std::array<const Word*, K> g;
+    std::size_t rem = cell;
+    for (unsigned i = K; i-- > 0;) {
+      g[i] = p.plane(s[i], static_cast<int>(rem % 3));
+      rem /= 3;
+    }
+    std::uint32_t ctrl = 0;
+    std::uint32_t cases = 0;
+    for (std::size_t w = 0; w < p.words(); ++w) {
+      Word v = g[0][w];
+      for (unsigned i = 1; i < K; ++i) v &= g[i][w];
+      cases += static_cast<std::uint32_t>(std::popcount(v & pheno[w]));
+      ctrl += static_cast<std::uint32_t>(std::popcount(v & ~pheno[w]));
+    }
+    t.counts[0][cell] = ctrl;
+    t.counts[1][cell] = cases;
+  }
+  return t;
+}
+
 }  // namespace
 
-DetectionResult Detector::run(const DetectorOptions& options) const {
-  DetectionResult result;
+template <unsigned K>
+scoring::BasicContingencyTable<K> BasicDetector<K>::contingency(
+    const Combination<K>& snps, KernelIsa isa) const {
+  for (unsigned i = 0; i < K; ++i) {
+    if (snps[i] >= impl_->num_snps || (i > 0 && snps[i] <= snps[i - 1])) {
+      throw std::out_of_range("Detector::contingency: bad SNP indices");
+    }
+  }
+  const dataset::PhenoSplitPlanes& p = impl_->split;
+  scoring::BasicContingencyTable<K> t;
+  if constexpr (K == 3) {
+    t = contingency_split(p, snps[0], snps[1], snps[2], isa);
+  } else if constexpr (K == 2) {
+    // The chunk popcounts of the nine x∩y intersections are the table.
+    const CachedKernelSet kernels = get_cached_kernels(isa);
+    for (int c = 0; c < 2; ++c) {
+      std::array<std::uint32_t, 9> pops{};
+      kernels.count(p.plane(c, snps[0], 0), p.plane(c, snps[0], 1),
+                    p.plane(c, snps[1], 0), p.plane(c, snps[1], 1), 0,
+                    p.words(c), pops.data());
+      auto& row = t.counts[static_cast<std::size_t>(c)];
+      for (int i = 0; i < 9; ++i) row[static_cast<std::size_t>(i)] = pops[static_cast<std::size_t>(i)];
+      // NOR padding shows up as phantom (2, 2) observations.
+      row[8] -= static_cast<std::uint32_t>(p.pad_bits(c));
+    }
+  } else {
+    const GenericKernelSet kernels = get_generic_kernels(isa);
+    std::array<const Word*, K> g0;
+    std::array<const Word*, K> g1;
+    for (int c = 0; c < 2; ++c) {
+      for (unsigned i = 0; i < K; ++i) {
+        g0[i] = p.plane(c, snps[i], 0);
+        g1[i] = p.plane(c, snps[i], 1);
+      }
+      auto& row = t.counts[static_cast<std::size_t>(c)];
+      kernels.direct(g0.data(), g1.data(), K, 0, p.words(c), row.data());
+      // NOR padding shows up as phantom all-genotype-2 observations.
+      row[scoring::num_cells(K) - 1] -=
+          static_cast<std::uint32_t>(p.pad_bits(c));
+    }
+  }
+  return t;
+}
+
+template <unsigned K>
+BasicDetectionResult<K> BasicDetector<K>::run(
+    const BasicDetectorOptions<K>& options) const {
+  using Scored = ScoredOf<K>;
+  BasicDetectionResult<K> result;
   result.threads_used = resolve_threads(options.threads);
   // V1 and V3 are scalar by definition; V4/V5 default to the widest
   // available strategy.  V2 honors an explicitly requested ISA (the
-  // heterogeneous coordinator pairs the per-triplet path with a vector
+  // heterogeneous coordinator pairs the per-combination path with a vector
   // kernel).
   result.isa_used = KernelIsa::kScalar;
   if (options.version == CpuVersion::kV4Vector ||
@@ -120,27 +237,27 @@ DetectionResult Detector::run(const DetectorOptions& options) const {
   }
 
   const std::size_t m = impl_->num_snps;
-  const std::uint64_t total_triplets = combinatorics::num_triplets(m);
+  const std::uint64_t total = combinatorics::n_choose_k(m, K);
   RankRange range = options.range;
-  if (range.empty()) range = {0, total_triplets};
-  if (range.last > total_triplets) {
+  if (range.empty()) range = {0, total};
+  if (range.last > total) {
     throw std::invalid_argument("DetectorOptions::range exceeds the space");
   }
-  const bool partial = range.first != 0 || range.last != total_triplets;
-  result.triplets_evaluated = range.size();
+  const bool partial = range.first != 0 || range.last != total;
+  result.combinations_evaluated = range.size();
   result.elements = range.size() * impl_->num_samples;
 
   const auto scorer =
       options.scorer
           ? options.scorer
-          : make_normalized_scorer(
+          : make_normalized_scorer_of<K>(
                 options.objective,
                 static_cast<std::uint32_t>(impl_->num_samples));
 
   // One shared driver runs every version: it owns the fork/join, the
   // per-thread TopK accumulators, the throttled progress callback and the
   // deterministic rank-ordered merge.  The versions only differ in how a
-  // scheduled work unit maps to triplets.
+  // scheduled work unit maps to combinations.
   ScanConfig cfg;
   cfg.threads = result.threads_used;
   cfg.chunk_size = options.chunk_size;
@@ -148,70 +265,143 @@ DetectionResult Detector::run(const DetectorOptions& options) const {
   cfg.progress_total = range.size();
 
   Stopwatch sw;
-  TopK merged(options.top_k);
+  BasicTopK<Scored> merged(options.top_k);
   const bool cached = options.version == CpuVersion::kV5PairCache;
   const bool blocked = options.version == CpuVersion::kV3Blocked ||
                        options.version == CpuVersion::kV4Vector || cached;
   if (!blocked) {
-    // V1/V2: work unit = one triplet rank inside `range`.
+    // V1/V2: work unit = one combination rank inside `range`.
     const bool naive = options.version == CpuVersion::kV1Naive;
     const KernelIsa isa = result.isa_used;
-    merged = scan_topk(
+    merged = scan_best<Scored>(
         range.size(), cfg, options.top_k,
-        [&](unsigned, RankRange r, TopK& top) -> std::uint64_t {
-          combinatorics::for_each_triplet(
+        [&](unsigned, RankRange r, BasicTopK<Scored>& top) -> std::uint64_t {
+          combinatorics::for_each_combination<K>(
               range.first + r.first, range.first + r.last,
-              [&](const Triplet& t) {
-                const ContingencyTable table =
-                    naive ? contingency_v1(impl_->v1, t.x, t.y, t.z)
-                          : contingency_split(impl_->split, t.x, t.y, t.z,
-                                              isa);
-                top.push(ScoredTriplet{t, scorer(table)});
+              [&](const Combination<K>& c) {
+                const scoring::BasicContingencyTable<K> table =
+                    naive ? contingency_v1_of<K>(impl_->v1, c)
+                          : contingency(c, isa);
+                top.push(make_scored<K>(c, scorer(table)));
               });
           return r.size();
         });
     result.tiling_used = TilingParams{0, 0};
   } else {
-    // V3/V4/V5: work unit = one block triple of the partition covering
-    // `range`; emitted triplets are clipped to the range at the partition
-    // boundary (interior blocks pay no per-triplet overhead).  V5 budgets
-    // L1 for the pair-plane cache when autotuning.
+    // V3/V4/V5: work unit = one block tuple of the partition covering
+    // `range`; emitted combinations are clipped to the range at the
+    // partition boundary (interior blocks pay no per-combination
+    // overhead).  V5 budgets L1 for the prefix-plane ladder when
+    // autotuning.
     TilingParams tiling = options.tiling;
     if (!tiling.valid()) {
       tiling = autotune_tiling(detect_l1_config(),
-                               kernel_vector_words(result.isa_used), cached);
+                               kernel_vector_words(result.isa_used), K,
+                               cached);
     }
     result.tiling_used = tiling;
     const combinatorics::BlockGrid grid{m, tiling.bs};
     const combinatorics::BlockPartition part =
-        combinatorics::partition_block_triples(grid, range);
+        combinatorics::partition_block_tuples<K>(grid, range);
     const RankRange clip = partial ? range : kFullRange;
-    std::vector<BlockScratch> scratch;
+    std::vector<TupleBlockScratch<K>> scratch;
     scratch.reserve(cfg.threads);
     for (unsigned t = 0; t < cfg.threads; ++t) scratch.emplace_back(tiling.bs);
-    const auto scan_blocks = [&](auto&& engine_kernels) {
-      return scan_topk(
+    const auto scan_blocks = [&](auto&& run_block) {
+      return scan_best<Scored>(
           part.block_ranks.size(), cfg, options.top_k,
-          [&](unsigned tid, RankRange r, TopK& top) -> std::uint64_t {
+          [&](unsigned tid, RankRange r,
+              BasicTopK<Scored>& top) -> std::uint64_t {
             std::uint64_t emitted = 0;
+            const auto on_comb = [&](const Combination<K>& c, double score) {
+              ++emitted;
+              top.push(make_scored<K>(c, score));
+            };
             for (std::uint64_t b = r.first; b < r.last; ++b) {
-              scan_block_triple(
-                  impl_->split, tiling, engine_kernels, scratch[tid],
-                  unrank_block_triple(part.block_ranks.first + b), clip,
-                  [&](const Triplet& t, const ContingencyTable& table) {
-                    ++emitted;
-                    top.push(ScoredTriplet{t, scorer(table)});
-                  });
+              run_block(tid,
+                        unrank_block_tuple<K>(part.block_ranks.first + b),
+                        on_comb);
             }
             return emitted;
           });
     };
-    merged = cached ? scan_blocks(get_cached_kernels(result.isa_used))
-                    : scan_blocks(get_kernel(result.isa_used));
+    if constexpr (K == 2) {
+      // The counts-only kernel is the whole pair evaluation; V3 runs its
+      // scalar variant, V4 and V5 the vector one (identical here — the
+      // ladder has no rungs below order 3).
+      const CachedKernelSet kernels = get_cached_kernels(result.isa_used);
+      merged = scan_blocks([&](unsigned tid, const BlockTuple<2>& bt,
+                               const auto& on_comb) {
+        scan_block_pair(impl_->split, tiling, kernels, scratch[tid],
+                        BlockPair{bt[0], bt[1]}, clip,
+                        [&](const combinatorics::Pair& pr,
+                            const scoring::PairContingencyTable& tb) {
+                          on_comb(Combination<2>{pr.x, pr.y}, scorer(tb));
+                        });
+      });
+    } else if constexpr (K == 3) {
+      // The hand-tuned three-operand kernels (all per-ISA variants) stay on
+      // the hot path of the order the paper measures.
+      const auto run3 = [&](auto&& engine_kernels) {
+        return scan_blocks([&](unsigned tid, const BlockTuple<3>& bt,
+                               const auto& on_comb) {
+          scan_block_triple(impl_->split, tiling, engine_kernels,
+                            scratch[tid], BlockTriple{bt[0], bt[1], bt[2]},
+                            clip,
+                            [&](const combinatorics::Triplet& tr,
+                                const scoring::ContingencyTable& tb) {
+                              on_comb(Combination<3>{tr.x, tr.y, tr.z},
+                                      scorer(tb));
+                            });
+        });
+      };
+      merged = cached ? run3(get_cached_kernels(result.isa_used))
+                      : run3(get_kernel(result.isa_used));
+    } else {
+      const GenericKernelSet generic = get_generic_kernels(result.isa_used);
+      const auto on_table = [&](const auto& on_comb) {
+        return [&scorer, on_comb](
+                   const Combination<K>& c,
+                   const scoring::BasicContingencyTable<K>& tb) {
+          on_comb(c, scorer(tb));
+        };
+      };
+      if (cached) {
+        const CachedKernelSet ck = get_cached_kernels(result.isa_used);
+        merged = scan_blocks([&](unsigned tid, const BlockTuple<K>& bt,
+                                 const auto& on_comb) {
+          scan_block_tuple<K>(impl_->split, tiling, ck, generic, scratch[tid],
+                              bt, clip, on_table(on_comb));
+        });
+      } else {
+        merged = scan_blocks([&](unsigned tid, const BlockTuple<K>& bt,
+                                 const auto& on_comb) {
+          scan_block_tuple<K>(impl_->split, tiling, generic, scratch[tid], bt,
+                              clip, on_table(on_comb));
+        });
+      }
+    }
   }
   result.seconds = sw.seconds();
   result.best = merged.sorted();
   return result;
 }
+
+template class BasicDetector<2>;
+template class BasicDetector<3>;
+template class BasicDetector<4>;
+template class BasicDetector<5>;
+template class BasicDetector<6>;
+
+template std::function<double(const scoring::BasicContingencyTable<2>&)>
+make_normalized_scorer_of<2>(Objective, std::uint32_t);
+template std::function<double(const scoring::BasicContingencyTable<3>&)>
+make_normalized_scorer_of<3>(Objective, std::uint32_t);
+template std::function<double(const scoring::BasicContingencyTable<4>&)>
+make_normalized_scorer_of<4>(Objective, std::uint32_t);
+template std::function<double(const scoring::BasicContingencyTable<5>&)>
+make_normalized_scorer_of<5>(Objective, std::uint32_t);
+template std::function<double(const scoring::BasicContingencyTable<6>&)>
+make_normalized_scorer_of<6>(Objective, std::uint32_t);
 
 }  // namespace trigen::core

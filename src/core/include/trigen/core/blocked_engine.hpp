@@ -1,24 +1,31 @@
 #pragma once
 /// \file blocked_engine.hpp
-/// \brief Cache-blocked triple evaluation (paper Algorithm 1, V3/V4/V5).
+/// \brief Cache-blocked combination evaluation at any order k >= 2 (paper
+/// Algorithm 1, V3/V4/V5, order-generalized).
 ///
-/// The engine walks SNP *block* triples (b0 <= b1 <= b2, each covering B_S
-/// SNPs).  For one block triple it holds the frequency tables of all
-/// <= B_S^3 contained SNP triplets in an L1-resident array, and streams the
-/// sample dimension in B_P-word chunks, so every loaded cache line is
-/// reused by up to B_S^2 triplets before eviction.  This is the paper's V3;
-/// selecting a vector kernel turns it into V4.
+/// The engine walks SNP *block* tuples (b_0 <= ... <= b_{k-1}, each covering
+/// B_S SNPs).  For one block tuple it holds the frequency tables of all
+/// <= B_S^k contained SNP combinations in an L1-resident array, and streams
+/// the sample dimension in B_P-word chunks, so every loaded cache line is
+/// reused by up to B_S^{k-1} combinations before eviction.  This is the
+/// paper's V3; selecting a vector kernel turns it into V4.
 ///
-/// V5 goes one step further: all B_S z-SNPs of a block share the same
-/// (x, y) pair, so the nine x∩y intersection planes are materialized once
-/// per (i0, i1, sample-chunk) in a PairPlaneCache (plus their popcounts)
-/// and the z loop runs the two-operand cached kernel against them.  The
-/// pair engine degenerates to the build phase alone: the cached plane
-/// popcounts *are* the 9-cell pair table of the chunk.
+/// V5 goes one step further with a recursive *prefix-plane ladder*: all B_S
+/// last-axis SNPs of a block tuple share the same length-(k-1) prefix, so
+/// the ladder materializes, once per (prefix, sample-chunk), the 3^j
+/// intersection planes of each j-SNP prefix (rung j, j = 2..k-1).  Rung 2
+/// is built directly from two SNPs' genotype planes; rung j+1 extends rung
+/// j by ANDing each plane with one SNP's two stored planes and deriving the
+/// third child from the partition identity (the three genotype planes of a
+/// SNP partition every sample bit, padding included).  The last rung's
+/// planes and popcounts then resolve all three final-axis cells with two
+/// ANDs + two POPCNTs per word.  At k = 3 the ladder is exactly the nine
+/// x∩y planes of the original pair-plane cache; at k = 2 it degenerates to
+/// the counts-only kernel (the chunk popcounts *are* the 9-cell table).
 ///
-/// The block-triple rank math and the rank-range -> block-triple mapping
-/// live in trigen/combinatorics/block_partition.hpp; the names are
-/// re-exported here for the engine's callers.
+/// The block-tuple rank math and the rank-range -> block-tuple mapping live
+/// in trigen/combinatorics/block_partition.hpp; the names are re-exported
+/// here for the engine's callers.
 
 #include <algorithm>
 #include <array>
@@ -37,171 +44,419 @@ namespace trigen::core {
 
 using combinatorics::BlockPair;
 using combinatorics::BlockTriple;
+using combinatorics::BlockTuple;
 using combinatorics::num_block_pairs;
 using combinatorics::num_block_triples;
+using combinatorics::num_block_tuples;
 using combinatorics::rank_block_pair;
 using combinatorics::rank_block_triple;
+using combinatorics::rank_block_tuple;
 using combinatorics::unrank_block_pair;
 using combinatorics::unrank_block_triple;
+using combinatorics::unrank_block_tuple;
 
 /// Clip sentinel: covers every possible rank, i.e. "no filtering".
 inline constexpr combinatorics::RankRange kFullRange{
     0, ~std::uint64_t{0}};
 
-/// V5 per-thread scratch: the nine x∩y intersection planes of the current
-/// (i0, i1, sample-chunk) plus their chunk popcounts.  Planes are stored
-/// with a common stride rounded up to a whole number of AVX-512 registers,
-/// so every plane start stays 64-byte aligned (aligned_vector provides the
-/// base alignment).
-class PairPlaneCache {
+/// Per-thread scratch for the V5 prefix-plane ladder: rung j
+/// (j = 2..order-1) holds the 3^j intersection planes of the current j-SNP
+/// prefix restricted to the current sample chunk, plus their chunk
+/// popcounts.  Planes share one stride rounded up to a whole number of
+/// AVX-512 registers, so every plane start stays 64-byte aligned
+/// (aligned_vector provides the base alignment).  At order 3 the ladder is
+/// the original pair-plane cache: rung 2's nine x∩y planes and popcounts.
+class PrefixPlaneCache {
  public:
-  /// Grows the per-plane capacity to at least `words` (never shrinks, so a
-  /// scan reuses one allocation across every chunk and block).
-  void ensure(std::size_t words) {
+  /// Grows the ladder to cover rungs 2..order-1 with at least `words` of
+  /// per-plane capacity (never shrinks, so a scan reuses one allocation
+  /// across every chunk and block).
+  void ensure(unsigned order, std::size_t words) {
     const std::size_t s = (words + dataset::kWordsPerVector - 1) /
                           dataset::kWordsPerVector * dataset::kWordsPerVector;
-    if (s > stride_) {
-      stride_ = s;
-      planes_.assign(9 * s, 0);
-    }
+    if (s <= stride_ && order <= order_) return;
+    stride_ = std::max(s, stride_);
+    order_ = std::max(std::max(order, 3u), order_);
+    std::size_t planes = 0;
+    for (unsigned j = 2; j < order_; ++j) planes += pow3(j);
+    planes_.assign(planes * stride_, 0);
+    pops_.assign(planes, 0);
+  }
+  /// Pair-plane compatibility surface: rung 2 only (order 3).
+  void ensure(std::size_t words) { ensure(3, words); }
+
+  /// Planes of rung `j` (3^j planes of stride() words each).
+  Word* rung(unsigned j) { return planes_.data() + rung_offset(j) * stride_; }
+  const Word* rung(unsigned j) const {
+    return planes_.data() + rung_offset(j) * stride_;
+  }
+  /// Chunk popcounts of rung `j`'s planes; zeroed by the engine before the
+  /// build/extend call that fills them.
+  std::uint32_t* rung_pops(unsigned j) { return pops_.data() + rung_offset(j); }
+  const std::uint32_t* rung_pops(unsigned j) const {
+    return pops_.data() + rung_offset(j);
   }
 
-  Word* planes() { return planes_.data(); }
-  const Word* planes() const { return planes_.data(); }
+  /// Rung-2 accessors, the original PairPlaneCache API: the nine x∩y
+  /// planes and their chunk popcounts.
+  Word* planes() { return rung(2); }
+  const Word* planes() const { return rung(2); }
+  std::uint32_t* pops() { return rung_pops(2); }
+  const std::uint32_t* pops() const { return rung_pops(2); }
+
   std::size_t stride() const { return stride_; }
 
-  /// Chunk popcounts of the nine planes; zeroed by the engine before each
-  /// build call.
-  std::uint32_t* pops() { return pops_.data(); }
-  const std::uint32_t* pops() const { return pops_.data(); }
-
  private:
+  /// Planes below rung j: sum of 3^i for i in [2, j).
+  static std::size_t rung_offset(unsigned j) {
+    std::size_t off = 0;
+    for (unsigned i = 2; i < j; ++i) off += pow3(i);
+    return off;
+  }
+
+  unsigned order_ = 0;
   std::size_t stride_ = 0;
   aligned_vector<Word> planes_;
-  std::array<std::uint32_t, 9> pops_{};
+  std::vector<std::uint32_t> pops_;
 };
 
-/// Per-thread scratch: frequency tables for all triplets of a block triple.
-/// Layout: [local_triple][class][27] uint32; local_triple =
-/// ((i0-base0)*B_S + (i1-base1))*B_S + (i2-base2).
-class BlockScratch {
+/// The K = 3 ladder (rung 2 alone) is the original pair-plane cache.
+using PairPlaneCache = PrefixPlaneCache;
+
+/// Per-thread scratch: frequency tables for all combinations of a block
+/// tuple.  Layout: [local][class][3^K] uint32; local =
+/// sum (i_j - base_j) * B_S^{K-1-j}.
+template <unsigned K>
+class TupleBlockScratch {
  public:
-  explicit BlockScratch(std::size_t bs)
-      : bs_(bs), ft_(bs * bs * bs * 2 * scoring::kCells) {}
+  static constexpr std::size_t kCells = scoring::num_cells(K);
+
+  explicit TupleBlockScratch(std::size_t bs)
+      : bs_(bs), ft_(locals(bs) * 2 * kCells) {}
 
   std::size_t bs() const { return bs_; }
   std::uint32_t* table(std::size_t local, int cls) {
-    return ft_.data() +
-           (local * 2 + static_cast<std::size_t>(cls)) * scoring::kCells;
+    return ft_.data() + (local * 2 + static_cast<std::size_t>(cls)) * kCells;
   }
   /// Zeroes only the tables (both classes) of locals [first, last) — the
-  /// engine clears exactly the triplets a block triple evaluates, so tail
-  /// and diagonal blocks skip the untouched bulk of the bs^3 array.
+  /// engine clears exactly the combinations a block tuple evaluates, so
+  /// tail and diagonal blocks skip the untouched bulk of the bs^K array.
   void clear_tables(std::size_t first, std::size_t last) {
-    std::fill(ft_.begin() +
-                  static_cast<std::ptrdiff_t>(first * 2 * scoring::kCells),
-              ft_.begin() +
-                  static_cast<std::ptrdiff_t>(last * 2 * scoring::kCells),
+    std::fill(ft_.begin() + static_cast<std::ptrdiff_t>(first * 2 * kCells),
+              ft_.begin() + static_cast<std::ptrdiff_t>(last * 2 * kCells),
               0u);
   }
-  /// V5 pair-plane cache (unused and unallocated for V3/V4 scans).
+  /// V5 prefix-plane ladder (unused and unallocated for V3/V4 scans).
+  PrefixPlaneCache& prefix_cache() { return cache_; }
+  /// Historical name for the K = 3 ladder.
   PairPlaneCache& pair_cache() { return cache_; }
 
  private:
+  static std::size_t locals(std::size_t bs) {
+    std::size_t v = 1;
+    for (unsigned i = 0; i < K; ++i) v *= bs;
+    return v;
+  }
+
   std::size_t bs_;
   std::vector<std::uint32_t> ft_;
-  PairPlaneCache cache_;
+  PrefixPlaneCache cache_;
 };
+
+/// Triplet scratch: bs^3 tables of 27 cells.
+using BlockScratch = TupleBlockScratch<3>;
+/// Pair scratch: bs^2 tables of 9 cells.
+using PairBlockScratch = TupleBlockScratch<2>;
 
 namespace engine_detail {
 
-/// Shared skeleton of the blocked triple scan: block bounds, three-tier
-/// rank clipping, targeted scratch clear and table emission.  `accumulate`
-/// fills the scratch tables for all in-block triplets; the V4 (direct
-/// kernel) and V5 (cached two-phase) engines differ only there.
-template <typename Accumulate, typename OnTable>
-void scan_block_triple_impl(const dataset::PhenoSplitPlanes& planes,
-                            const TilingParams& tiling, BlockScratch& scratch,
-                            const BlockTriple& bt,
-                            const combinatorics::RankRange& clip,
-                            Accumulate&& accumulate, OnTable&& on_table) {
+/// Shared skeleton of the blocked scan at any order: block bounds,
+/// three-tier rank clipping, targeted scratch clear and table emission.
+/// `accumulate(base, end)` fills the scratch tables for all in-block
+/// combinations; the direct-kernel (V3/V4) and ladder (V5) engines differ
+/// only there.  `on_table(const Combination<K>&, const
+/// BasicContingencyTable<K>&)` receives each emitted combination.
+template <unsigned K, typename Accumulate, typename OnTable>
+void scan_block_tuple_impl(const dataset::PhenoSplitPlanes& planes,
+                           const TilingParams& tiling,
+                           TupleBlockScratch<K>& scratch,
+                           const BlockTuple<K>& bt,
+                           const combinatorics::RankRange& clip,
+                           Accumulate&& accumulate, OnTable&& on_table) {
+  static_assert(K >= 2 && K <= combinatorics::kMaxOrder);
   const std::size_t bs = tiling.bs;
   const std::size_t m = planes.num_snps();
-  const std::size_t base0 = bt.b0 * bs;
-  const std::size_t base1 = bt.b1 * bs;
-  const std::size_t base2 = bt.b2 * bs;
-  const std::size_t end0 = std::min(base0 + bs, m);
-  const std::size_t end1 = std::min(base1 + bs, m);
-  const std::size_t end2 = std::min(base2 + bs, m);
-  if (base0 >= m || base1 >= m || base2 >= m) return;
+  std::array<std::size_t, K> base;
+  std::array<std::size_t, K> end;
+  for (unsigned j = 0; j < K; ++j) {
+    base[j] = bt[j] * bs;
+    if (base[j] >= m) return;
+    end[j] = std::min(base[j] + bs, m);
+  }
 
   bool filter = false;
   if (clip.first != kFullRange.first || clip.last != kFullRange.last) {
-    const combinatorics::RankRange span =
-        block_triplet_span(combinatorics::BlockGrid{m, bs}, bt);
+    const combinatorics::RankRange span = combinatorics::block_tuple_span<K>(
+        combinatorics::BlockGrid{m, bs}, bt);
     if (span.empty() || span.last <= clip.first || span.first >= clip.last) {
-      return;  // no triplet of this block triple is in range
+      return;  // no combination of this block tuple is in range
     }
     filter = span.first < clip.first || span.last > clip.last;
   }
 
-  // Clear only the tables this block triple accumulates into: tail blocks
-  // cover fewer than bs SNPs per axis and diagonal blocks only the strict
-  // upper-triangular locals, so a full bs^3 clear would zero (and finalize
-  // would skip) mostly untouched memory.
-  for (std::size_t i0 = base0; i0 < end0; ++i0) {
-    for (std::size_t i1 = std::max(base1, i0 + 1); i1 < end1; ++i1) {
-      const std::size_t z_first = std::max(base2, i1 + 1);
-      if (z_first >= end2) continue;
-      const std::size_t lo =
-          ((i0 - base0) * bs + (i1 - base1)) * bs + (z_first - base2);
-      scratch.clear_tables(lo, lo + (end2 - z_first));
-    }
+  // Clear only the tables this block tuple accumulates into: tail blocks
+  // cover fewer than bs SNPs per axis and diagonal blocks only the strictly
+  // increasing locals, so a full bs^K clear would zero (and finalize would
+  // skip) mostly untouched memory.  The last axis of every valid prefix is
+  // a contiguous local run.
+  {
+    const auto walk = [&](const auto& self, unsigned j, std::size_t prev,
+                          std::size_t local) -> void {
+      if (j == K - 1) {
+        const std::size_t z_first = std::max(base[j], prev + 1);
+        if (z_first >= end[j]) return;
+        const std::size_t lo = local * bs + (z_first - base[j]);
+        scratch.clear_tables(lo, lo + (end[j] - z_first));
+        return;
+      }
+      const std::size_t first =
+          j == 0 ? base[0] : std::max(base[j], prev + 1);
+      for (std::size_t i = first; i < end[j]; ++i) {
+        self(self, j + 1, i, local * bs + (i - base[j]));
+      }
+    };
+    walk(walk, 0, 0, 0);
   }
 
-  accumulate(base0, end0, base1, end1, base2, end2);
+  accumulate(base, end);
 
-  // Finalize: fold the NOR padding out of cell (2,2,2) and emit tables.
-  for (std::size_t i0 = base0; i0 < end0; ++i0) {
-    for (std::size_t i1 = std::max(base1, i0 + 1); i1 < end1; ++i1) {
-      for (std::size_t i2 = std::max(base2, i1 + 1); i2 < end2; ++i2) {
-        const combinatorics::Triplet trip{static_cast<std::uint32_t>(i0),
-                                          static_cast<std::uint32_t>(i1),
-                                          static_cast<std::uint32_t>(i2)};
+  // Finalize: fold the NOR padding out of the all-genotype-2 cell and emit
+  // tables.
+  {
+    combinatorics::Combination<K> comb{};
+    const auto walk = [&](const auto& self, unsigned j, std::size_t prev,
+                          std::size_t local) -> void {
+      if (j == K) {
         if (filter) {
-          const std::uint64_t rank = combinatorics::rank_triplet(trip);
-          if (rank < clip.first || rank >= clip.last) continue;
+          const std::uint64_t rank = combinatorics::rank_combination<K>(comb);
+          if (rank < clip.first || rank >= clip.last) return;
         }
-        const std::size_t local =
-            ((i0 - base0) * bs + (i1 - base1)) * bs + (i2 - base2);
-        scoring::ContingencyTable t;
+        scoring::BasicContingencyTable<K> t;
         for (int c = 0; c < 2; ++c) {
           const std::uint32_t* ft = scratch.table(local, c);
           auto& row = t.counts[static_cast<std::size_t>(c)];
-          for (int i = 0; i < scoring::kCells; ++i) {
-            row[static_cast<std::size_t>(i)] = ft[i];
+          for (std::size_t i = 0; i < TupleBlockScratch<K>::kCells; ++i) {
+            row[i] = ft[i];
           }
-          row[26] -= static_cast<std::uint32_t>(planes.pad_bits(c));
+          // NOR padding shows up as phantom all-genotype-2 observations.
+          row[TupleBlockScratch<K>::kCells - 1] -=
+              static_cast<std::uint32_t>(planes.pad_bits(c));
         }
-        on_table(trip, t);
+        on_table(static_cast<const combinatorics::Combination<K>&>(comb), t);
+        return;
       }
-    }
+      const std::size_t first =
+          j == 0 ? base[0] : std::max(base[j], prev + 1);
+      for (std::size_t i = first; i < end[j]; ++i) {
+        comb[j] = static_cast<std::uint32_t>(i);
+        self(self, j + 1, i, local * bs + (i - base[j]));
+      }
+    };
+    walk(walk, 0, 0, 0);
   }
+}
+
+/// True when an index `i` chosen for axis `j` still admits a strictly
+/// increasing completion through axes j+1..K-1 (the axis bounds are
+/// monotone, so the greedy chain is the only candidate).
+template <unsigned K>
+bool has_completion(const std::array<std::size_t, K>& base,
+                    const std::array<std::size_t, K>& end, unsigned j,
+                    std::size_t i) {
+  std::size_t p = i;
+  for (unsigned l = j + 1; l < K; ++l) {
+    p = std::max(base[l], p + 1);
+    if (p >= end[l]) return false;
+  }
+  return true;
 }
 
 }  // namespace engine_detail
 
+// ---------------------------------------------------------------------------
+// Order-generic entry points
+// ---------------------------------------------------------------------------
+
+/// Evaluates every order-K SNP combination inside block tuple `bt` whose
+/// colex rank lies in `clip` and calls `on_table(const Combination<K>&,
+/// const BasicContingencyTable<K>&)` for each, using the direct (V3/V4)
+/// order-generic kernel.  `scratch.bs()` must equal `tiling.bs`.
+///
+/// Clipping is rank-aware in three tiers: a block tuple whose span misses
+/// `clip` entirely returns before any kernel work; a block tuple fully
+/// inside `clip` (the interior of a partition) runs with zero
+/// per-combination overhead; only the partition's boundary blocks filter
+/// each emission by rank.  Pass `kFullRange` to disable clipping.
+template <unsigned K, typename OnTable>
+void scan_block_tuple(const dataset::PhenoSplitPlanes& planes,
+                      const TilingParams& tiling,
+                      const GenericKernelSet& kernels,
+                      TupleBlockScratch<K>& scratch, const BlockTuple<K>& bt,
+                      const combinatorics::RankRange& clip,
+                      OnTable&& on_table) {
+  const std::size_t bs = tiling.bs;
+  engine_detail::scan_block_tuple_impl<K>(
+      planes, tiling, scratch, bt, clip,
+      [&](const std::array<std::size_t, K>& base,
+          const std::array<std::size_t, K>& end) {
+        // Sample-blocked accumulation: for each class, stream B_P words at
+        // a time through all combinations of the block tuple (Algorithm 1
+        // loop order, generalized to K axes).
+        std::array<const Word*, K> g0;
+        std::array<const Word*, K> g1;
+        for (int c = 0; c < 2; ++c) {
+          const std::size_t words = planes.words(c);
+          for (std::size_t w0 = 0; w0 < words; w0 += tiling.bp_words) {
+            const std::size_t w1 = std::min(w0 + tiling.bp_words, words);
+            const auto walk = [&](const auto& self, unsigned j,
+                                  std::size_t prev,
+                                  std::size_t local) -> void {
+              if (j == K) {
+                kernels.direct(g0.data(), g1.data(), K, w0, w1,
+                               scratch.table(local, c));
+                return;
+              }
+              const std::size_t first =
+                  j == 0 ? base[0] : std::max(base[j], prev + 1);
+              for (std::size_t i = first; i < end[j]; ++i) {
+                g0[j] = planes.plane(c, i, 0);
+                g1[j] = planes.plane(c, i, 1);
+                self(self, j + 1, i, local * bs + (i - base[j]));
+              }
+            };
+            walk(walk, 0, 0, 0);
+          }
+        }
+      },
+      static_cast<OnTable&&>(on_table));
+}
+
+/// Unclipped direct scan: every combination of the block tuple is emitted.
+template <unsigned K, typename OnTable>
+void scan_block_tuple(const dataset::PhenoSplitPlanes& planes,
+                      const TilingParams& tiling,
+                      const GenericKernelSet& kernels,
+                      TupleBlockScratch<K>& scratch, const BlockTuple<K>& bt,
+                      OnTable&& on_table) {
+  scan_block_tuple<K>(planes, tiling, kernels, scratch, bt, kFullRange,
+                      static_cast<OnTable&&>(on_table));
+}
+
+/// V5 at any order K >= 3: the recursive prefix-plane ladder.  Rung 2 (the
+/// 3^2 planes of the two leading SNPs) is built once per (prefix,
+/// sample-chunk) by the per-ISA build kernel; each deeper rung j+1 extends
+/// rung j by one SNP (two ANDs per plane, third child by the partition
+/// identity); the last rung's planes and popcounts resolve all final-axis
+/// cells with the two-operand finalize kernel — the prefix streams leave
+/// the innermost loop entirely, and no genotype-2 plane of any prefix SNP
+/// is ever materialized.  Bit-identical to the direct kernels for every
+/// clip.
+template <unsigned K, typename OnTable>
+void scan_block_tuple(const dataset::PhenoSplitPlanes& planes,
+                      const TilingParams& tiling,
+                      const CachedKernelSet& cached,
+                      const GenericKernelSet& generic,
+                      TupleBlockScratch<K>& scratch, const BlockTuple<K>& bt,
+                      const combinatorics::RankRange& clip,
+                      OnTable&& on_table) {
+  static_assert(K >= 3, "the prefix-plane ladder needs a length-2 prefix; "
+                        "use the counts-only pair path for K == 2");
+  const std::size_t bs = tiling.bs;
+  PrefixPlaneCache& cache = scratch.prefix_cache();
+  cache.ensure(K, tiling.bp_words);
+  engine_detail::scan_block_tuple_impl<K>(
+      planes, tiling, scratch, bt, clip,
+      [&](const std::array<std::size_t, K>& base,
+          const std::array<std::size_t, K>& end) {
+        for (int c = 0; c < 2; ++c) {
+          const std::size_t words = planes.words(c);
+          for (std::size_t w0 = 0; w0 < words; w0 += tiling.bp_words) {
+            const std::size_t w1 = std::min(w0 + tiling.bp_words, words);
+            // walk(j, prev, local): indices for axes < j are chosen and
+            // rung j (if j >= 2) holds the planes of that prefix.
+            const auto walk = [&](const auto& self, unsigned j,
+                                  std::size_t prev,
+                                  std::size_t local) -> void {
+              if (j == K - 1) {
+                const std::size_t count = pow3(j);
+                for (std::size_t i = std::max(base[j], prev + 1); i < end[j];
+                     ++i) {
+                  generic.finalize(cache.rung(j), count, cache.stride(),
+                                   cache.rung_pops(j), planes.plane(c, i, 0),
+                                   planes.plane(c, i, 1), w0, w1,
+                                   scratch.table(local * bs + (i - base[j]),
+                                                 c));
+                }
+                return;
+              }
+              const std::size_t first =
+                  j == 0 ? base[0] : std::max(base[j], prev + 1);
+              for (std::size_t i = first; i < end[j]; ++i) {
+                if (!engine_detail::has_completion<K>(base, end, j, i)) {
+                  continue;  // dead subtree: don't build planes nobody reads
+                }
+                if (j == 1) {
+                  std::fill(cache.rung_pops(2), cache.rung_pops(2) + 9, 0u);
+                  cached.build(planes.plane(c, prev, 0),
+                               planes.plane(c, prev, 1),
+                               planes.plane(c, i, 0), planes.plane(c, i, 1),
+                               w0, w1, cache.rung(2), cache.stride(),
+                               cache.rung_pops(2));
+                } else if (j >= 2) {
+                  // Only the last rung's popcounts feed the finalize
+                  // kernel; intermediate rungs skip the POPCNT work.
+                  std::uint32_t* pops = nullptr;
+                  if (j + 1 == K - 1) {
+                    pops = cache.rung_pops(j + 1);
+                    std::fill(pops, pops + pow3(j + 1), 0u);
+                  }
+                  generic.extend(cache.rung(j), pow3(j), cache.stride(),
+                                 planes.plane(c, i, 0), planes.plane(c, i, 1),
+                                 w0, w1, cache.rung(j + 1), cache.stride(),
+                                 pops);
+                }
+                self(self, j + 1, i, local * bs + (i - base[j]));
+              }
+            };
+            walk(walk, 0, 0, 0);
+          }
+        }
+      },
+      static_cast<OnTable&&>(on_table));
+}
+
+/// Unclipped ladder scan: every combination of the block tuple is emitted.
+template <unsigned K, typename OnTable>
+void scan_block_tuple(const dataset::PhenoSplitPlanes& planes,
+                      const TilingParams& tiling,
+                      const CachedKernelSet& cached,
+                      const GenericKernelSet& generic,
+                      TupleBlockScratch<K>& scratch, const BlockTuple<K>& bt,
+                      OnTable&& on_table) {
+  scan_block_tuple<K>(planes, tiling, cached, generic, scratch, bt,
+                      kFullRange, static_cast<OnTable&&>(on_table));
+}
+
+// ---------------------------------------------------------------------------
+// Third order: the per-ISA triplet instantiation
+// ---------------------------------------------------------------------------
+
 /// Evaluates every SNP triplet inside block triple `bt` whose colex rank
 /// lies in `clip` and calls `on_table(Triplet, const ContingencyTable&)`
-/// for each.  `kernel` is the triple-block kernel to use; `scratch.bs()`
-/// must equal `tiling.bs`.
-///
-/// Clipping is rank-aware in three tiers: a block triple whose span misses
-/// `clip` entirely returns before any kernel work; a block triple fully
-/// inside `clip` (the interior of a partition) runs with zero per-triplet
-/// overhead; only the partition's boundary blocks filter each emission by
-/// rank.  Pass `kFullRange` (the default overload below) to disable
-/// clipping altogether.
+/// for each.  `kernel` is the per-ISA triple-block kernel; `scratch.bs()`
+/// must equal `tiling.bs`.  This is the K = 3 instantiation of the generic
+/// engine skeleton, keeping the hand-tuned three-operand kernels (including
+/// their AVX-512 variants) on the hot path.
 template <typename OnTable>
 void scan_block_triple(const dataset::PhenoSplitPlanes& planes,
                        const TilingParams& tiling, TripleBlockKernel kernel,
@@ -209,10 +464,10 @@ void scan_block_triple(const dataset::PhenoSplitPlanes& planes,
                        const combinatorics::RankRange& clip,
                        OnTable&& on_table) {
   const std::size_t bs = tiling.bs;
-  engine_detail::scan_block_triple_impl(
-      planes, tiling, scratch, bt, clip,
-      [&](std::size_t base0, std::size_t end0, std::size_t base1,
-          std::size_t end1, std::size_t base2, std::size_t end2) {
+  engine_detail::scan_block_tuple_impl<3>(
+      planes, tiling, scratch, BlockTuple<3>{bt.b0, bt.b1, bt.b2}, clip,
+      [&](const std::array<std::size_t, 3>& base,
+          const std::array<std::size_t, 3>& end) {
         // Sample-blocked accumulation: for each class, stream B_P words at
         // a time through all triplets of the block triple (Algorithm 1
         // loop order).
@@ -220,13 +475,14 @@ void scan_block_triple(const dataset::PhenoSplitPlanes& planes,
           const std::size_t words = planes.words(c);
           for (std::size_t w0 = 0; w0 < words; w0 += tiling.bp_words) {
             const std::size_t w1 = std::min(w0 + tiling.bp_words, words);
-            for (std::size_t i0 = base0; i0 < end0; ++i0) {
-              for (std::size_t i1 = std::max(base1, i0 + 1); i1 < end1;
+            for (std::size_t i0 = base[0]; i0 < end[0]; ++i0) {
+              for (std::size_t i1 = std::max(base[1], i0 + 1); i1 < end[1];
                    ++i1) {
-                for (std::size_t i2 = std::max(base2, i1 + 1); i2 < end2;
+                for (std::size_t i2 = std::max(base[2], i1 + 1); i2 < end[2];
                      ++i2) {
                   const std::size_t local =
-                      ((i0 - base0) * bs + (i1 - base1)) * bs + (i2 - base2);
+                      ((i0 - base[0]) * bs + (i1 - base[1])) * bs +
+                      (i2 - base[2]);
                   kernel(planes.plane(c, i0, 0), planes.plane(c, i0, 1),
                          planes.plane(c, i1, 0), planes.plane(c, i1, 1),
                          planes.plane(c, i2, 0), planes.plane(c, i2, 1), w0,
@@ -237,7 +493,10 @@ void scan_block_triple(const dataset::PhenoSplitPlanes& planes,
           }
         }
       },
-      static_cast<OnTable&&>(on_table));
+      [&](const combinatorics::Combination<3>& c,
+          const scoring::ContingencyTable& t) {
+        on_table(combinatorics::Triplet{c[0], c[1], c[2]}, t);
+      });
 }
 
 /// Unclipped scan: every triplet of the block triple is emitted.
@@ -250,10 +509,10 @@ void scan_block_triple(const dataset::PhenoSplitPlanes& planes,
                     static_cast<OnTable&&>(on_table));
 }
 
-/// V5: same walk as above, but the x∩y planes of each (i0, i1) are built
-/// once per sample chunk into `scratch.pair_cache()` and the z loop runs
-/// the two-operand cached kernel — the x/y plane streams and their nine
-/// intersection ANDs leave the innermost loop entirely, and the z-NOR
+/// V5 at order 3: same walk as above, but the x∩y planes of each (i0, i1)
+/// are built once per sample chunk into the ladder's rung 2 and the z loop
+/// runs the two-operand cached kernel — the x/y plane streams and their
+/// nine intersection ANDs leave the innermost loop entirely, and the z-NOR
 /// plane is never materialized (cells (gx, gy, 2) derive from the cached
 /// chunk popcounts).  Bit-identical to the direct kernels for every clip.
 template <typename OnTable>
@@ -266,27 +525,28 @@ void scan_block_triple(const dataset::PhenoSplitPlanes& planes,
   const std::size_t bs = tiling.bs;
   PairPlaneCache& cache = scratch.pair_cache();
   cache.ensure(tiling.bp_words);
-  engine_detail::scan_block_triple_impl(
-      planes, tiling, scratch, bt, clip,
-      [&](std::size_t base0, std::size_t end0, std::size_t base1,
-          std::size_t end1, std::size_t base2, std::size_t end2) {
+  engine_detail::scan_block_tuple_impl<3>(
+      planes, tiling, scratch, BlockTuple<3>{bt.b0, bt.b1, bt.b2}, clip,
+      [&](const std::array<std::size_t, 3>& base,
+          const std::array<std::size_t, 3>& end) {
         for (int c = 0; c < 2; ++c) {
           const std::size_t words = planes.words(c);
           for (std::size_t w0 = 0; w0 < words; w0 += tiling.bp_words) {
             const std::size_t w1 = std::min(w0 + tiling.bp_words, words);
-            for (std::size_t i0 = base0; i0 < end0; ++i0) {
-              for (std::size_t i1 = std::max(base1, i0 + 1); i1 < end1;
+            for (std::size_t i0 = base[0]; i0 < end[0]; ++i0) {
+              for (std::size_t i1 = std::max(base[1], i0 + 1); i1 < end[1];
                    ++i1) {
-                const std::size_t z_first = std::max(base2, i1 + 1);
-                if (z_first >= end2) continue;
+                const std::size_t z_first = std::max(base[2], i1 + 1);
+                if (z_first >= end[2]) continue;
                 std::fill(cache.pops(), cache.pops() + 9, 0u);
                 kernels.build(planes.plane(c, i0, 0), planes.plane(c, i0, 1),
                               planes.plane(c, i1, 0), planes.plane(c, i1, 1),
                               w0, w1, cache.planes(), cache.stride(),
                               cache.pops());
-                for (std::size_t i2 = z_first; i2 < end2; ++i2) {
+                for (std::size_t i2 = z_first; i2 < end[2]; ++i2) {
                   const std::size_t local =
-                      ((i0 - base0) * bs + (i1 - base1)) * bs + (i2 - base2);
+                      ((i0 - base[0]) * bs + (i1 - base[1])) * bs +
+                      (i2 - base[2]);
                   kernels.cached(cache.planes(), cache.stride(), cache.pops(),
                                  planes.plane(c, i2, 0),
                                  planes.plane(c, i2, 1), w0, w1,
@@ -297,7 +557,10 @@ void scan_block_triple(const dataset::PhenoSplitPlanes& planes,
           }
         }
       },
-      static_cast<OnTable&&>(on_table));
+      [&](const combinatorics::Combination<3>& c,
+          const scoring::ContingencyTable& t) {
+        on_table(combinatorics::Triplet{c[0], c[1], c[2]}, t);
+      });
 }
 
 /// Unclipped V5 scan: every triplet of the block triple is emitted.
@@ -311,178 +574,19 @@ void scan_block_triple(const dataset::PhenoSplitPlanes& planes,
 }
 
 // ---------------------------------------------------------------------------
-// Second order: the blocked pair engine
+// Second order: the counts-only pair instantiation
 // ---------------------------------------------------------------------------
-
-/// Per-thread scratch for the blocked pair engine: frequency tables for all
-/// pairs of a block pair.  The pair path drives the *triple* kernel with a
-/// constant z operand (see scan_block_pair), so the raw accumulation is
-/// still 27 cells wide; the finalize step extracts the 9 pair cells.
-/// Layout: [local_pair][class][27] uint32; local_pair =
-/// (i0-base0)*B_S + (i1-base1).
-class PairBlockScratch {
- public:
-  explicit PairBlockScratch(std::size_t bs)
-      : bs_(bs), ft_(bs * bs * 2 * scoring::kCells) {}
-
-  std::size_t bs() const { return bs_; }
-  std::uint32_t* table(std::size_t local, int cls) {
-    return ft_.data() +
-           (local * 2 + static_cast<std::size_t>(cls)) * scoring::kCells;
-  }
-  /// Zeroes only the tables (both classes) of locals [first, last) — the
-  /// engine clears exactly the pairs a block pair evaluates.
-  void clear_tables(std::size_t first, std::size_t last) {
-    std::fill(ft_.begin() +
-                  static_cast<std::ptrdiff_t>(first * 2 * scoring::kCells),
-              ft_.begin() +
-                  static_cast<std::ptrdiff_t>(last * 2 * scoring::kCells),
-              0u);
-  }
-
- private:
-  std::size_t bs_;
-  std::vector<std::uint32_t> ft_;
-};
-
-/// Constant per-class z operand that pins g_z = 0: the genotype-0 plane is
-/// all ones and the genotype-1 plane all zeros, so NOR-inferred genotype 2
-/// is empty and cells (g_x, g_y, 0) of the 27-cell kernel output hold the
-/// 9-cell pair table.  `ones[c]` / `zeros[c]` must each span
-/// `planes.words(c)` words (PairDetector builds them once per dataset).
-struct ConstantZPlanes {
-  std::array<const Word*, 2> ones{};
-  std::array<const Word*, 2> zeros{};
-};
-
-namespace engine_detail {
-
-/// Shared skeleton of the blocked pair scan, mirroring
-/// scan_block_triple_impl.
-template <typename Accumulate, typename OnTable>
-void scan_block_pair_impl(const dataset::PhenoSplitPlanes& planes,
-                          const TilingParams& tiling,
-                          PairBlockScratch& scratch, const BlockPair& bp,
-                          const combinatorics::RankRange& clip,
-                          Accumulate&& accumulate, OnTable&& on_table) {
-  const std::size_t bs = tiling.bs;
-  const std::size_t m = planes.num_snps();
-  const std::size_t base0 = bp.b0 * bs;
-  const std::size_t base1 = bp.b1 * bs;
-  const std::size_t end0 = std::min(base0 + bs, m);
-  const std::size_t end1 = std::min(base1 + bs, m);
-  if (base0 >= m || base1 >= m) return;
-
-  bool filter = false;
-  if (clip.first != kFullRange.first || clip.last != kFullRange.last) {
-    const combinatorics::RankRange span =
-        block_pair_span(combinatorics::BlockGrid{m, bs}, bp);
-    if (span.empty() || span.last <= clip.first || span.first >= clip.last) {
-      return;  // no pair of this block pair is in range
-    }
-    filter = span.first < clip.first || span.last > clip.last;
-  }
-
-  // Clear only the tables this block pair accumulates into.
-  for (std::size_t i0 = base0; i0 < end0; ++i0) {
-    const std::size_t y_first = std::max(base1, i0 + 1);
-    if (y_first >= end1) continue;
-    const std::size_t lo = (i0 - base0) * bs + (y_first - base1);
-    scratch.clear_tables(lo, lo + (end1 - y_first));
-  }
-
-  accumulate(base0, end0, base1, end1);
-
-  // Finalize: extract the g_z = 0 cells, fold the NOR padding out of pair
-  // cell (2,2) — padding tail bits read as (2, 2, 0) — and emit tables.
-  for (std::size_t i0 = base0; i0 < end0; ++i0) {
-    for (std::size_t i1 = std::max(base1, i0 + 1); i1 < end1; ++i1) {
-      const combinatorics::Pair pair{static_cast<std::uint32_t>(i0),
-                                     static_cast<std::uint32_t>(i1)};
-      if (filter) {
-        const std::uint64_t rank = combinatorics::rank_pair(pair);
-        if (rank < clip.first || rank >= clip.last) continue;
-      }
-      const std::size_t local = (i0 - base0) * bs + (i1 - base1);
-      scoring::PairContingencyTable t;
-      for (int c = 0; c < 2; ++c) {
-        const std::uint32_t* ft = scratch.table(local, c);
-        auto& row = t.counts[static_cast<std::size_t>(c)];
-        for (int gx = 0; gx < 3; ++gx) {
-          for (int gy = 0; gy < 3; ++gy) {
-            row[static_cast<std::size_t>(scoring::pair_cell_index(gx, gy))] =
-                ft[scoring::cell_index(gx, gy, 0)];
-          }
-        }
-        row[8] -= static_cast<std::uint32_t>(planes.pad_bits(c));
-      }
-      on_table(pair, t);
-    }
-  }
-}
-
-}  // namespace engine_detail
 
 /// Evaluates every SNP pair inside block pair `bp` whose colex rank lies in
 /// `clip` and calls `on_table(combinatorics::Pair, const
-/// scoring::PairContingencyTable&)` for each.  Mirrors scan_block_triple:
-/// the same per-ISA triple-block kernel, the same sample-dimension tiling,
-/// and the same three-tier rank clipping (span miss -> skip, interior ->
-/// no per-pair overhead, boundary -> per-pair rank filter).
-template <typename OnTable>
-void scan_block_pair(const dataset::PhenoSplitPlanes& planes,
-                     const TilingParams& tiling, TripleBlockKernel kernel,
-                     PairBlockScratch& scratch, const ConstantZPlanes& z,
-                     const BlockPair& bp,
-                     const combinatorics::RankRange& clip,
-                     OnTable&& on_table) {
-  const std::size_t bs = tiling.bs;
-  engine_detail::scan_block_pair_impl(
-      planes, tiling, scratch, bp, clip,
-      [&](std::size_t base0, std::size_t end0, std::size_t base1,
-          std::size_t end1) {
-        // Sample-blocked accumulation: for each class, stream B_P words at
-        // a time through all pairs of the block pair (Algorithm 1 loop
-        // order with the innermost SNP level removed).
-        for (int c = 0; c < 2; ++c) {
-          const std::size_t words = planes.words(c);
-          const Word* z0 = z.ones[static_cast<std::size_t>(c)];
-          const Word* z1 = z.zeros[static_cast<std::size_t>(c)];
-          for (std::size_t w0 = 0; w0 < words; w0 += tiling.bp_words) {
-            const std::size_t w1 = std::min(w0 + tiling.bp_words, words);
-            for (std::size_t i0 = base0; i0 < end0; ++i0) {
-              for (std::size_t i1 = std::max(base1, i0 + 1); i1 < end1;
-                   ++i1) {
-                const std::size_t local = (i0 - base0) * bs + (i1 - base1);
-                kernel(planes.plane(c, i0, 0), planes.plane(c, i0, 1),
-                       planes.plane(c, i1, 0), planes.plane(c, i1, 1), z0,
-                       z1, w0, w1, scratch.table(local, c));
-              }
-            }
-          }
-        }
-      },
-      static_cast<OnTable&&>(on_table));
-}
-
-/// Unclipped scan: every pair of the block pair is emitted.
-template <typename OnTable>
-void scan_block_pair(const dataset::PhenoSplitPlanes& planes,
-                     const TilingParams& tiling, TripleBlockKernel kernel,
-                     PairBlockScratch& scratch, const ConstantZPlanes& z,
-                     const BlockPair& bp, OnTable&& on_table) {
-  scan_block_pair(planes, tiling, kernel, scratch, z, bp, kFullRange,
-                  static_cast<OnTable&&>(on_table));
-}
-
-/// V5 pair scan: the counts phase *is* the whole evaluation.  The chunk
-/// popcounts of the nine x∩y intersection planes are exactly the pair
-/// table cells (g_x, g_y) restricted to this chunk — g_z is pinned to 0
-/// with no constant z operand, no 27-cell AND/POPCNT sweep, and no z plane
-/// stream at all.  The counts-only kernel never materializes the planes
-/// (nothing would read them), so the pair path retires zero stores and
-/// needs no L1 cache budget.  Needs no ConstantZPlanes; bit-identical to
-/// the V4 pair path.
+/// scoring::PairContingencyTable&)` for each.  The counts phase *is* the
+/// whole evaluation: the chunk popcounts of the nine x∩y intersections are
+/// exactly the pair table cells restricted to this chunk — no third
+/// operand, no 27-cell sweep, and no materialized planes (the counts-only
+/// kernel retires zero stores and needs no L1 cache budget).  This is the
+/// K = 2 instantiation of the generic engine skeleton, shared by V3 (scalar
+/// kernel), V4 and V5 (identical here — the ladder has no rungs below
+/// order 3).
 template <typename OnTable>
 void scan_block_pair(const dataset::PhenoSplitPlanes& planes,
                      const TilingParams& tiling,
@@ -491,35 +595,37 @@ void scan_block_pair(const dataset::PhenoSplitPlanes& planes,
                      const combinatorics::RankRange& clip,
                      OnTable&& on_table) {
   const std::size_t bs = tiling.bs;
-  engine_detail::scan_block_pair_impl(
-      planes, tiling, scratch, bp, clip,
-      [&](std::size_t base0, std::size_t end0, std::size_t base1,
-          std::size_t end1) {
+  engine_detail::scan_block_tuple_impl<2>(
+      planes, tiling, scratch, BlockTuple<2>{bp.b0, bp.b1}, clip,
+      [&](const std::array<std::size_t, 2>& base,
+          const std::array<std::size_t, 2>& end) {
         for (int c = 0; c < 2; ++c) {
           const std::size_t words = planes.words(c);
           for (std::size_t w0 = 0; w0 < words; w0 += tiling.bp_words) {
             const std::size_t w1 = std::min(w0 + tiling.bp_words, words);
-            for (std::size_t i0 = base0; i0 < end0; ++i0) {
-              for (std::size_t i1 = std::max(base1, i0 + 1); i1 < end1;
+            for (std::size_t i0 = base[0]; i0 < end[0]; ++i0) {
+              for (std::size_t i1 = std::max(base[1], i0 + 1); i1 < end[1];
                    ++i1) {
                 std::array<std::uint32_t, 9> pops{};
                 kernels.count(planes.plane(c, i0, 0), planes.plane(c, i0, 1),
                               planes.plane(c, i1, 0), planes.plane(c, i1, 1),
                               w0, w1, pops.data());
-                const std::size_t local = (i0 - base0) * bs + (i1 - base1);
+                const std::size_t local =
+                    (i0 - base[0]) * bs + (i1 - base[1]);
                 std::uint32_t* ft = scratch.table(local, c);
-                for (int p = 0; p < 9; ++p) {
-                  ft[scoring::cell_index(p / 3, p % 3, 0)] += pops[p];
-                }
+                for (int p = 0; p < 9; ++p) ft[p] += pops[static_cast<std::size_t>(p)];
               }
             }
           }
         }
       },
-      static_cast<OnTable&&>(on_table));
+      [&](const combinatorics::Combination<2>& c,
+          const scoring::PairContingencyTable& t) {
+        on_table(combinatorics::Pair{c[0], c[1]}, t);
+      });
 }
 
-/// Unclipped V5 pair scan: every pair of the block pair is emitted.
+/// Unclipped pair scan: every pair of the block pair is emitted.
 template <typename OnTable>
 void scan_block_pair(const dataset::PhenoSplitPlanes& planes,
                      const TilingParams& tiling,

@@ -1,19 +1,22 @@
 #pragma once
 /// \file detector.hpp
-/// \brief Public façade: exhaustive three-way epistasis detection on CPU.
+/// \brief Public façade: exhaustive k-way epistasis detection on CPU.
 ///
 /// Usage:
 /// \code
 ///   using namespace trigen;
 ///   dataset::GenotypeMatrix d = dataset::read_text_file("study.tg");
-///   core::Detector det(d);
+///   core::Detector det(d);                     // = BasicDetector<3>
 ///   core::DetectorOptions opt;                 // defaults: V4, K2, auto ISA
 ///   core::DetectionResult r = det.run(opt);
 ///   // r.best.front().triplet is the most likely epistatic triplet.
 /// \endcode
 ///
-/// The five `CpuVersion`s implement the paper's optimization ladder plus
-/// the pair-plane-cached V5 extension; all produce identical results, they
+/// `BasicDetector<K>` runs the same stack at any interaction order
+/// K in [2, combinatorics::kMaxOrder]: `Detector` (K = 3) and the pairwise
+/// module's `PairDetector` (K = 2) are aliases of it.  The five
+/// `CpuVersion`s implement the paper's optimization ladder plus the
+/// prefix-plane-cached V5 extension; all produce identical results, they
 /// only differ in speed (and are cross-checked against each other in the
 /// test suite).
 
@@ -39,16 +42,18 @@ enum class CpuVersion {
   kV2Split,      ///< phenotype-split planes, genotype-2 inferred via NOR
   kV3Blocked,    ///< + loop tiling to L1 (Algorithm 1)
   kV4Vector,     ///< + vector intrinsics (per-ISA POPCNT strategy)
-  kV5PairCache,  ///< + x∩y planes cached per (x, y, sample-chunk): the
-                 ///< nine intersection planes and their popcounts are built
-                 ///< once and shared by all B_S z-SNPs, cutting the hot
-                 ///< loop to 18 ANDs + 18 POPCNTs per word (same per-ISA
-                 ///< strategies, bit-identical results)
+  kV5PairCache,  ///< + the prefix-plane ladder: the 3^j intersection planes
+                 ///< of every j-SNP prefix (j = 2..k-1) are built once per
+                 ///< (prefix, sample-chunk) and shared by all B_S last-axis
+                 ///< SNPs, cutting the hot loop to two ANDs + two POPCNTs
+                 ///< per cached plane and word (same per-ISA strategies,
+                 ///< bit-identical results).  At k = 2 the counts-only pair
+                 ///< path makes this identical to V4.
 };
 
 std::string cpu_version_name(CpuVersion v);
 
-/// Objective function for ranking triplets.
+/// Objective function for ranking combinations.
 enum class Objective {
   kK2,                 ///< Bayesian K2 score (paper Eq. 1; lower is better)
   kMutualInformation,  ///< MPI3SNP's objective (higher is better)
@@ -63,13 +68,18 @@ std::string objective_name(Objective o);
 std::function<double(const scoring::ContingencyTable&)> make_normalized_scorer(
     Objective o, std::uint32_t num_samples);
 
-/// Scan parameters shared by every interaction order (the 3-way Detector
-/// and the 2-way PairDetector derive their option structs from this, each
-/// adding only its order-specific scorer hook).  Zero-valued fields mean
-/// "auto".
+/// Order-generic scorer factory: the 3^K-cell counterpart of
+/// make_normalized_scorer (which it delegates to at K = 3), normalized to
+/// lower-is-better and sized for datasets of `num_samples`.
+template <unsigned K>
+std::function<double(const scoring::BasicContingencyTable<K>&)>
+make_normalized_scorer_of(Objective o, std::uint32_t num_samples);
+
+/// Scan parameters shared by every interaction order.  Zero-valued fields
+/// mean "auto".
 struct ScanOptionsBase {
   /// Default stays V4 until the fig3 benchmarks justify flipping; opt into
-  /// the pair-plane-cached engine with kV5PairCache (CLI: --version 5).
+  /// the prefix-plane-cached engine with kV5PairCache (CLI: --version 5).
   CpuVersion version = CpuVersion::kV4Vector;
   /// Vector strategy for V4/V5 (ignored by V1/V3, which are scalar by
   /// definition).  Defaults to the widest the host supports.
@@ -96,14 +106,30 @@ struct ScanOptionsBase {
   ProgressFn progress{};
 };
 
-/// Detection parameters for the 3-way scan.
-struct DetectorOptions : ScanOptionsBase {
+/// Detection parameters for the order-K scan.
+template <unsigned K>
+struct BasicDetectorOptions : ScanOptionsBase {
   /// Optional pre-built scorer overriding `objective` (must be normalized
-  /// to lower-is-better, e.g. from make_normalized_scorer).  Lets repeated
-  /// scans — permutation testing above all — share one log-factorial
-  /// table instead of rebuilding scorer state per run.
-  std::function<double(const scoring::ContingencyTable&)> scorer{};
+  /// to lower-is-better, e.g. from make_normalized_scorer_of<K>).  Lets
+  /// repeated scans — permutation testing above all — share one
+  /// log-factorial table instead of rebuilding scorer state per run.
+  std::function<double(const scoring::BasicContingencyTable<K>&)> scorer{};
 };
+
+/// Detection parameters for the 3-way scan.
+using DetectorOptions = BasicDetectorOptions<3>;
+
+/// Injects the default normalized scorer for `objective` when none is set
+/// — the shared prelude of every repeated-scan harness (shard runner,
+/// permutation tests), order-generic.
+template <unsigned K>
+void ensure_default_scorer(BasicDetectorOptions<K>& opt,
+                           std::size_t num_samples) {
+  if (!opt.scorer) {
+    opt.scorer = make_normalized_scorer_of<K>(
+        opt.objective, static_cast<std::uint32_t>(num_samples));
+  }
+}
 
 /// Execution statistics shared by every scan result, independent of order.
 struct ScanStats {
@@ -121,27 +147,56 @@ struct ScanStats {
   }
 };
 
-/// Outcome of a 3-way detection run.
-struct DetectionResult : ScanStats {
-  /// Best triplets, best-first.  Scores are normalized to lower-is-better
-  /// (MI and X^2 are negated; K2 is reported as-is).
-  std::vector<ScoredTriplet> best;
-  std::uint64_t triplets_evaluated = 0;
+/// Outcome of an order-K detection run.
+template <unsigned K>
+struct BasicDetectionResult : ScanStats {
+  /// Best combinations, best-first.  Scores are normalized to
+  /// lower-is-better (MI and X^2 are negated; K2 is reported as-is).
+  std::vector<ScoredOf<K>> best;
+  std::uint64_t combinations_evaluated = 0;
 };
 
-/// Exhaustive 3-way detector over one dataset.  Thread-safe for concurrent
-/// run() calls; the bit-plane layouts are built once at construction.
-class Detector {
- public:
-  explicit Detector(const dataset::GenotypeMatrix& d);
-  ~Detector();
+/// Outcome of a 3-way detection run.
+using DetectionResult = BasicDetectionResult<3>;
 
-  Detector(const Detector&) = delete;
-  Detector& operator=(const Detector&) = delete;
+/// Exhaustive order-K detector over one dataset.  Thread-safe for
+/// concurrent run() calls; the bit-plane layouts are built once at
+/// construction.
+template <unsigned K>
+class BasicDetector {
+  static_assert(K >= 2 && K <= combinatorics::kMaxOrder);
+
+ public:
+  explicit BasicDetector(const dataset::GenotypeMatrix& d);
+  ~BasicDetector();
+
+  BasicDetector(const BasicDetector&) = delete;
+  BasicDetector& operator=(const BasicDetector&) = delete;
 
   /// Runs exhaustive detection; throws std::invalid_argument for
   /// inconsistent options and std::runtime_error for unavailable ISAs.
-  DetectionResult run(const DetectorOptions& options = {}) const;
+  /// All five versions produce bit-identical results for any rank range
+  /// (cross-checked in the test suite); they differ only in speed.
+  BasicDetectionResult<K> run(const BasicDetectorOptions<K>& options = {}) const;
+
+  /// Reference per-combination evaluation through the bitwise kernels over
+  /// the full sample range — the cross-check the blocked paths are
+  /// validated against (and the V2 per-combination scan path).
+  scoring::BasicContingencyTable<K> contingency(
+      const combinatorics::Combination<K>& snps,
+      KernelIsa isa = KernelIsa::kScalar) const;
+
+  /// Pairwise-API compatibility form of contingency().
+  scoring::PairContingencyTable contingency(
+      std::size_t x, std::size_t y,
+      KernelIsa isa = KernelIsa::kScalar) const
+    requires(K == 2)
+  {
+    return contingency(
+        combinatorics::Combination<2>{static_cast<std::uint32_t>(x),
+                                      static_cast<std::uint32_t>(y)},
+        isa);
+  }
 
   std::size_t num_snps() const;
   std::size_t num_samples() const;
@@ -154,5 +209,26 @@ class Detector {
   struct Impl;
   std::unique_ptr<Impl> impl_;
 };
+
+/// Exhaustive 3-way detector: the order the paper (and this repo) grew up
+/// with.
+using Detector = BasicDetector<3>;
+
+extern template class BasicDetector<2>;
+extern template class BasicDetector<3>;
+extern template class BasicDetector<4>;
+extern template class BasicDetector<5>;
+extern template class BasicDetector<6>;
+
+extern template std::function<double(const scoring::BasicContingencyTable<2>&)>
+make_normalized_scorer_of<2>(Objective, std::uint32_t);
+extern template std::function<double(const scoring::BasicContingencyTable<3>&)>
+make_normalized_scorer_of<3>(Objective, std::uint32_t);
+extern template std::function<double(const scoring::BasicContingencyTable<4>&)>
+make_normalized_scorer_of<4>(Objective, std::uint32_t);
+extern template std::function<double(const scoring::BasicContingencyTable<5>&)>
+make_normalized_scorer_of<5>(Objective, std::uint32_t);
+extern template std::function<double(const scoring::BasicContingencyTable<6>&)>
+make_normalized_scorer_of<6>(Objective, std::uint32_t);
 
 }  // namespace trigen::core

@@ -40,6 +40,7 @@
 #include <string>
 #include <vector>
 
+#include "trigen/combinatorics/combinations.hpp"
 #include "trigen/dataset/bitplanes.hpp"
 #include "trigen/scoring/contingency.hpp"
 
@@ -100,6 +101,64 @@ struct CachedKernelSet {
   PairPlaneCountKernel count = nullptr;
 };
 
+// ---------------------------------------------------------------------------
+// Order-generic kernels (the K >= 4 rungs of the prefix-plane ladder)
+// ---------------------------------------------------------------------------
+//
+// The V5 identity generalizes to any order: rung j of the ladder holds the
+// 3^j genotype intersection planes of a j-SNP prefix.  Extending the
+// prefix by one SNP ANDs each cached plane P with the SNP's two explicit
+// genotype planes and derives the third child from the partition identity
+// (the SNP's three genotype planes partition every sample bit, padding
+// included, so P∩s2 = P ^ (P∩s0) ^ (P∩s1)).  The final SNP never
+// materializes planes at all: |P∩z2| = |P| - |P∩z0| - |P∩z1|, exactly the
+// triple-cached kernel with 3^(K-2) prefixes instead of 9.  The k=2/k=3
+// engines keep their dedicated kernels above; these runtime-count variants
+// serve K >= 4 (scalar + AVX2; the AVX-512 strategies dispatch to the
+// widest compiled generic path).
+
+/// Ladder extension: for each of `count` cached prefix planes
+/// (`prefix[t*stride + rel]`, rel in [0, w_end - w_begin)), writes the
+/// three child planes P∩s0, P∩s1, P∩s2 to `out[(t*3 + g)*out_stride +
+/// rel]`.  s0/s1 are indexed absolutely at [w_begin, w_end).  When
+/// `out_pops` is non-null the child plane popcounts over the chunk are
+/// *added* into `out_pops[t*3 + g]` (callers zero per chunk) — needed only
+/// when the output rung is the final cached rung K-1.
+using PrefixExtendKernel = void (*)(const Word* prefix, std::size_t count,
+                                    std::size_t stride, const Word* s0,
+                                    const Word* s1, std::size_t w_begin,
+                                    std::size_t w_end, Word* out,
+                                    std::size_t out_stride,
+                                    std::uint32_t* out_pops);
+
+/// Ladder final rung: accumulates the 3^K counts of one combination from
+/// the `count` = 3^(K-1) cached prefix planes plus the last SNP's operand
+/// planes; cell layout ft[t*3 + g] matches cell = sum g_j * 3^(K-1-j).
+/// Semantics otherwise identical to TripleBlockCachedKernel (which is this
+/// kernel with count = 9).  Adds into `ft` (not zeroed here).
+using PrefixFinalKernel = void (*)(const Word* prefix, std::size_t count,
+                                   std::size_t stride,
+                                   const std::uint32_t* prefix_pops,
+                                   const Word* z0, const Word* z1,
+                                   std::size_t w_begin, std::size_t w_end,
+                                   std::uint32_t* ft);
+
+/// Direct (uncached) order-k contingency kernel, the V4 analogue for
+/// K >= 4: `g0[i]`/`g1[i]` are SNP i's two explicit genotype planes
+/// (genotype 2 inferred by NOR), and the 3^k cell counts are accumulated
+/// into `ft` with cell = sum g_j * 3^(k-1-j).  Requires 2 <= k <=
+/// combinatorics::kMaxOrder.  Adds into `ft` (not zeroed here).
+using TupleBlockKernel = void (*)(const Word* const* g0, const Word* const* g1,
+                                  unsigned k, std::size_t w_begin,
+                                  std::size_t w_end, std::uint32_t* ft);
+
+/// The order-generic kernel family for one vectorization strategy.
+struct GenericKernelSet {
+  PrefixExtendKernel extend = nullptr;
+  PrefixFinalKernel finalize = nullptr;
+  TupleBlockKernel direct = nullptr;
+};
+
 /// Vectorization strategy of the triple-block kernel.
 enum class KernelIsa {
   kScalar,         ///< 32-bit words, builtin POPCNT (V2/V3 and AVX-less V4)
@@ -129,6 +188,14 @@ TripleBlockKernel get_kernel(KernelIsa isa);
 /// if unavailable.  Availability is identical to get_kernel's: every ISA
 /// that carries a triple-block kernel carries the cached pair as well.
 CachedKernelSet get_cached_kernels(KernelIsa isa);
+
+/// Fetch the order-generic kernel family for `isa`; throws
+/// std::runtime_error if unavailable.  The scalar strategy maps to the
+/// scalar generics; every vector strategy maps to the widest compiled
+/// generic path (AVX2 when built, scalar otherwise) — any host that can
+/// execute an AVX-512 strategy can execute AVX2, and the generics are
+/// exact on every path.
+GenericKernelSet get_generic_kernels(KernelIsa isa);
 
 /// Words processed per kernel iteration (1, 8 or 16): callers sizing word
 /// blocks should use multiples of this for full-vector main loops.

@@ -44,10 +44,43 @@ struct L1Config {
 TilingParams autotune_tiling(const L1Config& l1, std::size_t vector_words,
                              bool pair_cache = false);
 
+/// Order-generic sizing: B_S solves B_S^order * 4 * 2 * 3^order <= size_FT
+/// (the tables of one block tuple hold 3^order cells per class), and the
+/// streamed-block budget covers the prefix-plane ladder when `cached` is
+/// set: rungs 2..order-1 hold sum 3^j planes of B_P words each.  The
+/// 3-argument overload above is exactly `order == 3` with `cached ==
+/// pair_cache`.
+TilingParams autotune_tiling(const L1Config& l1, std::size_t vector_words,
+                             unsigned order, bool cached);
+
 /// Reads the host's L1D geometry from sysfs; falls back to 32 kB / 8-way
 /// when unavailable.  Way split follows the paper: 7 ways for tables, the
 /// remainder minus one (prefetcher headroom on >=12-way caches) for blocks.
 L1Config detect_l1_config();
+
+/// 3^k, the genotype-cell count of one class at interaction order k.
+constexpr std::size_t pow3(unsigned k) {
+  std::size_t v = 1;
+  for (unsigned i = 0; i < k; ++i) v *= 3;
+  return v;
+}
+
+/// Bytes the frequency tables of one order-k block tuple occupy:
+/// B_S^k * 4 * 2 * 3^k.
+constexpr std::size_t tuple_tables_bytes(std::size_t bs, unsigned order) {
+  std::size_t tuples = 1;
+  for (unsigned i = 0; i < order; ++i) tuples *= bs;
+  return tuples * 4 * 2 * pow3(order);
+}
+
+/// Bytes the prefix-plane ladder occupies for a B_P-word chunk at order k:
+/// rungs 2..k-1 hold sum 3^j intersection planes of 32-bit words (zero for
+/// k <= 2, the nine-plane pair cache for k == 3).
+constexpr std::size_t prefix_cache_bytes(std::size_t bp_words, unsigned order) {
+  std::size_t planes = 0;
+  for (unsigned j = 2; j < order; ++j) planes += pow3(j);
+  return planes * bp_words * 4;
+}
 
 /// Bytes the frequency tables of one block-triple occupy.
 constexpr std::size_t tables_bytes(std::size_t bs) {

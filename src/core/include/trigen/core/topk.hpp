@@ -42,6 +42,66 @@ struct ScoredPair {
   }
 };
 
+/// One scored order-K SNP combination (the generic counterpart of
+/// ScoredTriplet / ScoredPair, used by the order-generic scan stack for
+/// K >= 4).
+template <unsigned K>
+struct ScoredTuple {
+  combinatorics::Combination<K> snps{};
+  double score = 0.0;  ///< normalized: lower is better
+
+  friend bool operator<(const ScoredTuple& a, const ScoredTuple& b) {
+    if (a.score != b.score) return a.score < b.score;
+    return combinatorics::rank_combination<K>(a.snps) <
+           combinatorics::rank_combination<K>(b.snps);
+  }
+};
+
+namespace topk_detail {
+template <unsigned K>
+struct ScoredOf_ {
+  using type = ScoredTuple<K>;
+};
+template <>
+struct ScoredOf_<2> {
+  using type = ScoredPair;
+};
+template <>
+struct ScoredOf_<3> {
+  using type = ScoredTriplet;
+};
+}  // namespace topk_detail
+
+/// The scored-combination type of interaction order K: ScoredPair for K=2
+/// and ScoredTriplet for K=3 (their named members are part of the public
+/// API), ScoredTuple<K> beyond.
+template <unsigned K>
+using ScoredOf = typename topk_detail::ScoredOf_<K>::type;
+
+/// Builds a ScoredOf<K> from a combination and its score.
+template <unsigned K>
+ScoredOf<K> make_scored(const combinatorics::Combination<K>& c, double score) {
+  if constexpr (K == 2) {
+    return ScoredPair{c[0], c[1], score};
+  } else if constexpr (K == 3) {
+    return ScoredTriplet{combinatorics::Triplet{c[0], c[1], c[2]}, score};
+  } else {
+    return ScoredTuple<K>{c, score};
+  }
+}
+
+/// The SNP indices of a ScoredOf<K> as a Combination<K>.
+template <unsigned K>
+combinatorics::Combination<K> snps_of(const ScoredOf<K>& s) {
+  if constexpr (K == 2) {
+    return {s.x, s.y};
+  } else if constexpr (K == 3) {
+    return {s.triplet.x, s.triplet.y, s.triplet.z};
+  } else {
+    return s.snps;
+  }
+}
+
 /// Keeps the K best (lowest-ordered) combinations seen so far.
 template <typename Scored>
 class BasicTopK {

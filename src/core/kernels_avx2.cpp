@@ -322,6 +322,121 @@ void triple_block_cached_avx2_harley_seal(
   }
 }
 
+void prefix_extend_avx2(const Word* TRIGEN_RESTRICT prefix, std::size_t count,
+                        std::size_t stride, const Word* TRIGEN_RESTRICT s0,
+                        const Word* TRIGEN_RESTRICT s1, std::size_t w_begin,
+                        std::size_t w_end, Word* TRIGEN_RESTRICT out,
+                        std::size_t out_stride,
+                        std::uint32_t* TRIGEN_RESTRICT out_pops) {
+  const std::size_t n = w_end - w_begin;
+  for (std::size_t t = 0; t < count; ++t) {
+    const Word* TRIGEN_RESTRICT pt = prefix + t * stride;
+    Word* TRIGEN_RESTRICT o0 = out + (t * 3 + 0) * out_stride;
+    Word* TRIGEN_RESTRICT o1 = out + (t * 3 + 1) * out_stride;
+    Word* TRIGEN_RESTRICT o2 = out + (t * 3 + 2) * out_stride;
+    std::uint32_t c0 = 0, c1 = 0, c2 = 0;
+    std::size_t r = 0;
+    for (; r + 8 <= n; r += 8) {
+      const __m256i p =
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(pt + r));
+      const __m256i a = _mm256_and_si256(
+          p, _mm256_loadu_si256(
+                 reinterpret_cast<const __m256i*>(s0 + w_begin + r)));
+      const __m256i b = _mm256_and_si256(
+          p, _mm256_loadu_si256(
+                 reinterpret_cast<const __m256i*>(s1 + w_begin + r)));
+      const __m256i c = _mm256_xor_si256(_mm256_xor_si256(p, a), b);
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(o0 + r), a);
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(o1 + r), b);
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(o2 + r), c);
+      c0 += popcnt256_extract(a);
+      c1 += popcnt256_extract(b);
+      c2 += popcnt256_extract(c);
+    }
+    for (; r < n; ++r) {
+      const Word p = pt[r];
+      const Word a = p & s0[w_begin + r];
+      const Word b = p & s1[w_begin + r];
+      const Word c = p ^ a ^ b;
+      o0[r] = a;
+      o1[r] = b;
+      o2[r] = c;
+      c0 += static_cast<std::uint32_t>(std::popcount(a));
+      c1 += static_cast<std::uint32_t>(std::popcount(b));
+      c2 += static_cast<std::uint32_t>(std::popcount(c));
+    }
+    if (out_pops != nullptr) {
+      out_pops[t * 3 + 0] += c0;
+      out_pops[t * 3 + 1] += c1;
+      out_pops[t * 3 + 2] += c2;
+    }
+  }
+}
+
+void prefix_final_avx2(const Word* TRIGEN_RESTRICT prefix, std::size_t count,
+                       std::size_t stride,
+                       const std::uint32_t* TRIGEN_RESTRICT prefix_pops,
+                       const Word* TRIGEN_RESTRICT z0,
+                       const Word* TRIGEN_RESTRICT z1, std::size_t w_begin,
+                       std::size_t w_end, std::uint32_t* TRIGEN_RESTRICT ft) {
+  const std::size_t n = w_end - w_begin;
+  for (std::size_t t = 0; t < count; ++t) {
+    const Word* TRIGEN_RESTRICT pt = prefix + t * stride;
+    std::uint32_t c0 = 0;
+    std::uint32_t c1 = 0;
+    std::size_t r = 0;
+    for (; r + 8 <= n; r += 8) {
+      const __m256i v =
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(pt + r));
+      c0 += popcnt256_extract(_mm256_and_si256(
+          v, _mm256_loadu_si256(
+                 reinterpret_cast<const __m256i*>(z0 + w_begin + r))));
+      c1 += popcnt256_extract(_mm256_and_si256(
+          v, _mm256_loadu_si256(
+                 reinterpret_cast<const __m256i*>(z1 + w_begin + r))));
+    }
+    for (; r < n; ++r) {
+      const Word v = pt[r];
+      c0 += static_cast<std::uint32_t>(std::popcount(v & z0[w_begin + r]));
+      c1 += static_cast<std::uint32_t>(std::popcount(v & z1[w_begin + r]));
+    }
+    ft[t * 3 + 0] += c0;
+    ft[t * 3 + 1] += c1;
+    ft[t * 3 + 2] += prefix_pops[t] - c0 - c1;
+  }
+}
+
+void tuple_block_avx2(const Word* const* TRIGEN_RESTRICT g0,
+                      const Word* const* TRIGEN_RESTRICT g1, unsigned k,
+                      std::size_t w_begin, std::size_t w_end,
+                      std::uint32_t* TRIGEN_RESTRICT ft) {
+  const __m256i ones = _mm256_set1_epi32(-1);
+  __m256i g[combinatorics::kMaxOrder][3];
+  std::size_t w = w_begin;
+  for (; w + 8 <= w_end; w += 8) {
+    for (unsigned i = 0; i < k; ++i) {
+      g[i][0] =
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(g0[i] + w));
+      g[i][1] =
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(g1[i] + w));
+      g[i][2] = _mm256_xor_si256(_mm256_or_si256(g[i][0], g[i][1]), ones);
+    }
+    const auto descend = [&](const auto& self, unsigned i, __m256i acc,
+                             std::size_t cell) -> void {
+      if (i == k) {
+        ft[cell] += popcnt256_extract(acc);
+        return;
+      }
+      for (int gi = 0; gi < 3; ++gi) {
+        self(self, i + 1, _mm256_and_si256(acc, g[i][gi]),
+             cell * 3 + static_cast<std::size_t>(gi));
+      }
+    };
+    descend(descend, 0, ones, 0);
+  }
+  tuple_block_scalar(g0, g1, k, w, w_end, ft);
+}
+
 }  // namespace trigen::core::detail
 
 #endif  // TRIGEN_KERNEL_AVX2

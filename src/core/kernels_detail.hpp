@@ -64,6 +64,23 @@ void pair_plane_count_scalar(const Word* TRIGEN_RESTRICT x0,
                              const Word* TRIGEN_RESTRICT y1,
                              std::size_t w_begin, std::size_t w_end,
                              std::uint32_t* TRIGEN_RESTRICT xy_pop9);
+void prefix_extend_scalar(const Word* TRIGEN_RESTRICT prefix,
+                          std::size_t count, std::size_t stride,
+                          const Word* TRIGEN_RESTRICT s0,
+                          const Word* TRIGEN_RESTRICT s1, std::size_t w_begin,
+                          std::size_t w_end, Word* TRIGEN_RESTRICT out,
+                          std::size_t out_stride,
+                          std::uint32_t* TRIGEN_RESTRICT out_pops);
+void prefix_final_scalar(const Word* TRIGEN_RESTRICT prefix, std::size_t count,
+                         std::size_t stride,
+                         const std::uint32_t* TRIGEN_RESTRICT prefix_pops,
+                         const Word* TRIGEN_RESTRICT z0,
+                         const Word* TRIGEN_RESTRICT z1, std::size_t w_begin,
+                         std::size_t w_end, std::uint32_t* TRIGEN_RESTRICT ft);
+void tuple_block_scalar(const Word* const* TRIGEN_RESTRICT g0,
+                        const Word* const* TRIGEN_RESTRICT g1, unsigned k,
+                        std::size_t w_begin, std::size_t w_end,
+                        std::uint32_t* TRIGEN_RESTRICT ft);
 
 #if defined(TRIGEN_KERNEL_AVX2)
 // Defined in kernels_avx2.cpp (compiled with -mavx2).
@@ -119,6 +136,22 @@ void pair_plane_count_avx2_harley_seal(
     const Word* TRIGEN_RESTRICT y0, const Word* TRIGEN_RESTRICT y1,
     std::size_t w_begin, std::size_t w_end,
     std::uint32_t* TRIGEN_RESTRICT xy_pop9);
+void prefix_extend_avx2(const Word* TRIGEN_RESTRICT prefix, std::size_t count,
+                        std::size_t stride, const Word* TRIGEN_RESTRICT s0,
+                        const Word* TRIGEN_RESTRICT s1, std::size_t w_begin,
+                        std::size_t w_end, Word* TRIGEN_RESTRICT out,
+                        std::size_t out_stride,
+                        std::uint32_t* TRIGEN_RESTRICT out_pops);
+void prefix_final_avx2(const Word* TRIGEN_RESTRICT prefix, std::size_t count,
+                       std::size_t stride,
+                       const std::uint32_t* TRIGEN_RESTRICT prefix_pops,
+                       const Word* TRIGEN_RESTRICT z0,
+                       const Word* TRIGEN_RESTRICT z1, std::size_t w_begin,
+                       std::size_t w_end, std::uint32_t* TRIGEN_RESTRICT ft);
+void tuple_block_avx2(const Word* const* TRIGEN_RESTRICT g0,
+                      const Word* const* TRIGEN_RESTRICT g1, unsigned k,
+                      std::size_t w_begin, std::size_t w_end,
+                      std::uint32_t* TRIGEN_RESTRICT ft);
 #endif
 
 #if defined(TRIGEN_KERNEL_AVX512)

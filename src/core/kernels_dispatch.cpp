@@ -147,6 +147,27 @@ CachedKernelSet get_cached_kernels(KernelIsa isa) {
   }
 }
 
+GenericKernelSet get_generic_kernels(KernelIsa isa) {
+  if (!kernel_available(isa)) {
+    throw std::runtime_error("kernel '" + kernel_isa_name(isa) +
+                             "' not available on this host");
+  }
+  // Scalar stays scalar; every vector strategy maps to the widest compiled
+  // generic path.  An AVX-512-capable host always executes AVX2, and every
+  // variant is exact, so results are bit-identical across the mapping.
+  if (isa == KernelIsa::kScalar) {
+    return {&detail::prefix_extend_scalar, &detail::prefix_final_scalar,
+            &detail::tuple_block_scalar};
+  }
+#if defined(TRIGEN_KERNEL_AVX2)
+  return {&detail::prefix_extend_avx2, &detail::prefix_final_avx2,
+          &detail::tuple_block_avx2};
+#else
+  return {&detail::prefix_extend_scalar, &detail::prefix_final_scalar,
+          &detail::tuple_block_scalar};
+#endif
+}
+
 std::size_t kernel_vector_words(KernelIsa isa) {
   switch (isa) {
     case KernelIsa::kScalar: return 1;

@@ -92,6 +92,93 @@ void triple_block_cached_scalar(const Word* TRIGEN_RESTRICT xy,
   }
 }
 
+void prefix_extend_scalar(const Word* TRIGEN_RESTRICT prefix,
+                          std::size_t count, std::size_t stride,
+                          const Word* TRIGEN_RESTRICT s0,
+                          const Word* TRIGEN_RESTRICT s1, std::size_t w_begin,
+                          std::size_t w_end, Word* TRIGEN_RESTRICT out,
+                          std::size_t out_stride,
+                          std::uint32_t* TRIGEN_RESTRICT out_pops) {
+  const std::size_t n = w_end - w_begin;
+  for (std::size_t t = 0; t < count; ++t) {
+    const Word* TRIGEN_RESTRICT pt = prefix + t * stride;
+    Word* TRIGEN_RESTRICT o0 = out + (t * 3 + 0) * out_stride;
+    Word* TRIGEN_RESTRICT o1 = out + (t * 3 + 1) * out_stride;
+    Word* TRIGEN_RESTRICT o2 = out + (t * 3 + 2) * out_stride;
+    std::uint32_t c0 = 0, c1 = 0, c2 = 0;
+    for (std::size_t r = 0; r < n; ++r) {
+      const Word p = pt[r];
+      const Word a = p & s0[w_begin + r];
+      const Word b = p & s1[w_begin + r];
+      // Partition identity: a and b are disjoint subsets of p, so the
+      // genotype-2 child (padding included, like the NOR planes) is the
+      // XOR remainder.
+      const Word c = p ^ a ^ b;
+      o0[r] = a;
+      o1[r] = b;
+      o2[r] = c;
+      c0 += static_cast<std::uint32_t>(std::popcount(a));
+      c1 += static_cast<std::uint32_t>(std::popcount(b));
+      c2 += static_cast<std::uint32_t>(std::popcount(c));
+    }
+    if (out_pops != nullptr) {
+      out_pops[t * 3 + 0] += c0;
+      out_pops[t * 3 + 1] += c1;
+      out_pops[t * 3 + 2] += c2;
+    }
+  }
+}
+
+void prefix_final_scalar(const Word* TRIGEN_RESTRICT prefix, std::size_t count,
+                         std::size_t stride,
+                         const std::uint32_t* TRIGEN_RESTRICT prefix_pops,
+                         const Word* TRIGEN_RESTRICT z0,
+                         const Word* TRIGEN_RESTRICT z1, std::size_t w_begin,
+                         std::size_t w_end,
+                         std::uint32_t* TRIGEN_RESTRICT ft) {
+  const std::size_t n = w_end - w_begin;
+  for (std::size_t t = 0; t < count; ++t) {
+    const Word* TRIGEN_RESTRICT pt = prefix + t * stride;
+    std::uint32_t c0 = 0;
+    std::uint32_t c1 = 0;
+    for (std::size_t r = 0; r < n; ++r) {
+      const Word v = pt[r];
+      c0 += static_cast<std::uint32_t>(std::popcount(v & z0[w_begin + r]));
+      c1 += static_cast<std::uint32_t>(std::popcount(v & z1[w_begin + r]));
+    }
+    ft[t * 3 + 0] += c0;
+    ft[t * 3 + 1] += c1;
+    ft[t * 3 + 2] += prefix_pops[t] - c0 - c1;
+  }
+}
+
+void tuple_block_scalar(const Word* const* TRIGEN_RESTRICT g0,
+                        const Word* const* TRIGEN_RESTRICT g1, unsigned k,
+                        std::size_t w_begin, std::size_t w_end,
+                        std::uint32_t* TRIGEN_RESTRICT ft) {
+  Word g[combinatorics::kMaxOrder][3];
+  for (std::size_t w = w_begin; w < w_end; ++w) {
+    for (unsigned i = 0; i < k; ++i) {
+      g[i][0] = g0[i][w];
+      g[i][1] = g1[i][w];
+      g[i][2] = static_cast<Word>(~(g[i][0] | g[i][1]));
+    }
+    // Depth-first product over the k genotype axes, reusing each partial
+    // AND across its three children; cell = sum g_j * 3^(k-1-j).
+    const auto descend = [&](const auto& self, unsigned i, Word acc,
+                             std::size_t cell) -> void {
+      if (i == k) {
+        ft[cell] += static_cast<std::uint32_t>(std::popcount(acc));
+        return;
+      }
+      for (int gi = 0; gi < 3; ++gi) {
+        self(self, i + 1, acc & g[i][gi], cell * 3 + static_cast<std::size_t>(gi));
+      }
+    };
+    descend(descend, 0, ~Word{0}, 0);
+  }
+}
+
 }  // namespace detail
 
 scoring::ContingencyTable contingency_v1(const dataset::BitPlanesV1& p,

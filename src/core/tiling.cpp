@@ -11,29 +11,46 @@ namespace trigen::core {
 
 TilingParams autotune_tiling(const L1Config& l1, std::size_t vector_words,
                              bool pair_cache) {
+  return autotune_tiling(l1, vector_words, 3, pair_cache);
+}
+
+TilingParams autotune_tiling(const L1Config& l1, std::size_t vector_words,
+                             unsigned order, bool cached) {
   const double way_bytes =
       static_cast<double>(l1.size_bytes) / std::max(1u, l1.ways);
   const double size_ft = way_bytes * l1.ways_for_tables;
   const double size_block = way_bytes * l1.ways_for_block;
 
-  // B_S^3 * 4 * 2 * 27 <= size_FT
-  std::size_t bs = static_cast<std::size_t>(std::cbrt(size_ft / (4.0 * 2 * 27)));
+  // B_S^order * 4 * 2 * 3^order <= size_FT
+  const double cells = static_cast<double>(pow3(order));
+  std::size_t bs = static_cast<std::size_t>(
+      std::pow(size_ft / (4.0 * 2 * cells), 1.0 / order));
   bs = std::max<std::size_t>(1, bs);
-  while (tables_bytes(bs + 1) <= static_cast<std::size_t>(size_ft)) ++bs;
-  while (bs > 1 && tables_bytes(bs) > static_cast<std::size_t>(size_ft)) --bs;
+  while (tuple_tables_bytes(bs + 1, order) <=
+         static_cast<std::size_t>(size_ft)) {
+    ++bs;
+  }
+  while (bs > 1 &&
+         tuple_tables_bytes(bs, order) > static_cast<std::size_t>(size_ft)) {
+    --bs;
+  }
 
   // B_S * B_P * 4 * 2 <= size_Block, B_P a multiple of the vector width.
-  // The V5 engine keeps the nine cached x∩y planes hot alongside the
-  // streamed block, so its chunk adds 9 * B_P * 4 bytes to the budget.
-  // PairPlaneCache rounds its per-plane stride up to a whole number of
-  // AVX-512 registers, so B_P itself is rounded to that granularity —
-  // stride == B_P and the budgeted footprint is the allocated one.
+  // The cached engine keeps the prefix-plane ladder (rungs 2..order-1) hot
+  // alongside the streamed block, so its chunk adds prefix_cache_bytes to
+  // the budget.  PrefixPlaneCache rounds its per-plane stride up to a
+  // whole number of AVX-512 registers, so B_P itself is rounded to that
+  // granularity — stride == B_P and the budgeted footprint is the
+  // allocated one.
+  const bool has_cache_planes = cached && order >= 3;
   const double bytes_per_bp =
-      4.0 * 2 * static_cast<double>(bs) + (pair_cache ? 4.0 * 9 : 0.0);
+      4.0 * 2 * static_cast<double>(bs) +
+      (has_cache_planes ? static_cast<double>(prefix_cache_bytes(1, order))
+                        : 0.0);
   std::size_t bp = static_cast<std::size_t>(size_block / bytes_per_bp);
   const std::size_t granule =
-      pair_cache ? std::max(vector_words, dataset::kWordsPerVector)
-                 : vector_words;
+      has_cache_planes ? std::max(vector_words, dataset::kWordsPerVector)
+                       : vector_words;
   if (granule > 1) bp = bp / granule * granule;
   bp = std::max<std::size_t>(std::max<std::size_t>(1, granule), bp);
 

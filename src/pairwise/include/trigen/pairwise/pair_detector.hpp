@@ -5,19 +5,15 @@
 /// Extension beyond the paper's headline: the related-work systems it
 /// benchmarks its lineage against (BOOST, GBOOST, epiSNP, GWIS_FI) are
 /// *pairwise* tools, and diseases like Crohn's are driven by second-order
-/// interactions (§I).  This module runs all C(M,2) pairs through the same
-/// stack as the 3-way detector: the phenotype-split bit-plane layout, the
-/// full V1-V4 optimization ladder (naive planes, split planes, L1 blocking,
-/// per-ISA vectorization), the shared scan driver, and rank-range
-/// partitioning — so every orchestration layer built for triplets (sharding,
-/// checkpoint/resume, merge, permutation testing) works for pairs too.
-/// Options and results derive from the same order-generic bases as the
-/// triplet detector (core::ScanOptionsBase / core::ScanStats).
+/// interactions (§I).  The pairwise scan is the K = 2 instantiation of the
+/// order-generic stack — `PairDetector` *is* `core::BasicDetector<2>` — so
+/// every layer built for triplets (the V1-V5 ladder, per-ISA kernels,
+/// rank-range partitioning, sharding, checkpoint/resume, merge, permutation
+/// testing) works for pairs by construction.  This header keeps the
+/// historical pairwise names as aliases.
 
 #include <cstdint>
 #include <functional>
-#include <memory>
-#include <vector>
 
 #include "trigen/core/detector.hpp"
 #include "trigen/dataset/genotype_matrix.hpp"
@@ -45,75 +41,25 @@ inline std::uint64_t num_pairs(std::uint64_t m) {
 }
 
 /// Scorer for `o` over the 9 pair cells, normalized to lower-is-better
-/// (MI and X^2 are negated), sized for datasets of `num_samples`.  The
-/// pairwise counterpart of core::make_normalized_scorer, shared by the
-/// detector, the shard runner and the permutation test so repeated scans
-/// reuse one log-factorial table.
-std::function<double(const PairTable&)> make_normalized_pair_scorer(
-    core::Objective o, std::uint32_t num_samples);
-
-/// Detection parameters for the 2-way scan.  All order-generic fields
-/// (version, ISA, threads, chunking, tiling, top_k, rank range, progress)
-/// come from core::ScanOptionsBase; `range` addresses the colex pair rank
-/// space [0, C(M,2)).
-struct PairDetectorOptions : core::ScanOptionsBase {
-  /// Optional pre-built scorer overriding `objective` (must be normalized
-  /// to lower-is-better, e.g. from make_normalized_pair_scorer).
-  std::function<double(const PairTable&)> scorer{};
-};
-
-/// Injects the default normalized scorer for `objective` when none is set
-/// — the shared prelude of every repeated-scan harness (shard runner,
-/// permutation tests), overloaded per interaction order.
-inline void ensure_default_scorer(core::DetectorOptions& opt,
-                                  std::size_t num_samples) {
-  if (!opt.scorer) {
-    opt.scorer = core::make_normalized_scorer(
-        opt.objective, static_cast<std::uint32_t>(num_samples));
-  }
+/// (MI and X^2 are negated), sized for datasets of `num_samples` — the
+/// K = 2 instance of core::make_normalized_scorer_of.
+inline std::function<double(const PairTable&)> make_normalized_pair_scorer(
+    core::Objective o, std::uint32_t num_samples) {
+  return core::make_normalized_scorer_of<2>(o, num_samples);
 }
-inline void ensure_default_scorer(PairDetectorOptions& opt,
-                                  std::size_t num_samples) {
-  if (!opt.scorer) {
-    opt.scorer = make_normalized_pair_scorer(
-        opt.objective, static_cast<std::uint32_t>(num_samples));
-  }
-}
+
+/// Detection parameters for the 2-way scan; `range` addresses the colex
+/// pair rank space [0, C(M,2)).
+using PairDetectorOptions = core::BasicDetectorOptions<2>;
+
+/// The shared repeated-scan prelude, re-exported for both orders
+/// (historically overloaded here before it went order-generic).
+using core::ensure_default_scorer;
 
 /// Outcome of a 2-way detection run.
-struct PairDetectionResult : core::ScanStats {
-  std::vector<ScoredPair> best;  ///< best-first
-  std::uint64_t pairs_evaluated = 0;
-};
+using PairDetectionResult = core::BasicDetectionResult<2>;
 
-/// Exhaustive 2-way detector over one dataset.  Thread-safe for concurrent
-/// run() calls; the bit-plane layouts are built once at construction.
-class PairDetector {
- public:
-  explicit PairDetector(const dataset::GenotypeMatrix& d);
-  ~PairDetector();
-
-  PairDetector(const PairDetector&) = delete;
-  PairDetector& operator=(const PairDetector&) = delete;
-
-  /// Runs exhaustive detection; throws std::invalid_argument for
-  /// inconsistent options and std::runtime_error for unavailable ISAs.
-  /// All four versions produce bit-identical results for any rank range
-  /// (cross-checked in the test suite); they differ only in speed.
-  PairDetectionResult run(const PairDetectorOptions& options = {}) const;
-
-  /// Reference per-pair evaluation through the bitwise kernel over the
-  /// full sample range — the cross-check the blocked path is validated
-  /// against (and the V2 per-pair scan path).
-  PairTable contingency(std::size_t x, std::size_t y,
-                        core::KernelIsa isa = core::KernelIsa::kScalar) const;
-
-  std::size_t num_snps() const;
-  std::size_t num_samples() const;
-
- private:
-  struct Impl;
-  std::unique_ptr<Impl> impl_;
-};
+/// Exhaustive 2-way detector over one dataset.
+using PairDetector = core::BasicDetector<2>;
 
 }  // namespace trigen::pairwise

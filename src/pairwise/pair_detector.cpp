@@ -1,23 +1,8 @@
 #include "trigen/pairwise/pair_detector.hpp"
 
-#include <algorithm>
-#include <bit>
-#include <functional>
 #include <stdexcept>
 
-#include "trigen/combinatorics/block_partition.hpp"
-#include "trigen/combinatorics/scheduler.hpp"
-#include "trigen/common/aligned.hpp"
-#include "trigen/common/stopwatch.hpp"
-#include "trigen/core/blocked_engine.hpp"
-#include "trigen/core/scan_driver.hpp"
-#include "trigen/dataset/bitplanes.hpp"
-#include "trigen/scoring/generic.hpp"
-
 namespace trigen::pairwise {
-
-using combinatorics::RankRange;
-using dataset::Word;
 
 PairTable reference_pair_table(const dataset::GenotypeMatrix& d,
                                std::size_t x, std::size_t y) {
@@ -30,272 +15,6 @@ PairTable reference_pair_table(const dataset::GenotypeMatrix& d,
             [static_cast<std::size_t>(d.at(x, j) * 3 + d.at(y, j))]++;
   }
   return t;
-}
-
-std::function<double(const PairTable&)> make_normalized_pair_scorer(
-    core::Objective o, std::uint32_t num_samples) {
-  switch (o) {
-    case core::Objective::kK2: {
-      auto logfact =
-          std::make_shared<scoring::LogFactorialTable>(num_samples + 1);
-      return [logfact](const PairTable& t) {
-        return scoring::k2_score_cells(*logfact, t.counts[0], t.counts[1]);
-      };
-    }
-    case core::Objective::kMutualInformation:
-      return [](const PairTable& t) {
-        return -scoring::mutual_information_cells(t.counts[0], t.counts[1]);
-      };
-    case core::Objective::kChiSquared:
-      return [](const PairTable& t) {
-        return -scoring::chi_squared_cells(t.counts[0], t.counts[1]);
-      };
-  }
-  throw std::invalid_argument("unknown objective");
-}
-
-namespace {
-
-/// V1 pair evaluation from the naive Fig.-1 layout: genotype-plane ANDs
-/// against the phenotype / negated phenotype plane (the 2-way instance of
-/// core::contingency_v1).  Zero-padded genotype planes contribute nothing.
-PairTable pair_contingency_v1(const dataset::BitPlanesV1& p, std::size_t x,
-                              std::size_t y) {
-  PairTable t;
-  const Word* pheno = p.phenotype_plane();
-  for (int gx = 0; gx < 3; ++gx) {
-    const Word* px = p.plane(x, gx);
-    for (int gy = 0; gy < 3; ++gy) {
-      const Word* py = p.plane(y, gy);
-      const auto cell =
-          static_cast<std::size_t>(scoring::pair_cell_index(gx, gy));
-      std::uint32_t ctrl = 0;
-      std::uint32_t cases = 0;
-      for (std::size_t w = 0; w < p.words(); ++w) {
-        const Word g = px[w] & py[w];
-        cases += static_cast<std::uint32_t>(std::popcount(g & pheno[w]));
-        ctrl += static_cast<std::uint32_t>(std::popcount(g & ~pheno[w]));
-      }
-      t.counts[0][cell] = ctrl;
-      t.counts[1][cell] = cases;
-    }
-  }
-  return t;
-}
-
-unsigned resolve_threads(unsigned requested) {
-  if (requested != 0) return requested;
-  const unsigned hw = std::thread::hardware_concurrency();
-  return hw == 0 ? 1 : hw;
-}
-
-}  // namespace
-
-struct PairDetector::Impl {
-  std::size_t num_snps = 0;
-  std::size_t num_samples = 0;
-  dataset::BitPlanesV1 v1;
-  dataset::PhenoSplitPlanes split;
-  /// Synthetic third-SNP planes: genotype-0 all-ones, genotype-1 all-zeros.
-  /// Feeding them as the Z operand of the *triple* kernel pins g_z to 0, so
-  /// cells (g_x, g_y, 0) of the 27-cell output hold the 9-cell pair table —
-  /// which lets the pairwise path reuse every vectorized kernel unchanged.
-  std::array<aligned_vector<Word>, 2> ones;
-  std::array<aligned_vector<Word>, 2> zeros;
-
-  core::ConstantZPlanes z_planes() const {
-    return core::ConstantZPlanes{{ones[0].data(), ones[1].data()},
-                                 {zeros[0].data(), zeros[1].data()}};
-  }
-};
-
-PairDetector::PairDetector(const dataset::GenotypeMatrix& d)
-    : impl_(std::make_unique<Impl>()) {
-  if (d.num_snps() < 2) {
-    throw std::invalid_argument("PairDetector: need at least 2 SNPs");
-  }
-  if (!d.valid()) {
-    throw std::invalid_argument(
-        "PairDetector: dataset contains invalid values");
-  }
-  impl_->num_snps = d.num_snps();
-  impl_->num_samples = d.num_samples();
-  impl_->v1 = dataset::BitPlanesV1::build(d);
-  impl_->split = dataset::PhenoSplitPlanes::build(d);
-  for (int c = 0; c < 2; ++c) {
-    const auto cs = static_cast<std::size_t>(c);
-    impl_->ones[cs].assign(impl_->split.words(c), ~Word{0});
-    impl_->zeros[cs].assign(impl_->split.words(c), 0);
-  }
-}
-
-PairDetector::~PairDetector() = default;
-
-std::size_t PairDetector::num_snps() const { return impl_->num_snps; }
-std::size_t PairDetector::num_samples() const { return impl_->num_samples; }
-
-PairTable PairDetector::contingency(std::size_t x, std::size_t y,
-                                    core::KernelIsa isa) const {
-  if (x >= impl_->num_snps || y >= impl_->num_snps || x == y) {
-    throw std::out_of_range("PairDetector::contingency: bad SNP indices");
-  }
-  const core::TripleBlockKernel kernel = core::get_kernel(isa);
-  PairTable out;
-  for (int c = 0; c < 2; ++c) {
-    const auto cs = static_cast<std::size_t>(c);
-    std::uint32_t ft27[27] = {};
-    kernel(impl_->split.plane(c, x, 0), impl_->split.plane(c, x, 1),
-           impl_->split.plane(c, y, 0), impl_->split.plane(c, y, 1),
-           impl_->ones[cs].data(), impl_->zeros[cs].data(), 0,
-           impl_->split.words(c), ft27);
-    for (int gx = 0; gx < 3; ++gx) {
-      for (int gy = 0; gy < 3; ++gy) {
-        out.counts[cs][static_cast<std::size_t>(gx * 3 + gy)] =
-            ft27[gx * 9 + gy * 3 + 0];
-      }
-    }
-    // Padding tail bits read as (g_x=2, g_y=2, g_z=0).
-    out.counts[cs][8] -= static_cast<std::uint32_t>(impl_->split.pad_bits(c));
-  }
-  return out;
-}
-
-PairDetectionResult PairDetector::run(const PairDetectorOptions& options) const {
-  PairDetectionResult result;
-  result.threads_used = resolve_threads(options.threads);
-  // Same ISA resolution as the 3-way detector: V1 and V3 are scalar by
-  // definition, V4/V5 default to the widest available strategy, V2 honors
-  // an explicitly requested ISA.
-  result.isa_used = core::KernelIsa::kScalar;
-  if (options.version == core::CpuVersion::kV4Vector ||
-      options.version == core::CpuVersion::kV5PairCache) {
-    result.isa_used =
-        options.isa_auto ? core::best_kernel_isa() : options.isa;
-  } else if (options.version == core::CpuVersion::kV2Split &&
-             !options.isa_auto) {
-    result.isa_used = options.isa;
-  }
-  if (!core::kernel_available(result.isa_used)) {
-    throw std::runtime_error("requested kernel ISA not available: " +
-                             core::kernel_isa_name(result.isa_used));
-  }
-  if (options.top_k == 0) {
-    throw std::invalid_argument("PairDetectorOptions::top_k must be >= 1");
-  }
-
-  const std::size_t m = impl_->num_snps;
-  const std::uint64_t total = num_pairs(m);
-  RankRange range = options.range;
-  if (range.empty()) range = {0, total};
-  if (range.last > total) {
-    throw std::invalid_argument(
-        "PairDetectorOptions::range exceeds the space");
-  }
-  const bool partial = range.first != 0 || range.last != total;
-  result.pairs_evaluated = range.size();
-  result.elements = range.size() * impl_->num_samples;
-
-  const auto scorer =
-      options.scorer
-          ? options.scorer
-          : make_normalized_pair_scorer(
-                options.objective,
-                static_cast<std::uint32_t>(impl_->num_samples));
-
-  core::ScanConfig cfg;
-  cfg.threads = result.threads_used;
-  cfg.chunk_size = options.chunk_size;
-  cfg.progress = options.progress;
-  cfg.progress_total = range.size();
-
-  Stopwatch sw;
-  core::PairTopK merged(options.top_k);
-  const bool cached = options.version == core::CpuVersion::kV5PairCache;
-  const bool blocked = options.version == core::CpuVersion::kV3Blocked ||
-                       options.version == core::CpuVersion::kV4Vector ||
-                       cached;
-  if (!blocked) {
-    // V1/V2: work unit = one pair rank inside `range`.
-    const bool naive = options.version == core::CpuVersion::kV1Naive;
-    const core::KernelIsa isa = result.isa_used;
-    merged = core::scan_best<ScoredPair>(
-        range.size(), cfg, options.top_k,
-        [&](unsigned, RankRange r, core::PairTopK& top) -> std::uint64_t {
-          combinatorics::for_each_pair(
-              range.first + r.first, range.first + r.last,
-              [&](const combinatorics::Pair& p) {
-                const PairTable table =
-                    naive ? pair_contingency_v1(impl_->v1, p.x, p.y)
-                          : contingency(p.x, p.y, isa);
-                top.push(ScoredPair{p.x, p.y, scorer(table)});
-              });
-          return r.size();
-        });
-    result.tiling_used = core::TilingParams{0, 0};
-  } else {
-    // V3/V4/V5: work unit = one block pair of the partition covering
-    // `range`; emitted pairs are clipped to the range at the partition
-    // boundary (interior blocks pay no per-pair overhead).  The V5 rung
-    // reads the pair table straight off the x∩y plane popcounts — no
-    // constant z operand, no 27-cell sweep, and no materialized planes
-    // (counts-only kernel), so no L1 budget beyond V4's is needed (see
-    // scan_block_pair).
-    core::TilingParams tiling = options.tiling;
-    if (!tiling.valid()) {
-      tiling = core::autotune_tiling(
-          core::detect_l1_config(),
-          core::kernel_vector_words(result.isa_used));
-    }
-    result.tiling_used = tiling;
-    const combinatorics::BlockGrid grid{m, tiling.bs};
-    const combinatorics::BlockPartition part =
-        combinatorics::partition_block_pairs(grid, range);
-    const RankRange clip = partial ? range : core::kFullRange;
-    std::vector<core::PairBlockScratch> scratch;
-    scratch.reserve(cfg.threads);
-    for (unsigned t = 0; t < cfg.threads; ++t) scratch.emplace_back(tiling.bs);
-    const auto scan_blocks = [&](auto&& run_block) {
-      return core::scan_best<ScoredPair>(
-          part.block_ranks.size(), cfg, options.top_k,
-          [&](unsigned tid, RankRange r,
-              core::PairTopK& top) -> std::uint64_t {
-            std::uint64_t emitted = 0;
-            const auto on_table = [&](const combinatorics::Pair& p,
-                                      const PairTable& table) {
-              ++emitted;
-              top.push(ScoredPair{p.x, p.y, scorer(table)});
-            };
-            for (std::uint64_t b = r.first; b < r.last; ++b) {
-              run_block(
-                  tid,
-                  combinatorics::unrank_block_pair(part.block_ranks.first + b),
-                  on_table);
-            }
-            return emitted;
-          });
-    };
-    if (cached) {
-      const core::CachedKernelSet kernels =
-          core::get_cached_kernels(result.isa_used);
-      merged = scan_blocks([&](unsigned tid, const core::BlockPair& bp,
-                               const auto& on_table) {
-        core::scan_block_pair(impl_->split, tiling, kernels, scratch[tid], bp,
-                              clip, on_table);
-      });
-    } else {
-      const core::TripleBlockKernel kernel =
-          core::get_kernel(result.isa_used);
-      const core::ConstantZPlanes z = impl_->z_planes();
-      merged = scan_blocks([&](unsigned tid, const core::BlockPair& bp,
-                               const auto& on_table) {
-        core::scan_block_pair(impl_->split, tiling, kernel, scratch[tid], z,
-                              bp, clip, on_table);
-      });
-    }
-  }
-  result.seconds = sw.seconds();
-  result.best = merged.sorted();
-  return result;
 }
 
 }  // namespace trigen::pairwise

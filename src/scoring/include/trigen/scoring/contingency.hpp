@@ -1,12 +1,15 @@
 #pragma once
 /// \file contingency.hpp
-/// \brief The 27x2 frequency table at the heart of 3-way epistasis (Fig. 1).
+/// \brief The 3^k x 2 frequency table at the heart of k-way epistasis
+/// (Fig. 1).
 ///
-/// For an evaluated SNP triplet, cell (i, j) holds the number of samples of
-/// phenotype class j (0 = control, 1 = case) whose genotype combination is
-/// i = g_x * 9 + g_y * 3 + g_z.  Every kernel in the repository — CPU V1-V4,
+/// For an evaluated SNP combination, cell (i, j) holds the number of samples
+/// of phenotype class j (0 = control, 1 = case) whose genotype combination
+/// is i = sum g_l * 3^(k-1-l).  Every kernel in the repository — CPU V1-V5,
 /// the GPU-simulator kernels, and the MPI3SNP-style baseline — produces this
 /// exact structure, which is what makes them cross-checkable bit-for-bit.
+/// The classic 27x2 triplet table and the 9x2 pair table are the K = 3 and
+/// K = 2 instantiations of one template.
 
 #include <array>
 #include <cstdint>
@@ -15,22 +18,46 @@
 
 namespace trigen::scoring {
 
+/// Number of genotype combinations at interaction order `k`: 3^k.
+constexpr std::size_t num_cells(unsigned k) {
+  std::size_t v = 1;
+  for (unsigned i = 0; i < k; ++i) v *= 3;
+  return v;
+}
+
 /// Number of genotype combinations for a SNP triplet: 3^3.
 inline constexpr int kCells = 27;
 
-/// Cell index for a genotype combination.
+/// Cell index for a triplet genotype combination.
 constexpr int cell_index(int gx, int gy, int gz) {
   return gx * 9 + gy * 3 + gz;
 }
 
-/// 27x2 frequency table.
-struct ContingencyTable {
-  /// counts[j][i]: samples of class j with genotype combination i.
-  std::array<std::array<std::uint32_t, kCells>, 2> counts{};
+/// Number of genotype combinations for a SNP pair: 3^2.
+inline constexpr int kPairCells = 9;
 
-  std::uint32_t at(int gx, int gy, int gz, int cls) const {
-    return counts[static_cast<std::size_t>(cls)]
-                 [static_cast<std::size_t>(cell_index(gx, gy, gz))];
+/// Cell index for a pair genotype combination.
+constexpr int pair_cell_index(int gx, int gy) { return gx * 3 + gy; }
+
+/// 3^K x 2 frequency table of one order-K SNP combination.
+template <unsigned K>
+struct BasicContingencyTable {
+  static constexpr std::size_t kNumCells = num_cells(K);
+
+  /// counts[j][i]: samples of class j with genotype combination i.
+  std::array<std::array<std::uint32_t, kNumCells>, 2> counts{};
+
+  /// at(g_0, ..., g_{K-1}, cls): count of class `cls` samples whose
+  /// genotype combination is (g_0, ..., g_{K-1}).
+  template <typename... A>
+    requires(sizeof...(A) == K + 1)
+  std::uint32_t at(A... args) const {
+    const std::array<int, K + 1> a{static_cast<int>(args)...};
+    std::size_t cell = 0;
+    for (unsigned i = 0; i < K; ++i) {
+      cell = cell * 3 + static_cast<std::size_t>(a[i]);
+    }
+    return counts[static_cast<std::size_t>(a[K])][cell];
   }
 
   /// Total samples of class `cls` accounted for.
@@ -43,9 +70,15 @@ struct ContingencyTable {
   /// Total samples accounted for (both classes).
   std::uint32_t total() const { return class_total(0) + class_total(1); }
 
-  friend bool operator==(const ContingencyTable&,
-                         const ContingencyTable&) = default;
+  friend bool operator==(const BasicContingencyTable&,
+                         const BasicContingencyTable&) = default;
 };
+
+/// 27x2 frequency table of a SNP triplet.
+using ContingencyTable = BasicContingencyTable<3>;
+
+/// 9x2 frequency table of a SNP pair.
+using PairContingencyTable = BasicContingencyTable<2>;
 
 /// Ground-truth builder: counts genotype combinations directly from the
 /// unencoded dataset with a per-sample loop.  O(N) per triplet — used only
@@ -54,37 +87,20 @@ ContingencyTable reference_contingency(const dataset::GenotypeMatrix& d,
                                        std::size_t x, std::size_t y,
                                        std::size_t z);
 
-// ---------------------------------------------------------------------------
-// Second order: the 9x2 table of a SNP pair
-// ---------------------------------------------------------------------------
-
-/// Number of genotype combinations for a SNP pair: 3^2.
-inline constexpr int kPairCells = 9;
-
-/// Cell index for a pair genotype combination.
-constexpr int pair_cell_index(int gx, int gy) { return gx * 3 + gy; }
-
-/// 9x2 frequency table (the k=2 counterpart of ContingencyTable, consumed
-/// by the pairwise detector and the order-generic scorers in generic.hpp).
-struct PairContingencyTable {
-  /// counts[j][i]: samples of class j with genotype combination i.
-  std::array<std::array<std::uint32_t, kPairCells>, 2> counts{};
-
-  std::uint32_t at(int gx, int gy, int cls) const {
-    return counts[static_cast<std::size_t>(cls)]
-                 [static_cast<std::size_t>(pair_cell_index(gx, gy))];
+/// Order-generic ground truth: per-sample counting over an arbitrary strictly
+/// increasing SNP index set.  O(N * k) per combination — tests only.
+template <unsigned K>
+BasicContingencyTable<K> reference_contingency_k(
+    const dataset::GenotypeMatrix& d, const std::array<std::uint32_t, K>& snps) {
+  BasicContingencyTable<K> t;
+  for (std::size_t j = 0; j < d.num_samples(); ++j) {
+    std::size_t cell = 0;
+    for (unsigned i = 0; i < K; ++i) {
+      cell = cell * 3 + static_cast<std::size_t>(d.at(snps[i], j));
+    }
+    ++t.counts[d.phenotype(j)][cell];
   }
-
-  std::uint32_t class_total(int cls) const {
-    std::uint32_t t = 0;
-    for (const auto v : counts[static_cast<std::size_t>(cls)]) t += v;
-    return t;
-  }
-
-  std::uint32_t total() const { return class_total(0) + class_total(1); }
-
-  friend bool operator==(const PairContingencyTable&,
-                         const PairContingencyTable&) = default;
-};
+  return t;
+}
 
 }  // namespace trigen::scoring

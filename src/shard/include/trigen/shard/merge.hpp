@@ -9,11 +9,11 @@
 /// (scores bit-for-bit, order included), in whatever order the shards are
 /// presented.  The merge refuses anything that would silently break that
 /// guarantee: mixed fingerprints/objectives/top_k, overlapping shards, or
-/// coverage gaps.  Both interaction orders merge through one shared
-/// implementation: `merge_shards` for 3-way shard results,
-/// `merge_pair_shards` for 2-way ones (order mixing is impossible by
-/// construction — the readers in result_io.hpp already reject files of the
-/// wrong order).
+/// coverage gaps.  Every interaction order merges through one shared
+/// implementation, `merge_shards_of<K>`; `merge_shards` (3-way) and
+/// `merge_pair_shards` (2-way) are its historical entry points.  Order
+/// mixing is impossible by construction — the readers in result_io.hpp
+/// already reject files of the wrong order.
 
 #include <vector>
 
@@ -24,7 +24,7 @@
 namespace trigen::shard {
 
 /// A merged scan plus shard-level accounting, generic over the per-order
-/// result type (core::DetectionResult / pairwise::PairDetectionResult).
+/// result type (core::BasicDetectionResult<K>).
 template <typename ResultT>
 struct BasicMergedScan {
   /// Equivalent scan result over `range`: `best`, the evaluated-count
@@ -46,8 +46,12 @@ struct BasicMergedScan {
   double max_shard_seconds = 0.0;
 };
 
-using MergedScan = BasicMergedScan<core::DetectionResult>;
-using PairMergedScan = BasicMergedScan<pairwise::PairDetectionResult>;
+/// The merged-scan type of interaction order K.
+template <unsigned K>
+using MergedScanOf = BasicMergedScan<core::BasicDetectionResult<K>>;
+
+using MergedScan = MergedScanOf<3>;
+using PairMergedScan = MergedScanOf<2>;
 
 /// What a merge must cover.
 enum class MergeCoverage {
@@ -55,25 +59,59 @@ enum class MergeCoverage {
   kContiguous,  ///< any contiguous [lo, hi): an intermediate (tree) merge
 };
 
-/// Merges shard results tiling one contiguous rank interval exactly once,
-/// in any order — with kFullScan (the default), that interval must be the
-/// whole space.  Throws std::invalid_argument when `shards` is empty and
-/// std::runtime_error naming the offending shards for fingerprint /
-/// header mismatches, overlaps and gaps.  A kContiguous merge returns a
-/// result equivalent to one shard scanned over the combined range, so
-/// intermediate merges compose: merging the intermediates (e.g. one per
-/// rack) reproduces the single-level merge exactly.
-MergedScan merge_shards(const std::vector<ShardResult>& shards,
-                        MergeCoverage coverage = MergeCoverage::kFullScan);
-
-/// Same contract for 2-way shard results.
-PairMergedScan merge_pair_shards(
-    const std::vector<PairShardResult>& shards,
+/// Merges order-K shard results tiling one contiguous rank interval
+/// exactly once, in any order — with kFullScan (the default), that
+/// interval must be the whole space.  Throws std::invalid_argument when
+/// `shards` is empty and std::runtime_error naming the offending shards
+/// for fingerprint / header mismatches, overlaps and gaps.  A kContiguous
+/// merge returns a result equivalent to one shard scanned over the
+/// combined range, so intermediate merges compose: merging the
+/// intermediates (e.g. one per rack) reproduces the single-level merge
+/// exactly.
+template <unsigned K>
+MergedScanOf<K> merge_shards_of(
+    const std::vector<BasicShardResult<core::ScoredOf<K>>>& shards,
     MergeCoverage coverage = MergeCoverage::kFullScan);
+
+/// Merges 3-way shard results (= merge_shards_of<3>).
+inline MergedScan merge_shards(
+    const std::vector<ShardResult>& shards,
+    MergeCoverage coverage = MergeCoverage::kFullScan) {
+  return merge_shards_of<3>(shards, coverage);
+}
+
+/// Merges 2-way shard results (= merge_shards_of<2>).
+inline PairMergedScan merge_pair_shards(
+    const std::vector<PairShardResult>& shards,
+    MergeCoverage coverage = MergeCoverage::kFullScan) {
+  return merge_shards_of<2>(shards, coverage);
+}
 
 /// The merged scan repackaged as a shard result over `m.range` — the
 /// artifact an intermediate merge writes for the next merge level.
-ShardResult to_shard_result(const MergedScan& m);
-PairShardResult to_shard_result(const PairMergedScan& m);
+template <unsigned K>
+BasicShardResult<core::ScoredOf<K>> to_shard_result(const MergedScanOf<K>& m);
+
+extern template MergedScanOf<2> merge_shards_of<2>(
+    const std::vector<BasicShardResult<core::ScoredOf<2>>>&, MergeCoverage);
+extern template MergedScanOf<3> merge_shards_of<3>(
+    const std::vector<BasicShardResult<core::ScoredOf<3>>>&, MergeCoverage);
+extern template MergedScanOf<4> merge_shards_of<4>(
+    const std::vector<BasicShardResult<core::ScoredOf<4>>>&, MergeCoverage);
+extern template MergedScanOf<5> merge_shards_of<5>(
+    const std::vector<BasicShardResult<core::ScoredOf<5>>>&, MergeCoverage);
+extern template MergedScanOf<6> merge_shards_of<6>(
+    const std::vector<BasicShardResult<core::ScoredOf<6>>>&, MergeCoverage);
+
+extern template BasicShardResult<core::ScoredOf<2>> to_shard_result<2>(
+    const MergedScanOf<2>&);
+extern template BasicShardResult<core::ScoredOf<3>> to_shard_result<3>(
+    const MergedScanOf<3>&);
+extern template BasicShardResult<core::ScoredOf<4>> to_shard_result<4>(
+    const MergedScanOf<4>&);
+extern template BasicShardResult<core::ScoredOf<5>> to_shard_result<5>(
+    const MergedScanOf<5>&);
+extern template BasicShardResult<core::ScoredOf<6>> to_shard_result<6>(
+    const MergedScanOf<6>&);
 
 }  // namespace trigen::shard

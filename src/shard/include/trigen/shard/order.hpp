@@ -3,12 +3,13 @@
 /// \brief Interaction-order traits for the shard layer.
 ///
 /// The shard formats, runner and merge are generic over the interaction
-/// order of the scan they orchestrate: order 3 (the paper's headline
-/// triplet scan) and order 2 (the BOOST-class pairwise scan).  Everything
-/// order-specific — the scored-entry type, the size of the rank space, the
-/// colex rank of an entry, and how an entry's SNP indices serialize — is
-/// captured here once, so adding an order (k = 4, covariate strata) means
-/// adding a specialization, not forking the orchestration code.
+/// order of the scan they orchestrate: every k in
+/// [2, combinatorics::kMaxOrder].  Everything order-specific — the
+/// scored-entry type, the size of the rank space, the colex rank of an
+/// entry, and how an entry's SNP indices serialize — is captured here
+/// once: the named k=2/k=3 entry types get explicit specializations (their
+/// members are part of the public API), every other order comes from the
+/// ScoredTuple<K> partial specialization.
 
 #include <array>
 #include <cstdint>
@@ -20,6 +21,26 @@ namespace trigen::shard {
 
 template <typename Scored>
 struct OrderTraits;
+
+template <unsigned K>
+struct OrderTraits<core::ScoredTuple<K>> {
+  static constexpr unsigned kOrder = K;
+  /// Size of the rank space: C(m, K).
+  static std::uint64_t space(std::uint64_t m) {
+    return combinatorics::n_choose_k(m, K);
+  }
+  static std::uint64_t rank(const core::ScoredTuple<K>& s) {
+    return combinatorics::rank_combination<K>(s.snps);
+  }
+  static std::array<std::uint32_t, kOrder> snps(
+      const core::ScoredTuple<K>& s) {
+    return s.snps;
+  }
+  static core::ScoredTuple<K> make(const std::array<std::uint32_t, kOrder>& v,
+                                   double score) {
+    return {v, score};
+  }
+};
 
 template <>
 struct OrderTraits<core::ScoredTriplet> {
@@ -58,5 +79,11 @@ struct OrderTraits<core::ScoredPair> {
     return {v[0], v[1], score};
   }
 };
+
+/// The traits of interaction order K, addressed by order instead of entry
+/// type (K = 2 and 3 resolve to the ScoredPair/ScoredTriplet
+/// specializations through core::ScoredOf).
+template <unsigned K>
+using OrderTraitsOf = OrderTraits<core::ScoredOf<K>>;
 
 }  // namespace trigen::shard

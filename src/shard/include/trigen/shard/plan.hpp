@@ -2,8 +2,8 @@
 /// \file plan.hpp
 /// \brief Splitting one exhaustive scan across W independent shard workers.
 ///
-/// A *scan plan* cuts the colex combination rank space [0, C(M,k)) — k = 3
-/// for triplet scans, k = 2 for pairwise scans — into W contiguous,
+/// A *scan plan* cuts the colex combination rank space [0, C(M,k)) — any
+/// interaction order k in [2, combinatorics::kMaxOrder] — into W contiguous,
 /// non-empty, non-overlapping rank ranges.  Each shard is an ordinary
 /// `range` scan (`DetectorOptions::range` / `PairDetectorOptions::range`),
 /// so any worker — another process, another node, a resumed crash survivor
@@ -37,8 +37,9 @@ enum class SplitStrategy {
 };
 
 /// Splits [0, C(num_snps, order)) into `workers` shards.  `order` is the
-/// interaction order of the scan being planned (3 = triplets, 2 = pairs).
-/// Throws std::invalid_argument when workers == 0, order is not 2 or 3,
+/// interaction order of the scan being planned, any value in
+/// [2, combinatorics::kMaxOrder].  Throws std::invalid_argument when
+/// workers == 0, order is outside that interval,
 /// workers > C(num_snps, order), or a block-aligned split cannot produce
 /// `workers` non-empty shards (too few block layers).  `block_size` (SNPs
 /// per block, B_S) is only used by kBlockAligned and must match the grid

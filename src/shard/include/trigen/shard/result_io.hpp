@@ -21,10 +21,13 @@
 ///   end TRIGEN-SHARD         ...
 ///                            end TRIGEN-CHECKPOINT
 ///
-/// `order` is the interaction order k of the scan: ranks address the colex
-/// space [0, C(M,k)) and each entry line carries k SNP indices
-/// (`e x y z <score-hex>` for order 3, `e x y <score-hex>` for order 2).
-/// The v1 formats —
+/// `order` is the interaction order k of the scan, any value in
+/// [2, combinatorics::kMaxOrder]: ranks address the colex space
+/// [0, C(M,k)) and each entry line carries k SNP indices
+/// (`e x y z <score-hex>` for order 3, `e x y <score-hex>` for order 2,
+/// and so on).  A dataset whose C(M,k) exceeds 2^64 is rejected with a
+/// precise "rank space exceeds 2^64" error — the rank fields could not
+/// address it.  The v1 formats —
 /// identical except that the `order` line is absent — predate pairwise
 /// sharding and are still read (their order is 3 by definition); writers
 /// always emit v2.  Reading a file of the wrong order throws a precise
@@ -53,7 +56,8 @@
 namespace trigen::shard {
 
 /// Completed scan of one rank-range shard, generic over the scored-entry
-/// type (core::ScoredTriplet for order 3, core::ScoredPair for order 2).
+/// type (core::ScoredOf<K>: ScoredTriplet for order 3, ScoredPair for
+/// order 2, ScoredTuple<K> beyond).
 template <typename Scored>
 struct BasicShardResult {
   std::uint64_t fingerprint = 0;   ///< dataset_fingerprint() of the input
@@ -86,29 +90,59 @@ struct BasicCheckpoint {
 using Checkpoint = BasicCheckpoint<core::ScoredTriplet>;
 using PairCheckpoint = BasicCheckpoint<core::ScoredPair>;
 
-// Writers overload on the artifact's entry type; readers are named per
-// order (the return type selects the instantiation).  File variants write
-// atomically (temp file + rename), so a crash mid-write never leaves a
-// half-written artifact under the final name.
+// Writers deduce the artifact's entry type; readers are parameterized on
+// it (the `_as` suffix marks the explicit-argument form).  All are
+// instantiated for every order in [2, combinatorics::kMaxOrder] in
+// result_io.cpp.  File variants write atomically (temp file + rename), so
+// a crash mid-write never leaves a half-written artifact under the final
+// name.
 
-void write_shard_result(std::ostream& os, const ShardResult& r);
-void write_shard_result(std::ostream& os, const PairShardResult& r);
-ShardResult read_shard_result(std::istream& is);
-PairShardResult read_pair_shard_result(std::istream& is);
-void write_shard_result_file(const std::string& path, const ShardResult& r);
+template <typename Scored>
+void write_shard_result(std::ostream& os, const BasicShardResult<Scored>& r);
+template <typename Scored>
+BasicShardResult<Scored> read_shard_result_as(std::istream& is);
+template <typename Scored>
 void write_shard_result_file(const std::string& path,
-                             const PairShardResult& r);
-ShardResult read_shard_result_file(const std::string& path);
-PairShardResult read_pair_shard_result_file(const std::string& path);
+                             const BasicShardResult<Scored>& r);
+template <typename Scored>
+BasicShardResult<Scored> read_shard_result_file_as(const std::string& path);
 
-void write_checkpoint(std::ostream& os, const Checkpoint& c);
-void write_checkpoint(std::ostream& os, const PairCheckpoint& c);
-Checkpoint read_checkpoint(std::istream& is);
-PairCheckpoint read_pair_checkpoint(std::istream& is);
-void write_checkpoint_file(const std::string& path, const Checkpoint& c);
-void write_checkpoint_file(const std::string& path, const PairCheckpoint& c);
-Checkpoint read_checkpoint_file(const std::string& path);
-PairCheckpoint read_pair_checkpoint_file(const std::string& path);
+template <typename Scored>
+void write_checkpoint(std::ostream& os, const BasicCheckpoint<Scored>& c);
+template <typename Scored>
+BasicCheckpoint<Scored> read_checkpoint_as(std::istream& is);
+template <typename Scored>
+void write_checkpoint_file(const std::string& path,
+                           const BasicCheckpoint<Scored>& c);
+template <typename Scored>
+BasicCheckpoint<Scored> read_checkpoint_file_as(const std::string& path);
+
+// Historical per-order reader names.
+
+inline ShardResult read_shard_result(std::istream& is) {
+  return read_shard_result_as<core::ScoredTriplet>(is);
+}
+inline PairShardResult read_pair_shard_result(std::istream& is) {
+  return read_shard_result_as<core::ScoredPair>(is);
+}
+inline ShardResult read_shard_result_file(const std::string& path) {
+  return read_shard_result_file_as<core::ScoredTriplet>(path);
+}
+inline PairShardResult read_pair_shard_result_file(const std::string& path) {
+  return read_shard_result_file_as<core::ScoredPair>(path);
+}
+inline Checkpoint read_checkpoint(std::istream& is) {
+  return read_checkpoint_as<core::ScoredTriplet>(is);
+}
+inline PairCheckpoint read_pair_checkpoint(std::istream& is) {
+  return read_checkpoint_as<core::ScoredPair>(is);
+}
+inline Checkpoint read_checkpoint_file(const std::string& path) {
+  return read_checkpoint_file_as<core::ScoredTriplet>(path);
+}
+inline PairCheckpoint read_pair_checkpoint_file(const std::string& path) {
+  return read_checkpoint_file_as<core::ScoredPair>(path);
+}
 
 /// Reads just enough of a shard-result file to report its interaction
 /// order (3 for v1 files, the `order` field for v2) so callers — above

@@ -12,9 +12,10 @@
 /// result is identical to an uninterrupted run, entry for entry and bit
 /// for bit.
 ///
-/// The runner is order-generic: `run_shard` drives the 3-way
-/// `core::Detector`, `run_pair_shard` the 2-way `pairwise::PairDetector`,
-/// through one shared implementation.
+/// The runner is order-generic: `run_shard_of<K>` drives the order-K
+/// `core::BasicDetector<K>` for any K in [2, combinatorics::kMaxOrder];
+/// `run_shard` and `run_pair_shard` are its historical K = 3 / K = 2
+/// entry points.
 
 #include <cstdint>
 #include <functional>
@@ -70,7 +71,7 @@ struct BasicShardRunReport {
 using ShardRunReport = BasicShardRunReport<core::ScoredTriplet>;
 using PairShardRunReport = BasicShardRunReport<core::ScoredPair>;
 
-/// Runs (or resumes) one shard of a 3-way scan.  Throws
+/// Runs (or resumes) one shard of an order-K scan.  Throws
 /// std::invalid_argument for a bad range and std::runtime_error when an
 /// existing checkpoint belongs to a different dataset/range/objective/
 /// top_k (stale artifacts are never silently overwritten).  An
@@ -78,17 +79,52 @@ using PairShardRunReport = BasicShardRunReport<core::ScoredPair>;
 /// the atomic write, or external damage — is reported via
 /// `on_checkpoint_discarded` (when set) and the shard restarts from its
 /// beginning, which is always safe.
-ShardRunReport run_shard(
-    const core::Detector& detector, std::uint64_t fingerprint,
-    const ShardRunOptions& options,
+template <unsigned K>
+BasicShardRunReport<core::ScoredOf<K>> run_shard_of(
+    const core::BasicDetector<K>& detector, std::uint64_t fingerprint,
+    const BasicShardRunOptions<core::BasicDetectorOptions<K>>& options,
     const std::function<void(const std::string& reason)>&
         on_checkpoint_discarded = {});
 
-/// Same contract for one shard of a 2-way scan.
-PairShardRunReport run_pair_shard(
+/// One shard of a 3-way scan (= run_shard_of<3>).
+inline ShardRunReport run_shard(
+    const core::Detector& detector, std::uint64_t fingerprint,
+    const ShardRunOptions& options,
+    const std::function<void(const std::string& reason)>&
+        on_checkpoint_discarded = {}) {
+  return run_shard_of<3>(detector, fingerprint, options,
+                         on_checkpoint_discarded);
+}
+
+/// One shard of a 2-way scan (= run_shard_of<2>).
+inline PairShardRunReport run_pair_shard(
     const pairwise::PairDetector& detector, std::uint64_t fingerprint,
     const PairShardRunOptions& options,
     const std::function<void(const std::string& reason)>&
-        on_checkpoint_discarded = {});
+        on_checkpoint_discarded = {}) {
+  return run_shard_of<2>(detector, fingerprint, options,
+                         on_checkpoint_discarded);
+}
+
+extern template BasicShardRunReport<core::ScoredOf<2>> run_shard_of<2>(
+    const core::BasicDetector<2>&, std::uint64_t,
+    const BasicShardRunOptions<core::BasicDetectorOptions<2>>&,
+    const std::function<void(const std::string&)>&);
+extern template BasicShardRunReport<core::ScoredOf<3>> run_shard_of<3>(
+    const core::BasicDetector<3>&, std::uint64_t,
+    const BasicShardRunOptions<core::BasicDetectorOptions<3>>&,
+    const std::function<void(const std::string&)>&);
+extern template BasicShardRunReport<core::ScoredOf<4>> run_shard_of<4>(
+    const core::BasicDetector<4>&, std::uint64_t,
+    const BasicShardRunOptions<core::BasicDetectorOptions<4>>&,
+    const std::function<void(const std::string&)>&);
+extern template BasicShardRunReport<core::ScoredOf<5>> run_shard_of<5>(
+    const core::BasicDetector<5>&, std::uint64_t,
+    const BasicShardRunOptions<core::BasicDetectorOptions<5>>&,
+    const std::function<void(const std::string&)>&);
+extern template BasicShardRunReport<core::ScoredOf<6>> run_shard_of<6>(
+    const core::BasicDetector<6>&, std::uint64_t,
+    const BasicShardRunOptions<core::BasicDetectorOptions<6>>&,
+    const std::function<void(const std::string&)>&);
 
 }  // namespace trigen::shard

@@ -17,12 +17,11 @@ std::string range_str(const combinatorics::RankRange& r) {
   return "[" + std::to_string(r.first) + ", " + std::to_string(r.last) + ")";
 }
 
-/// The shared merge body.  `evaluated` names the per-order evaluated-count
-/// member of the result type (triplets_evaluated / pairs_evaluated).
+/// The shared merge body.
 template <typename Scored, typename ResultT>
 BasicMergedScan<ResultT> merge_impl(
     const std::vector<BasicShardResult<Scored>>& shards,
-    MergeCoverage coverage, std::uint64_t ResultT::*evaluated) {
+    MergeCoverage coverage) {
   if (shards.empty()) {
     throw std::invalid_argument("shard merge: no shard results to merge");
   }
@@ -93,11 +92,11 @@ BasicMergedScan<ResultT> merge_impl(
   core::BasicTopK<Scored> acc(static_cast<std::size_t>(ref.top_k));
   for (const BasicShardResult<Scored>& s : shards) {
     for (const auto& e : s.entries) acc.push(e);
-    m.result.*evaluated += s.range.size();
+    m.result.combinations_evaluated += s.range.size();
     m.result.seconds += s.seconds;
     m.max_shard_seconds = std::max(m.max_shard_seconds, s.seconds);
   }
-  m.result.elements = m.result.*evaluated * ref.num_samples;
+  m.result.elements = m.result.combinations_evaluated * ref.num_samples;
   m.result.best = acc.sorted();
   return m;
 }
@@ -119,24 +118,39 @@ BasicShardResult<Scored> to_shard_result_impl(
 
 }  // namespace
 
-MergedScan merge_shards(const std::vector<ShardResult>& shards,
-                        MergeCoverage coverage) {
-  return merge_impl<core::ScoredTriplet, core::DetectionResult>(
-      shards, coverage, &core::DetectionResult::triplets_evaluated);
+template <unsigned K>
+MergedScanOf<K> merge_shards_of(
+    const std::vector<BasicShardResult<core::ScoredOf<K>>>& shards,
+    MergeCoverage coverage) {
+  return merge_impl<core::ScoredOf<K>, core::BasicDetectionResult<K>>(
+      shards, coverage);
 }
 
-PairMergedScan merge_pair_shards(const std::vector<PairShardResult>& shards,
-                                 MergeCoverage coverage) {
-  return merge_impl<core::ScoredPair, pairwise::PairDetectionResult>(
-      shards, coverage, &pairwise::PairDetectionResult::pairs_evaluated);
+template <unsigned K>
+BasicShardResult<core::ScoredOf<K>> to_shard_result(const MergedScanOf<K>& m) {
+  return to_shard_result_impl<core::ScoredOf<K>>(m);
 }
 
-ShardResult to_shard_result(const MergedScan& m) {
-  return to_shard_result_impl<core::ScoredTriplet>(m);
-}
+template MergedScanOf<2> merge_shards_of<2>(
+    const std::vector<BasicShardResult<core::ScoredOf<2>>>&, MergeCoverage);
+template MergedScanOf<3> merge_shards_of<3>(
+    const std::vector<BasicShardResult<core::ScoredOf<3>>>&, MergeCoverage);
+template MergedScanOf<4> merge_shards_of<4>(
+    const std::vector<BasicShardResult<core::ScoredOf<4>>>&, MergeCoverage);
+template MergedScanOf<5> merge_shards_of<5>(
+    const std::vector<BasicShardResult<core::ScoredOf<5>>>&, MergeCoverage);
+template MergedScanOf<6> merge_shards_of<6>(
+    const std::vector<BasicShardResult<core::ScoredOf<6>>>&, MergeCoverage);
 
-PairShardResult to_shard_result(const PairMergedScan& m) {
-  return to_shard_result_impl<core::ScoredPair>(m);
-}
+template BasicShardResult<core::ScoredOf<2>> to_shard_result<2>(
+    const MergedScanOf<2>&);
+template BasicShardResult<core::ScoredOf<3>> to_shard_result<3>(
+    const MergedScanOf<3>&);
+template BasicShardResult<core::ScoredOf<4>> to_shard_result<4>(
+    const MergedScanOf<4>&);
+template BasicShardResult<core::ScoredOf<5>> to_shard_result<5>(
+    const MergedScanOf<5>&);
+template BasicShardResult<core::ScoredOf<6>> to_shard_result<6>(
+    const MergedScanOf<6>&);
 
 }  // namespace trigen::shard

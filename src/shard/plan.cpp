@@ -47,9 +47,11 @@ std::vector<combinatorics::RankRange> plan_shards(std::uint64_t num_snps,
                                                   SplitStrategy strategy,
                                                   std::uint64_t block_size,
                                                   unsigned order) {
-  if (order < 2 || order > 3) {
-    throw std::invalid_argument("plan_shards: order must be 2 or 3, got " +
-                                std::to_string(order));
+  if (order < 2 || order > combinatorics::kMaxOrder) {
+    throw std::invalid_argument(
+        "plan_shards: order must be in [2, " +
+        std::to_string(combinatorics::kMaxOrder) + "], got " +
+        std::to_string(order));
   }
   const std::uint64_t total = combinatorics::n_choose_k(num_snps, order);
   if (workers == 0) {

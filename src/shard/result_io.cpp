@@ -126,9 +126,10 @@ unsigned read_preamble(std::istream& is, const char* magic, const char* kind,
   unsigned order = 3;  // v1 predates pairwise shards: always a triplet scan
   if (tok == kFormatVersion) {
     const std::uint64_t o = read_u64_field(is, kind, "order");
-    if (o != 2 && o != 3) {
+    if (o < 2 || o > combinatorics::kMaxOrder) {
       fail(kind, "unsupported order " + std::to_string(o) +
-                     " (this build reads orders 2 and 3)");
+                     " (this build reads orders 2.." +
+                     std::to_string(combinatorics::kMaxOrder) + ")");
     }
     order = static_cast<unsigned>(o);
   } else if (tok != kLegacyVersion) {
@@ -167,7 +168,15 @@ Header read_header(std::istream& is, const char* magic, const char* kind) {
                             "range first");
   h.range.last = parse_u64(next_token(is, kind, "range last"), kind,
                            "range last");
-  const std::uint64_t total = combinatorics::n_choose_k(h.num_snps, Order);
+  // At order >= 4 a plausible SNP count can still overflow the u64 rank
+  // fields; such a scan is unrepresentable in this format.
+  std::uint64_t total = 0;
+  try {
+    total = combinatorics::n_choose_k(h.num_snps, Order);
+  } catch (const std::overflow_error&) {
+    fail(kind, "rank space exceeds 2^64: C(" + std::to_string(h.num_snps) +
+                   "," + std::to_string(Order) + ") is not addressable");
+  }
   if (h.range.first >= h.range.last || h.range.last > total) {
     fail(kind, "invalid range [" + std::to_string(h.range.first) + ", " +
                    std::to_string(h.range.last) + ") for C(" +
@@ -345,70 +354,75 @@ BasicCheckpoint<Scored> read_checkpoint_impl(std::istream& is) {
 
 }  // namespace
 
-void write_shard_result(std::ostream& os, const ShardResult& r) {
-  write_shard_result_impl(os, r);
-}
-void write_shard_result(std::ostream& os, const PairShardResult& r) {
+template <typename Scored>
+void write_shard_result(std::ostream& os, const BasicShardResult<Scored>& r) {
   write_shard_result_impl(os, r);
 }
 
-ShardResult read_shard_result(std::istream& is) {
-  return read_shard_result_impl<core::ScoredTriplet>(is);
-}
-PairShardResult read_pair_shard_result(std::istream& is) {
-  return read_shard_result_impl<core::ScoredPair>(is);
+template <typename Scored>
+BasicShardResult<Scored> read_shard_result_as(std::istream& is) {
+  return read_shard_result_impl<Scored>(is);
 }
 
-void write_shard_result_file(const std::string& path, const ShardResult& r) {
-  write_file_atomically(path, "shard-result",
-                        [&](std::ostream& os) { write_shard_result(os, r); });
-}
+template <typename Scored>
 void write_shard_result_file(const std::string& path,
-                             const PairShardResult& r) {
-  write_file_atomically(path, "shard-result",
-                        [&](std::ostream& os) { write_shard_result(os, r); });
+                             const BasicShardResult<Scored>& r) {
+  write_file_atomically(path, "shard-result", [&](std::ostream& os) {
+    write_shard_result_impl(os, r);
+  });
 }
 
-ShardResult read_shard_result_file(const std::string& path) {
+template <typename Scored>
+BasicShardResult<Scored> read_shard_result_file_as(const std::string& path) {
   auto is = open_for_read(path, "shard-result");
-  return read_shard_result(is);
-}
-PairShardResult read_pair_shard_result_file(const std::string& path) {
-  auto is = open_for_read(path, "shard-result");
-  return read_pair_shard_result(is);
+  return read_shard_result_impl<Scored>(is);
 }
 
-void write_checkpoint(std::ostream& os, const Checkpoint& c) {
-  write_checkpoint_impl(os, c);
-}
-void write_checkpoint(std::ostream& os, const PairCheckpoint& c) {
+template <typename Scored>
+void write_checkpoint(std::ostream& os, const BasicCheckpoint<Scored>& c) {
   write_checkpoint_impl(os, c);
 }
 
-Checkpoint read_checkpoint(std::istream& is) {
-  return read_checkpoint_impl<core::ScoredTriplet>(is);
-}
-PairCheckpoint read_pair_checkpoint(std::istream& is) {
-  return read_checkpoint_impl<core::ScoredPair>(is);
+template <typename Scored>
+BasicCheckpoint<Scored> read_checkpoint_as(std::istream& is) {
+  return read_checkpoint_impl<Scored>(is);
 }
 
-void write_checkpoint_file(const std::string& path, const Checkpoint& c) {
-  write_file_atomically(path, "checkpoint",
-                        [&](std::ostream& os) { write_checkpoint(os, c); });
-}
-void write_checkpoint_file(const std::string& path, const PairCheckpoint& c) {
-  write_file_atomically(path, "checkpoint",
-                        [&](std::ostream& os) { write_checkpoint(os, c); });
+template <typename Scored>
+void write_checkpoint_file(const std::string& path,
+                           const BasicCheckpoint<Scored>& c) {
+  write_file_atomically(path, "checkpoint", [&](std::ostream& os) {
+    write_checkpoint_impl(os, c);
+  });
 }
 
-Checkpoint read_checkpoint_file(const std::string& path) {
+template <typename Scored>
+BasicCheckpoint<Scored> read_checkpoint_file_as(const std::string& path) {
   auto is = open_for_read(path, "checkpoint");
-  return read_checkpoint(is);
+  return read_checkpoint_impl<Scored>(is);
 }
-PairCheckpoint read_pair_checkpoint_file(const std::string& path) {
-  auto is = open_for_read(path, "checkpoint");
-  return read_pair_checkpoint(is);
-}
+
+// One instantiation per supported interaction order.
+#define TRIGEN_SHARD_IO_INSTANTIATE(S)                                        \
+  template void write_shard_result<S>(std::ostream&,                          \
+                                      const BasicShardResult<S>&);            \
+  template BasicShardResult<S> read_shard_result_as<S>(std::istream&);        \
+  template void write_shard_result_file<S>(const std::string&,               \
+                                           const BasicShardResult<S>&);       \
+  template BasicShardResult<S> read_shard_result_file_as<S>(                  \
+      const std::string&);                                                    \
+  template void write_checkpoint<S>(std::ostream&, const BasicCheckpoint<S>&);\
+  template BasicCheckpoint<S> read_checkpoint_as<S>(std::istream&);           \
+  template void write_checkpoint_file<S>(const std::string&,                  \
+                                         const BasicCheckpoint<S>&);          \
+  template BasicCheckpoint<S> read_checkpoint_file_as<S>(const std::string&);
+
+TRIGEN_SHARD_IO_INSTANTIATE(core::ScoredPair)
+TRIGEN_SHARD_IO_INSTANTIATE(core::ScoredTriplet)
+TRIGEN_SHARD_IO_INSTANTIATE(core::ScoredTuple<4>)
+TRIGEN_SHARD_IO_INSTANTIATE(core::ScoredTuple<5>)
+TRIGEN_SHARD_IO_INSTANTIATE(core::ScoredTuple<6>)
+#undef TRIGEN_SHARD_IO_INSTANTIATE
 
 unsigned probe_shard_order(const std::string& path) {
   const char* kind = "shard-result";

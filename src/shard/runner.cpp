@@ -16,17 +16,6 @@ namespace {
   throw std::runtime_error("shard runner: stale checkpoint: " + what);
 }
 
-/// Order dispatch for the checkpoint reader (readers are named per order
-/// because they differ only in return type).
-template <typename Scored>
-BasicCheckpoint<Scored> read_checkpoint_file_as(const std::string& path) {
-  if constexpr (std::is_same_v<Scored, core::ScoredTriplet>) {
-    return read_checkpoint_file(path);
-  } else {
-    return read_pair_checkpoint_file(path);
-  }
-}
-
 /// Loads and validates an existing checkpoint.  A checkpoint for a
 /// *different* scan is a hard error (merging it would corrupt results); an
 /// unparseable file is survivable damage — report it and rescan.
@@ -126,7 +115,7 @@ BasicShardRunReport<Scored> run_shard_impl(
   // detector.progress would see chunk-local counts, so it is ignored in
   // favor of BasicShardRunOptions::progress.
   dopt.progress = {};
-  pairwise::ensure_default_scorer(dopt, detector.num_samples());
+  core::ensure_default_scorer(dopt, detector.num_samples());
   if (options.progress) options.progress(watermark - range.first, range.size());
 
   while (watermark < range.last) {
@@ -173,20 +162,34 @@ BasicShardRunReport<Scored> run_shard_impl(
 
 }  // namespace
 
-ShardRunReport run_shard(
-    const core::Detector& detector, std::uint64_t fingerprint,
-    const ShardRunOptions& options,
+template <unsigned K>
+BasicShardRunReport<core::ScoredOf<K>> run_shard_of(
+    const core::BasicDetector<K>& detector, std::uint64_t fingerprint,
+    const BasicShardRunOptions<core::BasicDetectorOptions<K>>& options,
     const std::function<void(const std::string&)>& on_checkpoint_discarded) {
-  return run_shard_impl<core::ScoredTriplet>(detector, fingerprint, options,
-                                             on_checkpoint_discarded);
+  return run_shard_impl<core::ScoredOf<K>>(detector, fingerprint, options,
+                                           on_checkpoint_discarded);
 }
 
-PairShardRunReport run_pair_shard(
-    const pairwise::PairDetector& detector, std::uint64_t fingerprint,
-    const PairShardRunOptions& options,
-    const std::function<void(const std::string&)>& on_checkpoint_discarded) {
-  return run_shard_impl<core::ScoredPair>(detector, fingerprint, options,
-                                          on_checkpoint_discarded);
-}
+template BasicShardRunReport<core::ScoredOf<2>> run_shard_of<2>(
+    const core::BasicDetector<2>&, std::uint64_t,
+    const BasicShardRunOptions<core::BasicDetectorOptions<2>>&,
+    const std::function<void(const std::string&)>&);
+template BasicShardRunReport<core::ScoredOf<3>> run_shard_of<3>(
+    const core::BasicDetector<3>&, std::uint64_t,
+    const BasicShardRunOptions<core::BasicDetectorOptions<3>>&,
+    const std::function<void(const std::string&)>&);
+template BasicShardRunReport<core::ScoredOf<4>> run_shard_of<4>(
+    const core::BasicDetector<4>&, std::uint64_t,
+    const BasicShardRunOptions<core::BasicDetectorOptions<4>>&,
+    const std::function<void(const std::string&)>&);
+template BasicShardRunReport<core::ScoredOf<5>> run_shard_of<5>(
+    const core::BasicDetector<5>&, std::uint64_t,
+    const BasicShardRunOptions<core::BasicDetectorOptions<5>>&,
+    const std::function<void(const std::string&)>&);
+template BasicShardRunReport<core::ScoredOf<6>> run_shard_of<6>(
+    const core::BasicDetector<6>&, std::uint64_t,
+    const BasicShardRunOptions<core::BasicDetectorOptions<6>>&,
+    const std::function<void(const std::string&)>&);
 
 }  // namespace trigen::shard

@@ -23,14 +23,18 @@
 
 namespace trigen::stats {
 
-struct PermutationTestOptions {
+/// Options of the order-K permutation test.
+template <unsigned K>
+struct BasicPermutationTestOptions {
   unsigned permutations = 50;  ///< null scans (each is a full exhaustive run)
   std::uint64_t seed = 7;      ///< shuffle seed (deterministic)
-  core::DetectorOptions detector;  ///< configuration for every scan
+  core::BasicDetectorOptions<K> detector;  ///< configuration for every scan
 };
 
-struct PermutationTestResult {
-  core::ScoredTriplet observed;      ///< best triplet on the real labels
+/// Result of the order-K permutation test.
+template <unsigned K>
+struct BasicPermutationTestResult {
+  core::ScoredOf<K> observed;        ///< best combination on the real labels
   std::vector<double> null_scores;   ///< best normalized score per permutation
   double p_value = 1.0;
 
@@ -38,35 +42,47 @@ struct PermutationTestResult {
   bool significant_at(double alpha) const { return p_value <= alpha; }
 };
 
-/// Runs the full permutation test.  Cost: (permutations + 1) exhaustive
-/// scans; use the V4 kernel and multiple threads for real datasets.
-/// Throws std::invalid_argument for zero permutations.
-PermutationTestResult permutation_test(const dataset::GenotypeMatrix& d,
-                                       const PermutationTestOptions& options);
-
+using PermutationTestOptions = BasicPermutationTestOptions<3>;
+using PermutationTestResult = BasicPermutationTestResult<3>;
 /// Second-order significance testing: the same phenotype-permutation
-/// procedure over the pairwise scan (the BOOST/GBOOST setting).  Both
-/// orders share one implementation — the observed scan pins the resolved
-/// ISA/threads/tiling and one normalized scorer is shared across every
-/// null scan.
-struct PairPermutationTestOptions {
-  unsigned permutations = 50;
-  std::uint64_t seed = 7;
-  pairwise::PairDetectorOptions detector;  ///< configuration for every scan
-};
+/// procedure over the pairwise scan (the BOOST/GBOOST setting).
+using PairPermutationTestOptions = BasicPermutationTestOptions<2>;
+using PairPermutationTestResult = BasicPermutationTestResult<2>;
 
-struct PairPermutationTestResult {
-  core::ScoredPair observed;         ///< best pair on the real labels
-  std::vector<double> null_scores;   ///< best normalized score per permutation
-  double p_value = 1.0;
-
-  bool significant_at(double alpha) const { return p_value <= alpha; }
-};
-
-/// Runs the pairwise permutation test; same contract as permutation_test.
-PairPermutationTestResult pair_permutation_test(
+/// Runs the full order-K permutation test.  Cost: (permutations + 1)
+/// exhaustive scans; use the V4/V5 kernels and multiple threads for real
+/// datasets.  Every order shares one implementation — the observed scan
+/// pins the resolved ISA/threads/tiling and one normalized scorer is
+/// shared across every null scan.  Throws std::invalid_argument for zero
+/// permutations.
+template <unsigned K>
+BasicPermutationTestResult<K> permutation_test_of(
     const dataset::GenotypeMatrix& d,
-    const PairPermutationTestOptions& options);
+    const BasicPermutationTestOptions<K>& options);
+
+/// The 3-way permutation test (= permutation_test_of<3>).
+inline PermutationTestResult permutation_test(
+    const dataset::GenotypeMatrix& d, const PermutationTestOptions& options) {
+  return permutation_test_of<3>(d, options);
+}
+
+/// The pairwise permutation test (= permutation_test_of<2>).
+inline PairPermutationTestResult pair_permutation_test(
+    const dataset::GenotypeMatrix& d,
+    const PairPermutationTestOptions& options) {
+  return permutation_test_of<2>(d, options);
+}
+
+extern template BasicPermutationTestResult<2> permutation_test_of<2>(
+    const dataset::GenotypeMatrix&, const BasicPermutationTestOptions<2>&);
+extern template BasicPermutationTestResult<3> permutation_test_of<3>(
+    const dataset::GenotypeMatrix&, const BasicPermutationTestOptions<3>&);
+extern template BasicPermutationTestResult<4> permutation_test_of<4>(
+    const dataset::GenotypeMatrix&, const BasicPermutationTestOptions<4>&);
+extern template BasicPermutationTestResult<5> permutation_test_of<5>(
+    const dataset::GenotypeMatrix&, const BasicPermutationTestOptions<5>&);
+extern template BasicPermutationTestResult<6> permutation_test_of<6>(
+    const dataset::GenotypeMatrix&, const BasicPermutationTestOptions<6>&);
 
 /// Phenotype-shuffled copy of `d` (Fisher-Yates, deterministic in `seed`);
 /// exposed for tests and custom pipelines.

@@ -26,8 +26,8 @@ dataset::GenotypeMatrix shuffle_phenotypes(const dataset::GenotypeMatrix& d,
 namespace {
 
 /// The shared test body, generic over the interaction order: `Detector`
-/// is core::Detector or pairwise::PairDetector, `Result` the matching
-/// *PermutationTestResult.
+/// is core::BasicDetector<K>, `Result` the matching
+/// BasicPermutationTestResult<K>.
 template <typename Detector, typename Result, typename Options>
 Result permutation_test_impl(const dataset::GenotypeMatrix& d,
                              unsigned permutations, std::uint64_t seed,
@@ -39,7 +39,7 @@ Result permutation_test_impl(const dataset::GenotypeMatrix& d,
   // log-factorial table depends only on the sample count, which
   // permutation preserves).
   dopt.top_k = 1;
-  pairwise::ensure_default_scorer(dopt, d.num_samples());
+  core::ensure_default_scorer(dopt, d.num_samples());
 
   Result result;
   {
@@ -72,18 +72,24 @@ Result permutation_test_impl(const dataset::GenotypeMatrix& d,
 
 }  // namespace
 
-PermutationTestResult permutation_test(const dataset::GenotypeMatrix& d,
-                                       const PermutationTestOptions& options) {
-  return permutation_test_impl<core::Detector, PermutationTestResult>(
+template <unsigned K>
+BasicPermutationTestResult<K> permutation_test_of(
+    const dataset::GenotypeMatrix& d,
+    const BasicPermutationTestOptions<K>& options) {
+  return permutation_test_impl<core::BasicDetector<K>,
+                               BasicPermutationTestResult<K>>(
       d, options.permutations, options.seed, options.detector);
 }
 
-PairPermutationTestResult pair_permutation_test(
-    const dataset::GenotypeMatrix& d,
-    const PairPermutationTestOptions& options) {
-  return permutation_test_impl<pairwise::PairDetector,
-                               PairPermutationTestResult>(
-      d, options.permutations, options.seed, options.detector);
-}
+template BasicPermutationTestResult<2> permutation_test_of<2>(
+    const dataset::GenotypeMatrix&, const BasicPermutationTestOptions<2>&);
+template BasicPermutationTestResult<3> permutation_test_of<3>(
+    const dataset::GenotypeMatrix&, const BasicPermutationTestOptions<3>&);
+template BasicPermutationTestResult<4> permutation_test_of<4>(
+    const dataset::GenotypeMatrix&, const BasicPermutationTestOptions<4>&);
+template BasicPermutationTestResult<5> permutation_test_of<5>(
+    const dataset::GenotypeMatrix&, const BasicPermutationTestOptions<5>&);
+template BasicPermutationTestResult<6> permutation_test_of<6>(
+    const dataset::GenotypeMatrix&, const BasicPermutationTestOptions<6>&);
 
 }  // namespace trigen::stats

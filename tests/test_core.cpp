@@ -746,8 +746,8 @@ TEST_P(DetectorVersionTest, CountsAndMetadata) {
   DetectorOptions opt;
   opt.version = GetParam();
   const DetectionResult r = det.run(opt);
-  EXPECT_EQ(r.triplets_evaluated, combinatorics::num_triplets(10));
-  EXPECT_EQ(r.elements, r.triplets_evaluated * 100);
+  EXPECT_EQ(r.combinations_evaluated, combinatorics::num_triplets(10));
+  EXPECT_EQ(r.elements, r.combinations_evaluated * 100);
   EXPECT_GT(r.seconds, 0.0);
   EXPECT_GT(r.elements_per_second(), 0.0);
 }
@@ -846,7 +846,7 @@ TEST(Detector, RangeRestrictionSplitsCoverageForEveryVersion) {
       hi.range = {s, total};
       const auto a = det.run(lo);
       const auto b = det.run(hi);
-      EXPECT_EQ(a.triplets_evaluated + b.triplets_evaluated, total);
+      EXPECT_EQ(a.combinations_evaluated + b.combinations_evaluated, total);
       const auto& merged_best =
           a.best[0].score <= b.best[0].score ? a.best[0] : b.best[0];
       EXPECT_EQ(merged_best.triplet, best_full.triplet)
@@ -881,7 +881,7 @@ TEST(Detector, KWaySplitReproducesFullTopKExactly) {
         DetectorOptions part = base;
         part.range = {total * i / k, total * (i + 1) / k};
         const auto r = det.run(part);
-        covered += r.triplets_evaluated;
+        covered += r.combinations_evaluated;
         for (const auto& s : r.best) merged.push(s);
       }
       ASSERT_EQ(covered, total) << k;
@@ -945,7 +945,7 @@ TEST(Detector, V5BitIdenticalToV2OverRandomRankRanges) {
         DetectorOptions part = v5;
         part.range = {cuts[i], cuts[i + 1]};
         const auto r = det.run(part);
-        covered += r.triplets_evaluated;
+        covered += r.combinations_evaluated;
         for (const auto& s : r.best) acc.push(s);
       }
       ASSERT_EQ(covered, total);
@@ -961,7 +961,7 @@ TEST(Detector, V5BitIdenticalToV2OverRandomRankRanges) {
 }
 
 TEST(Detector, BlockedPartialRangeCountsEveryTripletOnce) {
-  // triplets_evaluated must equal the range size on the blocked paths too
+  // combinations_evaluated must equal the range size on the blocked paths too
   // (each in-range triplet is emitted exactly once across boundary blocks).
   const auto d = random_dataset({12, 96, 3});
   const Detector det(d);
@@ -980,7 +980,7 @@ TEST(Detector, BlockedPartialRangeCountsEveryTripletOnce) {
           EXPECT_EQ(t, last - first);
         };
         const auto r = det.run(opt);
-        EXPECT_EQ(r.triplets_evaluated, last - first);
+        EXPECT_EQ(r.combinations_evaluated, last - first);
         EXPECT_EQ(seen, last - first) << cpu_version_name(v);
       }
     }

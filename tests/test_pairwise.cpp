@@ -183,8 +183,8 @@ TEST(PairDetector, CountsAndMetadata) {
   const auto d = random_dataset({12, 90, 17});
   const PairDetector det(d);
   const auto r = det.run({});
-  EXPECT_EQ(r.pairs_evaluated, num_pairs(12));
-  EXPECT_EQ(r.elements, r.pairs_evaluated * 90);
+  EXPECT_EQ(r.combinations_evaluated, num_pairs(12));
+  EXPECT_EQ(r.elements, r.combinations_evaluated * 90);
   EXPECT_GT(r.seconds, 0.0);
   EXPECT_EQ(det.num_snps(), 12u);
   EXPECT_EQ(det.num_samples(), 90u);
@@ -321,7 +321,7 @@ TEST(PairDetectorRange, KWayRandomSplitsReproduceTheFullScanExactly) {
         opt.tiling = {3, 16};
       }
       const auto part = det.run(opt);
-      EXPECT_EQ(part.pairs_evaluated, opt.range.size());
+      EXPECT_EQ(part.combinations_evaluated, opt.range.size());
       for (const auto& s : part.best) acc.push(s);
     }
     expect_same_pairs(acc.sorted(), full.best);
@@ -366,7 +366,7 @@ TEST(PairDetectorRange, V5BitIdenticalToV2OverRandomRankRanges) {
         PairDetectorOptions part = v5;
         part.range = {cuts[i], cuts[i + 1]};
         const auto r = det.run(part);
-        covered += r.pairs_evaluated;
+        covered += r.combinations_evaluated;
         for (const auto& sp : r.best) acc.push(sp);
       }
       ASSERT_EQ(covered, total) << core::kernel_isa_name(isa);

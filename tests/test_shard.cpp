@@ -416,9 +416,18 @@ TEST_F(ShardResultIo, OrderMismatchesAreRejectedPrecisely) {
   expect_error_contains(error_of([&] { parse(pair_text); }),
                         "order mismatch");
 
-  // Unknown orders are refused outright.
+  // A supported-but-different order is a mismatch, not "unsupported".
+  std::string order4 = triplet_text;
+  order4.replace(order4.find("order 3"), 7, "order 4");
+  expect_error_contains(error_of([&] {
+                          std::istringstream is(order4);
+                          read_pair_shard_result(is);
+                        }),
+                        "order mismatch");
+
+  // Orders beyond kMaxOrder are refused outright.
   std::string weird = triplet_text;
-  weird.replace(weird.find("order 3"), 7, "order 4");
+  weird.replace(weird.find("order 3"), 7, "order 7");
   expect_error_contains(error_of([&] {
                           std::istringstream is(weird);
                           read_pair_shard_result(is);
@@ -566,7 +575,7 @@ TEST_F(PairShard, RandomFullCoverageSplitsReproduceTheFullPairScanExactly) {
     std::shuffle(shards.begin(), shards.end(), rng);
     const PairMergedScan m = merge_pair_shards(shards);
     expect_same_pair_entries(m.result.best, full.best);
-    EXPECT_EQ(m.result.pairs_evaluated, total_);
+    EXPECT_EQ(m.result.combinations_evaluated, total_);
     EXPECT_EQ(m.result.elements, total_ * d_.num_samples());
   }
 }
@@ -652,6 +661,200 @@ TEST_F(PairShard, StalePairCheckpointsAreRejected) {
                           auto o = opt;
                           o.detector.top_k = 2;
                           run_pair_shard(*det_, fp_, o);
+                        }),
+                        "top_k");
+}
+
+// --------------------------------------------------------------------------
+// Order 4: the generic-engine order through the same shard machinery
+// --------------------------------------------------------------------------
+
+using Scored4 = core::ScoredOf<4>;
+using Shard4Result = BasicShardResult<Scored4>;
+using Detector4Options = core::BasicDetectorOptions<4>;
+using Shard4RunOptions = BasicShardRunOptions<Detector4Options>;
+
+void expect_same_tuple_entries(const std::vector<Scored4>& got,
+                               const std::vector<Scored4>& want) {
+  ASSERT_EQ(got.size(), want.size());
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i].snps, want[i].snps) << "entry " << i;
+    EXPECT_TRUE(same_bits(got[i].score, want[i].score)) << "entry " << i;
+  }
+}
+
+class Order4Shard : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    d_ = random_dataset({15, 150, 53});
+    det_ = std::make_unique<core::BasicDetector<4>>(d_);
+    fp_ = dataset_fingerprint(d_);
+    total_ = combinatorics::n_choose_k(15, 4);
+  }
+
+  Shard4Result scan4_range(RankRange range, std::size_t top_k,
+                           Detector4Options dopt = {}) {
+    Shard4RunOptions opt;
+    opt.detector = dopt;
+    opt.detector.top_k = top_k;
+    opt.range = range;
+    const auto rep = run_shard_of<4>(*det_, fp_, opt);
+    EXPECT_TRUE(rep.completed);
+    return rep.result;
+  }
+
+  dataset::GenotypeMatrix d_;
+  std::unique_ptr<core::BasicDetector<4>> det_;
+  std::uint64_t fp_ = 0;
+  std::uint64_t total_ = 0;
+};
+
+TEST_F(Order4Shard, PlanShardsTilesTheOrder4Space) {
+  const auto shards =
+      plan_shards(15, 6, SplitStrategy::kEvenRanks, 0, /*order=*/4);
+  ASSERT_EQ(shards.size(), 6u);
+  std::uint64_t expect = 0;
+  for (const RankRange& s : shards) {
+    EXPECT_EQ(s.first, expect);
+    EXPECT_FALSE(s.empty());
+    expect = s.last;
+  }
+  EXPECT_EQ(expect, total_);
+}
+
+TEST_F(Order4Shard, ResultFileRoundTripIsExact) {
+  const Shard4Result r = scan4_range({30, 400}, 7);
+  ASSERT_EQ(r.entries.size(), 7u);
+  std::stringstream ss;
+  write_shard_result(ss, r);
+  EXPECT_NE(ss.str().find("TRIGEN-SHARD v2\norder 4\n"), std::string::npos);
+  std::istringstream is(ss.str());
+  const Shard4Result back = read_shard_result_as<Scored4>(is);
+  EXPECT_EQ(back.fingerprint, r.fingerprint);
+  EXPECT_EQ(back.range.first, r.range.first);
+  EXPECT_EQ(back.range.last, r.range.last);
+  expect_same_tuple_entries(back.entries, r.entries);
+
+  const std::string path = temp_path("order4_roundtrip.shard");
+  write_shard_result_file(path, r);
+  EXPECT_EQ(probe_shard_order(path), 4u);
+  expect_same_tuple_entries(
+      read_shard_result_file_as<Scored4>(path).entries, r.entries);
+  // The order-2 and order-3 readers both refuse the order-4 artifact.
+  expect_error_contains(
+      error_of([&] { read_pair_shard_result_file(path); }), "order mismatch");
+  expect_error_contains(
+      error_of([&] { read_shard_result_file(path); }), "order mismatch");
+}
+
+TEST_F(Order4Shard, RandomFullCoverageSplitsReproduceTheFullScanExactly) {
+  std::mt19937_64 rng(4711);
+  Detector4Options base;
+  base.top_k = 11;
+  const auto full = det_->run(base);
+
+  for (int round = 0; round < 3; ++round) {
+    std::vector<std::uint64_t> cuts = {0, total_};
+    std::uniform_int_distribution<std::uint64_t> dist(1, total_ - 1);
+    while (cuts.size() < static_cast<std::size_t>(round) + 4) {
+      cuts.push_back(dist(rng));
+    }
+    std::sort(cuts.begin(), cuts.end());
+    cuts.erase(std::unique(cuts.begin(), cuts.end()), cuts.end());
+
+    std::vector<Shard4Result> shards;
+    for (std::size_t i = 0; i + 1 < cuts.size(); ++i) {
+      // Rotate all five engine rungs across shards.
+      Detector4Options dopt;
+      dopt.version = static_cast<core::CpuVersion>(i % 5);
+      if (dopt.version != core::CpuVersion::kV1Naive &&
+          dopt.version != core::CpuVersion::kV2Split) {
+        dopt.tiling = {3, 16};
+      }
+      shards.push_back(scan4_range({cuts[i], cuts[i + 1]}, 11, dopt));
+    }
+    std::shuffle(shards.begin(), shards.end(), rng);
+    const MergedScanOf<4> m = merge_shards_of<4>(shards);
+    expect_same_tuple_entries(m.result.best, full.best);
+    EXPECT_EQ(m.result.combinations_evaluated, total_);
+    EXPECT_EQ(m.result.elements, total_ * d_.num_samples());
+  }
+}
+
+TEST_F(Order4Shard, MergedResultsComposeAndRejectMixedOrders) {
+  const Shard4Result lo = scan4_range({0, 300}, 5);
+  const Shard4Result hi = scan4_range({300, total_}, 5);
+  const auto left = merge_shards_of<4>({lo}, MergeCoverage::kContiguous);
+  const auto all = merge_shards_of<4>({to_shard_result(left), hi});
+  Detector4Options base;
+  base.top_k = 5;
+  expect_same_tuple_entries(all.result.best, det_->run(base).best);
+
+  // An order-4 file fed to the order-3 CLI path fails in the reader; the
+  // typed merge itself rejects foreign fingerprints like any other order.
+  Shard4Result foreign = hi;
+  foreign.fingerprint ^= 1;
+  expect_error_contains(
+      error_of([&] { merge_shards_of<4>({lo, foreign}); }),
+      "fingerprint mismatch");
+}
+
+TEST_F(Order4Shard, KillAndResumeIsIdenticalToUninterrupted) {
+  const RankRange range{10, 800};
+  const Shard4Result uninterrupted = scan4_range(range, 8);
+
+  const std::string ckpt = temp_path("order4_kill.ckpt");
+  Shard4RunOptions killed;
+  killed.detector.top_k = 8;
+  killed.range = range;
+  killed.checkpoint_every = 64;
+  killed.checkpoint_path = ckpt;
+  killed.keep_going = [](std::uint64_t done, std::uint64_t) {
+    return done < 128;
+  };
+  const auto first = run_shard_of<4>(*det_, fp_, killed);
+  EXPECT_FALSE(first.completed);
+  EXPECT_GT(first.checkpoints_written, 0u);
+
+  // The on-disk checkpoint is an order-4 v2 artifact...
+  const auto c = read_checkpoint_file_as<Scored4>(ckpt);
+  EXPECT_GE(c.watermark, 128u + range.first);
+  // ...that the order-3 reader refuses.
+  expect_error_contains(error_of([&] { read_checkpoint_file(ckpt); }),
+                        "order mismatch");
+
+  Shard4RunOptions resume = killed;
+  resume.keep_going = {};
+  const auto second = run_shard_of<4>(*det_, fp_, resume);
+  EXPECT_TRUE(second.completed);
+  EXPECT_TRUE(second.resumed);
+  EXPECT_GT(second.resumed_from, range.first);
+  expect_same_tuple_entries(second.result.entries, uninterrupted.entries);
+}
+
+TEST_F(Order4Shard, StaleCheckpointsAreRejected) {
+  const RankRange range{0, 600};
+  const std::string ckpt = temp_path("order4_stale.ckpt");
+  Shard4RunOptions opt;
+  opt.detector.top_k = 5;
+  opt.range = range;
+  opt.checkpoint_every = 64;
+  opt.checkpoint_path = ckpt;
+  opt.keep_going = [](std::uint64_t done, std::uint64_t) {
+    return done < 128;
+  };
+  ASSERT_FALSE(run_shard_of<4>(*det_, fp_, opt).completed);
+
+  opt.keep_going = {};
+  expect_error_contains(error_of([&] {
+                          auto o = opt;
+                          run_shard_of<4>(*det_, fp_ ^ 9, o);
+                        }),
+                        "different dataset");
+  expect_error_contains(error_of([&] {
+                          auto o = opt;
+                          o.detector.top_k = 2;
+                          run_shard_of<4>(*det_, fp_, o);
                         }),
                         "top_k");
 }
@@ -762,7 +965,7 @@ TEST_F(ShardMerge, RandomFullCoverageSplitsReproduceTheFullScanExactly) {
       std::shuffle(shards.begin(), shards.end(), rng);
       const MergedScan m = merge_shards(shards);
       expect_same_entries(m.result.best, full.best);
-      EXPECT_EQ(m.result.triplets_evaluated, total_);
+      EXPECT_EQ(m.result.combinations_evaluated, total_);
       EXPECT_EQ(m.result.elements, total_ * d_.num_samples());
       EXPECT_EQ(m.num_shards, shards.size());
     }
@@ -827,7 +1030,7 @@ TEST_F(ShardMerge, ContiguousPartialMergesComposeIntoTheFullScan) {
   const MergedScan m = merge_shards(
       {read_shard_result_file(f0), read_shard_result_file(f1)});
   expect_same_entries(m.result.best, full.best);
-  EXPECT_EQ(m.result.triplets_evaluated, total_);
+  EXPECT_EQ(m.result.combinations_evaluated, total_);
 
   // ...and partial coverage is only legal when asked for; interior gaps
   // never are.
@@ -915,7 +1118,7 @@ TEST_F(ShardRunner, FullRangeMatchesDetectorRun) {
   const ShardResult via_runner =
       scan_range(*det_, fp_, {0, total_}, 9);
   expect_same_entries(via_runner.entries, direct.best);
-  EXPECT_EQ(via_runner.range.size(), direct.triplets_evaluated);
+  EXPECT_EQ(via_runner.range.size(), direct.combinations_evaluated);
 }
 
 TEST_F(ShardRunner, ValidatesItsInputs) {
@@ -1113,7 +1316,7 @@ TEST_F(ShardRunner, KilledAndResumedShardedScanMergesToTheFullScan) {
   std::reverse(shards.begin(), shards.end());  // merge order must not matter
   const MergedScan m = merge_shards(shards);
   expect_same_entries(m.result.best, full.best);
-  EXPECT_EQ(m.result.triplets_evaluated, full.triplets_evaluated);
+  EXPECT_EQ(m.result.combinations_evaluated, full.combinations_evaluated);
   EXPECT_EQ(m.result.elements, full.elements);
 }
 

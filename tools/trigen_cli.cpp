@@ -5,15 +5,16 @@
 ///   generate   synthesize a case-control dataset (optional planted triple)
 ///   info       print dataset statistics
 ///   convert    text <-> binary dataset conversion
-///   scan       exhaustive 3-way detection (whole space, a rank range, or
-///              one checkpointed shard of a W-way plan)
-///   scan2      exhaustive 2-way detection (same flags as scan, over the
-///              pair rank space)
-///   merge      fold shard result files (either order) into the full-scan
+///   scan       exhaustive detection at any interaction order (--order k,
+///              default 3): whole space, a rank range, or one checkpointed
+///              shard of a W-way plan
+///   scan2      exhaustive 2-way detection (= scan --order 2; same flags,
+///              over the pair rank space)
+///   merge      fold shard result files (any one order) into the full-scan
 ///              answer
 ///   baseline   MPI3SNP-style engine on the same dataset (for comparison)
-///   significance  permutation test: empirical p-value of the best triplet
-///              (--order 3, default) or best pair (--order 2)
+///   significance  permutation test: empirical p-value of the best order-k
+///              combination (--order k, default 3)
 ///   devices    list the Table-I/II device models
 ///
 /// Run `trigen <subcommand> --help` for flags.
@@ -68,16 +69,16 @@ void save(const std::string& path, const dataset::GenotypeMatrix& d) {
 }
 
 /// Percent progress meter on stderr for the scan drivers' callbacks.
-core::ProgressFn make_progress_printer(const char* label) {
-  return [label, last_pct = -1](std::uint64_t done,
-                                std::uint64_t total) mutable {
+core::ProgressFn make_progress_printer(std::string label) {
+  return [label = std::move(label), last_pct = -1](std::uint64_t done,
+                                                   std::uint64_t total) mutable {
     const int pct = total == 0
                         ? 100
                         : static_cast<int>(100.0 * static_cast<double>(done) /
                                            static_cast<double>(total));
     if (pct == last_pct) return;
     last_pct = pct;
-    std::fprintf(stderr, "\r%s: %3d%%", label, pct);
+    std::fprintf(stderr, "\r%s: %3d%%", label.c_str(), pct);
     if (pct >= 100) std::fputc('\n', stderr);
   };
 }
@@ -194,93 +195,76 @@ int cmd_convert(const Args& a) {
   return 0;
 }
 
-/// The CSV section shared by `scan` (full or shard) and `merge`, so shell
-/// pipelines can diff the two byte-for-byte.
-void print_triplet_csv(const std::vector<core::ScoredTriplet>& best) {
-  std::printf("rank,snp_x,snp_y,snp_z,score\n");
-  for (std::size_t i = 0; i < best.size(); ++i) {
-    std::printf("%zu,%u,%u,%u,%.6f\n", i + 1, best[i].triplet.x,
-                best[i].triplet.y, best[i].triplet.z, best[i].score);
+/// Everything order-specific the scan/merge/significance subcommands
+/// touch, stamped out once per interaction order K: `scan` (order 3, or
+/// any order via --order), `scan2` (order 2) and `merge` run the same
+/// flag set through the same drivers below.
+template <unsigned K>
+struct OrderCli {
+  static constexpr unsigned kOrder = K;
+  using Scored = core::ScoredOf<K>;
+  using Detector = core::BasicDetector<K>;
+  using DetectorOptions = core::BasicDetectorOptions<K>;
+  using ShardRunOptions = shard::BasicShardRunOptions<DetectorOptions>;
+  using ShardResult = shard::BasicShardResult<Scored>;
+
+  /// The command spelling that reproduces this order (usage + progress).
+  static std::string label() {
+    if constexpr (K == 2) {
+      return "scan2";
+    } else if constexpr (K == 3) {
+      return "scan";
+    } else {
+      return "scan --order " + std::to_string(K);
+    }
   }
-}
-
-/// Same for `scan2` and order-2 `merge`.
-void print_pair_csv(const std::vector<core::ScoredPair>& best) {
-  std::printf("rank,snp_x,snp_y,score\n");
-  for (std::size_t i = 0; i < best.size(); ++i) {
-    std::printf("%zu,%u,%u,%.6f\n", i + 1, best[i].x, best[i].y,
-                best[i].score);
+  static std::string noun() {
+    if constexpr (K == 2) {
+      return "pairs";
+    } else if constexpr (K == 3) {
+      return "triplets";
+    } else {
+      return std::to_string(K) + "-tuples";
+    }
   }
-}
-
-/// Everything order-specific the scan/merge subcommands touch.  `scan`
-/// (3-way) and `scan2` (2-way) run the same flag set through the same
-/// driver below; only these hooks differ.
-struct TripletCli {
-  static constexpr unsigned kOrder = 3;
-  static constexpr const char* kCmd = "scan";
-  static constexpr const char* kNoun = "triplets";
-  using Detector = core::Detector;
-  using DetectorOptions = core::DetectorOptions;
-  using ShardRunOptions = shard::ShardRunOptions;
-  using ShardResult = shard::ShardResult;
-
   static std::uint64_t space(std::uint64_t m) {
-    return combinatorics::num_triplets(m);
+    return combinatorics::n_choose_k(m, K);
   }
   template <typename Discard>
-  static shard::ShardRunReport run_shard(const Detector& det,
-                                         std::uint64_t fp,
-                                         const ShardRunOptions& o,
-                                         Discard&& discard) {
-    return shard::run_shard(det, fp, o, discard);
+  static shard::BasicShardRunReport<Scored> run_shard(
+      const Detector& det, std::uint64_t fp, const ShardRunOptions& o,
+      Discard&& discard) {
+    return shard::run_shard_of<K>(det, fp, o, discard);
   }
   static ShardResult read_shard_file(const std::string& path) {
-    return shard::read_shard_result_file(path);
+    return shard::read_shard_result_file_as<Scored>(path);
   }
-  static shard::MergedScan merge(const std::vector<ShardResult>& shards,
-                                 shard::MergeCoverage coverage) {
-    return shard::merge_shards(shards, coverage);
+  static shard::MergedScanOf<K> merge(const std::vector<ShardResult>& shards,
+                                      shard::MergeCoverage coverage) {
+    return shard::merge_shards_of<K>(shards, coverage);
   }
-  static std::uint64_t evaluated(const core::DetectionResult& r) {
-    return r.triplets_evaluated;
+  static std::uint64_t evaluated(const core::BasicDetectionResult<K>& r) {
+    return r.combinations_evaluated;
   }
-  static void print_csv(const std::vector<core::ScoredTriplet>& best) {
-    print_triplet_csv(best);
-  }
-};
-
-struct PairCli {
-  static constexpr unsigned kOrder = 2;
-  static constexpr const char* kCmd = "scan2";
-  static constexpr const char* kNoun = "pairs";
-  using Detector = pairwise::PairDetector;
-  using DetectorOptions = pairwise::PairDetectorOptions;
-  using ShardRunOptions = shard::PairShardRunOptions;
-  using ShardResult = shard::PairShardResult;
-
-  static std::uint64_t space(std::uint64_t m) {
-    return pairwise::num_pairs(m);
-  }
-  template <typename Discard>
-  static shard::PairShardRunReport run_shard(const Detector& det,
-                                             std::uint64_t fp,
-                                             const ShardRunOptions& o,
-                                             Discard&& discard) {
-    return shard::run_pair_shard(det, fp, o, discard);
-  }
-  static ShardResult read_shard_file(const std::string& path) {
-    return shard::read_pair_shard_result_file(path);
-  }
-  static shard::PairMergedScan merge(const std::vector<ShardResult>& shards,
-                                     shard::MergeCoverage coverage) {
-    return shard::merge_pair_shards(shards, coverage);
-  }
-  static std::uint64_t evaluated(const pairwise::PairDetectionResult& r) {
-    return r.pairs_evaluated;
-  }
-  static void print_csv(const std::vector<core::ScoredPair>& best) {
-    print_pair_csv(best);
+  /// The CSV section shared by `scan` (full or shard) and `merge`, so
+  /// shell pipelines can diff the two byte-for-byte.  Orders 2 and 3 keep
+  /// their historical snp_x/snp_y/snp_z column names.
+  static void print_csv(const std::vector<Scored>& best) {
+    std::string hdr = "rank";
+    if constexpr (K <= 3) {
+      constexpr const char* kAxes[3] = {",snp_x", ",snp_y", ",snp_z"};
+      for (unsigned i = 0; i < K; ++i) hdr += kAxes[i];
+    } else {
+      for (unsigned i = 0; i < K; ++i) hdr += ",snp_" + std::to_string(i);
+    }
+    std::printf("%s,score\n", hdr.c_str());
+    for (std::size_t i = 0; i < best.size(); ++i) {
+      std::printf("%zu", i + 1);
+      for (const std::uint32_t s : core::snps_of<K>(best[i])) {
+        std::printf(",%u", s);
+      }
+      std::printf(",%.6f\n", best[i].score);
+    }
   }
 };
 
@@ -293,8 +277,10 @@ void print_scan_usage() {
       "  [--shards W --shard I [--split even|block]]\n"
       "  [--out FILE.shard] [--checkpoint FILE.ckpt]\n"
       "  [--checkpoint-every RANKS] [--stop-after RANKS]\n"
+      "`trigen scan --order k` scans at any interaction order k in\n"
+      "[2, %u] (--order 3 is the default `scan`; `scan2` = --order 2);\n"
       "--version picks the optimization-ladder rung (1 naive planes,\n"
-      "2 split planes, 3 + L1 blocking, 4 + vector kernels, 5 + pair-\n"
+      "2 split planes, 3 + L1 blocking, 4 + vector kernels, 5 + prefix-\n"
       "plane cache; default 4);\n"
       "--range scans only %s ranks [FIRST, LAST) — any version,\n"
       "including the blocked V3/V4/V5 (shard results merge exactly);\n"
@@ -304,7 +290,7 @@ void print_scan_usage() {
       "--checkpoint persists progress after every chunk and resumes\n"
       "from it when the file already exists; --stop-after stops\n"
       "cleanly once RANKS ranks are done (exit code 3, resumable).\n",
-      Cli::kCmd, Cli::kNoun);
+      Cli::label().c_str(), combinatorics::kMaxOrder, Cli::noun().c_str());
 }
 
 /// Order-generic scan subcommand: full space, rank range, or one shard of
@@ -387,7 +373,7 @@ int cmd_scan_generic(const Args& a) {
         return done < stop_after;
       };
     }
-    if (a.has("progress")) ropt.progress = make_progress_printer(Cli::kCmd);
+    if (a.has("progress")) ropt.progress = make_progress_printer(Cli::label());
     const std::uint64_t fp = shard::dataset_fingerprint(d);
     const auto report = Cli::run_shard(
         det, fp, ropt, [](const std::string& reason) {
@@ -423,7 +409,7 @@ int cmd_scan_generic(const Args& a) {
         "# %llu %s, %.3f s, %.2f Gel/s, shard ranks [%llu, %llu) of "
         "%llu, fingerprint %016llx\n",
         static_cast<unsigned long long>(report.result.range.size()),
-        Cli::kNoun, report.result.seconds, eps / 1e9,
+        Cli::noun().c_str(), report.result.seconds, eps / 1e9,
         static_cast<unsigned long long>(eff.first),
         static_cast<unsigned long long>(eff.last),
         static_cast<unsigned long long>(total),
@@ -432,10 +418,10 @@ int cmd_scan_generic(const Args& a) {
     return 0;
   }
 
-  if (a.has("progress")) opt.progress = make_progress_printer(Cli::kCmd);
+  if (a.has("progress")) opt.progress = make_progress_printer(Cli::label());
   const auto r = det.run(opt);
   std::printf("# %llu %s, %.3f s, %.2f Gel/s, kernel %s, %u thread(s)\n",
-              static_cast<unsigned long long>(Cli::evaluated(r)), Cli::kNoun,
+              static_cast<unsigned long long>(Cli::evaluated(r)), Cli::noun().c_str(),
               r.seconds, r.elements_per_second() / 1e9,
               core::kernel_isa_name(r.isa_used).c_str(), r.threads_used);
   std::printf("# partition: ranks [%llu, %llu) of %llu (%.1f%% of the space)\n",
@@ -449,8 +435,24 @@ int cmd_scan_generic(const Args& a) {
   return 0;
 }
 
-int cmd_scan(const Args& a) { return cmd_scan_generic<TripletCli>(a); }
-int cmd_scan2(const Args& a) { return cmd_scan_generic<PairCli>(a); }
+/// `scan` dispatches on --order (default 3: the classic triplet scan);
+/// `scan2` is the historical spelling of --order 2.  The runtime order
+/// picks the compile-time instantiation of the one generic engine.
+int cmd_scan(const Args& a) {
+  switch (a.get_int("order", 3)) {
+    case 2: return cmd_scan_generic<OrderCli<2>>(a);
+    case 3: return cmd_scan_generic<OrderCli<3>>(a);
+    case 4: return cmd_scan_generic<OrderCli<4>>(a);
+    case 5: return cmd_scan_generic<OrderCli<5>>(a);
+    case 6: return cmd_scan_generic<OrderCli<6>>(a);
+    default: break;
+  }
+  std::fprintf(stderr, "--order expects an interaction order in [2, %u]\n",
+               combinatorics::kMaxOrder);
+  return 2;
+}
+
+int cmd_scan2(const Args& a) { return cmd_scan_generic<OrderCli<2>>(a); }
 
 template <typename Cli>
 int cmd_merge_generic(const Args& a) {
@@ -474,7 +476,7 @@ int cmd_merge_generic(const Args& a) {
       "# merged %llu shards: %llu %s, %.3f s compute (slowest shard "
       "%.3f s), %.2f Gel/s aggregate, objective %s, fingerprint %016llx\n",
       static_cast<unsigned long long>(m.num_shards),
-      static_cast<unsigned long long>(Cli::evaluated(m.result)), Cli::kNoun,
+      static_cast<unsigned long long>(Cli::evaluated(m.result)), Cli::noun().c_str(),
       m.result.seconds, m.max_shard_seconds, aggregate_eps / 1e9,
       m.objective.c_str(), static_cast<unsigned long long>(m.fingerprint));
   Cli::print_csv(m.result.best);
@@ -498,10 +500,17 @@ int cmd_merge(const Args& a) {
   }
   // The first file picks the order; a mixed set fails inside the readers
   // with a precise order-mismatch error.
-  if (shard::probe_shard_order(a.positional[0]) == 2) {
-    return cmd_merge_generic<PairCli>(a);
+  switch (shard::probe_shard_order(a.positional[0])) {
+    case 2: return cmd_merge_generic<OrderCli<2>>(a);
+    case 3: return cmd_merge_generic<OrderCli<3>>(a);
+    case 4: return cmd_merge_generic<OrderCli<4>>(a);
+    case 5: return cmd_merge_generic<OrderCli<5>>(a);
+    case 6: return cmd_merge_generic<OrderCli<6>>(a);
+    default: break;
   }
-  return cmd_merge_generic<TripletCli>(a);
+  // Out-of-range orders fall through to the reader for its precise
+  // "unsupported order" message.
+  return cmd_merge_generic<OrderCli<3>>(a);
 }
 
 int cmd_baseline(const Args& a) {
@@ -538,51 +547,57 @@ void print_significance_tail(unsigned permutations,
               significant ? "" : "NOT ");
 }
 
+/// The order-K permutation test body behind `significance --order K`.
+template <unsigned K>
+int cmd_significance_of(const dataset::GenotypeMatrix& d,
+                        unsigned permutations, std::uint64_t seed,
+                        core::Objective objective, unsigned threads) {
+  stats::BasicPermutationTestOptions<K> opt;
+  opt.permutations = permutations;
+  opt.seed = seed;
+  opt.detector.objective = objective;
+  opt.detector.threads = threads;
+  const auto r = stats::permutation_test_of<K>(d, opt);
+  std::string obs;
+  for (const std::uint32_t s : core::snps_of<K>(r.observed)) {
+    if (!obs.empty()) obs += ',';
+    obs += std::to_string(s);
+  }
+  std::printf("observed best: (%s) score %.4f\n", obs.c_str(),
+              r.observed.score);
+  print_significance_tail(opt.permutations, r.null_scores, r.p_value,
+                          r.significant_at(0.05));
+  return 0;
+}
+
 int cmd_significance(const Args& a) {
   if (a.positional.empty() || a.has("help")) {
-    std::puts("usage: trigen significance DATASET.tg[b] [--permutations N]\n"
-              "  [--seed S] [--objective k2|mi|chi2] [--threads T]\n"
-              "  [--order 2|3]\n"
-              "--order 2 tests the best *pair* (pairwise scan) instead of\n"
-              "the best triplet; every null scan reuses the pinned ISA,\n"
-              "tiling and scorer of the observed scan.");
+    std::printf("usage: trigen significance DATASET.tg[b] [--permutations N]\n"
+                "  [--seed S] [--objective k2|mi|chi2] [--threads T]\n"
+                "  [--order k]\n"
+                "--order k (default 3) tests the best order-k combination —\n"
+                "any interaction order in [2, %u]; every null scan reuses\n"
+                "the pinned ISA, tiling and scorer of the observed scan.\n",
+                combinatorics::kMaxOrder);
     return a.has("help") ? 0 : 2;
   }
   const auto d = load(a.positional[0]);
-  const long order = a.get_int("order", 3);
-  if (order != 2 && order != 3) {
-    std::fprintf(stderr, "--order expects 2 or 3\n");
-    return 2;
-  }
   const auto permutations =
       static_cast<unsigned>(a.get_int("permutations", 19));
   const auto seed = static_cast<std::uint64_t>(a.get_int("seed", 7));
   const auto objective = parse_objective(a.get("objective", "k2"));
   const auto threads = static_cast<unsigned>(a.get_int("threads", 0));
-  if (order == 2) {
-    stats::PairPermutationTestOptions opt;
-    opt.permutations = permutations;
-    opt.seed = seed;
-    opt.detector.objective = objective;
-    opt.detector.threads = threads;
-    const auto r = stats::pair_permutation_test(d, opt);
-    std::printf("observed best: (%u,%u) score %.4f\n", r.observed.x,
-                r.observed.y, r.observed.score);
-    print_significance_tail(opt.permutations, r.null_scores, r.p_value,
-                            r.significant_at(0.05));
-    return 0;
+  switch (a.get_int("order", 3)) {
+    case 2: return cmd_significance_of<2>(d, permutations, seed, objective, threads);
+    case 3: return cmd_significance_of<3>(d, permutations, seed, objective, threads);
+    case 4: return cmd_significance_of<4>(d, permutations, seed, objective, threads);
+    case 5: return cmd_significance_of<5>(d, permutations, seed, objective, threads);
+    case 6: return cmd_significance_of<6>(d, permutations, seed, objective, threads);
+    default: break;
   }
-  stats::PermutationTestOptions opt;
-  opt.permutations = permutations;
-  opt.seed = seed;
-  opt.detector.objective = objective;
-  opt.detector.threads = threads;
-  const auto r = stats::permutation_test(d, opt);
-  std::printf("observed best: (%u,%u,%u) score %.4f\n", r.observed.triplet.x,
-              r.observed.triplet.y, r.observed.triplet.z, r.observed.score);
-  print_significance_tail(opt.permutations, r.null_scores, r.p_value,
-                          r.significant_at(0.05));
-  return 0;
+  std::fprintf(stderr, "--order expects an interaction order in [2, %u]\n",
+               combinatorics::kMaxOrder);
+  return 2;
 }
 
 int cmd_devices(const Args&) {
@@ -613,15 +628,16 @@ int usage() {
       "    --baseline F --effect F]\n"
       "  info DATASET.tg[b]\n"
       "  convert IN.tg[b] OUT.tg[b]\n"
-      "  scan|scan2 DATASET.tg[b] [--objective k2|mi|chi2] [--top K]\n"
-      "    [--threads T] [--version 1|2|3|4|5] [--range FIRST:LAST]\n"
-      "    [--progress] [--shards W --shard I [--split even|block]]\n"
+      "  scan|scan2 DATASET.tg[b] [--order k] [--objective k2|mi|chi2]\n"
+      "    [--top K] [--threads T] [--version 1|2|3|4|5]\n"
+      "    [--range FIRST:LAST] [--progress]\n"
+      "    [--shards W --shard I [--split even|block]]\n"
       "    [--out FILE.shard] [--checkpoint FILE.ckpt]\n"
       "    [--checkpoint-every RANKS] [--stop-after RANKS]\n"
       "  merge SHARD_FILE... [--partial] [--out FILE.shard]\n"
       "  baseline DATASET.tg[b] [--top K] [--threads T]\n"
       "  significance DATASET.tg[b] [--permutations N] [--seed S]\n"
-      "    [--objective k2|mi|chi2] [--threads T] [--order 2|3]\n"
+      "    [--objective k2|mi|chi2] [--threads T] [--order k]\n"
       "  devices\n"
       "Run `trigen <subcommand> --help` for details.");
   return 2;
