@@ -11,8 +11,12 @@
 
 #include <benchmark/benchmark.h>
 
+#include <vector>
+
+#include "trigen/common/rng.hpp"
 #include "trigen/core/blocked_engine.hpp"
 #include "trigen/core/kernels.hpp"
+#include "trigen/dataset/bitplanes.hpp"
 #include "trigen/dataset/synthetic.hpp"
 
 namespace {
@@ -218,6 +222,65 @@ void bench_prefix_extend_k4(benchmark::State& state, core::KernelIsa isa) {
       benchmark::Counter::kIsRate);
 }
 
+// ---------------------------------------------------------------------------
+// Batched multi-phenotype finalize (P partitions per prefix)
+// ---------------------------------------------------------------------------
+
+/// Batched finalize at order 3: the 9 cached x∩y planes against one z and
+/// P = 16 label planes at once — label popcounts amortized per prefix, the
+/// per-partition genotype-2 cells derived from the partition identity.
+/// Emits 1 + P contingency tables per iteration; compare tables/s against
+/// triple_block_cached (one table per iteration) for the amortization win.
+void bench_batch_finalize(benchmark::State& state, core::KernelIsa isa) {
+  if (!core::kernel_available(isa)) {
+    state.SkipWithError("ISA not available on this host");
+    return;
+  }
+  constexpr std::size_t kSlots = 16;
+  const auto samples = static_cast<std::size_t>(state.range(0));
+  const auto d = dataset::generate_balanced(4, samples, 7);
+  const auto planes = dataset::PhenoSplitPlanes::build_combined(d);
+  const std::size_t words = planes.words(0);
+
+  // P shuffled copies of the real phenotype, word-interleaved.
+  std::vector<std::vector<dataset::Phenotype>> parts;
+  Xoshiro256 rng(11);
+  for (std::size_t p = 0; p < kSlots; ++p) {
+    std::vector<dataset::Phenotype> labels(samples);
+    for (auto& l : labels) l = static_cast<dataset::Phenotype>(rng.bounded(2));
+    parts.push_back(std::move(labels));
+  }
+  const auto batch = dataset::PhenotypeBatch::build(samples, parts);
+
+  const core::CachedKernelSet cached = core::get_cached_kernels(isa);
+  const core::BatchKernelSet bk = core::get_batch_kernels(isa);
+  core::PairPlaneCache cache;
+  cache.ensure(words);
+  std::fill(cache.pops(), cache.pops() + 9, 0u);
+  cached.build(planes.plane(0, 0, 0), planes.plane(0, 0, 1),
+               planes.plane(0, 1, 0), planes.plane(0, 1, 1), 0, words,
+               cache.planes(), cache.stride(), cache.pops());
+
+  std::vector<std::uint32_t> label_pops(9 * batch.stride());
+  std::vector<std::uint32_t> ft((1 + kSlots) * 27, 0);
+  for (auto _ : state) {
+    std::fill(label_pops.begin(), label_pops.end(), 0u);
+    bk.label_pops(cache.planes(), 9, cache.stride(), batch.word_labels(),
+                  batch.size(), batch.stride(), 0, words, label_pops.data());
+    bk.finalize(cache.planes(), 9, cache.stride(), cache.pops(),
+                label_pops.data(), planes.plane(0, 2, 0),
+                planes.plane(0, 2, 1), batch.word_labels(), batch.size(),
+                batch.stride(), 0, words, ft.data(), 27);
+    benchmark::DoNotOptimize(ft.data());
+  }
+  state.counters["words/s"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) * static_cast<double>(words),
+      benchmark::Counter::kIsRate);
+  state.counters["tables/s"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) * (1.0 + kSlots),
+      benchmark::Counter::kIsRate);
+}
+
 void register_all() {
   for (const auto isa : core::all_kernel_isas()) {
     benchmark::RegisterBenchmark(
@@ -235,6 +298,11 @@ void register_all() {
     benchmark::RegisterBenchmark(
         ("pair_plane_build/" + core::kernel_isa_name(isa)).c_str(),
         [isa](benchmark::State& s) { bench_build_kernel(s, isa); })
+        ->Arg(2048)
+        ->Arg(65536);
+    benchmark::RegisterBenchmark(
+        ("finalize_batched/" + core::kernel_isa_name(isa)).c_str(),
+        [isa](benchmark::State& s) { bench_batch_finalize(s, isa); })
         ->Arg(2048)
         ->Arg(65536);
   }

@@ -44,6 +44,10 @@ struct BasicDetector<K>::Impl {
   std::size_t num_samples;
   dataset::BitPlanesV1 v1;
   dataset::PhenoSplitPlanes split;
+  /// Phenotype-agnostic layout (class 0 = all samples, original order) for
+  /// run_batched; the per-partition split happens against PhenotypeBatch
+  /// label planes instead of a baked-in phenotype.
+  dataset::PhenoSplitPlanes combined;
 };
 
 template <unsigned K>
@@ -53,6 +57,7 @@ BasicDetector<K>::BasicDetector(const dataset::GenotypeMatrix& d)
           d.num_samples(),
           dataset::BitPlanesV1::build(d),
           dataset::PhenoSplitPlanes::build(d),
+          dataset::PhenoSplitPlanes::build_combined(d),
       })) {
   if (d.num_snps() < K) {
     throw std::invalid_argument("Detector: need at least " +
@@ -384,6 +389,119 @@ BasicDetectionResult<K> BasicDetector<K>::run(
   }
   result.seconds = sw.seconds();
   result.best = merged.sorted();
+  return result;
+}
+
+template <unsigned K>
+BasicBatchDetectionResult<K> BasicDetector<K>::run_batched(
+    const dataset::PhenotypeBatch& batch,
+    const BasicDetectorOptions<K>& options) const {
+  using Scored = ScoredOf<K>;
+  if (batch.num_samples() != impl_->num_samples) {
+    throw std::invalid_argument(
+        "run_batched: batch and dataset sample counts differ");
+  }
+  if (options.top_k == 0) {
+    throw std::invalid_argument("DetectorOptions::top_k must be >= 1");
+  }
+  BasicBatchDetectionResult<K> result;
+  result.threads_used = resolve_threads(options.threads);
+  result.isa_used = options.isa_auto ? best_kernel_isa() : options.isa;
+  if (!kernel_available(result.isa_used)) {
+    throw std::runtime_error("requested kernel ISA not available: " +
+                             kernel_isa_name(result.isa_used));
+  }
+
+  const std::size_t m = impl_->num_snps;
+  const std::size_t slots = batch.size();
+  const std::uint64_t total = combinatorics::n_choose_k(m, K);
+  RankRange range = options.range;
+  if (range.empty()) range = {0, total};
+  if (range.last > total) {
+    throw std::invalid_argument("DetectorOptions::range exceeds the space");
+  }
+  const bool partial = range.first != 0 || range.last != total;
+  result.combinations_evaluated = range.size();
+  result.elements = range.size() * impl_->num_samples * slots;
+
+  const auto scorer =
+      options.scorer
+          ? options.scorer
+          : make_normalized_scorer_of<K>(
+                options.objective,
+                static_cast<std::uint32_t>(impl_->num_samples));
+
+  ScanConfig cfg;
+  cfg.threads = result.threads_used;
+  cfg.chunk_size = options.chunk_size;
+  cfg.progress = options.progress;
+  cfg.progress_total = range.size();
+
+  // Always the cached blocked engine (the whole point is amortizing the
+  // ladder), with the batch-aware L1 budget: the per-tuple tables grow to
+  // 1 + P slots and the resident label rows join the streamed block.
+  TilingParams tiling = options.tiling;
+  if (!tiling.valid()) {
+    tiling = autotune_tiling(detect_l1_config(),
+                             kernel_vector_words(result.isa_used), K, true,
+                             slots, batch.stride());
+  }
+  result.tiling_used = tiling;
+
+  const CachedKernelSet cachedk = get_cached_kernels(result.isa_used);
+  const GenericKernelSet generic = get_generic_kernels(result.isa_used);
+  const BatchKernelSet bkern = get_batch_kernels(result.isa_used);
+
+  const combinatorics::BlockGrid grid{m, tiling.bs};
+  const combinatorics::BlockPartition part =
+      combinatorics::partition_block_tuples<K>(grid, range);
+  const RankRange clip = partial ? range : kFullRange;
+
+  std::vector<BatchTupleScratch<K>> scratch;
+  scratch.reserve(cfg.threads);
+  for (unsigned t = 0; t < cfg.threads; ++t) {
+    scratch.emplace_back(tiling.bs, slots, batch.stride());
+  }
+
+  Stopwatch sw;
+  // One TopK per partition per thread; the per-partition merge keeps each
+  // ranking deterministic (score-then-rank tie-break) and independent.
+  std::vector<std::vector<BasicTopK<Scored>>> per_thread(
+      cfg.threads,
+      std::vector<BasicTopK<Scored>>(slots, BasicTopK<Scored>(options.top_k)));
+  parallel_scan(
+      part.block_ranks.size(), cfg, per_thread,
+      [&](unsigned tid, RankRange r,
+          std::vector<BasicTopK<Scored>>& acc) -> std::uint64_t {
+        std::uint64_t emitted = 0;
+        const auto on_table =
+            [&](const Combination<K>& c, std::size_t p,
+                const scoring::BasicContingencyTable<K>& tb) {
+              if (p == 0) ++emitted;  // combinations, not tables
+              acc[p].push(make_scored<K>(c, scorer(tb)));
+            };
+        for (std::uint64_t b = r.first; b < r.last; ++b) {
+          const BlockTuple<K> bt =
+              unrank_block_tuple<K>(part.block_ranks.first + b);
+          if constexpr (K == 2) {
+            scan_block_pair_batched(impl_->combined, batch, tiling, cachedk,
+                                    bkern, scratch[tid],
+                                    BlockPair{bt[0], bt[1]}, clip, on_table);
+          } else {
+            scan_block_tuple_batched<K>(impl_->combined, batch, tiling,
+                                        cachedk, generic, bkern, scratch[tid],
+                                        bt, clip, on_table);
+          }
+        }
+        return emitted;
+      });
+  result.seconds = sw.seconds();
+  result.best.resize(slots);
+  for (std::size_t p = 0; p < slots; ++p) {
+    BasicTopK<Scored> merged(options.top_k);
+    for (const auto& th : per_thread) merged.merge(th[p]);
+    result.best[p] = merged.sorted();
+  }
   return result;
 }
 

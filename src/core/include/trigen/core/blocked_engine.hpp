@@ -635,4 +635,272 @@ void scan_block_pair(const dataset::PhenoSplitPlanes& planes,
                   static_cast<OnTable&&>(on_table));
 }
 
+// ---------------------------------------------------------------------------
+// Batched multi-phenotype engines
+// ---------------------------------------------------------------------------
+
+/// Per-thread scratch of the batched engines: the prefix-plane ladder, the
+/// chunk |prefix ∩ label| popcounts, and the live (1 + P)-slot tables (slot
+/// 0 totals, slot 1+p the case table of partition p).  At order >= 3 the
+/// tables of all final-axis combinations of one prefix are live together
+/// (B_S of them); at order 2 one pair emits before the next starts.
+template <unsigned K>
+class BatchTupleScratch {
+ public:
+  static constexpr std::size_t kCells = scoring::num_cells(K);
+  /// Planes the label-popcount kernel runs against: the materialized pair
+  /// planes at order 2, the last ladder rung otherwise.
+  static constexpr std::size_t kPrefixPlanes = K == 2 ? 9 : pow3(K - 1);
+
+  BatchTupleScratch(std::size_t bs, std::size_t slots, std::size_t lstride)
+      : bs_(bs),
+        slots_(slots),
+        tables_((K >= 3 ? bs : 1) * (1 + slots) * kCells),
+        label_pops_(kPrefixPlanes * lstride) {}
+
+  std::size_t bs() const { return bs_; }
+  std::size_t slots() const { return slots_; }
+  /// The (1 + P)-slot table group of final-axis combination `z_rel`.
+  std::uint32_t* tables(std::size_t z_rel) {
+    return tables_.data() + z_rel * (1 + slots_) * kCells;
+  }
+  /// Zeroes the table groups of final-axis combinations [0, z_count).
+  void clear_tables(std::size_t z_count) {
+    std::fill(tables_.begin(),
+              tables_.begin() + static_cast<std::ptrdiff_t>(
+                                    z_count * (1 + slots_) * kCells),
+              0u);
+  }
+  std::uint32_t* label_pops() { return label_pops_.data(); }
+  PrefixPlaneCache& prefix_cache() { return cache_; }
+
+ private:
+  std::size_t bs_;
+  std::size_t slots_;
+  std::vector<std::uint32_t> tables_;
+  std::vector<std::uint32_t> label_pops_;
+  PrefixPlaneCache cache_;
+};
+
+/// Batched ladder scan at any order K >= 3: evaluates every combination of
+/// block tuple `bt` within `clip` against ALL partitions of `batch` in one
+/// pass, and calls `on_table(const Combination<K>&, std::size_t partition,
+/// const BasicContingencyTable<K>&)` for each (partition index ascending
+/// within a combination).
+///
+/// `planes` must be the phenotype-agnostic combined layout
+/// (`PhenoSplitPlanes::build_combined`): the ladder streams class 0 (all
+/// samples) exactly once per prefix and chunk, the batch kernel counts
+/// |prefix ∩ L_p| once per chunk, and each final-axis SNP then costs two
+/// broadcast-AND-popcount streams per partition — the plane streaming and
+/// ladder build are amortized across all P partitions.  Tables are exact
+/// integer counts, so every partition's result is bit-identical to a
+/// dedicated sequential scan of that partition.
+template <unsigned K, typename OnTable>
+void scan_block_tuple_batched(const dataset::PhenoSplitPlanes& planes,
+                              const dataset::PhenotypeBatch& batch,
+                              const TilingParams& tiling,
+                              const CachedKernelSet& cached,
+                              const GenericKernelSet& generic,
+                              const BatchKernelSet& bkern,
+                              BatchTupleScratch<K>& scratch,
+                              const BlockTuple<K>& bt,
+                              const combinatorics::RankRange& clip,
+                              OnTable&& on_table) {
+  static_assert(K >= 3, "the batched ladder needs a length-2 prefix; "
+                        "use scan_block_pair_batched for K == 2");
+  constexpr std::size_t kCells = BatchTupleScratch<K>::kCells;
+  const std::size_t bs = tiling.bs;
+  const std::size_t m = planes.num_snps();
+  std::array<std::size_t, K> base;
+  std::array<std::size_t, K> end;
+  for (unsigned j = 0; j < K; ++j) {
+    base[j] = bt[j] * bs;
+    if (base[j] >= m) return;
+    end[j] = std::min(base[j] + bs, m);
+  }
+
+  bool filter = false;
+  if (clip.first != kFullRange.first || clip.last != kFullRange.last) {
+    const combinatorics::RankRange span = combinatorics::block_tuple_span<K>(
+        combinatorics::BlockGrid{m, bs}, bt);
+    if (span.empty() || span.last <= clip.first || span.first >= clip.last) {
+      return;
+    }
+    filter = span.first < clip.first || span.last > clip.last;
+  }
+
+  const std::size_t num_labels = batch.size();
+  const std::size_t lstride = batch.stride();
+  const Word* labels = batch.word_labels();
+  const std::size_t words = planes.words(0);
+  const std::size_t pad = planes.pad_bits(0);
+  PrefixPlaneCache& cache = scratch.prefix_cache();
+  cache.ensure(K, tiling.bp_words);
+  constexpr std::size_t count = pow3(K - 1);
+
+  combinatorics::Combination<K> comb{};
+  const auto process_prefix = [&]() {
+    const std::size_t z_first =
+        std::max(base[K - 1], static_cast<std::size_t>(comb[K - 2]) + 1);
+    if (z_first >= end[K - 1]) return;
+    const std::size_t z_count = end[K - 1] - z_first;
+    scratch.clear_tables(z_count);
+    // Chunk loop inside the prefix: the ladder and the per-chunk label
+    // popcounts are built once and reused by every final-axis SNP and
+    // every partition.
+    for (std::size_t w0 = 0; w0 < words; w0 += tiling.bp_words) {
+      const std::size_t w1 = std::min(w0 + tiling.bp_words, words);
+      std::fill(cache.rung_pops(2), cache.rung_pops(2) + 9, 0u);
+      cached.build(planes.plane(0, comb[0], 0), planes.plane(0, comb[0], 1),
+                   planes.plane(0, comb[1], 0), planes.plane(0, comb[1], 1),
+                   w0, w1, cache.rung(2), cache.stride(), cache.rung_pops(2));
+      for (unsigned j = 2; j + 1 < K; ++j) {
+        std::uint32_t* pops = nullptr;
+        if (j + 1 == K - 1) {
+          pops = cache.rung_pops(j + 1);
+          std::fill(pops, pops + pow3(j + 1), 0u);
+        }
+        generic.extend(cache.rung(j), pow3(j), cache.stride(),
+                       planes.plane(0, comb[j], 0),
+                       planes.plane(0, comb[j], 1), w0, w1, cache.rung(j + 1),
+                       cache.stride(), pops);
+      }
+      const Word* last = cache.rung(K - 1);
+      std::fill(scratch.label_pops(),
+                scratch.label_pops() + count * lstride, 0u);
+      bkern.label_pops(last, count, cache.stride(), labels, num_labels,
+                       lstride, w0, w1, scratch.label_pops());
+      for (std::size_t z = z_first; z < end[K - 1]; ++z) {
+        bkern.finalize(last, count, cache.stride(), cache.rung_pops(K - 1),
+                       scratch.label_pops(), planes.plane(0, z, 0),
+                       planes.plane(0, z, 1), labels, num_labels, lstride, w0,
+                       w1, scratch.tables(z - z_first), kCells);
+      }
+    }
+    // Emit: slot 0 holds the phenotype-independent totals, slot 1+p the
+    // exact case table of partition p (label planes are zero-padded).  The
+    // control table is totals − case; only it inherits the combined
+    // planes' phantom all-genotype-2 padding.
+    for (std::size_t z = z_first; z < end[K - 1]; ++z) {
+      comb[K - 1] = static_cast<std::uint32_t>(z);
+      if (filter) {
+        const std::uint64_t rank = combinatorics::rank_combination<K>(comb);
+        if (rank < clip.first || rank >= clip.last) continue;
+      }
+      const std::uint32_t* group = scratch.tables(z - z_first);
+      for (std::size_t p = 0; p < num_labels; ++p) {
+        const std::uint32_t* case_ft = group + (1 + p) * kCells;
+        scoring::BasicContingencyTable<K> t;
+        for (std::size_t i = 0; i < kCells; ++i) {
+          t.counts[1][i] = case_ft[i];
+          t.counts[0][i] = group[i] - case_ft[i];
+        }
+        t.counts[0][kCells - 1] -= static_cast<std::uint32_t>(pad);
+        on_table(static_cast<const combinatorics::Combination<K>&>(comb), p,
+                 t);
+      }
+    }
+  };
+
+  const auto walk = [&](const auto& self, unsigned j,
+                        std::size_t prev) -> void {
+    if (j == K - 1) {
+      process_prefix();
+      return;
+    }
+    const std::size_t first = j == 0 ? base[0] : std::max(base[j], prev + 1);
+    for (std::size_t i = first; i < end[j]; ++i) {
+      if (!engine_detail::has_completion<K>(base, end, j, i)) continue;
+      comb[j] = static_cast<std::uint32_t>(i);
+      self(self, j + 1, i);
+    }
+  };
+  walk(walk, 0, 0);
+}
+
+/// Batched pair scan (K == 2): the nine x∩y planes of each pair are
+/// materialized once per chunk; their chunk popcounts are the totals and
+/// one label-popcount pass per chunk yields every partition's case cells
+/// directly — there is no final axis, so no finalize kernel is involved.
+/// Calls `on_table(const Combination<2>&, std::size_t partition, const
+/// PairContingencyTable&)`.
+template <typename OnTable>
+void scan_block_pair_batched(const dataset::PhenoSplitPlanes& planes,
+                             const dataset::PhenotypeBatch& batch,
+                             const TilingParams& tiling,
+                             const CachedKernelSet& cached,
+                             const BatchKernelSet& bkern,
+                             BatchTupleScratch<2>& scratch,
+                             const BlockPair& bp,
+                             const combinatorics::RankRange& clip,
+                             OnTable&& on_table) {
+  const std::size_t bs = tiling.bs;
+  const std::size_t m = planes.num_snps();
+  std::array<std::size_t, 2> base{bp.b0 * bs, bp.b1 * bs};
+  if (base[0] >= m || base[1] >= m) return;
+  const std::array<std::size_t, 2> end{std::min(base[0] + bs, m),
+                                       std::min(base[1] + bs, m)};
+
+  bool filter = false;
+  if (clip.first != kFullRange.first || clip.last != kFullRange.last) {
+    const combinatorics::RankRange span = combinatorics::block_tuple_span<2>(
+        combinatorics::BlockGrid{m, bs}, BlockTuple<2>{bp.b0, bp.b1});
+    if (span.empty() || span.last <= clip.first || span.first >= clip.last) {
+      return;
+    }
+    filter = span.first < clip.first || span.last > clip.last;
+  }
+
+  const std::size_t num_labels = batch.size();
+  const std::size_t lstride = batch.stride();
+  const Word* labels = batch.word_labels();
+  const std::size_t words = planes.words(0);
+  const std::size_t pad = planes.pad_bits(0);
+  PrefixPlaneCache& cache = scratch.prefix_cache();
+  cache.ensure(3, tiling.bp_words);
+
+  combinatorics::Combination<2> comb{};
+  for (std::size_t i0 = base[0]; i0 < end[0]; ++i0) {
+    for (std::size_t i1 = std::max(base[1], i0 + 1); i1 < end[1]; ++i1) {
+      comb[0] = static_cast<std::uint32_t>(i0);
+      comb[1] = static_cast<std::uint32_t>(i1);
+      if (filter) {
+        const std::uint64_t rank = combinatorics::rank_combination<2>(comb);
+        if (rank < clip.first || rank >= clip.last) continue;
+      }
+      scratch.clear_tables(1);
+      std::uint32_t* table = scratch.tables(0);
+      for (std::size_t w0 = 0; w0 < words; w0 += tiling.bp_words) {
+        const std::size_t w1 = std::min(w0 + tiling.bp_words, words);
+        std::fill(cache.rung_pops(2), cache.rung_pops(2) + 9, 0u);
+        cached.build(planes.plane(0, i0, 0), planes.plane(0, i0, 1),
+                     planes.plane(0, i1, 0), planes.plane(0, i1, 1), w0, w1,
+                     cache.rung(2), cache.stride(), cache.rung_pops(2));
+        std::fill(scratch.label_pops(), scratch.label_pops() + 9 * lstride,
+                  0u);
+        bkern.label_pops(cache.rung(2), 9, cache.stride(), labels, num_labels,
+                         lstride, w0, w1, scratch.label_pops());
+        for (std::size_t t = 0; t < 9; ++t) {
+          table[t] += cache.rung_pops(2)[t];
+          for (std::size_t p = 0; p < num_labels; ++p) {
+            table[(1 + p) * 9 + t] += scratch.label_pops()[t * lstride + p];
+          }
+        }
+      }
+      for (std::size_t p = 0; p < num_labels; ++p) {
+        const std::uint32_t* case_ft = table + (1 + p) * 9;
+        scoring::PairContingencyTable t;
+        for (std::size_t i = 0; i < 9; ++i) {
+          t.counts[1][i] = case_ft[i];
+          t.counts[0][i] = table[i] - case_ft[i];
+        }
+        t.counts[0][8] -= static_cast<std::uint32_t>(pad);
+        on_table(static_cast<const combinatorics::Combination<2>&>(comb), p,
+                 t);
+      }
+    }
+  }
+}
+
 }  // namespace trigen::core

@@ -159,6 +159,17 @@ struct BasicDetectionResult : ScanStats {
 /// Outcome of a 3-way detection run.
 using DetectionResult = BasicDetectionResult<3>;
 
+/// Outcome of a batched multi-phenotype run: one independent top-k ranking
+/// per partition of the batch, from a single pass over the genotype data.
+template <unsigned K>
+struct BasicBatchDetectionResult : ScanStats {
+  /// `best[p]` is the best-first ranking of partition p, identical to what
+  /// a dedicated run() over that partition's phenotype would report.
+  std::vector<std::vector<ScoredOf<K>>> best;
+  /// Combinations evaluated (counted once, not per partition).
+  std::uint64_t combinations_evaluated = 0;
+};
+
 /// Exhaustive order-K detector over one dataset.  Thread-safe for
 /// concurrent run() calls; the bit-plane layouts are built once at
 /// construction.
@@ -178,6 +189,19 @@ class BasicDetector {
   /// All five versions produce bit-identical results for any rank range
   /// (cross-checked in the test suite); they differ only in speed.
   BasicDetectionResult<K> run(const BasicDetectorOptions<K>& options = {}) const;
+
+  /// Scores every combination against ALL partitions of `batch` in one
+  /// pass: the genotype streaming and prefix-plane ladder are built once
+  /// per (prefix, chunk) and amortized across partitions, so P partitions
+  /// cost far less than P runs.  Each partition's ranking is bit-identical
+  /// to a dedicated run() with that partition as the phenotype (same
+  /// integer tables, same scorer, same deterministic merge).  Always runs
+  /// the cached blocked engine; `options.version` is ignored.  This is the
+  /// engine under permutation testing (observed + shuffled nulls = one
+  /// batch) and multi-trait scans.
+  BasicBatchDetectionResult<K> run_batched(
+      const dataset::PhenotypeBatch& batch,
+      const BasicDetectorOptions<K>& options = {}) const;
 
   /// Reference per-combination evaluation through the bitwise kernels over
   /// the full sample range — the cross-check the blocked paths are

@@ -159,6 +159,61 @@ struct GenericKernelSet {
   TupleBlockKernel direct = nullptr;
 };
 
+// ---------------------------------------------------------------------------
+// Batched multi-phenotype kernels (P partitions per cached-prefix pass)
+// ---------------------------------------------------------------------------
+//
+// Everything upstream of the final case/control split — streaming genotype
+// planes, building the prefix-plane ladder — is phenotype-independent.  The
+// batched kernels exploit that: the engine builds the ladder over *combined*
+// planes (all samples, no class split) once, and the final popcount pass
+// scores P phenotype partitions at a time against a word-interleaved label
+// matrix `labels[w * lstride + p]` (lane p of row w is word w of partition
+// p's case plane; rows are padded to a whole vector register).  Per cell
+// word u = prefix ∩ z the vector kernels broadcast u and AND it against 8
+// or 16 label lanes per instruction, so the marginal cost of one extra
+// phenotype is ~1/8 (AVX2) or ~1/16 (AVX-512) of a dedicated pass.  Label
+// planes have zero tail bits, so case counts need no padding correction;
+// control rows are derived as totals - cases with the usual all-genotype-2
+// padding subtraction on the totals side.
+
+/// Chunk popcounts |prefix_t ∩ L_p| for every cached plane t and label lane
+/// p: `label_pops[t * lstride + p]` is *added to* (callers zero per chunk).
+/// The prefix planes are read at relative offsets [0, w_end - w_begin);
+/// labels are indexed absolutely as `labels[w * lstride + p]`.  These are
+/// the batch analogue of the ladder's rung popcounts: computed once per
+/// (prefix, chunk) and amortized over every last-axis SNP, they resolve the
+/// per-partition genotype-2 case cells via the partition identity.
+using BatchLabelPopsKernel = void (*)(const Word* prefix, std::size_t count,
+                                      std::size_t stride, const Word* labels,
+                                      std::size_t num_labels,
+                                      std::size_t lstride, std::size_t w_begin,
+                                      std::size_t w_end,
+                                      std::uint32_t* label_pops);
+
+/// Batched finalize: accumulates, from `count` cached prefix planes plus
+/// the last SNP's operand planes, the totals table AND one case table per
+/// label lane.  `ft` holds 1 + num_labels consecutive tables of `ft_stride`
+/// cells each (cell = t*3 + g, as in PrefixFinalKernel): slot 0 is the
+/// totals table (all samples; genotype-2 cells from `prefix_pops`), slot
+/// 1 + p the case table of partition p (genotype-2 cells from
+/// `label_pops[t * lstride + p]`).  Adds into `ft` (not zeroed here).
+using BatchFinalKernel = void (*)(const Word* prefix, std::size_t count,
+                                  std::size_t stride,
+                                  const std::uint32_t* prefix_pops,
+                                  const std::uint32_t* label_pops,
+                                  const Word* z0, const Word* z1,
+                                  const Word* labels, std::size_t num_labels,
+                                  std::size_t lstride, std::size_t w_begin,
+                                  std::size_t w_end, std::uint32_t* ft,
+                                  std::size_t ft_stride);
+
+/// The batched multi-phenotype kernel pair for one vectorization strategy.
+struct BatchKernelSet {
+  BatchLabelPopsKernel label_pops = nullptr;
+  BatchFinalKernel finalize = nullptr;
+};
+
 /// Vectorization strategy of the triple-block kernel.
 enum class KernelIsa {
   kScalar,         ///< 32-bit words, builtin POPCNT (V2/V3 and AVX-less V4)
@@ -196,6 +251,15 @@ CachedKernelSet get_cached_kernels(KernelIsa isa);
 /// execute an AVX-512 strategy can execute AVX2, and the generics are
 /// exact on every path.
 GenericKernelSet get_generic_kernels(KernelIsa isa);
+
+/// Fetch the batched multi-phenotype kernels for `isa`; throws
+/// std::runtime_error if unavailable.  The scalar strategy maps to the
+/// scalar batch kernels; both AVX2 strategies share one LUT-based variant
+/// (per-dword popcounts need the nibble LUT regardless of the triple
+/// kernel's popcount strategy); the AVX-512 strategies keep dedicated
+/// variants.  Every variant is exact, so batched scans are bit-identical
+/// across the mapping.
+BatchKernelSet get_batch_kernels(KernelIsa isa);
 
 /// Words processed per kernel iteration (1, 8 or 16): callers sizing word
 /// blocks should use multiples of this for full-vector main loops.

@@ -53,6 +53,17 @@ TilingParams autotune_tiling(const L1Config& l1, std::size_t vector_words,
 TilingParams autotune_tiling(const L1Config& l1, std::size_t vector_words,
                              unsigned order, bool cached);
 
+/// Batch-aware sizing for multi-phenotype scans: the frequency-table budget
+/// covers 1 + `batch_slots` tables per tuple (totals plus one case table per
+/// partition; the batched engines keep per-z tables live, so the per-tuple
+/// term is (1+P)*3^order*4 bytes), and the streamed-block budget adds the
+/// resident label planes — `label_stride` lanes (the PhenotypeBatch stride)
+/// per sample word.  `batch_slots == 0` degrades to the overload above.
+TilingParams autotune_tiling(const L1Config& l1, std::size_t vector_words,
+                             unsigned order, bool cached,
+                             std::size_t batch_slots,
+                             std::size_t label_stride);
+
 /// Reads the host's L1D geometry from sysfs; falls back to 32 kB / 8-way
 /// when unavailable.  Way split follows the paper: 7 ways for tables, the
 /// remainder minus one (prefetcher headroom on >=12-way caches) for blocks.

@@ -45,6 +45,15 @@ inline __m256i hs_accumulate(__m256i acc, __m256i v) {
       acc, _mm256_sad_epu8(hs_popcnt_bytes(v), _mm256_setzero_si256()));
 }
 
+/// Per-32-bit-lane set-bit counts: nibble-LUT bytes summed into dwords via
+/// maddubs(×1) + madd(×1).  Keeps counts lane-separated, which the batched
+/// kernels need (one label partition per dword lane).
+inline __m256i lane_popcnt_epi32(__m256i v) {
+  return _mm256_madd_epi16(
+      _mm256_maddubs_epi16(hs_popcnt_bytes(v), _mm256_set1_epi8(1)),
+      _mm256_set1_epi16(1));
+}
+
 /// Horizontal sum of the four 64-bit lanes of a SAD accumulator.
 inline std::uint32_t hsum_sad256(__m256i acc) {
   return static_cast<std::uint32_t>(
@@ -435,6 +444,184 @@ void tuple_block_avx2(const Word* const* TRIGEN_RESTRICT g0,
     descend(descend, 0, ones, 0);
   }
   tuple_block_scalar(g0, g1, k, w, w_end, ft);
+}
+
+namespace {
+
+// Batched label-pops over a window of G eight-lane label groups: one pass
+// over the words, the prefix word broadcast once, G register accumulators.
+// G is capped at 4 — AVX2 has sixteen ymm registers and lane_popcnt_epi32
+// needs scratch, so wider windows would spill.
+template <int G>
+void batch_label_pops_window_avx2(
+    const Word* TRIGEN_RESTRICT prefix, std::size_t count, std::size_t stride,
+    const Word* TRIGEN_RESTRICT labels, std::size_t p_begin,
+    std::size_t p_last, std::size_t lstride, std::size_t w_begin,
+    std::size_t w_end, std::uint32_t* TRIGEN_RESTRICT label_pops) {
+  const std::size_t n = w_end - w_begin;
+  for (std::size_t t = 0; t < count; ++t) {
+    const Word* TRIGEN_RESTRICT pt = prefix + t * stride;
+    __m256i acc[G];
+    for (int g = 0; g < G; ++g) acc[g] = _mm256_setzero_si256();
+    for (std::size_t r = 0; r < n; ++r) {
+      const Word v = pt[r];
+      if (v == 0) continue;
+      const Word* TRIGEN_RESTRICT row =
+          labels + (w_begin + r) * lstride + p_begin;
+      const __m256i b = _mm256_set1_epi32(static_cast<int>(v));
+      for (int g = 0; g < G; ++g) {
+        const __m256i l = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i*>(row + 8 * g));
+        acc[g] = _mm256_add_epi32(
+            acc[g], lane_popcnt_epi32(_mm256_and_si256(b, l)));
+      }
+    }
+    alignas(32) std::uint32_t lanes[8];
+    for (int g = 0; g < G; ++g) {
+      const std::size_t pg = p_begin + 8 * static_cast<std::size_t>(g);
+      const std::size_t pe = pg + 8 < p_last ? pg + 8 : p_last;
+      _mm256_store_si256(reinterpret_cast<__m256i*>(lanes), acc[g]);
+      for (std::size_t p = pg; p < pe; ++p)
+        label_pops[t * lstride + p] += lanes[p - pg];
+    }
+  }
+}
+
+// Batched finalize over a window of G label groups: u0/u1, the per-chunk
+// totals and the two broadcasts are computed once per word and amortized
+// across all 8*G partitions.  G is capped at 2 (2*G accumulators plus the
+// popcount scratch must fit sixteen ymm registers).
+template <int G>
+void batch_final_window_avx2(
+    const Word* TRIGEN_RESTRICT prefix, std::size_t count, std::size_t stride,
+    const std::uint32_t* TRIGEN_RESTRICT prefix_pops,
+    const std::uint32_t* TRIGEN_RESTRICT label_pops,
+    const Word* TRIGEN_RESTRICT z0, const Word* TRIGEN_RESTRICT z1,
+    const Word* TRIGEN_RESTRICT labels, std::size_t p_begin,
+    std::size_t p_last, std::size_t lstride, std::size_t w_begin,
+    std::size_t w_end, std::uint32_t* TRIGEN_RESTRICT ft,
+    std::size_t ft_stride, bool totals_pass) {
+  const std::size_t n = w_end - w_begin;
+  for (std::size_t t = 0; t < count; ++t) {
+    const Word* TRIGEN_RESTRICT pt = prefix + t * stride;
+    __m256i a0[G];
+    __m256i a1[G];
+    for (int g = 0; g < G; ++g) {
+      a0[g] = _mm256_setzero_si256();
+      a1[g] = _mm256_setzero_si256();
+    }
+    std::uint32_t c0 = 0;
+    std::uint32_t c1 = 0;
+    for (std::size_t r = 0; r < n; ++r) {
+      const Word u0 = pt[r] & z0[w_begin + r];
+      const Word u1 = pt[r] & z1[w_begin + r];
+      if (totals_pass) {
+        c0 += static_cast<std::uint32_t>(std::popcount(u0));
+        c1 += static_cast<std::uint32_t>(std::popcount(u1));
+      }
+      if ((u0 | u1) == 0) continue;
+      const Word* TRIGEN_RESTRICT row =
+          labels + (w_begin + r) * lstride + p_begin;
+      const __m256i b0 = _mm256_set1_epi32(static_cast<int>(u0));
+      const __m256i b1 = _mm256_set1_epi32(static_cast<int>(u1));
+      for (int g = 0; g < G; ++g) {
+        const __m256i l = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i*>(row + 8 * g));
+        a0[g] = _mm256_add_epi32(
+            a0[g], lane_popcnt_epi32(_mm256_and_si256(b0, l)));
+        a1[g] = _mm256_add_epi32(
+            a1[g], lane_popcnt_epi32(_mm256_and_si256(b1, l)));
+      }
+    }
+    if (totals_pass) {
+      ft[t * 3 + 0] += c0;
+      ft[t * 3 + 1] += c1;
+      ft[t * 3 + 2] += prefix_pops[t] - c0 - c1;
+    }
+    alignas(32) std::uint32_t l0[8];
+    alignas(32) std::uint32_t l1[8];
+    for (int g = 0; g < G; ++g) {
+      const std::size_t pg = p_begin + 8 * static_cast<std::size_t>(g);
+      const std::size_t pe = pg + 8 < p_last ? pg + 8 : p_last;
+      _mm256_store_si256(reinterpret_cast<__m256i*>(l0), a0[g]);
+      _mm256_store_si256(reinterpret_cast<__m256i*>(l1), a1[g]);
+      for (std::size_t p = pg; p < pe; ++p) {
+        const std::uint32_t v0 = l0[p - pg];
+        const std::uint32_t v1 = l1[p - pg];
+        std::uint32_t* TRIGEN_RESTRICT ftp = ft + (1 + p) * ft_stride + t * 3;
+        ftp[0] += v0;
+        ftp[1] += v1;
+        ftp[2] += label_pops[t * lstride + p] - v0 - v1;
+      }
+    }
+  }
+}
+
+}  // namespace
+
+void batch_label_pops_avx2(const Word* TRIGEN_RESTRICT prefix,
+                           std::size_t count, std::size_t stride,
+                           const Word* TRIGEN_RESTRICT labels,
+                           std::size_t num_labels, std::size_t lstride,
+                           std::size_t w_begin, std::size_t w_end,
+                           std::uint32_t* TRIGEN_RESTRICT label_pops) {
+  // Vectorized across label lanes, not words: each prefix word is broadcast
+  // and ANDed against eight partitions' label words at once.  Lane count is
+  // independent of the word range, so there is no scalar word tail.
+  for (std::size_t p0 = 0; p0 < num_labels;) {
+    const std::size_t left = (num_labels - p0 + 7) / 8;
+    const std::size_t g = left < 4 ? left : 4;
+    const std::size_t pe = p0 + 8 * g < num_labels ? p0 + 8 * g : num_labels;
+    switch (g) {
+#define TRIGEN_BLP_CASE(G)                                                \
+  case G:                                                                 \
+    batch_label_pops_window_avx2<G>(prefix, count, stride, labels, p0,    \
+                                    pe, lstride, w_begin, w_end,          \
+                                    label_pops);                          \
+    break;
+      TRIGEN_BLP_CASE(1)
+      TRIGEN_BLP_CASE(2)
+      TRIGEN_BLP_CASE(3)
+      TRIGEN_BLP_CASE(4)
+#undef TRIGEN_BLP_CASE
+      default: break;
+    }
+    p0 += 8 * g;
+  }
+}
+
+void batch_final_avx2(const Word* TRIGEN_RESTRICT prefix, std::size_t count,
+                      std::size_t stride,
+                      const std::uint32_t* TRIGEN_RESTRICT prefix_pops,
+                      const std::uint32_t* TRIGEN_RESTRICT label_pops,
+                      const Word* TRIGEN_RESTRICT z0,
+                      const Word* TRIGEN_RESTRICT z1,
+                      const Word* TRIGEN_RESTRICT labels,
+                      std::size_t num_labels, std::size_t lstride,
+                      std::size_t w_begin, std::size_t w_end,
+                      std::uint32_t* TRIGEN_RESTRICT ft,
+                      std::size_t ft_stride) {
+  bool totals_pass = true;
+  for (std::size_t p0 = 0; p0 < num_labels;) {
+    const std::size_t left = (num_labels - p0 + 7) / 8;
+    const std::size_t g = left < 2 ? left : 2;
+    const std::size_t pe = p0 + 8 * g < num_labels ? p0 + 8 * g : num_labels;
+    switch (g) {
+#define TRIGEN_BF_CASE(G)                                                 \
+  case G:                                                                 \
+    batch_final_window_avx2<G>(prefix, count, stride, prefix_pops,        \
+                               label_pops, z0, z1, labels, p0, pe,        \
+                               lstride, w_begin, w_end, ft, ft_stride,    \
+                               totals_pass);                              \
+    break;
+      TRIGEN_BF_CASE(1)
+      TRIGEN_BF_CASE(2)
+#undef TRIGEN_BF_CASE
+      default: break;
+    }
+    totals_pass = false;
+    p0 += 8 * g;
+  }
 }
 
 }  // namespace trigen::core::detail

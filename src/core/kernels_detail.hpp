@@ -81,6 +81,23 @@ void tuple_block_scalar(const Word* const* TRIGEN_RESTRICT g0,
                         const Word* const* TRIGEN_RESTRICT g1, unsigned k,
                         std::size_t w_begin, std::size_t w_end,
                         std::uint32_t* TRIGEN_RESTRICT ft);
+void batch_label_pops_scalar(const Word* TRIGEN_RESTRICT prefix,
+                             std::size_t count, std::size_t stride,
+                             const Word* TRIGEN_RESTRICT labels,
+                             std::size_t num_labels, std::size_t lstride,
+                             std::size_t w_begin, std::size_t w_end,
+                             std::uint32_t* TRIGEN_RESTRICT label_pops);
+void batch_final_scalar(const Word* TRIGEN_RESTRICT prefix, std::size_t count,
+                        std::size_t stride,
+                        const std::uint32_t* TRIGEN_RESTRICT prefix_pops,
+                        const std::uint32_t* TRIGEN_RESTRICT label_pops,
+                        const Word* TRIGEN_RESTRICT z0,
+                        const Word* TRIGEN_RESTRICT z1,
+                        const Word* TRIGEN_RESTRICT labels,
+                        std::size_t num_labels, std::size_t lstride,
+                        std::size_t w_begin, std::size_t w_end,
+                        std::uint32_t* TRIGEN_RESTRICT ft,
+                        std::size_t ft_stride);
 
 #if defined(TRIGEN_KERNEL_AVX2)
 // Defined in kernels_avx2.cpp (compiled with -mavx2).
@@ -152,6 +169,23 @@ void tuple_block_avx2(const Word* const* TRIGEN_RESTRICT g0,
                       const Word* const* TRIGEN_RESTRICT g1, unsigned k,
                       std::size_t w_begin, std::size_t w_end,
                       std::uint32_t* TRIGEN_RESTRICT ft);
+void batch_label_pops_avx2(const Word* TRIGEN_RESTRICT prefix,
+                           std::size_t count, std::size_t stride,
+                           const Word* TRIGEN_RESTRICT labels,
+                           std::size_t num_labels, std::size_t lstride,
+                           std::size_t w_begin, std::size_t w_end,
+                           std::uint32_t* TRIGEN_RESTRICT label_pops);
+void batch_final_avx2(const Word* TRIGEN_RESTRICT prefix, std::size_t count,
+                      std::size_t stride,
+                      const std::uint32_t* TRIGEN_RESTRICT prefix_pops,
+                      const std::uint32_t* TRIGEN_RESTRICT label_pops,
+                      const Word* TRIGEN_RESTRICT z0,
+                      const Word* TRIGEN_RESTRICT z1,
+                      const Word* TRIGEN_RESTRICT labels,
+                      std::size_t num_labels, std::size_t lstride,
+                      std::size_t w_begin, std::size_t w_end,
+                      std::uint32_t* TRIGEN_RESTRICT ft,
+                      std::size_t ft_stride);
 #endif
 
 #if defined(TRIGEN_KERNEL_AVX512)
@@ -180,6 +214,23 @@ void pair_plane_count_avx512_extract(
     const Word* TRIGEN_RESTRICT y0, const Word* TRIGEN_RESTRICT y1,
     std::size_t w_begin, std::size_t w_end,
     std::uint32_t* TRIGEN_RESTRICT xy_pop9);
+void batch_label_pops_avx512(const Word* TRIGEN_RESTRICT prefix,
+                             std::size_t count, std::size_t stride,
+                             const Word* TRIGEN_RESTRICT labels,
+                             std::size_t num_labels, std::size_t lstride,
+                             std::size_t w_begin, std::size_t w_end,
+                             std::uint32_t* TRIGEN_RESTRICT label_pops);
+void batch_final_avx512(const Word* TRIGEN_RESTRICT prefix, std::size_t count,
+                        std::size_t stride,
+                        const std::uint32_t* TRIGEN_RESTRICT prefix_pops,
+                        const std::uint32_t* TRIGEN_RESTRICT label_pops,
+                        const Word* TRIGEN_RESTRICT z0,
+                        const Word* TRIGEN_RESTRICT z1,
+                        const Word* TRIGEN_RESTRICT labels,
+                        std::size_t num_labels, std::size_t lstride,
+                        std::size_t w_begin, std::size_t w_end,
+                        std::uint32_t* TRIGEN_RESTRICT ft,
+                        std::size_t ft_stride);
 #endif
 
 #if defined(TRIGEN_KERNEL_AVX512VPOPCNT)
@@ -208,6 +259,19 @@ void pair_plane_count_avx512_vpopcnt(
     const Word* TRIGEN_RESTRICT y0, const Word* TRIGEN_RESTRICT y1,
     std::size_t w_begin, std::size_t w_end,
     std::uint32_t* TRIGEN_RESTRICT xy_pop9);
+void batch_label_pops_avx512_vpopcnt(
+    const Word* TRIGEN_RESTRICT prefix, std::size_t count, std::size_t stride,
+    const Word* TRIGEN_RESTRICT labels, std::size_t num_labels,
+    std::size_t lstride, std::size_t w_begin, std::size_t w_end,
+    std::uint32_t* TRIGEN_RESTRICT label_pops);
+void batch_final_avx512_vpopcnt(
+    const Word* TRIGEN_RESTRICT prefix, std::size_t count, std::size_t stride,
+    const std::uint32_t* TRIGEN_RESTRICT prefix_pops,
+    const std::uint32_t* TRIGEN_RESTRICT label_pops,
+    const Word* TRIGEN_RESTRICT z0, const Word* TRIGEN_RESTRICT z1,
+    const Word* TRIGEN_RESTRICT labels, std::size_t num_labels,
+    std::size_t lstride, std::size_t w_begin, std::size_t w_end,
+    std::uint32_t* TRIGEN_RESTRICT ft, std::size_t ft_stride);
 #endif
 
 }  // namespace trigen::core::detail

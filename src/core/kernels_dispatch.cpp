@@ -168,6 +168,36 @@ GenericKernelSet get_generic_kernels(KernelIsa isa) {
 #endif
 }
 
+BatchKernelSet get_batch_kernels(KernelIsa isa) {
+  if (!kernel_available(isa)) {
+    throw std::runtime_error("kernel '" + kernel_isa_name(isa) +
+                             "' not available on this host");
+  }
+  switch (isa) {
+    case KernelIsa::kScalar:
+      return {&detail::batch_label_pops_scalar, &detail::batch_final_scalar};
+#if defined(TRIGEN_KERNEL_AVX2)
+    case KernelIsa::kAvx2:
+    case KernelIsa::kAvx2HarleySeal:
+      // Per-dword popcounts need the nibble LUT regardless of the triple
+      // kernel's popcount strategy, so both AVX2 variants share one batch
+      // implementation (exact, hence bit-identical across the mapping).
+      return {&detail::batch_label_pops_avx2, &detail::batch_final_avx2};
+#endif
+#if defined(TRIGEN_KERNEL_AVX512)
+    case KernelIsa::kAvx512Extract:
+      return {&detail::batch_label_pops_avx512, &detail::batch_final_avx512};
+#endif
+#if defined(TRIGEN_KERNEL_AVX512VPOPCNT)
+    case KernelIsa::kAvx512Vpopcnt:
+      return {&detail::batch_label_pops_avx512_vpopcnt,
+              &detail::batch_final_avx512_vpopcnt};
+#endif
+    default:
+      throw std::runtime_error("kernel not compiled in");
+  }
+}
+
 std::size_t kernel_vector_words(KernelIsa isa) {
   switch (isa) {
     case KernelIsa::kScalar: return 1;

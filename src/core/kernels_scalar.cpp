@@ -179,6 +179,73 @@ void tuple_block_scalar(const Word* const* TRIGEN_RESTRICT g0,
   }
 }
 
+void batch_label_pops_scalar(const Word* TRIGEN_RESTRICT prefix,
+                             std::size_t count, std::size_t stride,
+                             const Word* TRIGEN_RESTRICT labels,
+                             std::size_t num_labels, std::size_t lstride,
+                             std::size_t w_begin, std::size_t w_end,
+                             std::uint32_t* TRIGEN_RESTRICT label_pops) {
+  const std::size_t n = w_end - w_begin;
+  for (std::size_t t = 0; t < count; ++t) {
+    const Word* TRIGEN_RESTRICT pt = prefix + t * stride;
+    for (std::size_t r = 0; r < n; ++r) {
+      const Word v = pt[r];
+      if (v == 0) continue;  // prefix planes thin out at deeper rungs
+      const Word* TRIGEN_RESTRICT row = labels + (w_begin + r) * lstride;
+      for (std::size_t p = 0; p < num_labels; ++p) {
+        label_pops[t * lstride + p] +=
+            static_cast<std::uint32_t>(std::popcount(v & row[p]));
+      }
+    }
+  }
+}
+
+void batch_final_scalar(const Word* TRIGEN_RESTRICT prefix, std::size_t count,
+                        std::size_t stride,
+                        const std::uint32_t* TRIGEN_RESTRICT prefix_pops,
+                        const std::uint32_t* TRIGEN_RESTRICT label_pops,
+                        const Word* TRIGEN_RESTRICT z0,
+                        const Word* TRIGEN_RESTRICT z1,
+                        const Word* TRIGEN_RESTRICT labels,
+                        std::size_t num_labels, std::size_t lstride,
+                        std::size_t w_begin, std::size_t w_end,
+                        std::uint32_t* TRIGEN_RESTRICT ft,
+                        std::size_t ft_stride) {
+  const std::size_t n = w_end - w_begin;
+  for (std::size_t t = 0; t < count; ++t) {
+    const Word* TRIGEN_RESTRICT pt = prefix + t * stride;
+    std::uint32_t c0 = 0;
+    std::uint32_t c1 = 0;
+    for (std::size_t r = 0; r < n; ++r) {
+      c0 += static_cast<std::uint32_t>(std::popcount(pt[r] & z0[w_begin + r]));
+      c1 += static_cast<std::uint32_t>(std::popcount(pt[r] & z1[w_begin + r]));
+    }
+    ft[t * 3 + 0] += c0;
+    ft[t * 3 + 1] += c1;
+    ft[t * 3 + 2] += prefix_pops[t] - c0 - c1;
+    // Partition identity per label lane: the genotype-2 case cell is the
+    // chunk's |prefix ∩ L_p| minus the two counted case cells, so each
+    // partition costs two AND+POPCNT streams instead of a third pass.
+    for (std::size_t p = 0; p < num_labels; ++p) {
+      std::uint32_t a0 = 0;
+      std::uint32_t a1 = 0;
+      for (std::size_t r = 0; r < n; ++r) {
+        const Word v = pt[r];
+        if (v == 0) continue;
+        const Word l = labels[(w_begin + r) * lstride + p];
+        a0 +=
+            static_cast<std::uint32_t>(std::popcount(v & z0[w_begin + r] & l));
+        a1 +=
+            static_cast<std::uint32_t>(std::popcount(v & z1[w_begin + r] & l));
+      }
+      std::uint32_t* TRIGEN_RESTRICT ftp = ft + (1 + p) * ft_stride + t * 3;
+      ftp[0] += a0;
+      ftp[1] += a1;
+      ftp[2] += label_pops[t * lstride + p] - a0 - a1;
+    }
+  }
+}
+
 }  // namespace detail
 
 scoring::ContingencyTable contingency_v1(const dataset::BitPlanesV1& p,

@@ -71,6 +71,61 @@ PhenoSplitPlanes PhenoSplitPlanes::build(const GenotypeMatrix& d) {
   return out;
 }
 
+PhenoSplitPlanes PhenoSplitPlanes::build_combined(const GenotypeMatrix& d) {
+  PhenoSplitPlanes out;
+  out.num_snps_ = d.num_snps();
+  out.samples_[0] = d.num_samples();
+  out.words_[0] = padded_words_for(out.samples_[0]);
+  out.planes_[0].assign(out.num_snps_ * 2 * out.words_[0], 0);
+  // Class 1 stays empty: the batched engines split per partition via label
+  // planes instead of a baked-in phenotype.
+  for (std::size_t m = 0; m < d.num_snps(); ++m) {
+    for (std::size_t j = 0; j < d.num_samples(); ++j) {
+      const int g = d.at(m, j);
+      if (g <= 1) {  // genotype 2 is implicit: NOR(plane0, plane1)
+        Word* plane = out.planes_[0].data() +
+                      (m * 2 + static_cast<std::size_t>(g)) * out.words_[0];
+        set_bit(plane, j);
+      }
+    }
+  }
+  return out;
+}
+
+PhenotypeBatch PhenotypeBatch::build(
+    std::size_t num_samples,
+    const std::vector<std::vector<Phenotype>>& partitions) {
+  if (partitions.empty())
+    throw std::invalid_argument("PhenotypeBatch: empty batch");
+  PhenotypeBatch out;
+  out.num_samples_ = num_samples;
+  out.words_ = padded_words_for(num_samples);
+  // Round the lane count to a full vector so every word-row is aligned and
+  // a kernel's widest label load never crosses into the next row.
+  out.stride_ =
+      (partitions.size() + kWordsPerVector - 1) / kWordsPerVector *
+      kWordsPerVector;
+  out.cases_.resize(partitions.size());
+  out.labels_.assign(out.words_ * out.stride_, 0);
+  for (std::size_t p = 0; p < partitions.size(); ++p) {
+    const auto& labels = partitions[p];
+    if (labels.size() != num_samples)
+      throw std::invalid_argument("PhenotypeBatch: partition size mismatch");
+    std::size_t cases = 0;
+    for (std::size_t j = 0; j < num_samples; ++j) {
+      if (labels[j] > 1)
+        throw std::invalid_argument("PhenotypeBatch: label out of range");
+      if (labels[j] == 1) {
+        out.labels_[(j / kWordBits) * out.stride_ + p] |=
+            Word{1} << (j % kWordBits);
+        ++cases;
+      }
+    }
+    out.cases_[p] = cases;
+  }
+  return out;
+}
+
 TransposedPlanes TransposedPlanes::build(const GenotypeMatrix& d) {
   TransposedPlanes out;
   out.num_snps_ = d.num_snps();

@@ -27,6 +27,7 @@
 
 #include <array>
 #include <cstdint>
+#include <vector>
 
 #include "trigen/common/aligned.hpp"
 #include "trigen/dataset/genotype_matrix.hpp"
@@ -93,6 +94,13 @@ class PhenoSplitPlanes {
  public:
   static PhenoSplitPlanes build(const GenotypeMatrix& d);
 
+  /// Phenotype-agnostic variant for batched multi-phenotype scans: class 0
+  /// holds ALL samples in original column order (class 1 stays empty).  The
+  /// case/control split is applied afterwards per partition by ANDing the
+  /// cell planes against a PhenotypeBatch's packed label planes, so one set
+  /// of genotype planes serves every partition of the same samples.
+  static PhenoSplitPlanes build_combined(const GenotypeMatrix& d);
+
   std::size_t num_snps() const { return num_snps_; }
   /// Samples in class `c` (0 = controls, 1 = cases).
   std::size_t samples(int c) const { return samples_[static_cast<std::size_t>(c)]; }
@@ -117,6 +125,54 @@ class PhenoSplitPlanes {
   std::array<std::size_t, 2> samples_{};
   std::array<std::size_t, 2> words_{};
   std::array<aligned_vector<Word>, 2> planes_;  // [snp][genotype(2)][word]
+};
+
+// ---------------------------------------------------------------------------
+// Batched multi-phenotype label planes
+// ---------------------------------------------------------------------------
+
+/// P packed phenotype partitions of one sample set, in the word-interleaved
+/// layout the batched kernels consume: `word_labels()[w * stride() + p]` is
+/// word `w` of partition `p`'s *case* plane (bit j set = sample w*32+j is a
+/// case under partition p).  Interleaving puts the P lanes of one sample
+/// word contiguously, so a kernel broadcasts a genotype word once and ANDs
+/// it against 8 (AVX2) or 16 (AVX-512) partitions per instruction.
+///
+/// `stride()` is P rounded up to `kWordsPerVector`, keeping each word-row
+/// vector-aligned; surplus lanes and the tail bits beyond `num_samples()`
+/// are zero, so case cells never need pad correction — only control cells
+/// (derived as totals − case) inherit the combined planes' phantom
+/// genotype-2 padding, exposed via `pad_bits()`.
+class PhenotypeBatch {
+ public:
+  /// Packs `partitions` (each a per-sample 0/1 label vector of length
+  /// `num_samples`) into label planes.  Throws std::invalid_argument on an
+  /// empty batch, a size mismatch, or a label > 1.
+  static PhenotypeBatch build(
+      std::size_t num_samples,
+      const std::vector<std::vector<Phenotype>>& partitions);
+
+  /// Number of partitions P.
+  std::size_t size() const { return cases_.size(); }
+  std::size_t num_samples() const { return num_samples_; }
+  /// Padded words per label plane (matches the combined planes' row length).
+  std::size_t words() const { return words_; }
+  /// Lane stride between consecutive sample words of one partition.
+  std::size_t stride() const { return stride_; }
+  /// Word-interleaved label planes: word `w` of partition `p` is at
+  /// `word_labels()[w * stride() + p]`.
+  const Word* word_labels() const { return labels_.data(); }
+  /// Case count of partition `p` (its per-partition sample split).
+  std::size_t cases(std::size_t p) const { return cases_[p]; }
+  /// Zero-padding tail bits shared by every partition's sample space.
+  std::size_t pad_bits() const { return words_ * kWordBits - num_samples_; }
+
+ private:
+  std::size_t num_samples_ = 0;
+  std::size_t words_ = 0;
+  std::size_t stride_ = 0;
+  std::vector<std::size_t> cases_;
+  aligned_vector<Word> labels_;  // [word][partition lane]
 };
 
 // ---------------------------------------------------------------------------

@@ -28,6 +28,16 @@ template <unsigned K>
 struct BasicPermutationTestOptions {
   unsigned permutations = 50;  ///< null scans (each is a full exhaustive run)
   std::uint64_t seed = 7;      ///< shuffle seed (deterministic)
+  /// Partitions scored per batched scan.  0 (the default) scores observed +
+  /// every null in ONE batched pass — the genotype streaming and
+  /// prefix-plane ladder are amortized across all of them, making the test
+  /// ~P× cheaper than sequential re-scans.  1 selects the legacy
+  /// sequential path (one scan per permutation; the cross-check target and
+  /// the low-memory fallback).  Values >= 2 chunk the batched pass, capping
+  /// the live per-thread tables when permutations is very large.  Every
+  /// setting is bit-identical: same seeds, same integer tables, same
+  /// observed top-k and p-value.
+  unsigned batch = 0;
   core::BasicDetectorOptions<K> detector;  ///< configuration for every scan
 };
 
@@ -84,8 +94,16 @@ extern template BasicPermutationTestResult<5> permutation_test_of<5>(
 extern template BasicPermutationTestResult<6> permutation_test_of<6>(
     const dataset::GenotypeMatrix&, const BasicPermutationTestOptions<6>&);
 
+/// Shuffled label vector of `d` (Fisher-Yates, deterministic in `seed`) —
+/// the label-plane-only shuffle both test paths are built on: no genotype
+/// plane is copied per permutation.
+std::vector<dataset::Phenotype> shuffled_labels(
+    const dataset::GenotypeMatrix& d, std::uint64_t seed);
+
 /// Phenotype-shuffled copy of `d` (Fisher-Yates, deterministic in `seed`);
-/// exposed for tests and custom pipelines.
+/// exposed for tests and custom pipelines.  Identical shuffle stream as
+/// shuffled_labels(d, seed) — callers that only need the labels should
+/// prefer it and skip the genotype copy.
 dataset::GenotypeMatrix shuffle_phenotypes(const dataset::GenotypeMatrix& d,
                                            std::uint64_t seed);
 

@@ -551,12 +551,15 @@ void print_significance_tail(unsigned permutations,
 template <unsigned K>
 int cmd_significance_of(const dataset::GenotypeMatrix& d,
                         unsigned permutations, std::uint64_t seed,
-                        core::Objective objective, unsigned threads) {
+                        core::Objective objective, unsigned threads,
+                        unsigned batch, bool progress) {
   stats::BasicPermutationTestOptions<K> opt;
   opt.permutations = permutations;
   opt.seed = seed;
+  opt.batch = batch;
   opt.detector.objective = objective;
   opt.detector.threads = threads;
+  if (progress) opt.detector.progress = make_progress_printer("significance");
   const auto r = stats::permutation_test_of<K>(d, opt);
   std::string obs;
   for (const std::uint32_t s : core::snps_of<K>(r.observed)) {
@@ -574,10 +577,14 @@ int cmd_significance(const Args& a) {
   if (a.positional.empty() || a.has("help")) {
     std::printf("usage: trigen significance DATASET.tg[b] [--permutations N]\n"
                 "  [--seed S] [--objective k2|mi|chi2] [--threads T]\n"
-                "  [--order k]\n"
+                "  [--order k] [--batch P] [--progress]\n"
                 "--order k (default 3) tests the best order-k combination —\n"
                 "any interaction order in [2, %u]; every null scan reuses\n"
-                "the pinned ISA, tiling and scorer of the observed scan.\n",
+                "the pinned ISA, tiling and scorer of the observed scan.\n"
+                "--batch P controls the batched multi-phenotype engine: 0\n"
+                "(default) scores observed + all nulls in one pass, 1 runs\n"
+                "the legacy one-scan-per-permutation path, P >= 2 chunks the\n"
+                "batch.  Every setting reports bit-identical results.\n",
                 combinatorics::kMaxOrder);
     return a.has("help") ? 0 : 2;
   }
@@ -587,12 +594,14 @@ int cmd_significance(const Args& a) {
   const auto seed = static_cast<std::uint64_t>(a.get_int("seed", 7));
   const auto objective = parse_objective(a.get("objective", "k2"));
   const auto threads = static_cast<unsigned>(a.get_int("threads", 0));
+  const auto batch = static_cast<unsigned>(a.get_int("batch", 0));
+  const bool progress = a.has("progress");
   switch (a.get_int("order", 3)) {
-    case 2: return cmd_significance_of<2>(d, permutations, seed, objective, threads);
-    case 3: return cmd_significance_of<3>(d, permutations, seed, objective, threads);
-    case 4: return cmd_significance_of<4>(d, permutations, seed, objective, threads);
-    case 5: return cmd_significance_of<5>(d, permutations, seed, objective, threads);
-    case 6: return cmd_significance_of<6>(d, permutations, seed, objective, threads);
+    case 2: return cmd_significance_of<2>(d, permutations, seed, objective, threads, batch, progress);
+    case 3: return cmd_significance_of<3>(d, permutations, seed, objective, threads, batch, progress);
+    case 4: return cmd_significance_of<4>(d, permutations, seed, objective, threads, batch, progress);
+    case 5: return cmd_significance_of<5>(d, permutations, seed, objective, threads, batch, progress);
+    case 6: return cmd_significance_of<6>(d, permutations, seed, objective, threads, batch, progress);
     default: break;
   }
   std::fprintf(stderr, "--order expects an interaction order in [2, %u]\n",
@@ -638,6 +647,7 @@ int usage() {
       "  baseline DATASET.tg[b] [--top K] [--threads T]\n"
       "  significance DATASET.tg[b] [--permutations N] [--seed S]\n"
       "    [--objective k2|mi|chi2] [--threads T] [--order k]\n"
+      "    [--batch P] [--progress]\n"
       "  devices\n"
       "Run `trigen <subcommand> --help` for details.");
   return 2;
