@@ -70,4 +70,41 @@ fi
 grep -q 'coverage gap' err.txt \
   || { echo "gapped merge failed without naming the gap" >&2; exit 1; }
 
+# --- real-signal leg: a SIGINT (not --stop-after) must take the same
+# "drain to the next checkpoint boundary, exit 3, resumable" path.  The
+# interrupted run pins the slow naive single-thread rung so the signal
+# reliably lands mid-scan; the resume may use the fast default rung — the
+# checkpoint is version-agnostic and the merged output must still be
+# byte-identical to a fresh full scan.
+"$TRIGEN" generate slow.tg --snps 160 --samples 512 --seed 11 \
+  --plant 9,75,140 --model xor3 --effect 0.8
+"$TRIGEN" scan slow.tg --top 12 > slow_full.txt
+
+"$TRIGEN" scan slow.tg --version 1 --threads 1 --top 12 \
+  --checkpoint int.ckpt --checkpoint-every 20000 > int.txt 2>&1 &
+scan_pid=$!
+# Interrupt as soon as the first checkpoint proves the scan is mid-flight.
+for _ in $(seq 600); do
+  [ -e int.ckpt ] && break
+  sleep 0.05
+done
+[ -e int.ckpt ] || { echo "no checkpoint appeared before the interrupt" >&2; exit 1; }
+kill -INT "$scan_pid"
+rc=0
+wait "$scan_pid" || rc=$?
+if [ "$rc" -ne 3 ]; then
+  echo "expected SIGINT to exit with code 3, got $rc" >&2
+  exit 1
+fi
+grep -q '^# interrupted:' int.txt \
+  || { echo "interrupted scan did not report its checkpoint" >&2; exit 1; }
+
+"$TRIGEN" scan slow.tg --top 12 --checkpoint int.ckpt > int_resumed.txt
+grep -q '^# resumed from checkpoint' int_resumed.txt \
+  || { echo "post-SIGINT resume did not use the checkpoint" >&2; exit 1; }
+if ! diff <(grep -v '^#' slow_full.txt) <(grep -v '^#' int_resumed.txt); then
+  echo "post-SIGINT resume differs from the uninterrupted scan" >&2
+  exit 1
+fi
+
 echo "shard smoke: kill/resume/merge reproduces the full scan exactly"

@@ -1,0 +1,59 @@
+#pragma once
+/// \file scan_csv.hpp
+/// \brief The canonical CSV rendering of a top-k scan result.
+///
+/// `trigen scan`/`scan2`/`merge` print this section and shell pipelines
+/// diff it byte-for-byte against other runs; the resident server streams
+/// the very same lines as its scan-job payload.  Keeping the formatting in
+/// one place is what makes "a serve job is bit-identical to the standalone
+/// CLI run" checkable with `diff` instead of a promise.  Orders 2 and 3
+/// keep their historical snp_x/snp_y/snp_z column names.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "trigen/core/topk.hpp"
+
+namespace trigen::core {
+
+/// Header line of the order-K scan CSV (no trailing newline).
+template <unsigned K>
+std::string scan_csv_header() {
+  std::string hdr = "rank";
+  if constexpr (K <= 3) {
+    constexpr const char* kAxes[3] = {",snp_x", ",snp_y", ",snp_z"};
+    for (unsigned i = 0; i < K; ++i) hdr += kAxes[i];
+  } else {
+    for (unsigned i = 0; i < K; ++i) hdr += ",snp_" + std::to_string(i);
+  }
+  return hdr + ",score";
+}
+
+/// One data row: 1-based rank, the combination's SNPs, and the score with
+/// the CLI's historical %.6f formatting (no trailing newline).
+template <unsigned K>
+std::string scan_csv_row(std::size_t rank, const ScoredOf<K>& entry) {
+  std::string row = std::to_string(rank);
+  for (const std::uint32_t s : snps_of<K>(entry)) {
+    row += ',';
+    row += std::to_string(s);
+  }
+  char score[40];
+  std::snprintf(score, sizeof score, ",%.6f", entry.score);
+  return row + score;
+}
+
+/// The full CSV section (header + rows), one string per line.
+template <unsigned K>
+std::vector<std::string> scan_csv_lines(const std::vector<ScoredOf<K>>& best) {
+  std::vector<std::string> lines;
+  lines.reserve(best.size() + 1);
+  lines.push_back(scan_csv_header<K>());
+  for (std::size_t i = 0; i < best.size(); ++i) {
+    lines.push_back(scan_csv_row<K>(i + 1, best[i]));
+  }
+  return lines;
+}
+
+}  // namespace trigen::core

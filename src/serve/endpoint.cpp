@@ -1,0 +1,263 @@
+#include "trigen/serve/endpoint.hpp"
+
+#include <cstdio>
+
+#ifndef _WIN32
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+namespace trigen::serve {
+namespace {
+
+constexpr int kExitOk = 0;
+constexpr int kExitError = 2;
+constexpr int kExitInterrupted = 3;
+constexpr int kPollMs = 200;  ///< idle-wait granularity for signal checks
+
+/// EINTR-safe full write.  Returns false when the peer is gone (EPIPE /
+/// ECONNRESET) or the fd is otherwise unwritable.
+bool write_all(int fd, const char* data, std::size_t n) {
+  std::size_t off = 0;
+  while (off < n) {
+#ifdef MSG_NOSIGNAL
+    ssize_t w = ::send(fd, data + off, n - off, MSG_NOSIGNAL);
+    if (w < 0 && errno == ENOTSOCK) w = ::write(fd, data + off, n - off);
+#else
+    ssize_t w = ::write(fd, data + off, n - off);
+#endif
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    off += static_cast<std::size_t>(w);
+  }
+  return true;
+}
+
+/// One output stream shared by the submitting thread and the workers.
+/// Sinks hold it by shared_ptr, so a job can outlive its client: once the
+/// connection drops, `open` flips and later events vanish instead of
+/// writing to a dead fd.
+struct SinkState {
+  explicit SinkState(int fd) : fd(fd) {}
+  std::mutex mu;
+  int fd;
+  bool open = true;
+
+  void emit(const std::string& line) {
+    std::lock_guard<std::mutex> lk(mu);
+    if (!open) return;
+    std::string out = line;
+    out += '\n';
+    if (!write_all(fd, out.data(), out.size())) open = false;
+  }
+};
+
+using SinkPtr = std::shared_ptr<SinkState>;
+
+EventSink sink_of(const SinkPtr& s) {
+  return [s](const std::string& line) { s->emit(line); };
+}
+
+/// Graceful end-of-session: checkpoint incomplete jobs, tell the client,
+/// and map the outcome to an exit status.
+int finish(ScanServer& server, const SinkPtr& sink) {
+  const std::size_t written = server.shutdown_and_checkpoint();
+  sink->emit("ok - bye interrupted=" +
+             std::to_string(server.jobs_interrupted()) +
+             " checkpointed=" + std::to_string(written));
+  return server.jobs_interrupted() > 0 ? kExitInterrupted : kExitOk;
+}
+
+}  // namespace
+
+int run_pipe_endpoint(ScanServer& server, int in_fd, int out_fd,
+                      const std::atomic<bool>& interrupted) {
+  auto sink = std::make_shared<SinkState>(out_fd);
+  std::string buf;
+  bool eof = false;
+  bool want_shutdown = false;
+  while (!eof && !want_shutdown && !interrupted.load()) {
+    struct pollfd p{};
+    p.fd = in_fd;
+    p.events = POLLIN;
+    const int pr = ::poll(&p, 1, kPollMs);
+    if (pr < 0) {
+      if (errno == EINTR) continue;
+      std::fprintf(stderr, "serve: poll failed: %s\n", std::strerror(errno));
+      return kExitError;
+    }
+    if (pr == 0) continue;
+    char chunk[4096];
+    const ssize_t r = ::read(in_fd, chunk, sizeof chunk);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      std::fprintf(stderr, "serve: read failed: %s\n", std::strerror(errno));
+      return kExitError;
+    }
+    if (r == 0) {
+      eof = true;
+      break;
+    }
+    buf.append(chunk, static_cast<std::size_t>(r));
+    std::size_t nl;
+    while (!want_shutdown && (nl = buf.find('\n')) != std::string::npos) {
+      std::string line = buf.substr(0, nl);
+      buf.erase(0, nl + 1);
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      if (line.empty()) continue;
+      if (!server.submit_line(line, sink_of(sink))) want_shutdown = true;
+    }
+  }
+  if (eof && !buf.empty()) {
+    // a final unterminated line still counts as a request
+    if (!server.submit_line(buf, sink_of(sink))) want_shutdown = true;
+  }
+  if (!want_shutdown && !interrupted.load()) {
+    // EOF path: no more requests are coming; run everything to completion
+    // (unless a signal lands mid-drain).
+    if (server.drain(&interrupted)) {
+      sink->emit("ok - bye interrupted=0 checkpointed=0");
+      return kExitOk;
+    }
+  }
+  return finish(server, sink);
+}
+
+int run_socket_endpoint(ScanServer& server, const std::string& path,
+                        const std::atomic<bool>& interrupted) {
+  const int listener = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (listener < 0) {
+    std::fprintf(stderr, "serve: socket failed: %s\n", std::strerror(errno));
+    return kExitError;
+  }
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof addr.sun_path) {
+    std::fprintf(stderr, "serve: socket path too long: %s\n", path.c_str());
+    ::close(listener);
+    return kExitError;
+  }
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  ::unlink(path.c_str());  // stale socket from a previous run
+  if (::bind(listener, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof addr) != 0 ||
+      ::listen(listener, 8) != 0) {
+    std::fprintf(stderr, "serve: cannot listen on %s: %s\n", path.c_str(),
+                 std::strerror(errno));
+    ::close(listener);
+    return kExitError;
+  }
+
+  struct Conn {
+    int fd;
+    SinkPtr sink;
+    std::string buf;
+  };
+  std::vector<Conn> conns;
+  bool want_shutdown = false;
+  int status = kExitOk;
+
+  auto drop = [&](std::size_t i) {
+    {
+      std::lock_guard<std::mutex> lk(conns[i].sink->mu);
+      conns[i].sink->open = false;
+    }
+    ::close(conns[i].fd);
+    conns.erase(conns.begin() + static_cast<std::ptrdiff_t>(i));
+  };
+
+  while (!want_shutdown && !interrupted.load()) {
+    std::vector<pollfd> fds(conns.size() + 1);
+    fds[0] = {listener, POLLIN, 0};
+    for (std::size_t i = 0; i < conns.size(); ++i) {
+      fds[i + 1] = {conns[i].fd, POLLIN, 0};
+    }
+    const int pr = ::poll(fds.data(), fds.size(), kPollMs);
+    if (pr < 0) {
+      if (errno == EINTR) continue;
+      std::fprintf(stderr, "serve: poll failed: %s\n", std::strerror(errno));
+      status = kExitError;
+      break;
+    }
+    if (pr == 0) continue;
+    if (fds[0].revents & POLLIN) {
+      const int fd = ::accept(listener, nullptr, nullptr);
+      if (fd >= 0) {
+        conns.push_back({fd, std::make_shared<SinkState>(fd), {}});
+      }
+    }
+    // iterate backwards so drop() does not shift unvisited entries
+    for (std::size_t i = conns.size(); i-- > 0;) {
+      const short re = fds[i + 1].revents;
+      if (re == 0) continue;
+      if (re & (POLLERR | POLLHUP | POLLNVAL)) {
+        drop(i);
+        continue;
+      }
+      char chunk[4096];
+      const ssize_t r = ::read(conns[i].fd, chunk, sizeof chunk);
+      if (r <= 0) {
+        if (r < 0 && errno == EINTR) continue;
+        drop(i);
+        continue;
+      }
+      conns[i].buf.append(chunk, static_cast<std::size_t>(r));
+      std::size_t nl;
+      while (!want_shutdown &&
+             (nl = conns[i].buf.find('\n')) != std::string::npos) {
+        std::string line = conns[i].buf.substr(0, nl);
+        conns[i].buf.erase(0, nl + 1);
+        if (!line.empty() && line.back() == '\r') line.pop_back();
+        if (line.empty()) continue;
+        if (!server.submit_line(line, sink_of(conns[i].sink))) {
+          want_shutdown = true;
+        }
+      }
+    }
+  }
+
+  if (status == kExitOk) {
+    const std::size_t written = server.shutdown_and_checkpoint();
+    const std::string bye =
+        "ok - bye interrupted=" + std::to_string(server.jobs_interrupted()) +
+        " checkpointed=" + std::to_string(written);
+    for (Conn& c : conns) c.sink->emit(bye);
+    status = server.jobs_interrupted() > 0 ? kExitInterrupted : kExitOk;
+  }
+  for (std::size_t i = conns.size(); i-- > 0;) drop(i);
+  ::close(listener);
+  ::unlink(path.c_str());
+  return status;
+}
+
+}  // namespace trigen::serve
+
+#else  // _WIN32
+
+namespace trigen::serve {
+
+int run_pipe_endpoint(ScanServer&, int, int, const std::atomic<bool>&) {
+  std::fprintf(stderr, "serve: pipe endpoint requires POSIX\n");
+  return 2;
+}
+
+int run_socket_endpoint(ScanServer&, const std::string&,
+                        const std::atomic<bool>&) {
+  std::fprintf(stderr, "serve: socket endpoint requires POSIX\n");
+  return 2;
+}
+
+}  // namespace trigen::serve
+
+#endif

@@ -1,0 +1,45 @@
+#pragma once
+/// \file endpoint.hpp
+/// \brief Transports for the resident scan server.
+///
+/// Two endpoints drive a `ScanServer`:
+///
+///   * **Pipe mode** reads request lines from one file descriptor and
+///     writes response lines to another — `trigen serve` on stdin/stdout.
+///     EOF on the input means "no more requests": the endpoint drains the
+///     live jobs to completion and exits cleanly.
+///   * **Socket mode** listens on a Unix-domain stream socket, serving any
+///     number of concurrent clients; each client's responses go only to
+///     its own connection.  A `shutdown` request from any client stops the
+///     whole server.
+///
+/// Both honor an external interrupt flag (the CLI's SIGINT/SIGTERM
+/// handler): the moment it reads true, the endpoint performs the graceful
+/// drain-and-checkpoint shutdown and returns the resumable exit status.
+/// Reads poll with a short timeout rather than block, so a signal during
+/// an idle wait is noticed within ~200ms.
+///
+/// Return value of both: 0 when every accepted job completed, 3
+/// (kExitInterrupted) when shutdown or a signal left interrupted jobs
+/// behind (checkpointed where the job type supports it), 2 on transport
+/// errors.  POSIX-only; on other platforms they return 2 with an error
+/// message.
+
+#include <atomic>
+#include <string>
+
+#include "trigen/serve/server.hpp"
+
+namespace trigen::serve {
+
+/// Serves requests from `in_fd` (responses to `out_fd`) until EOF,
+/// `shutdown`, or interrupt.
+int run_pipe_endpoint(ScanServer& server, int in_fd, int out_fd,
+                      const std::atomic<bool>& interrupted);
+
+/// Binds `path` as a Unix-domain stream socket and serves clients until a
+/// `shutdown` request or interrupt.  Removes the socket file on exit.
+int run_socket_endpoint(ScanServer& server, const std::string& path,
+                        const std::atomic<bool>& interrupted);
+
+}  // namespace trigen::serve

@@ -1,0 +1,103 @@
+#pragma once
+/// \file server.hpp
+/// \brief The resident scan server: one loaded dataset, an async job queue.
+///
+/// `ScanServer` is the engine behind `trigen serve`.  It loads a dataset
+/// (and lazily, one set of bitplanes per interaction order) exactly once
+/// and then services a queue of jobs — `scan`/top-k at any order in
+/// [2, combinatorics::kMaxOrder] and batched multi-phenotype
+/// `significance` (permutation) tests — concurrently on one shared worker
+/// pool:
+///
+///   * Every job's rank range is cut into chunks; the pool's workers pull
+///     chunks round-robin across all live jobs, so a short job never
+///     starves behind a long one and adding a job never spawns threads.
+///   * Chunk results commit in rank order into a per-job accumulator with
+///     the same rank-tie-broken top-k merge as the standalone CLI, so a
+///     job's payload is bit-identical to the equivalent `trigen scan` /
+///     `trigen significance` invocation (the smoke tests diff them).
+///   * The in-order commit means a job always has a valid contiguous
+///     completed prefix — exactly what the shard module's checkpoint
+///     format persists.  Graceful shutdown drains in-flight chunks and
+///     writes one checkpoint per incomplete scan job; `trigen scan
+///     --checkpoint` resumes it to the exact full result.
+///
+/// Requests and responses are the line protocol of protocol.hpp; the
+/// transport (stdin/stdout pipe or a Unix-domain socket) lives in
+/// endpoint.hpp.  The engine itself is transport-free and fully
+/// in-process-testable: feed lines to submit_line(), collect event lines
+/// from the sink.
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "trigen/dataset/genotype_matrix.hpp"
+#include "trigen/serve/protocol.hpp"
+
+namespace trigen::serve {
+
+/// Receives one protocol response line (no trailing newline).  Called from
+/// worker threads and the submitting thread; the sink must serialize its
+/// own output.
+using EventSink = std::function<void(const std::string& line)>;
+
+struct ServeOptions {
+  /// Worker pool size shared by all jobs; 0 = hardware_concurrency.
+  unsigned threads = 0;
+  /// Ranks per scheduled chunk; 0 sizes chunks per job (aiming for enough
+  /// chunks that the pool interleaves jobs and shutdown drains quickly).
+  std::uint64_t chunk = 0;
+  /// Directory for shutdown checkpoints of incomplete scan jobs
+  /// ("serve-<jobid>.ckpt").  Must exist.
+  std::string checkpoint_dir = ".";
+};
+
+class ScanServer {
+ public:
+  /// Takes ownership of the dataset; bitplanes are built once per
+  /// interaction order on first use and reused by every later job.
+  ScanServer(dataset::GenotypeMatrix dataset, ServeOptions options);
+  ~ScanServer();
+
+  ScanServer(const ScanServer&) = delete;
+  ScanServer& operator=(const ScanServer&) = delete;
+
+  /// Parses and executes one request line.  Every response — acceptance,
+  /// rejection, and all later events of an accepted job — goes to `sink`
+  /// as protocol lines.  Malformed or semantically invalid requests emit
+  /// one `error` line and leave the server fully operational.  Returns
+  /// false when the request was `shutdown`: stop feeding lines and call
+  /// shutdown_and_checkpoint().
+  bool submit_line(const std::string& line, EventSink sink);
+
+  /// Blocks until every live job has finished (the EOF path of pipe mode).
+  /// Polls `interrupted` when non-null and returns false the moment it
+  /// reads true with jobs still live; true when everything drained.
+  bool drain(const std::atomic<bool>* interrupted = nullptr);
+
+  /// Graceful drain-and-checkpoint shutdown: stops issuing new chunks,
+  /// waits for in-flight chunks to land, then checkpoints every incomplete
+  /// scan job into `checkpoint_dir` (emitting an `event <id> checkpoint`
+  /// line each; significance jobs are not resumable and abort with an
+  /// `error` event).  Returns the number of checkpoint files written.
+  /// Idempotent; the server accepts no further work afterwards.
+  std::size_t shutdown_and_checkpoint();
+
+  /// Jobs that were incomplete when shutdown_and_checkpoint ran (whether
+  /// checkpointed or aborted) — nonzero means the session should exit 3.
+  std::size_t jobs_interrupted() const;
+
+  /// Currently live (queued or running) jobs.
+  std::size_t jobs_live() const;
+
+  const dataset::GenotypeMatrix& data() const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace trigen::serve

@@ -93,9 +93,11 @@ using PairCheckpoint = BasicCheckpoint<core::ScoredPair>;
 // Writers deduce the artifact's entry type; readers are parameterized on
 // it (the `_as` suffix marks the explicit-argument form).  All are
 // instantiated for every order in [2, combinatorics::kMaxOrder] in
-// result_io.cpp.  File variants write atomically (temp file + rename), so
-// a crash mid-write never leaves a half-written artifact under the final
-// name.
+// result_io.cpp.  File variants write atomically and crash-durably: the
+// body is fsynced into a temp file before the rename and the parent
+// directory is synced afterwards, so neither a crash mid-write nor a power
+// loss right after the rename can leave a truncated artifact under the
+// final name.
 
 template <typename Scored>
 void write_shard_result(std::ostream& os, const BasicShardResult<Scored>& r);

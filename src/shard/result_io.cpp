@@ -8,6 +8,11 @@
 #include <sstream>
 #include <stdexcept>
 
+#ifndef _WIN32
+#include <fcntl.h>
+#include <unistd.h>
+#endif
+
 #include "trigen/combinatorics/combinations.hpp"
 
 namespace trigen::shard {
@@ -259,22 +264,74 @@ void read_trailer(std::istream& is, const char* kind, const char* magic) {
   }
 }
 
-/// Atomic write: temp file alongside the target, fsync-free rename.
+#ifndef _WIN32
+/// Durably writes `data` to `tmp`: the file contents are fsynced before the
+/// caller renames, so a crash or power loss after the rename can never land
+/// a truncated/empty file under the final name — the corruption the `end`
+/// trailer exists to detect must come from outside, never from us.
+void write_durable(const std::string& tmp, const char* kind,
+                   const std::string& data) {
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) fail(kind, "cannot open '" + tmp + "' for writing");
+  std::size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t n = ::write(fd, data.data() + off, data.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      fail(kind, "write failure on '" + tmp + "'");
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  if (::fsync(fd) != 0) {
+    ::close(fd);
+    fail(kind, "fsync failure on '" + tmp + "'");
+  }
+  if (::close(fd) != 0) fail(kind, "close failure on '" + tmp + "'");
+}
+
+/// Best-effort fsync of the directory holding `path`, making the rename
+/// itself durable (POSIX only persists the new directory entry once the
+/// directory is synced).  Failure is not fatal: the file contents are
+/// already safe, and some filesystems refuse directory fsync.
+void sync_parent_directory(const std::string& path) {
+  const std::size_t slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos ? "." : path.substr(0, slash + 1);
+  const int fd = ::open(dir.c_str(), O_RDONLY);
+  if (fd < 0) return;
+  ::fsync(fd);
+  ::close(fd);
+}
+#else
+void write_durable(const std::string& tmp, const char* kind,
+                   const std::string& data) {
+  std::ofstream os(tmp, std::ios_base::trunc | std::ios_base::binary);
+  if (!os) fail(kind, "cannot open '" + tmp + "' for writing");
+  os.write(data.data(), static_cast<std::streamsize>(data.size()));
+  os.flush();
+  if (!os) fail(kind, "write failure on '" + tmp + "'");
+}
+
+void sync_parent_directory(const std::string&) {}
+#endif
+
+/// Atomic, crash-durable write: the full body is rendered in memory, fsynced
+/// into a temp file alongside the target, renamed over it, and the parent
+/// directory is synced so the rename survives power loss.  Readers therefore
+/// only ever observe either the old complete file or the new complete file.
 template <typename WriteFn>
 void write_file_atomically(const std::string& path, const char* kind,
                            WriteFn&& write_fn) {
+  std::ostringstream body;
+  write_fn(body);
+  if (!body) fail(kind, "render failure for '" + path + "'");
   const std::string tmp = path + ".tmp";
-  {
-    std::ofstream os(tmp, std::ios_base::trunc);
-    if (!os) fail(kind, "cannot open '" + tmp + "' for writing");
-    write_fn(os);
-    os.flush();
-    if (!os) fail(kind, "write failure on '" + tmp + "'");
-  }
+  write_durable(tmp, kind, body.str());
   if (std::rename(tmp.c_str(), path.c_str()) != 0) {
     std::remove(tmp.c_str());
     fail(kind, "cannot rename '" + tmp + "' to '" + path + "'");
   }
+  sync_parent_directory(path);
 }
 
 std::ifstream open_for_read(const std::string& path, const char* kind) {

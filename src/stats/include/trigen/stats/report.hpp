@@ -1,0 +1,51 @@
+#pragma once
+/// \file report.hpp
+/// \brief The canonical text rendering of a permutation-test result.
+///
+/// `trigen significance` prints these lines and the resident server streams
+/// the very same ones as its significance-job payload, so `diff` can prove
+/// the two paths agree down to the last formatted digit.
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "trigen/stats/permutation.hpp"
+
+namespace trigen::stats {
+
+/// The three report lines of an order-K permutation test, in print order:
+/// observed best, null-score range, empirical p-value (no trailing
+/// newlines).  `permutations` is the configured null-scan count (always
+/// equal to r.null_scores.size() for a completed test).
+template <unsigned K>
+std::vector<std::string> significance_report(
+    const BasicPermutationTestResult<K>& r, unsigned permutations) {
+  std::vector<std::string> lines;
+  std::string obs;
+  for (const std::uint32_t s : core::snps_of<K>(r.observed)) {
+    if (!obs.empty()) obs += ',';
+    obs += std::to_string(s);
+  }
+  char buf[160];
+  std::snprintf(buf, sizeof buf, "observed best: (%s) score %.4f",
+                obs.c_str(), r.observed.score);
+  lines.emplace_back(buf);
+  double null_min = 1e300, null_max = -1e300;
+  for (const double s : r.null_scores) {
+    null_min = std::min(null_min, s);
+    null_max = std::max(null_max, s);
+  }
+  std::snprintf(buf, sizeof buf,
+                "null best scores over %u permutations: [%.4f, %.4f]",
+                permutations, null_min, null_max);
+  lines.emplace_back(buf);
+  std::snprintf(buf, sizeof buf,
+                "empirical p-value: %.4f (%ssignificant at 0.05)", r.p_value,
+                r.significant_at(0.05) ? "" : "NOT ");
+  lines.emplace_back(buf);
+  return lines;
+}
+
+}  // namespace trigen::stats

@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <limits>
 #include <set>
 #include <thread>
 
@@ -329,6 +330,32 @@ TEST(Args, TrailingFlagBecomesASwitch) {
 TEST(Args, LaterOccurrenceWins) {
   const Args a = parse_args({"--top", "3", "--top", "9"});
   EXPECT_EQ(a.get_int("top", 0), 9);
+}
+
+TEST(Args, GetUintParsesValuesAndFallback) {
+  const Args a = parse_args({"--stop-after", "5000", "--checkpoint-every",
+                             "18446744073709551615"});
+  EXPECT_EQ(a.get_uint("stop-after", 0), 5000u);
+  // The full uint64 range is representable — no silent truncation at 2^63.
+  EXPECT_EQ(a.get_uint("checkpoint-every", 0),
+            std::numeric_limits<std::uint64_t>::max());
+  EXPECT_EQ(a.get_uint("absent", 42), 42u);
+}
+
+TEST(Args, GetUintRejectsNegative) {
+  // The historical bug: static_cast<uint64_t>(get_int(...)) turned
+  // `--stop-after -1` into ~2^64 ranks, i.e. "never stop".  get_uint must
+  // reject the sign instead of wrapping.
+  const Args a = parse_args({"--stop-after", "-1"});
+  EXPECT_THROW(a.get_uint("stop-after", 0), std::invalid_argument);
+}
+
+TEST(Args, GetUintRejectsGarbageAndOverflow) {
+  const Args a = parse_args({"--shards", "4x", "--shard", "",
+                             "--checkpoint-every", "18446744073709551616"});
+  EXPECT_THROW(a.get_uint("shards", 0), std::invalid_argument);
+  EXPECT_THROW(a.get_uint("shard", 0), std::invalid_argument);
+  EXPECT_THROW(a.get_uint("checkpoint-every", 0), std::invalid_argument);
 }
 
 }  // namespace

@@ -19,9 +19,12 @@
 ///
 /// Run `trigen <subcommand> --help` for flags.
 
+#include <atomic>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <limits>
 #include <string>
 #include <vector>
 
@@ -29,14 +32,18 @@
 #include "trigen/common/args.hpp"
 #include "trigen/common/table.hpp"
 #include "trigen/core/detector.hpp"
+#include "trigen/core/scan_csv.hpp"
 #include "trigen/dataset/io.hpp"
 #include "trigen/dataset/synthetic.hpp"
 #include "trigen/gpusim/device_spec.hpp"
 #include "trigen/pairwise/pair_detector.hpp"
+#include "trigen/serve/endpoint.hpp"
+#include "trigen/serve/server.hpp"
 #include "trigen/shard/merge.hpp"
 #include "trigen/shard/plan.hpp"
 #include "trigen/shard/runner.hpp"
 #include "trigen/stats/permutation.hpp"
+#include "trigen/stats/report.hpp"
 
 namespace {
 
@@ -52,6 +59,42 @@ const std::set<std::string>& cli_switches() {
 
 /// Exit code of a cleanly interrupted (checkpointed, resumable) shard scan.
 constexpr int kExitInterrupted = 3;
+
+/// Flipped by the SIGINT/SIGTERM handler.  The orchestrated scan path and
+/// the resident server poll it so a real Ctrl-C takes the same "drain to
+/// the next checkpoint boundary, exit 3, resumable" path as --stop-after.
+std::atomic<bool> g_interrupted{false};
+
+void on_interrupt(int) {
+  // Second signal: the user is past waiting for a graceful drain.
+  if (g_interrupted.exchange(true)) std::_Exit(130);
+}
+
+void install_interrupt_handler() {
+#ifndef _WIN32
+  struct sigaction sa {};
+  sa.sa_handler = on_interrupt;
+  sigemptyset(&sa.sa_mask);
+  // No SA_RESTART: blocked reads/polls must return EINTR so their loops
+  // see the flag promptly.
+  sigaction(SIGINT, &sa, nullptr);
+  sigaction(SIGTERM, &sa, nullptr);
+#else
+  std::signal(SIGINT, on_interrupt);
+#endif
+}
+
+/// --KEY with strict non-negative parsing; a negative or garbage value is
+/// a usage error (exit 2), not a silent two's-complement wrap into ~2^64.
+std::uint64_t get_uint_or_die(const Args& a, const std::string& key,
+                              std::uint64_t fallback) {
+  try {
+    return a.get_uint(key, fallback);
+  } catch (const std::invalid_argument& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    std::exit(2);
+  }
+}
 
 dataset::GenotypeMatrix load(const std::string& path) {
   if (path.size() > 4 && path.substr(path.size() - 4) == ".tgb") {
@@ -246,24 +289,12 @@ struct OrderCli {
   static std::uint64_t evaluated(const core::BasicDetectionResult<K>& r) {
     return r.combinations_evaluated;
   }
-  /// The CSV section shared by `scan` (full or shard) and `merge`, so
-  /// shell pipelines can diff the two byte-for-byte.  Orders 2 and 3 keep
-  /// their historical snp_x/snp_y/snp_z column names.
+  /// The CSV section shared by `scan` (full or shard), `merge` and the
+  /// resident server's scan-job payload, so shell pipelines can diff any
+  /// two of them byte-for-byte (the rendering lives in core/scan_csv.hpp).
   static void print_csv(const std::vector<Scored>& best) {
-    std::string hdr = "rank";
-    if constexpr (K <= 3) {
-      constexpr const char* kAxes[3] = {",snp_x", ",snp_y", ",snp_z"};
-      for (unsigned i = 0; i < K; ++i) hdr += kAxes[i];
-    } else {
-      for (unsigned i = 0; i < K; ++i) hdr += ",snp_" + std::to_string(i);
-    }
-    std::printf("%s,score\n", hdr.c_str());
-    for (std::size_t i = 0; i < best.size(); ++i) {
-      std::printf("%zu", i + 1);
-      for (const std::uint32_t s : core::snps_of<K>(best[i])) {
-        std::printf(",%u", s);
-      }
-      std::printf(",%.6f\n", best[i].score);
+    for (const std::string& line : core::scan_csv_lines<K>(best)) {
+      std::printf("%s\n", line.c_str());
     }
   }
 };
@@ -318,9 +349,11 @@ int cmd_scan_generic(const Args& a) {
       std::fprintf(stderr, "--range and --shards are mutually exclusive\n");
       return 2;
     }
-    const long w = a.get_int("shards", 0);
-    const long i = a.get_int("shard", -1);
-    if (w < 1 || i < 0 || i >= w) {
+    const std::uint64_t w = get_uint_or_die(a, "shards", 0);
+    const std::uint64_t i =
+        a.has("shard") ? get_uint_or_die(a, "shard", 0)
+                       : std::numeric_limits<std::uint64_t>::max();
+    if (w < 1 || i >= w) {
       std::fprintf(stderr,
                    "--shards W --shard I needs W >= 1 and 0 <= I < W\n");
       return 2;
@@ -364,15 +397,18 @@ int cmd_scan_generic(const Args& a) {
     ropt.detector = opt;
     ropt.range = eff;
     ropt.checkpoint_path = a.get("checkpoint", "");
-    ropt.checkpoint_every =
-        static_cast<std::uint64_t>(a.get_int("checkpoint-every", 0));
-    if (a.has("stop-after")) {
-      const auto stop_after =
-          static_cast<std::uint64_t>(a.get_int("stop-after", 0));
-      ropt.keep_going = [stop_after](std::uint64_t done, std::uint64_t) {
-        return done < stop_after;
-      };
-    }
+    ropt.checkpoint_every = get_uint_or_die(a, "checkpoint-every", 0);
+    // keep_going is polled after every checkpoint write, so both a
+    // --stop-after budget and a real SIGINT/SIGTERM drain to the next
+    // checkpoint boundary and take the exit-3 resumable path below.
+    const std::uint64_t stop_after =
+        a.has("stop-after")
+            ? get_uint_or_die(a, "stop-after", 0)
+            : std::numeric_limits<std::uint64_t>::max();
+    install_interrupt_handler();
+    ropt.keep_going = [stop_after](std::uint64_t done, std::uint64_t) {
+      return !g_interrupted.load() && done < stop_after;
+    };
     if (a.has("progress")) ropt.progress = make_progress_printer(Cli::label());
     const std::uint64_t fp = shard::dataset_fingerprint(d);
     const auto report = Cli::run_shard(
@@ -533,21 +569,9 @@ int cmd_baseline(const Args& a) {
   return 0;
 }
 
-void print_significance_tail(unsigned permutations,
-                             const std::vector<double>& null_scores,
-                             double p_value, bool significant) {
-  double null_min = 1e300, null_max = -1e300;
-  for (const double s : null_scores) {
-    null_min = std::min(null_min, s);
-    null_max = std::max(null_max, s);
-  }
-  std::printf("null best scores over %u permutations: [%.4f, %.4f]\n",
-              permutations, null_min, null_max);
-  std::printf("empirical p-value: %.4f (%ssignificant at 0.05)\n", p_value,
-              significant ? "" : "NOT ");
-}
-
 /// The order-K permutation test body behind `significance --order K`.
+/// The report rendering is shared with the resident server's
+/// significance-job payload (stats/report.hpp), so the two are diffable.
 template <unsigned K>
 int cmd_significance_of(const dataset::GenotypeMatrix& d,
                         unsigned permutations, std::uint64_t seed,
@@ -561,15 +585,10 @@ int cmd_significance_of(const dataset::GenotypeMatrix& d,
   opt.detector.threads = threads;
   if (progress) opt.detector.progress = make_progress_printer("significance");
   const auto r = stats::permutation_test_of<K>(d, opt);
-  std::string obs;
-  for (const std::uint32_t s : core::snps_of<K>(r.observed)) {
-    if (!obs.empty()) obs += ',';
-    obs += std::to_string(s);
+  for (const std::string& line :
+       stats::significance_report<K>(r, opt.permutations)) {
+    std::printf("%s\n", line.c_str());
   }
-  std::printf("observed best: (%s) score %.4f\n", obs.c_str(),
-              r.observed.score);
-  print_significance_tail(opt.permutations, r.null_scores, r.p_value,
-                          r.significant_at(0.05));
   return 0;
 }
 
@@ -609,6 +628,48 @@ int cmd_significance(const Args& a) {
   return 2;
 }
 
+/// `trigen serve`: load the dataset once, service an async job queue.
+int cmd_serve(const Args& a) {
+  if (a.positional.empty() || a.has("help")) {
+    std::puts(
+        "usage: trigen serve DATASET.tg[b] [--threads T] [--chunk RANKS]\n"
+        "  [--socket PATH] [--checkpoint-dir DIR]\n"
+        "Loads the dataset (and per-order bitplanes) once and services a\n"
+        "line-delimited job queue — scan/top-k at any order in [2, 6] and\n"
+        "batched multi-phenotype significance tests — concurrently on one\n"
+        "shared worker pool.  Results are bit-identical to the standalone\n"
+        "scan/significance subcommands.  Default transport is\n"
+        "stdin/stdout; --socket serves a Unix-domain socket instead.\n"
+        "Requests (one per line):\n"
+        "  scan <id> [order=K] [objective=k2|mi|chi2] [top=N]\n"
+        "            [version=1..5] [range=FIRST:LAST]\n"
+        "  significance <id> [order=K] [objective=k2|mi|chi2]\n"
+        "            [permutations=N] [seed=S]\n"
+        "  cancel <id> | status | ping | shutdown\n"
+        "`shutdown` (and SIGINT/SIGTERM) drains in-flight work and writes\n"
+        "one resumable checkpoint per incomplete scan job into\n"
+        "--checkpoint-dir (serve-<id>.ckpt; resume with `trigen scan\n"
+        "--checkpoint`), then exits 3; a session whose jobs all completed\n"
+        "exits 0.");
+    return a.has("help") ? 0 : 2;
+  }
+  serve::ServeOptions so;
+  so.threads = static_cast<unsigned>(get_uint_or_die(a, "threads", 0));
+  so.chunk = get_uint_or_die(a, "chunk", 0);
+  so.checkpoint_dir = a.get("checkpoint-dir", ".");
+  serve::ScanServer server(load(a.positional[0]), so);
+  install_interrupt_handler();
+#ifndef _WIN32
+  // A client that disconnects mid-stream must not kill the server.
+  std::signal(SIGPIPE, SIG_IGN);
+#endif
+  if (a.has("socket")) {
+    return serve::run_socket_endpoint(server, a.get("socket", ""),
+                                      g_interrupted);
+  }
+  return serve::run_pipe_endpoint(server, 0, 1, g_interrupted);
+}
+
 int cmd_devices(const Args&) {
   TextTable cpu({"id", "device", "arch", "GHz", "cores", "vector", "vpopcnt"});
   for (const auto& d : gpusim::cpu_device_db()) {
@@ -631,7 +692,7 @@ int cmd_devices(const Args&) {
 int usage() {
   std::puts(
       "trigen — exhaustive gene interaction detection (IPDPS'22 reproduction)\n"
-      "usage: trigen <generate|info|convert|scan|scan2|merge|baseline|significance|devices> ...\n"
+      "usage: trigen <generate|info|convert|scan|scan2|merge|baseline|significance|serve|devices> ...\n"
       "  generate OUT.tg[b] --snps M --samples N [--seed S] [--maf-min F]\n"
       "    [--maf-max F] [--prevalence F] [--plant x,y,z --model M\n"
       "    --baseline F --effect F]\n"
@@ -648,6 +709,8 @@ int usage() {
       "  significance DATASET.tg[b] [--permutations N] [--seed S]\n"
       "    [--objective k2|mi|chi2] [--threads T] [--order k]\n"
       "    [--batch P] [--progress]\n"
+      "  serve DATASET.tg[b] [--threads T] [--chunk RANKS] [--socket PATH]\n"
+      "    [--checkpoint-dir DIR]\n"
       "  devices\n"
       "Run `trigen <subcommand> --help` for details.");
   return 2;
@@ -668,6 +731,7 @@ int main(int argc, char** argv) {
     if (cmd == "merge") return cmd_merge(args);
     if (cmd == "baseline") return cmd_baseline(args);
     if (cmd == "significance") return cmd_significance(args);
+    if (cmd == "serve") return cmd_serve(args);
     if (cmd == "devices") return cmd_devices(args);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "trigen %s: %s\n", cmd.c_str(), e.what());
