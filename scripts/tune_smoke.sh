@@ -1,0 +1,101 @@
+#!/usr/bin/env bash
+# End-to-end smoke of the empirical autotuner through the trigen binary:
+# `tune --quick` must persist a valid per-host profile, a profile-resolved
+# scan must be byte-identical to the analytic (--no-tune) scan at both V4
+# and V5, a corrupt profile given explicitly must hard-fail while the
+# implicit default degrades to a warning, and --isa/TRIGEN_ISA must
+# validate at parse time.
+#
+# usage: scripts/tune_smoke.sh path/to/trigen
+set -euo pipefail
+
+TRIGEN=${1:?usage: tune_smoke.sh path/to/trigen}
+TRIGEN=$(realpath "$TRIGEN")   # survive the cd below when given a relative path
+workdir=$(mktemp -d)
+trap 'rm -rf "$workdir"' EXIT
+cd "$workdir"
+
+"$TRIGEN" generate d.tg --snps 40 --samples 300 --seed 11 \
+  --plant 3,17,29 --model xor3 --effect 0.8
+
+# 1. The tuner writes a valid profile sized for the dataset, and --json
+#    emits the measured grid.
+"$TRIGEN" tune d.tg --quick --out tune.profile --orders 3 --batch 4 \
+  --json > tune.json 2> tune.log
+head -1 tune.profile | grep -q '^TRIGEN-TUNE v1$' \
+  || { echo "tune: profile missing the TRIGEN-TUNE v1 magic" >&2; exit 1; }
+grep -q '^end$' tune.profile \
+  || { echo "tune: profile missing the end trailer" >&2; exit 1; }
+grep -q '^entry triple_block_cached 3 ' tune.profile \
+  || { echo "tune: profile lacks the V5 triple entry" >&2; exit 1; }
+grep -q '"tune/triple_block/order3/' tune.json \
+  || { echo "tune: --json lacks the measured grid keys" >&2; exit 1; }
+
+# 2. Profile-resolved scans are byte-identical to analytic scans (the CSV
+#    section; '#' lines carry timings).  Both engines, both lookups
+#    (explicit --profile and $TRIGEN_TUNE_PROFILE).
+for v in 4 5; do
+  "$TRIGEN" scan d.tg --version "$v" --top 10 --no-tune > "analytic$v.txt"
+  "$TRIGEN" scan d.tg --version "$v" --top 10 --profile tune.profile \
+    > "tuned$v.txt"
+  TRIGEN_TUNE_PROFILE=tune.profile "$TRIGEN" scan d.tg --version "$v" \
+    --top 10 > "tuned_env$v.txt"
+  diff <(grep -v '^#' "analytic$v.txt") <(grep -v '^#' "tuned$v.txt") \
+    || { echo "tune: V$v --profile scan differs from --no-tune" >&2; exit 1; }
+  diff <(grep -v '^#' "analytic$v.txt") <(grep -v '^#' "tuned_env$v.txt") \
+    || { echo "tune: V$v env-profile scan differs from --no-tune" >&2; exit 1; }
+done
+
+# 3. significance resolves through the profile too, bit-identically.
+"$TRIGEN" significance d.tg --permutations 9 --no-tune > sig_analytic.txt
+"$TRIGEN" significance d.tg --permutations 9 --profile tune.profile \
+  > sig_tuned.txt
+diff sig_analytic.txt sig_tuned.txt \
+  || { echo "tune: significance differs with a profile" >&2; exit 1; }
+
+# 4. A corrupt profile: hard error when named explicitly, warning +
+#    analytic fallback when only the default path is poisoned.
+sed 's/^entries .*/entries 99/' tune.profile > corrupt.profile
+if "$TRIGEN" scan d.tg --top 3 --profile corrupt.profile \
+    > /dev/null 2> err.txt; then
+  echo "tune: corrupt --profile scan unexpectedly succeeded" >&2; exit 1
+fi
+grep -q 'tune-profile' err.txt \
+  || { echo "tune: corrupt-profile error lacks the tune-profile prefix" >&2
+       exit 1; }
+TRIGEN_TUNE_PROFILE=corrupt.profile "$TRIGEN" scan d.tg --top 10 \
+  > fallback.txt 2> warn.txt \
+  || { echo "tune: corrupt default profile must warn, not fail" >&2; exit 1; }
+grep -q 'warning: ignoring tuning profile' warn.txt \
+  || { echo "tune: corrupt default profile fell back without warning" >&2
+       exit 1; }
+diff <(grep -v '^#' analytic4.txt) <(grep -v '^#' fallback.txt) \
+  || { echo "tune: fallback scan differs from the analytic scan" >&2; exit 1; }
+
+# 5. --isa pins (bit-identical results) and validates at parse time.
+"$TRIGEN" scan d.tg --top 10 --isa scalar > isa_scalar.txt
+grep -q 'kernel scalar' isa_scalar.txt \
+  || { echo "tune: --isa scalar did not pin the scalar kernel" >&2; exit 1; }
+diff <(grep -v '^#' analytic4.txt) <(grep -v '^#' isa_scalar.txt) \
+  || { echo "tune: --isa scalar scan differs from auto" >&2; exit 1; }
+rc=0
+"$TRIGEN" scan d.tg --isa no-such-isa > /dev/null 2> err.txt || rc=$?
+[ "$rc" -eq 2 ] \
+  || { echo "tune: bad --isa must exit 2 (got $rc)" >&2; exit 1; }
+grep -q 'vector ISAs in this binary' err.txt \
+  || { echo "tune: bad --isa error lacks the compiled-ISA list" >&2; exit 1; }
+rc=0
+TRIGEN_ISA=no-such-isa "$TRIGEN" scan d.tg > /dev/null 2> err.txt || rc=$?
+[ "$rc" -eq 2 ] \
+  || { echo "tune: bad TRIGEN_ISA must exit 2 (got $rc)" >&2; exit 1; }
+
+# 6. Re-tuning extends the same-host profile instead of clobbering it:
+#    a second run at another order keeps the order-3 entries.
+"$TRIGEN" tune d.tg --quick --out tune.profile --orders 2 --batch 0 \
+  2>> tune.log
+grep -q '^entry triple_block_cached 3 ' tune.profile \
+  || { echo "tune: re-tune dropped the previous order-3 entries" >&2; exit 1; }
+grep -q '^entry pair_count 2 ' tune.profile \
+  || { echo "tune: re-tune did not add the order-2 entry" >&2; exit 1; }
+
+echo "tune smoke: profile persists, resolves, and scans bit-identically"

@@ -1,0 +1,91 @@
+#include "trigen/common/numa.hpp"
+
+#include <fstream>
+
+#if defined(__linux__)
+#include <sched.h>
+#endif
+
+namespace trigen {
+
+namespace {
+
+std::string read_line(const std::string& path) {
+  std::ifstream is(path);
+  std::string line;
+  if (is) std::getline(is, line);
+  return line;
+}
+
+}  // namespace
+
+std::vector<int> parse_cpu_list(const std::string& list) {
+  std::vector<int> cpus;
+  std::size_t i = 0;
+  const auto parse_int = [&](int& out) -> bool {
+    if (i >= list.size() || list[i] < '0' || list[i] > '9') return false;
+    long v = 0;
+    while (i < list.size() && list[i] >= '0' && list[i] <= '9') {
+      v = v * 10 + (list[i] - '0');
+      if (v > 1 << 20) return false;  // implausible CPU id
+      ++i;
+    }
+    out = static_cast<int>(v);
+    return true;
+  };
+  while (i < list.size()) {
+    int first = 0;
+    if (!parse_int(first)) break;
+    int last = first;
+    if (i < list.size() && list[i] == '-') {
+      ++i;
+      if (!parse_int(last) || last < first) break;
+    }
+    for (int c = first; c <= last; ++c) cpus.push_back(c);
+    if (i < list.size() && list[i] == ',') ++i;
+  }
+  return cpus;
+}
+
+NumaTopology read_numa_topology(const std::string& sysfs_node_root) {
+  NumaTopology topo;
+  // The `online` file ("0" or "0-1,4") names the live nodes; probing
+  // node<N> directories directly would miss sparse numbering.
+  const std::vector<int> nodes =
+      parse_cpu_list(read_line(sysfs_node_root + "/online"));
+  for (const int n : nodes) {
+    topo.node_cpus.push_back(parse_cpu_list(
+        read_line(sysfs_node_root + "/node" + std::to_string(n) + "/cpulist")));
+  }
+  if (topo.node_cpus.empty()) topo.node_cpus.emplace_back();
+  return topo;
+}
+
+const NumaTopology& numa_topology() {
+  static const NumaTopology topo =
+      read_numa_topology("/sys/devices/system/node");
+  return topo;
+}
+
+int bind_thread_round_robin(const NumaTopology& topo, unsigned tid) {
+#if defined(__linux__)
+  if (topo.nodes() < 2) return -1;
+  const std::size_t node = tid % topo.node_cpus.size();
+  const std::vector<int>& cpus = topo.node_cpus[node];
+  if (cpus.empty()) return -1;
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  for (const int c : cpus) {
+    if (c >= 0 && c < CPU_SETSIZE) CPU_SET(c, &set);
+  }
+  if (CPU_COUNT(&set) == 0) return -1;
+  if (sched_setaffinity(0, sizeof(set), &set) != 0) return -1;
+  return static_cast<int>(node);
+#else
+  (void)topo;
+  (void)tid;
+  return -1;
+#endif
+}
+
+}  // namespace trigen

@@ -29,6 +29,18 @@ std::string cpu_version_name(CpuVersion v) {
   return "unknown";
 }
 
+KernelFamily scan_kernel_family(unsigned order, CpuVersion version,
+                                bool batched) {
+  if (batched) return KernelFamily::kFinalizeBatched;
+  if (order == 2) return KernelFamily::kPairCount;
+  const bool cached = version == CpuVersion::kV5PairCache;
+  if (order == 3) {
+    return cached ? KernelFamily::kTripleBlockCached
+                  : KernelFamily::kTripleBlock;
+  }
+  return cached ? KernelFamily::kPrefixLadder : KernelFamily::kTupleBlock;
+}
+
 std::string objective_name(Objective o) {
   switch (o) {
     case Objective::kK2: return "k2";
@@ -222,14 +234,30 @@ BasicDetectionResult<K> BasicDetector<K>::run(
   using Scored = ScoredOf<K>;
   BasicDetectionResult<K> result;
   result.threads_used = resolve_threads(options.threads);
+  const bool cached = options.version == CpuVersion::kV5PairCache;
+  const bool vector_version =
+      options.version == CpuVersion::kV4Vector || cached;
+  // Empirical tuning: when both the ISA and the tiling are still "auto",
+  // a profile resolver may supply the measured-best pair for this kernel
+  // family and dataset size.  A miss falls through to the analytic
+  // defaults below; a choice this host cannot execute is ignored.
+  std::optional<KernelConfigChoice> tuned;
+  if (vector_version && options.config && options.isa_auto &&
+      !options.tiling.valid()) {
+    tuned = options.config(KernelConfigRequest{
+        scan_kernel_family(K, options.version, false), K, impl_->num_samples,
+        0});
+    if (tuned && !kernel_available(tuned->isa)) tuned.reset();
+  }
   // V1 and V3 are scalar by definition; V4/V5 default to the widest
   // available strategy.  V2 honors an explicitly requested ISA (the
   // heterogeneous coordinator pairs the per-combination path with a vector
   // kernel).
   result.isa_used = KernelIsa::kScalar;
-  if (options.version == CpuVersion::kV4Vector ||
-      options.version == CpuVersion::kV5PairCache) {
-    result.isa_used = options.isa_auto ? best_kernel_isa() : options.isa;
+  if (vector_version) {
+    result.isa_used = !options.isa_auto ? options.isa
+                      : tuned           ? tuned->isa
+                                        : best_kernel_isa();
   } else if (options.version == CpuVersion::kV2Split && !options.isa_auto) {
     result.isa_used = options.isa;
   }
@@ -271,9 +299,8 @@ BasicDetectionResult<K> BasicDetector<K>::run(
 
   Stopwatch sw;
   BasicTopK<Scored> merged(options.top_k);
-  const bool cached = options.version == CpuVersion::kV5PairCache;
-  const bool blocked = options.version == CpuVersion::kV3Blocked ||
-                       options.version == CpuVersion::kV4Vector || cached;
+  const bool blocked =
+      options.version == CpuVersion::kV3Blocked || vector_version;
   if (!blocked) {
     // V1/V2: work unit = one combination rank inside `range`.
     const bool naive = options.version == CpuVersion::kV1Naive;
@@ -299,6 +326,7 @@ BasicDetectionResult<K> BasicDetector<K>::run(
     // overhead).  V5 budgets L1 for the prefix-plane ladder when
     // autotuning.
     TilingParams tiling = options.tiling;
+    if (!tiling.valid() && tuned) tiling = tuned->tiling;
     if (!tiling.valid()) {
       tiling = autotune_tiling(detect_l1_config(),
                                kernel_vector_words(result.isa_used), K,
@@ -309,9 +337,16 @@ BasicDetectionResult<K> BasicDetector<K>::run(
     const combinatorics::BlockPartition part =
         combinatorics::partition_block_tuples<K>(grid, range);
     const RankRange clip = partial ? range : kFullRange;
-    std::vector<TupleBlockScratch<K>> scratch;
-    scratch.reserve(cfg.threads);
-    for (unsigned t = 0; t < cfg.threads; ++t) scratch.emplace_back(tiling.bs);
+    // Per-thread scratch is constructed lazily by the worker that owns it,
+    // not here on the submitting thread: the constructor's zero-fill is the
+    // first touch of the table and prefix-plane-cache pages, so on NUMA
+    // hosts they land on the scanning thread's node.
+    std::vector<std::unique_ptr<TupleBlockScratch<K>>> scratch(cfg.threads);
+    const auto thread_scratch = [&](unsigned tid) -> TupleBlockScratch<K>& {
+      auto& sc = scratch[tid];
+      if (!sc) sc = std::make_unique<TupleBlockScratch<K>>(tiling.bs);
+      return *sc;
+    };
     const auto scan_blocks = [&](auto&& run_block) {
       return scan_best<Scored>(
           part.block_ranks.size(), cfg, options.top_k,
@@ -337,7 +372,7 @@ BasicDetectionResult<K> BasicDetector<K>::run(
       const CachedKernelSet kernels = get_cached_kernels(result.isa_used);
       merged = scan_blocks([&](unsigned tid, const BlockTuple<2>& bt,
                                const auto& on_comb) {
-        scan_block_pair(impl_->split, tiling, kernels, scratch[tid],
+        scan_block_pair(impl_->split, tiling, kernels, thread_scratch(tid),
                         BlockPair{bt[0], bt[1]}, clip,
                         [&](const combinatorics::Pair& pr,
                             const scoring::PairContingencyTable& tb) {
@@ -351,7 +386,8 @@ BasicDetectionResult<K> BasicDetector<K>::run(
         return scan_blocks([&](unsigned tid, const BlockTuple<3>& bt,
                                const auto& on_comb) {
           scan_block_triple(impl_->split, tiling, engine_kernels,
-                            scratch[tid], BlockTriple{bt[0], bt[1], bt[2]},
+                            thread_scratch(tid),
+                            BlockTriple{bt[0], bt[1], bt[2]},
                             clip,
                             [&](const combinatorics::Triplet& tr,
                                 const scoring::ContingencyTable& tb) {
@@ -375,14 +411,16 @@ BasicDetectionResult<K> BasicDetector<K>::run(
         const CachedKernelSet ck = get_cached_kernels(result.isa_used);
         merged = scan_blocks([&](unsigned tid, const BlockTuple<K>& bt,
                                  const auto& on_comb) {
-          scan_block_tuple<K>(impl_->split, tiling, ck, generic, scratch[tid],
-                              bt, clip, on_table(on_comb));
+          scan_block_tuple<K>(impl_->split, tiling, ck, generic,
+                              thread_scratch(tid), bt, clip,
+                              on_table(on_comb));
         });
       } else {
         merged = scan_blocks([&](unsigned tid, const BlockTuple<K>& bt,
                                  const auto& on_comb) {
-          scan_block_tuple<K>(impl_->split, tiling, generic, scratch[tid], bt,
-                              clip, on_table(on_comb));
+          scan_block_tuple<K>(impl_->split, tiling, generic,
+                              thread_scratch(tid), bt, clip,
+                              on_table(on_comb));
         });
       }
     }
@@ -406,14 +444,24 @@ BasicBatchDetectionResult<K> BasicDetector<K>::run_batched(
   }
   BasicBatchDetectionResult<K> result;
   result.threads_used = resolve_threads(options.threads);
-  result.isa_used = options.isa_auto ? best_kernel_isa() : options.isa;
+  const std::size_t slots = batch.size();
+  // Empirical tuning, as in run(): consulted only when ISA and tiling are
+  // both still auto, keyed by the batched-finalize family and slot count.
+  std::optional<KernelConfigChoice> tuned;
+  if (options.config && options.isa_auto && !options.tiling.valid()) {
+    tuned = options.config(KernelConfigRequest{
+        KernelFamily::kFinalizeBatched, K, impl_->num_samples, slots});
+    if (tuned && !kernel_available(tuned->isa)) tuned.reset();
+  }
+  result.isa_used = !options.isa_auto ? options.isa
+                    : tuned           ? tuned->isa
+                                      : best_kernel_isa();
   if (!kernel_available(result.isa_used)) {
     throw std::runtime_error("requested kernel ISA not available: " +
                              kernel_isa_name(result.isa_used));
   }
 
   const std::size_t m = impl_->num_snps;
-  const std::size_t slots = batch.size();
   const std::uint64_t total = combinatorics::n_choose_k(m, K);
   RankRange range = options.range;
   if (range.empty()) range = {0, total};
@@ -441,6 +489,7 @@ BasicBatchDetectionResult<K> BasicDetector<K>::run_batched(
   // ladder), with the batch-aware L1 budget: the per-tuple tables grow to
   // 1 + P slots and the resident label rows join the streamed block.
   TilingParams tiling = options.tiling;
+  if (!tiling.valid() && tuned) tiling = tuned->tiling;
   if (!tiling.valid()) {
     tiling = autotune_tiling(detect_l1_config(),
                              kernel_vector_words(result.isa_used), K, true,
@@ -457,11 +506,16 @@ BasicBatchDetectionResult<K> BasicDetector<K>::run_batched(
       combinatorics::partition_block_tuples<K>(grid, range);
   const RankRange clip = partial ? range : kFullRange;
 
-  std::vector<BatchTupleScratch<K>> scratch;
-  scratch.reserve(cfg.threads);
-  for (unsigned t = 0; t < cfg.threads; ++t) {
-    scratch.emplace_back(tiling.bs, slots, batch.stride());
-  }
+  // Lazily constructed by the owning worker (NUMA first touch, as in run()).
+  std::vector<std::unique_ptr<BatchTupleScratch<K>>> scratch(cfg.threads);
+  const auto thread_scratch = [&](unsigned tid) -> BatchTupleScratch<K>& {
+    auto& sc = scratch[tid];
+    if (!sc) {
+      sc = std::make_unique<BatchTupleScratch<K>>(tiling.bs, slots,
+                                                  batch.stride());
+    }
+    return *sc;
+  };
 
   Stopwatch sw;
   // One TopK per partition per thread; the per-partition merge keeps each
@@ -485,12 +539,13 @@ BasicBatchDetectionResult<K> BasicDetector<K>::run_batched(
               unrank_block_tuple<K>(part.block_ranks.first + b);
           if constexpr (K == 2) {
             scan_block_pair_batched(impl_->combined, batch, tiling, cachedk,
-                                    bkern, scratch[tid],
+                                    bkern, thread_scratch(tid),
                                     BlockPair{bt[0], bt[1]}, clip, on_table);
           } else {
             scan_block_tuple_batched<K>(impl_->combined, batch, tiling,
-                                        cachedk, generic, bkern, scratch[tid],
-                                        bt, clip, on_table);
+                                        cachedk, generic, bkern,
+                                        thread_scratch(tid), bt, clip,
+                                        on_table);
           }
         }
         return emitted;

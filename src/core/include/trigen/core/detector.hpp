@@ -27,6 +27,7 @@
 
 #include "trigen/combinatorics/scheduler.hpp"
 #include "trigen/core/blocked_engine.hpp"
+#include "trigen/core/kernel_config.hpp"
 #include "trigen/core/kernels.hpp"
 #include "trigen/core/scan_driver.hpp"
 #include "trigen/core/tiling.hpp"
@@ -52,6 +53,12 @@ enum class CpuVersion {
 };
 
 std::string cpu_version_name(CpuVersion v);
+
+/// The kernel family that dominates an order-`order` scan at `version`
+/// (`batched` overrides both: run_batched always ends in the batched
+/// finalize).  This is the family a detector asks its ConfigResolver about.
+KernelFamily scan_kernel_family(unsigned order, CpuVersion version,
+                                bool batched);
 
 /// Objective function for ranking combinations.
 enum class Objective {
@@ -104,6 +111,15 @@ struct ScanOptionsBase {
   /// Optional progress callback, reported in combinations scanned out of
   /// `range.size()` (serialized, monotone; runs on worker threads).
   ProgressFn progress{};
+  /// Optional empirical-tuning lookup (see kernel_config.hpp; trigen::tune
+  /// provides one from a per-host TRIGEN-TUNE profile).  Consulted by the
+  /// vector versions (V4/V5) and run_batched only when `isa_auto` is set
+  /// AND `tiling` is invalid — an explicit pin of either field keeps the
+  /// whole configuration explicit/analytic.  A miss, an unset resolver, or
+  /// a choice whose ISA this host cannot execute falls back to
+  /// best_kernel_isa() and the analytic autotune_tiling model.  Results
+  /// are bit-identical either way; only speed differs.
+  ConfigResolver config{};
 };
 
 /// Detection parameters for the order-K scan.

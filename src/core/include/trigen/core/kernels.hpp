@@ -37,6 +37,7 @@
 /// keeping the hot loop mask-free.
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -235,6 +236,13 @@ bool kernel_available(KernelIsa isa);
 KernelIsa best_kernel_isa();
 
 std::string kernel_isa_name(KernelIsa isa);
+
+/// Inverse of kernel_isa_name ("scalar", "avx2", "avx2-harley-seal",
+/// "avx512-extract", "avx512-vpopcnt"); nullopt for unknown names.  Only
+/// names of strategies compiled into this binary resolve — callers decide
+/// whether an unavailable-on-this-host strategy is an error (the CLI's
+/// --isa / TRIGEN_ISA validation) or a fallback.
+std::optional<KernelIsa> parse_kernel_isa(const std::string& name);
 
 /// Fetch the kernel for `isa`; throws std::runtime_error if unavailable.
 TripleBlockKernel get_kernel(KernelIsa isa);

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "trigen/combinatorics/scheduler.hpp"
+#include "trigen/common/numa.hpp"
 #include "trigen/core/topk.hpp"
 
 namespace trigen::core {
@@ -54,6 +55,11 @@ void parallel_scan(std::uint64_t total_units, const ScanConfig& cfg,
   combinatorics::run_workers(
       sched, cfg.threads,
       [&](unsigned tid, combinatorics::ChunkScheduler& s) {
+        // Spread workers round-robin across NUMA nodes (no-op on one-node
+        // hosts) before any allocation: the detectors construct per-thread
+        // scratch lazily on this thread, so its first touch — and with it
+        // the page placement — happens on the node the worker now runs on.
+        bind_thread_round_robin(numa_topology(), tid);
         Accumulator& acc = per_thread[tid];
         for (auto r = s.next(); !r.empty(); r = s.next()) {
           const std::uint64_t weight = body(tid, r, acc);

@@ -14,6 +14,7 @@
 /// B_P <= 409.6, i.e. the paper's <5, 400> configuration.
 
 #include <cstddef>
+#include <string>
 
 namespace trigen::core {
 
@@ -67,7 +68,18 @@ TilingParams autotune_tiling(const L1Config& l1, std::size_t vector_words,
 /// Reads the host's L1D geometry from sysfs; falls back to 32 kB / 8-way
 /// when unavailable.  Way split follows the paper: 7 ways for tables, the
 /// remainder minus one (prefetcher headroom on >=12-way caches) for blocks.
+/// The geometry is read for the CPU the calling thread is currently
+/// running on (sched_getcpu) — not cpu0, which reports the wrong L1 for
+/// worker threads pinned to E-cores on hybrid parts — scanning that CPU's
+/// cache index entries for the level-1 data cache instead of assuming
+/// index0.
 L1Config detect_l1_config();
+
+/// Injectable form for unit tests and explicit pinning: `sysfs_cpu_root`
+/// replaces "/sys/devices/system/cpu" (the directory holding cpuN/), and
+/// `cpu` picks the CPU to read (-1 = the calling thread's current CPU,
+/// falling back to cpu0 when its entries are missing).
+L1Config detect_l1_config(const std::string& sysfs_cpu_root, int cpu = -1);
 
 /// 3^k, the genotype-cell count of one class at interaction order k.
 constexpr std::size_t pow3(unsigned k) {

@@ -5,6 +5,10 @@
 #include <fstream>
 #include <string>
 
+#if defined(__linux__)
+#include <sched.h>
+#endif
+
 #include "trigen/dataset/bitplanes.hpp"
 
 namespace trigen::core {
@@ -132,19 +136,45 @@ std::string read_line(const std::string& path) {
 }  // namespace
 
 L1Config detect_l1_config() {
+  return detect_l1_config("/sys/devices/system/cpu", -1);
+}
+
+L1Config detect_l1_config(const std::string& sysfs_cpu_root, int cpu) {
   L1Config cfg;
   cfg.size_bytes = 32 * 1024;
   cfg.ways = 8;
 
-  // cpu0/cache/index0 is the L1D on Linux x86.
-  const std::string base = "/sys/devices/system/cpu/cpu0/cache/index0/";
-  const std::size_t size = parse_size(read_line(base + "size"));
-  const std::string ways_str = read_line(base + "ways_of_associativity");
-  if (size > 0) cfg.size_bytes = size;
-  if (!ways_str.empty()) {
-    const unsigned w = static_cast<unsigned>(parse_size(ways_str));
-    if (w > 0) cfg.ways = w;
+  if (cpu < 0) {
+#if defined(__linux__)
+    cpu = sched_getcpu();
+#endif
+    if (cpu < 0) cpu = 0;
   }
+
+  // Scan the CPU's cache index entries for the level-1 data cache rather
+  // than assuming index0 — sysfs does not guarantee the ordering, and
+  // per-CPU entries are what differ on hybrid parts.
+  const auto probe = [&](int c) -> bool {
+    const std::string base =
+        sysfs_cpu_root + "/cpu" + std::to_string(c) + "/cache/index";
+    for (int idx = 0; idx < 8; ++idx) {
+      const std::string dir = base + std::to_string(idx) + "/";
+      const std::string level = read_line(dir + "level");
+      if (level.empty()) break;  // no further index entries
+      if (level != "1") continue;
+      const std::string type = read_line(dir + "type");
+      if (type != "Data" && type != "Unified") continue;
+      const std::size_t size = parse_size(read_line(dir + "size"));
+      if (size == 0) return false;
+      cfg.size_bytes = size;
+      const unsigned w = static_cast<unsigned>(
+          parse_size(read_line(dir + "ways_of_associativity")));
+      if (w > 0) cfg.ways = w;
+      return true;
+    }
+    return false;
+  };
+  if (!probe(cpu) && cpu != 0) probe(0);
 
   // Paper's split: 7 ways of tables everywhere; on wide (>=12-way) caches
   // keep one spare way for the hardware prefetcher, on 8-way caches use the

@@ -1,0 +1,89 @@
+#pragma once
+/// \file microbench.hpp
+/// \brief The empirical tuning grid: measure, don't model.
+///
+/// The analytic model (best_kernel_isa + autotune_tiling) picks a kernel
+/// configuration from CPUID bits and L1 geometry.  It is usually right —
+/// but "usually" is a modeling claim, and hosts exist where it loses
+/// (downclocking AVX-512 parts, hybrid cores, odd cache partitions).
+/// `run_tuning_grid` settles the question the ATLAS way: run each kernel
+/// family on synthetic bitplanes sized like the real dataset, once per
+/// compiled ISA and per tiling candidate in a neighborhood around the
+/// analytic point, and record what actually won.  The winners go into a
+/// TuningProfile (profile.hpp) that scans consult forever after; the
+/// analytic candidate is always part of the grid, so the profile can never
+/// be slower than the model it replaces (up to measurement noise).
+///
+/// Measurements run through the real detector paths — `BasicDetector::run`
+/// with the ISA and tiling pinned — not through synthetic kernel loops, so
+/// the numbers include exactly the streaming, blocking and reduction the
+/// production scan pays.  The one exception is `pair_plane_build`, which
+/// has no standalone detector path and is timed against the raw kernel
+/// (it rides inside the V5 numbers too; the standalone entry exists for
+/// bench comparability).
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "trigen/tune/profile.hpp"
+
+namespace trigen::tune {
+
+/// Grid parameters.  The defaults measure the common scan shapes; `quick`
+/// cuts repeats and the tiling neighborhood for smoke tests and CI.
+struct TuneOptions {
+  /// Sample count to size the synthetic bitplanes for — pass the real
+  /// dataset's n_samples so the measurement lands in the same bucket the
+  /// scans will look up.
+  std::size_t n_samples = 4096;
+  /// Interaction orders to measure.  2 covers the pair engine, 3 the
+  /// triple engines (both V4 and V5) plus the batched finalize, >= 4 the
+  /// order-generic tuple/ladder engines.
+  std::vector<unsigned> orders = {2, 3, 4};
+  /// Batch width for the finalize_batched measurement (0 skips it).
+  std::size_t batch_slots = 8;
+  /// Fewer repeats, smaller SNP panels, tighter tiling neighborhood.
+  bool quick = false;
+  std::uint64_t seed = 42;
+  /// Optional progress sink (one line per measured family).
+  std::function<void(const std::string&)> log{};
+};
+
+/// One measured (ISA, tiling) point of the grid.
+struct TuneCandidate {
+  core::KernelIsa isa = core::KernelIsa::kScalar;
+  core::TilingParams tiling{0, 0};
+  double throughput = 0.0;  ///< elements (combinations x samples) per second
+  bool analytic = false;    ///< the model's own pick, always in the grid
+};
+
+/// Grid outcome for one profile key: the winner, the analytic baseline,
+/// and every point measured (for reports and the bench fold).
+struct FamilyResult {
+  ProfileKey key;
+  ProfileEntry entry;  ///< winner + analytic baseline, profile-ready
+  std::vector<TuneCandidate> candidates;
+};
+
+struct TuneReport {
+  HostFingerprint host;
+  std::vector<FamilyResult> results;
+
+  /// The persistable distillation: winners keyed for resolver lookup.
+  TuningProfile to_profile() const;
+};
+
+/// Runs the measurement grid.  Deterministic inputs (synthetic data from
+/// `seed`); timings are of course not.  Throws std::invalid_argument for
+/// out-of-range orders.
+TuneReport run_tuning_grid(const TuneOptions& options);
+
+/// JSON rendering of the report for `trigen tune --json` and the bench
+/// fold: {"tune/<family>/order<K>/w<bucket>[/p<slots>]": {"elements_per_s":
+/// ..., "speedup": winner/analytic, "isa": ..., ...}, ...}.  `speedup` >=
+/// 1.0 means the measured pick is no worse than the analytic model's.
+std::string tune_report_json(const TuneReport& report);
+
+}  // namespace trigen::tune

@@ -1,0 +1,406 @@
+#include "trigen/tune/profile.hpp"
+
+#include <cerrno>
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <system_error>
+#include <vector>
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include "trigen/common/cpuid.hpp"
+#include "trigen/common/numa.hpp"
+#include "trigen/core/tiling.hpp"
+#include "trigen/dataset/bitplanes.hpp"
+
+namespace trigen::tune {
+
+namespace {
+
+[[noreturn]] void fail(const std::string& what) {
+  throw std::runtime_error("tune-profile: " + what);
+}
+
+constexpr char kMagic[] = "TRIGEN-TUNE";
+constexpr unsigned kVersion = 1;
+
+std::uint64_t fnv1a64(std::uint64_t h, const void* data, std::size_t len) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < len; ++i) {
+    h ^= p[i];
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+std::uint64_t fnv1a64_u64(std::uint64_t h, std::uint64_t v) {
+  // Fixed-width little-endian so the digest is byte-order independent.
+  unsigned char b[8];
+  for (int i = 0; i < 8; ++i) b[i] = static_cast<unsigned char>(v >> (8 * i));
+  return fnv1a64(h, b, sizeof(b));
+}
+
+std::string hex16(std::uint64_t v) {
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016" PRIx64, v);
+  return buf;
+}
+
+std::string format_double(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%a", v);
+  return buf;
+}
+
+}  // namespace
+
+std::uint64_t HostFingerprint::digest() const {
+  std::uint64_t h = 0xcbf29ce484222325ull;  // FNV-1a 64 offset basis
+  h = fnv1a64(h, cpu_brand.data(), cpu_brand.size());
+  h = fnv1a64_u64(h, feature_mask);
+  h = fnv1a64_u64(h, l1_size_bytes);
+  h = fnv1a64_u64(h, l1_ways);
+  h = fnv1a64_u64(h, numa_nodes);
+  return h;
+}
+
+const HostFingerprint& this_host_fingerprint() {
+  static const HostFingerprint fp = [] {
+    HostFingerprint f;
+    f.cpu_brand = cpu_brand_string();
+    const CpuFeatures& feats = cpu_features();
+    f.feature_mask = (feats.sse42 ? 1u : 0u) | (feats.avx2 ? 2u : 0u) |
+                     (feats.avx512f ? 4u : 0u) | (feats.avx512bw ? 8u : 0u) |
+                     (feats.avx512vl ? 16u : 0u) |
+                     (feats.avx512vpopcntdq ? 32u : 0u);
+    const core::L1Config l1 = core::detect_l1_config();
+    f.l1_size_bytes = l1.size_bytes;
+    f.l1_ways = l1.ways;
+    f.numa_nodes = numa_topology().nodes();
+    return f;
+  }();
+  return fp;
+}
+
+std::uint64_t sample_bucket_words(std::size_t n_samples) {
+  const std::size_t words = dataset::padded_words_for(n_samples);
+  std::uint64_t bucket = 16;  // floor: tiny inputs share one bucket
+  while (bucket < words) bucket <<= 1;
+  return bucket;
+}
+
+std::uint64_t batch_slot_bucket(std::size_t slots) {
+  if (slots == 0) return 0;
+  std::uint64_t bucket = 8;
+  while (bucket < slots && bucket < 64) bucket <<= 1;
+  return bucket;
+}
+
+const ProfileEntry* TuningProfile::find(const ProfileKey& key) const {
+  const auto it = entries.find(key);
+  return it == entries.end() ? nullptr : &it->second;
+}
+
+void TuningProfile::merge_from(const TuningProfile& other) {
+  for (const auto& [key, entry] : other.entries) entries[key] = entry;
+}
+
+std::string serialize_profile(const TuningProfile& profile) {
+  std::ostringstream os;
+  os << kMagic << " v" << kVersion << "\n";
+  os << "host " << hex16(profile.host.digest()) << "\n";
+  os << "cpu " << profile.host.cpu_brand << "\n";
+  char mask[16];
+  std::snprintf(mask, sizeof(mask), "%x", profile.host.feature_mask);
+  os << "features " << mask << "\n";
+  os << "l1 " << profile.host.l1_size_bytes << " " << profile.host.l1_ways
+     << "\n";
+  os << "numa " << profile.host.numa_nodes << "\n";
+  os << "entries " << profile.entries.size() << "\n";
+  for (const auto& [key, e] : profile.entries) {
+    os << "entry " << core::kernel_family_name(key.family) << " " << key.order
+       << " " << key.bucket_words << " " << key.batch_slots << " "
+       << core::kernel_isa_name(e.isa) << " " << e.tiling.bs << " "
+       << e.tiling.bp_words << " " << format_double(e.throughput) << " "
+       << core::kernel_isa_name(e.analytic_isa) << " " << e.analytic_tiling.bs
+       << " " << e.analytic_tiling.bp_words << " "
+       << format_double(e.analytic_throughput) << "\n";
+  }
+  os << "end\n";
+  return os.str();
+}
+
+namespace {
+
+/// Line cursor with the "truncated" diagnostics baked in.
+struct LineReader {
+  std::istringstream is;
+  explicit LineReader(const std::string& text) : is(text) {}
+
+  std::string next(const char* expecting) {
+    std::string line;
+    if (!std::getline(is, line))
+      fail(std::string("truncated file: missing ") + expecting);
+    return line;
+  }
+};
+
+/// Splits `line` on single spaces; the leading token names the record.
+std::vector<std::string> fields_of(const std::string& line) {
+  std::vector<std::string> fields;
+  std::size_t pos = 0;
+  while (pos <= line.size()) {
+    const std::size_t sp = line.find(' ', pos);
+    if (sp == std::string::npos) {
+      fields.push_back(line.substr(pos));
+      break;
+    }
+    fields.push_back(line.substr(pos, sp - pos));
+    pos = sp + 1;
+  }
+  return fields;
+}
+
+std::uint64_t parse_u64(const std::string& s, const char* what) {
+  if (s.empty()) fail(std::string("empty ") + what);
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(s.c_str(), &end, 10);
+  if (errno != 0 || end != s.c_str() + s.size())
+    fail(std::string("malformed ") + what + " '" + s + "'");
+  return v;
+}
+
+std::uint32_t parse_hex32(const std::string& s, const char* what) {
+  if (s.empty()) fail(std::string("empty ") + what);
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(s.c_str(), &end, 16);
+  if (errno != 0 || end != s.c_str() + s.size() || v > 0xffffffffull)
+    fail(std::string("malformed ") + what + " '" + s + "'");
+  return static_cast<std::uint32_t>(v);
+}
+
+double parse_throughput(const std::string& s, const char* what) {
+  if (s.empty()) fail(std::string("empty ") + what);
+  errno = 0;
+  char* end = nullptr;
+  const double v = std::strtod(s.c_str(), &end);
+  if (errno != 0 || end != s.c_str() + s.size() || v < 0.0)
+    fail(std::string("malformed ") + what + " '" + s + "'");
+  return v;
+}
+
+}  // namespace
+
+TuningProfile parse_profile(const std::string& text) {
+  LineReader lines(text);
+
+  const std::string magic = lines.next("magic line");
+  if (magic.rfind(kMagic, 0) != 0)
+    fail("bad magic: expected '" + std::string(kMagic) + " v" +
+         std::to_string(kVersion) + "', got '" + magic + "'");
+  if (magic != std::string(kMagic) + " v" + std::to_string(kVersion))
+    fail("unsupported version '" + magic.substr(std::strlen(kMagic) + 1) +
+         "' (this build reads v" + std::to_string(kVersion) + ")");
+
+  TuningProfile profile;
+
+  const auto record = [&](const char* name) {
+    const std::string line = lines.next(name);
+    const std::string prefix = std::string(name) + " ";
+    if (line.rfind(prefix, 0) != 0)
+      fail(std::string("expected '") + name + "' record, got '" + line + "'");
+    return line.substr(prefix.size());
+  };
+
+  const std::string host_hex = record("host");
+  if (host_hex.size() != 16 ||
+      host_hex.find_first_not_of("0123456789abcdef") != std::string::npos)
+    fail("malformed host digest '" + host_hex + "'");
+  errno = 0;
+  char* end = nullptr;
+  const std::uint64_t claimed_digest =
+      std::strtoull(host_hex.c_str(), &end, 16);
+  if (errno != 0 || end != host_hex.c_str() + host_hex.size())
+    fail("malformed host digest '" + host_hex + "'");
+
+  profile.host.cpu_brand = record("cpu");
+  profile.host.feature_mask = parse_hex32(record("features"), "feature mask");
+
+  const std::vector<std::string> l1 = fields_of(record("l1"));
+  if (l1.size() != 2) fail("malformed l1 record: expected '<size> <ways>'");
+  profile.host.l1_size_bytes =
+      static_cast<std::size_t>(parse_u64(l1[0], "l1 size"));
+  profile.host.l1_ways = static_cast<unsigned>(parse_u64(l1[1], "l1 ways"));
+  if (profile.host.l1_size_bytes == 0 ||
+      profile.host.l1_size_bytes > (64u << 20) || profile.host.l1_ways == 0 ||
+      profile.host.l1_ways > 64)
+    fail("implausible l1 geometry " + std::to_string(profile.host.l1_size_bytes) +
+         "/" + std::to_string(profile.host.l1_ways));
+
+  profile.host.numa_nodes =
+      static_cast<unsigned>(parse_u64(record("numa"), "numa node count"));
+  if (profile.host.numa_nodes == 0 || profile.host.numa_nodes > 1024)
+    fail("implausible numa node count " +
+         std::to_string(profile.host.numa_nodes));
+
+  if (profile.host.digest() != claimed_digest)
+    fail("host digest mismatch: header claims " + host_hex +
+         " but the host fields hash to " + hex16(profile.host.digest()) +
+         " (corrupt or hand-edited profile)");
+
+  const std::uint64_t count = parse_u64(record("entries"), "entry count");
+  if (count > 100000) fail("implausible entry count " + std::to_string(count));
+
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const std::string line = lines.next("entry line");
+    const std::vector<std::string> f = fields_of(line);
+    if (f.size() != 13 || f[0] != "entry")
+      fail("malformed entry line '" + line +
+           "' (expected 'entry' plus 12 fields)");
+    ProfileKey key;
+    const auto family = core::parse_kernel_family(f[1]);
+    if (!family) fail("unknown kernel family '" + f[1] + "'");
+    key.family = *family;
+    key.order = static_cast<unsigned>(parse_u64(f[2], "order"));
+    if (key.order < 2 || key.order > 16)
+      fail("implausible order " + f[2]);
+    key.bucket_words = parse_u64(f[3], "bucket words");
+    key.batch_slots = parse_u64(f[4], "batch slots");
+    ProfileEntry e;
+    const auto isa = core::parse_kernel_isa(f[5]);
+    if (!isa) fail("unknown kernel isa '" + f[5] + "'");
+    e.isa = *isa;
+    e.tiling.bs = static_cast<std::size_t>(parse_u64(f[6], "tiling bs"));
+    e.tiling.bp_words =
+        static_cast<std::size_t>(parse_u64(f[7], "tiling bp_words"));
+    if (!e.tiling.valid()) fail("invalid tiling in entry '" + line + "'");
+    e.throughput = parse_throughput(f[8], "throughput");
+    const auto aisa = core::parse_kernel_isa(f[9]);
+    if (!aisa) fail("unknown analytic isa '" + f[9] + "'");
+    e.analytic_isa = *aisa;
+    e.analytic_tiling.bs =
+        static_cast<std::size_t>(parse_u64(f[10], "analytic bs"));
+    e.analytic_tiling.bp_words =
+        static_cast<std::size_t>(parse_u64(f[11], "analytic bp_words"));
+    e.analytic_throughput = parse_throughput(f[12], "analytic throughput");
+    if (!profile.entries.emplace(key, e).second)
+      fail("duplicate entry for " + core::kernel_family_name(key.family) +
+           " order " + std::to_string(key.order));
+  }
+
+  const std::string trailer = lines.next("'end' trailer");
+  if (trailer != "end")
+    fail("expected 'end' trailer, got '" + trailer + "' (truncated file?)");
+  return profile;
+}
+
+TuningProfile read_profile_file(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) fail("cannot open '" + path + "': " + std::strerror(errno));
+  std::ostringstream buf;
+  buf << is.rdbuf();
+  if (is.bad()) fail("read error on '" + path + "'");
+  return parse_profile(buf.str());
+}
+
+void write_profile_file(const std::string& path, const TuningProfile& profile) {
+  const std::string body = serialize_profile(profile);
+
+  const std::size_t slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos ? "." : path.substr(0, slash);
+  if (slash != std::string::npos) {
+    // Create missing parents (mkdir -p); EEXIST along the way is fine.
+    std::string sofar = dir[0] == '/' ? "/" : "";
+    std::istringstream parts(dir);
+    std::string part;
+    while (std::getline(parts, part, '/')) {
+      if (part.empty()) continue;
+      if (!sofar.empty() && sofar != "/") sofar += '/';
+      sofar += part;
+      if (::mkdir(sofar.c_str(), 0777) != 0 && errno != EEXIST)
+        fail("cannot create directory '" + sofar +
+             "': " + std::strerror(errno));
+    }
+  }
+
+  const std::string tmp = path + ".tmp";
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) fail("cannot create '" + tmp + "': " + std::strerror(errno));
+  std::size_t written = 0;
+  while (written < body.size()) {
+    const ssize_t n = ::write(fd, body.data() + written, body.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      const int err = errno;
+      ::close(fd);
+      ::unlink(tmp.c_str());
+      fail("write to '" + tmp + "' failed: " + std::strerror(err));
+    }
+    written += static_cast<std::size_t>(n);
+  }
+  if (::fsync(fd) != 0) {
+    const int err = errno;
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    fail("fsync of '" + tmp + "' failed: " + std::strerror(err));
+  }
+  ::close(fd);
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    const int err = errno;
+    ::unlink(tmp.c_str());
+    fail("rename to '" + path + "' failed: " + std::strerror(err));
+  }
+  const int dfd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (dfd >= 0) {
+    ::fsync(dfd);  // make the rename itself durable; best effort
+    ::close(dfd);
+  }
+}
+
+TuningProfile load_profile_for_this_host(const std::string& path) {
+  TuningProfile profile = read_profile_file(path);
+  const HostFingerprint& here = this_host_fingerprint();
+  if (profile.host.digest() != here.digest())
+    fail("profile '" + path + "' was tuned for a different host (its cpu: '" +
+         profile.host.cpu_brand + "', digest " + hex16(profile.host.digest()) +
+         "; this host: '" + here.cpu_brand + "', digest " +
+         hex16(here.digest()) + ") — re-run `trigen tune`");
+  return profile;
+}
+
+core::ConfigResolver make_resolver(
+    std::shared_ptr<const TuningProfile> profile) {
+  return [profile = std::move(profile)](const core::KernelConfigRequest& req)
+             -> std::optional<core::KernelConfigChoice> {
+    if (!profile) return std::nullopt;
+    ProfileKey key;
+    key.family = req.family;
+    key.order = req.order;
+    key.bucket_words = sample_bucket_words(req.n_samples);
+    key.batch_slots = batch_slot_bucket(req.batch_slots);
+    const ProfileEntry* e = profile->find(key);
+    if (!e) return std::nullopt;
+    return core::KernelConfigChoice{e->isa, e->tiling};
+  };
+}
+
+std::string default_profile_path() {
+  if (const char* env = std::getenv("TRIGEN_TUNE_PROFILE"); env && *env)
+    return env;
+  if (const char* xdg = std::getenv("XDG_CACHE_HOME"); xdg && *xdg)
+    return std::string(xdg) + "/trigen/tune-v1.profile";
+  if (const char* home = std::getenv("HOME"); home && *home)
+    return std::string(home) + "/.cache/trigen/tune-v1.profile";
+  return "trigen-tune.profile";
+}
+
+}  // namespace trigen::tune

@@ -25,6 +25,8 @@
 #include <cstdlib>
 #include <cstring>
 #include <limits>
+#include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -44,6 +46,10 @@
 #include "trigen/shard/runner.hpp"
 #include "trigen/stats/permutation.hpp"
 #include "trigen/stats/report.hpp"
+#include "trigen/tune/microbench.hpp"
+#include "trigen/tune/profile.hpp"
+
+#include <sys/stat.h>
 
 namespace {
 
@@ -53,7 +59,8 @@ using namespace trigen;
 /// subcommands so e.g. `trigen scan --progress data.tg` keeps its
 /// positional.
 const std::set<std::string>& cli_switches() {
-  static const std::set<std::string> s = {"help", "partial", "progress"};
+  static const std::set<std::string> s = {"help", "partial", "progress",
+                                          "quick", "no-tune", "json"};
   return s;
 }
 
@@ -160,6 +167,73 @@ core::CpuVersion parse_version(const Args& a) {
                "(got %ld)\nvector ISAs in this binary: %s\n",
                v, isas.c_str());
   std::exit(2);
+}
+
+/// Parse-time --isa / $TRIGEN_ISA validation, mirroring parse_version:
+/// rejects unknown names with the list of ISAs this binary carries (and
+/// whether this host can run them) instead of failing inside the detector.
+/// Returns nullopt for the default ("auto" or unset): keep auto-dispatch.
+std::optional<core::KernelIsa> parse_isa_flag(const Args& a) {
+  std::string name = a.get("isa", "");
+  if (name.empty()) {
+    if (const char* env = std::getenv("TRIGEN_ISA"); env != nullptr && *env) {
+      name = env;
+    }
+  }
+  if (name.empty() || name == "auto") return std::nullopt;
+  const auto isa = core::parse_kernel_isa(name);
+  std::string isas;
+  for (const core::KernelIsa i : core::all_kernel_isas()) {
+    if (!isas.empty()) isas += ", ";
+    isas += core::kernel_isa_name(i);
+    if (!core::kernel_available(i)) isas += " (not on this host)";
+  }
+  if (!isa) {
+    std::fprintf(stderr,
+                 "--isa/TRIGEN_ISA expects a vector ISA name or 'auto' "
+                 "(got '%s')\nvector ISAs in this binary: %s\n",
+                 name.c_str(), isas.c_str());
+    std::exit(2);
+  }
+  if (!core::kernel_available(*isa)) {
+    std::fprintf(stderr,
+                 "--isa %s: compiled in but this host cannot execute it\n"
+                 "vector ISAs in this binary: %s\n",
+                 name.c_str(), isas.c_str());
+    std::exit(2);
+  }
+  return isa;
+}
+
+/// Resolves the tuning profile for scan/significance/serve: --no-tune
+/// disables lookup, --profile PATH must load (hard error otherwise), and
+/// with neither flag the default profile path is used when a file is
+/// there — a missing default is normal (analytic model), a corrupt or
+/// foreign one warns and falls back rather than failing the scan.
+core::ConfigResolver load_tuning_resolver(const Args& a) {
+  if (a.has("no-tune")) return {};
+  const bool explicit_profile = a.has("profile");
+  const std::string path =
+      explicit_profile ? a.get("profile", "") : tune::default_profile_path();
+  if (!explicit_profile) {
+    struct stat st {};
+    if (::stat(path.c_str(), &st) != 0) return {};
+  }
+  try {
+    auto profile = std::make_shared<const tune::TuningProfile>(
+        tune::load_profile_for_this_host(path));
+    return tune::make_resolver(std::move(profile));
+  } catch (const std::exception& e) {
+    if (explicit_profile) {
+      std::fprintf(stderr, "--profile %s: %s\n", path.c_str(), e.what());
+      std::exit(1);
+    }
+    std::fprintf(stderr,
+                 "warning: ignoring tuning profile %s (%s); using the "
+                 "analytic model\n",
+                 path.c_str(), e.what());
+    return {};
+  }
 }
 
 int cmd_generate(const Args& a) {
@@ -304,6 +378,7 @@ void print_scan_usage() {
   std::printf(
       "usage: trigen %s DATASET.tg[b] [--objective k2|mi|chi2]\n"
       "  [--top K] [--threads T] [--version 1|2|3|4|5]\n"
+      "  [--isa NAME|auto] [--profile FILE] [--no-tune]\n"
       "  [--range FIRST:LAST] [--progress]\n"
       "  [--shards W --shard I [--split even|block]]\n"
       "  [--out FILE.shard] [--checkpoint FILE.ckpt]\n"
@@ -340,6 +415,12 @@ int cmd_scan_generic(const Args& a) {
   opt.top_k = static_cast<std::size_t>(a.get_int("top", 10));
   opt.threads = static_cast<unsigned>(a.get_int("threads", 0));
   opt.version = parse_version(a);
+  if (const auto isa = parse_isa_flag(a)) {
+    opt.isa = *isa;
+    opt.isa_auto = false;
+  } else {
+    opt.config = load_tuning_resolver(a);
+  }
   const auto d = load(a.positional[0]);
   typename Cli::Detector det(d);
   const std::uint64_t total = Cli::space(d.num_snps());
@@ -576,13 +657,21 @@ template <unsigned K>
 int cmd_significance_of(const dataset::GenotypeMatrix& d,
                         unsigned permutations, std::uint64_t seed,
                         core::Objective objective, unsigned threads,
-                        unsigned batch, bool progress) {
+                        unsigned batch, bool progress,
+                        std::optional<core::KernelIsa> isa,
+                        core::ConfigResolver config) {
   stats::BasicPermutationTestOptions<K> opt;
   opt.permutations = permutations;
   opt.seed = seed;
   opt.batch = batch;
   opt.detector.objective = objective;
   opt.detector.threads = threads;
+  if (isa) {
+    opt.detector.isa = *isa;
+    opt.detector.isa_auto = false;
+  } else {
+    opt.detector.config = std::move(config);
+  }
   if (progress) opt.detector.progress = make_progress_printer("significance");
   const auto r = stats::permutation_test_of<K>(d, opt);
   for (const std::string& line :
@@ -615,12 +704,15 @@ int cmd_significance(const Args& a) {
   const auto threads = static_cast<unsigned>(a.get_int("threads", 0));
   const auto batch = static_cast<unsigned>(a.get_int("batch", 0));
   const bool progress = a.has("progress");
+  const auto isa = parse_isa_flag(a);
+  core::ConfigResolver config = isa ? core::ConfigResolver{}
+                                    : load_tuning_resolver(a);
   switch (a.get_int("order", 3)) {
-    case 2: return cmd_significance_of<2>(d, permutations, seed, objective, threads, batch, progress);
-    case 3: return cmd_significance_of<3>(d, permutations, seed, objective, threads, batch, progress);
-    case 4: return cmd_significance_of<4>(d, permutations, seed, objective, threads, batch, progress);
-    case 5: return cmd_significance_of<5>(d, permutations, seed, objective, threads, batch, progress);
-    case 6: return cmd_significance_of<6>(d, permutations, seed, objective, threads, batch, progress);
+    case 2: return cmd_significance_of<2>(d, permutations, seed, objective, threads, batch, progress, isa, std::move(config));
+    case 3: return cmd_significance_of<3>(d, permutations, seed, objective, threads, batch, progress, isa, std::move(config));
+    case 4: return cmd_significance_of<4>(d, permutations, seed, objective, threads, batch, progress, isa, std::move(config));
+    case 5: return cmd_significance_of<5>(d, permutations, seed, objective, threads, batch, progress, isa, std::move(config));
+    case 6: return cmd_significance_of<6>(d, permutations, seed, objective, threads, batch, progress, isa, std::move(config));
     default: break;
   }
   std::fprintf(stderr, "--order expects an interaction order in [2, %u]\n",
@@ -657,6 +749,7 @@ int cmd_serve(const Args& a) {
   so.threads = static_cast<unsigned>(get_uint_or_die(a, "threads", 0));
   so.chunk = get_uint_or_die(a, "chunk", 0);
   so.checkpoint_dir = a.get("checkpoint-dir", ".");
+  so.config = load_tuning_resolver(a);
   serve::ScanServer server(load(a.positional[0]), so);
   install_interrupt_handler();
 #ifndef _WIN32
@@ -668,6 +761,88 @@ int cmd_serve(const Args& a) {
                                       g_interrupted);
   }
   return serve::run_pipe_endpoint(server, 0, 1, g_interrupted);
+}
+
+/// `trigen tune`: run the microbench grid, persist the per-host profile.
+int cmd_tune(const Args& a) {
+  if (a.has("help")) {
+    std::puts(
+        "usage: trigen tune [DATASET.tg[b]] [--out FILE] [--profile FILE]\n"
+        "  [--samples N] [--orders 2,3,4] [--batch P] [--seed S]\n"
+        "  [--quick] [--json]\n"
+        "Measures every compiled kernel ISA and a tiling neighborhood\n"
+        "around the analytic point on synthetic bitplanes, then writes the\n"
+        "measured-fastest (ISA, tiling) per kernel family and order to a\n"
+        "per-host profile that scan/scan2/significance/serve pick up\n"
+        "automatically (or via --profile).  Passing a dataset sizes the\n"
+        "measurement for its sample count (otherwise --samples, default\n"
+        "4096).  --quick cuts repeats and the tiling neighborhood (smoke\n"
+        "tests); --json prints the measured grid as JSON for the bench\n"
+        "fold.  An existing same-host profile is extended, not replaced;\n"
+        "results are bit-identical with or without a profile — only speed\n"
+        "differs.");
+    return 0;
+  }
+  tune::TuneOptions topt;
+  topt.n_samples = get_uint_or_die(a, "samples", 4096);
+  if (!a.positional.empty()) {
+    topt.n_samples = load(a.positional[0]).num_samples();
+  }
+  topt.quick = a.has("quick");
+  topt.seed = get_uint_or_die(a, "seed", 42);
+  topt.batch_slots = get_uint_or_die(a, "batch", 8);
+  if (a.has("orders")) {
+    topt.orders.clear();
+    const std::string spec = a.get("orders", "");
+    std::size_t pos = 0;
+    while (pos < spec.size()) {
+      const std::size_t comma = spec.find(',', pos);
+      const std::string tok = spec.substr(
+          pos, comma == std::string::npos ? std::string::npos : comma - pos);
+      char* end = nullptr;
+      const long k = std::strtol(tok.c_str(), &end, 10);
+      if (tok.empty() || end != tok.c_str() + tok.size() || k < 2 || k > 6) {
+        std::fprintf(stderr,
+                     "--orders expects a comma list of orders in [2, 6] "
+                     "(got '%s')\n",
+                     spec.c_str());
+        return 2;
+      }
+      topt.orders.push_back(static_cast<unsigned>(k));
+      if (comma == std::string::npos) break;
+      pos = comma + 1;
+    }
+  }
+  topt.log = [](const std::string& line) {
+    std::fprintf(stderr, "tune: %s\n", line.c_str());
+  };
+
+  const std::string out =
+      a.has("out") ? a.get("out", "")
+                   : a.has("profile") ? a.get("profile", "")
+                                      : tune::default_profile_path();
+  const tune::TuneReport report = tune::run_tuning_grid(topt);
+  tune::TuningProfile profile = report.to_profile();
+  // Extend an existing same-host profile (other buckets/orders keep their
+  // entries); a foreign or unreadable file is simply replaced.
+  struct stat st {};
+  if (::stat(out.c_str(), &st) == 0) {
+    try {
+      tune::TuningProfile existing = tune::load_profile_for_this_host(out);
+      existing.merge_from(profile);
+      profile = std::move(existing);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "tune: replacing %s (%s)\n", out.c_str(),
+                   e.what());
+    }
+  }
+  tune::write_profile_file(out, profile);
+  std::fprintf(stderr, "tune: wrote %s (%zu entries)\n", out.c_str(),
+               profile.entries.size());
+  if (a.has("json")) {
+    std::printf("%s", tune::tune_report_json(report).c_str());
+  }
+  return 0;
 }
 
 int cmd_devices(const Args&) {
@@ -692,7 +867,7 @@ int cmd_devices(const Args&) {
 int usage() {
   std::puts(
       "trigen — exhaustive gene interaction detection (IPDPS'22 reproduction)\n"
-      "usage: trigen <generate|info|convert|scan|scan2|merge|baseline|significance|serve|devices> ...\n"
+      "usage: trigen <generate|info|convert|scan|scan2|merge|baseline|significance|serve|tune|devices> ...\n"
       "  generate OUT.tg[b] --snps M --samples N [--seed S] [--maf-min F]\n"
       "    [--maf-max F] [--prevalence F] [--plant x,y,z --model M\n"
       "    --baseline F --effect F]\n"
@@ -711,7 +886,13 @@ int usage() {
       "    [--batch P] [--progress]\n"
       "  serve DATASET.tg[b] [--threads T] [--chunk RANKS] [--socket PATH]\n"
       "    [--checkpoint-dir DIR]\n"
+      "  tune [DATASET.tg[b]] [--out FILE] [--samples N] [--orders 2,3,4]\n"
+      "    [--quick] [--json]\n"
       "  devices\n"
+      "scan/scan2/significance/serve also take --isa NAME|auto (or\n"
+      "$TRIGEN_ISA), --profile FILE and --no-tune: a `trigen tune` profile\n"
+      "picks the measured-fastest kernel configuration per host (results\n"
+      "are bit-identical; only speed differs).\n"
       "Run `trigen <subcommand> --help` for details.");
   return 2;
 }
@@ -732,6 +913,7 @@ int main(int argc, char** argv) {
     if (cmd == "baseline") return cmd_baseline(args);
     if (cmd == "significance") return cmd_significance(args);
     if (cmd == "serve") return cmd_serve(args);
+    if (cmd == "tune") return cmd_tune(args);
     if (cmd == "devices") return cmd_devices(args);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "trigen %s: %s\n", cmd.c_str(), e.what());
