@@ -1,0 +1,144 @@
+#pragma once
+/// \file coordinator.hpp
+/// \brief Lease-based fleet coordinator: elastic multi-worker scan control.
+///
+/// `FleetCoordinator` is the control plane behind `trigen coordinate`.  It
+/// plans the colex rank space [0, C(M,k)) into shards (shard::plan_shards),
+/// then leases them to `trigen work` processes over the serve line protocol
+/// (`lease`/`renew`/`complete`/`abandon` verbs; pipe or Unix-socket
+/// transport from serve/endpoint.hpp).  The headline property is
+/// robustness with *exactness*: workers may crash, hang, straggle or return
+/// garbage at any point, and the fleet still converges to a final top-k
+/// byte-identical to a single-process `trigen scan` — because every shard
+/// artifact is exact and the merge is exact, fault tolerance never has to
+/// trade away correctness.
+///
+/// Liveness and failure handling:
+///
+///   * A lease carries a deadline; each worker renewal (sent after every
+///     durable checkpoint chunk, carrying the checkpoint watermark as a
+///     progress heartbeat) extends it.  The endpoint's tick() drives expiry:
+///     an expired lease is revoked, the dead worker's durable checkpoint is
+///     harvested — its completed prefix [first, watermark) folds into the
+///     merge tree via shard::clip_to_prefix — and only the remainder
+///     [watermark, last) is re-queued as a fresh shard id.
+///   * Re-queued-after-failure ranges carry capped exponential backoff
+///     (base·2^failures, capped), so a range that keeps killing workers
+///     does not monopolize the fleet; after `max_failures` it is
+///     quarantined as a poison shard and the coordinator reports the stall
+///     instead of spinning or, worse, publishing a partial answer.
+///   * A straggler whose lease already expired gets `lease-lost` on its
+///     next renew/complete and moves on; duplicate completions of an
+///     already-reassigned shard are harmless by determinism (same bytes).
+///
+/// Completed shards fold into a rolling merge tree: adjacent done ranges
+/// are merged (shard::merge_shards_of, kContiguous) into one spool file and
+/// the inputs unlinked, so coordinator memory and spool usage stay
+/// O(active shards + top_k), not O(planned shards).  The lease table
+/// persists fsync-atomically (state.hpp) after every transition; a killed
+/// coordinator resumes from it without double-counting completed work, and
+/// a coordinator re-run over a finished state simply re-emits the result.
+/// The engine is transport-free and fully in-process-testable: feed
+/// protocol lines to submit_line(), drive time with tick() and an injected
+/// clock.
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "trigen/core/detector.hpp"
+#include "trigen/dataset/genotype_matrix.hpp"
+#include "trigen/fleet/state.hpp"
+#include "trigen/serve/server.hpp"
+#include "trigen/shard/plan.hpp"
+
+namespace trigen::fleet {
+
+struct CoordinatorOptions {
+  unsigned order = 3;
+  core::Objective objective = core::Objective::kK2;
+  std::uint64_t top_k = 10;
+  /// Shards to plan.  More shards than workers is the point: small shards
+  /// bound the work lost to a crash and feed the straggler-free tail.
+  unsigned shards = 16;
+  shard::SplitStrategy split = shard::SplitStrategy::kEvenRanks;
+  std::uint64_t block_size = 0;  ///< kBlockAligned only
+  /// Directory for all fleet artifacts: the lease table (fleet.state),
+  /// per-shard checkpoints/results and merged intermediates.  Must not
+  /// contain whitespace (paths travel in protocol lines).
+  std::string spool = ".";
+  /// Final CSV destination ("" = no file; final_csv() always serves it).
+  std::string out;
+  /// Lease duration; renewals (one per worker checkpoint chunk) extend it.
+  /// Must comfortably exceed a worker's per-chunk scan time.
+  std::uint64_t lease_ms = 10000;
+  /// Checkpoint cadence leased workers are told to use; 0 = shard_size/64.
+  std::uint64_t checkpoint_every = 0;
+  /// Failures (lease expiries / bad results) before a range is quarantined.
+  std::uint32_t max_failures = 5;
+  std::uint64_t backoff_base_ms = 250;
+  std::uint64_t backoff_cap_ms = 8000;
+  /// Injectable monotonic clock for tests; default = steady_clock.
+  std::function<std::uint64_t()> now_ms{};
+  /// Operational log lines (lease grants/expiries, harvests, quarantines,
+  /// completion); the CLI points this at stderr.  Never protocol output.
+  std::function<void(const std::string&)> log{};
+};
+
+class FleetCoordinator final : public serve::LineService {
+ public:
+  /// Plans a fresh fleet scan — or resumes one when `spool`/fleet.state
+  /// already holds a matching lease table (same dataset fingerprint,
+  /// order, objective, top_k; anything else throws std::runtime_error
+  /// instead of merging foreign work).  The dataset is only consulted for
+  /// its shape and fingerprint; the coordinator never scans.
+  FleetCoordinator(const dataset::GenotypeMatrix& dataset,
+                   CoordinatorOptions options);
+  ~FleetCoordinator() override;
+
+  FleetCoordinator(const FleetCoordinator&) = delete;
+  FleetCoordinator& operator=(const FleetCoordinator&) = delete;
+
+  bool submit_line(const std::string& line, serve::EventSink sink) override;
+
+  /// Lease-expiry housekeeping; called by the endpoint every poll tick and
+  /// by tests driving a fake clock.
+  void tick() override;
+
+  /// True once every rank merged and the final CSV was written — the
+  /// endpoint then closes down cleanly with exit 0.  Also true when every
+  /// non-quarantined shard is done but poison shards remain: no progress
+  /// is possible, and jobs_interrupted() reports the stall (exit 3).
+  bool finished() const override;
+
+  bool drain(const std::atomic<bool>* interrupted = nullptr) override;
+
+  /// Persists the lease table (it already is, after every transition;
+  /// this is the idempotent endpoint hook).  Returns 1 while unfinished —
+  /// the state file is the resume artifact — and 0 once complete.
+  std::size_t shutdown_and_checkpoint() override;
+
+  /// 0 when the scan completed; the number of unfinished shards (pending +
+  /// leased + quarantined) otherwise, making interrupted/stalled sessions
+  /// exit 3 like every other resumable trigen interruption.
+  std::size_t jobs_interrupted() const override;
+
+  /// The canonical scan CSV of the finished fleet (scan_csv_lines); empty
+  /// until finished() && !stalled.
+  std::vector<std::string> final_csv() const;
+
+  // Introspection (status lines, tests).
+  std::size_t shards_pending() const;
+  std::size_t shards_leased() const;
+  std::size_t shards_quarantined() const;
+  std::uint64_t reassignments() const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace trigen::fleet

@@ -1,0 +1,216 @@
+#include "trigen/fleet/state.hpp"
+
+#include <cerrno>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "trigen/combinatorics/combinations.hpp"
+#include "trigen/shard/result_io.hpp"
+
+namespace trigen::fleet {
+namespace {
+
+constexpr char kMagic[] = "TRIGEN-FLEET";
+constexpr char kVersion[] = "v1";
+constexpr char kKind[] = "fleet-state";
+
+[[noreturn]] void fail(const std::string& what) {
+  throw std::runtime_error(std::string(kKind) + ": " + what);
+}
+
+std::string next_token(std::istream& is, const char* what) {
+  std::string tok;
+  if (!(is >> tok)) fail(std::string("truncated file: missing ") + what);
+  return tok;
+}
+
+void expect_key(std::istream& is, const char* key) {
+  const std::string tok = next_token(is, key);
+  if (tok != key) {
+    fail("expected '" + std::string(key) + "', got '" + tok + "'");
+  }
+}
+
+std::uint64_t parse_u64(const std::string& tok, const char* what,
+                        int base = 10) {
+  const char* begin = tok.c_str();
+  char* end = nullptr;
+  errno = 0;
+  const unsigned long long v = std::strtoull(begin, &end, base);
+  if (end == begin || *end != '\0' || errno != 0 || tok[0] == '-') {
+    fail(std::string("malformed ") + what + " '" + tok + "'");
+  }
+  return v;
+}
+
+std::uint64_t read_u64_field(std::istream& is, const char* key,
+                             int base = 10) {
+  expect_key(is, key);
+  return parse_u64(next_token(is, key), key, base);
+}
+
+std::string format_fingerprint(std::uint64_t fp) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%016llx",
+                static_cast<unsigned long long>(fp));
+  return buf;
+}
+
+bool has_whitespace(const std::string& s) {
+  for (const char c : s) {
+    if (c == ' ' || c == '\t' || c == '\n' || c == '\r') return true;
+  }
+  return s.empty();
+}
+
+}  // namespace
+
+const char* shard_state_name(ShardState s) {
+  switch (s) {
+    case ShardState::kPending: return "pending";
+    case ShardState::kLeased: return "leased";
+    case ShardState::kQuarantined: return "quarantined";
+  }
+  return "?";
+}
+
+void write_fleet_state_file(const std::string& path, const FleetState& s) {
+  std::ostringstream os;
+  os << kMagic << ' ' << kVersion << '\n'
+     << "order " << s.order << '\n'
+     << "fingerprint " << format_fingerprint(s.fingerprint) << '\n'
+     << "snps " << s.num_snps << '\n'
+     << "samples " << s.num_samples << '\n'
+     << "objective " << s.objective << '\n'
+     << "top_k " << s.top_k << '\n'
+     << "next_shard " << s.next_shard << '\n';
+  os << "shards " << s.shards.size() << '\n';
+  for (const ShardEntry& e : s.shards) {
+    // A lease is a promise this process made; a restarted coordinator
+    // cannot honor it, so leased persists as pending (the worker's next
+    // renew gets `lease-lost` and it comes back for a fresh lease).
+    const ShardState persisted =
+        e.state == ShardState::kLeased ? ShardState::kPending : e.state;
+    os << "s " << e.id << ' ' << e.range.first << ' ' << e.range.last << ' '
+       << shard_state_name(persisted) << ' ' << e.failures << '\n';
+  }
+  os << "done " << s.done.size() << '\n';
+  for (const DoneRange& d : s.done) {
+    if (has_whitespace(d.file)) {
+      throw std::invalid_argument(
+          std::string(kKind) + ": spool file name '" + d.file +
+          "' is empty or contains whitespace (unrepresentable in the "
+          "token-oriented state format)");
+    }
+    os << "d " << d.range.first << ' ' << d.range.last << ' ' << d.file
+       << '\n';
+  }
+  os << "end " << kMagic << '\n';
+  shard::write_text_file_durably(path, kKind, os.str());
+}
+
+FleetState read_fleet_state_file(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) fail("cannot open '" + path + "' for reading");
+
+  std::string tok = next_token(is, "magic");
+  if (tok != kMagic) {
+    fail("bad magic '" + tok + "' (expected " + kMagic + ")");
+  }
+  tok = next_token(is, "format version");
+  if (tok != kVersion) {
+    fail("unsupported format version '" + tok + "' (expected " + kVersion +
+         ")");
+  }
+
+  FleetState s;
+  const std::uint64_t order = read_u64_field(is, "order");
+  if (order < 2 || order > combinatorics::kMaxOrder) {
+    fail("unsupported order " + std::to_string(order));
+  }
+  s.order = static_cast<unsigned>(order);
+  s.fingerprint = read_u64_field(is, "fingerprint", 16);
+  s.num_snps = read_u64_field(is, "snps");
+  s.num_samples = read_u64_field(is, "samples");
+  expect_key(is, "objective");
+  s.objective = next_token(is, "objective name");
+  s.top_k = read_u64_field(is, "top_k");
+  if (s.top_k == 0) fail("top_k must be >= 1");
+  s.next_shard = read_u64_field(is, "next_shard");
+
+  std::uint64_t total = 0;
+  try {
+    total = combinatorics::n_choose_k(s.num_snps, s.order);
+  } catch (const std::overflow_error&) {
+    fail("rank space exceeds 2^64: C(" + std::to_string(s.num_snps) + "," +
+         std::to_string(s.order) + ") is not addressable");
+  }
+
+  const std::uint64_t n_shards = read_u64_field(is, "shards");
+  s.shards.reserve(n_shards);
+  for (std::uint64_t i = 0; i < n_shards; ++i) {
+    expect_key(is, "s");
+    ShardEntry e;
+    e.id = parse_u64(next_token(is, "shard id"), "shard id");
+    e.range.first =
+        parse_u64(next_token(is, "shard first"), "shard first");
+    e.range.last = parse_u64(next_token(is, "shard last"), "shard last");
+    const std::string state = next_token(is, "shard state");
+    if (state == "pending") {
+      e.state = ShardState::kPending;
+    } else if (state == "quarantined") {
+      e.state = ShardState::kQuarantined;
+    } else {
+      fail("unknown shard state '" + state + "' (pending|quarantined)");
+    }
+    e.failures = static_cast<std::uint32_t>(
+        parse_u64(next_token(is, "shard failures"), "shard failures"));
+    if (e.range.first >= e.range.last || e.range.last > total) {
+      fail("shard " + std::to_string(e.id) + " has invalid range [" +
+           std::to_string(e.range.first) + ", " +
+           std::to_string(e.range.last) + ") for a rank space of " +
+           std::to_string(total));
+    }
+    if (e.id >= s.next_shard) {
+      fail("shard id " + std::to_string(e.id) + " >= next_shard " +
+           std::to_string(s.next_shard));
+    }
+    s.shards.push_back(e);
+  }
+
+  const std::uint64_t n_done = read_u64_field(is, "done");
+  s.done.reserve(n_done);
+  for (std::uint64_t i = 0; i < n_done; ++i) {
+    expect_key(is, "d");
+    DoneRange d;
+    d.range.first = parse_u64(next_token(is, "done first"), "done first");
+    d.range.last = parse_u64(next_token(is, "done last"), "done last");
+    d.file = next_token(is, "done file");
+    if (d.range.first >= d.range.last || d.range.last > total) {
+      fail("done range [" + std::to_string(d.range.first) + ", " +
+           std::to_string(d.range.last) + ") is invalid for a rank space of " +
+           std::to_string(total));
+    }
+    if (!s.done.empty() && d.range.first < s.done.back().range.last) {
+      fail("done ranges are unsorted or overlap at [" +
+           std::to_string(d.range.first) + ", " +
+           std::to_string(d.range.last) + ")");
+    }
+    s.done.push_back(d);
+  }
+
+  expect_key(is, "end");
+  tok = next_token(is, "trailer magic");
+  if (tok != kMagic) {
+    fail("trailer names '" + tok + "' (expected " + kMagic + ")");
+  }
+  std::string extra;
+  if (is >> extra) {
+    fail("trailing content after the end trailer: '" + extra + "'");
+  }
+  return s;
+}
+
+}  // namespace trigen::fleet

@@ -11,6 +11,7 @@
 
 #include <algorithm>
 #include <cerrno>
+#include <csignal>
 #include <cstring>
 #include <memory>
 #include <mutex>
@@ -18,6 +19,14 @@
 
 namespace trigen::serve {
 namespace {
+
+/// A client that disconnects mid-reply turns the next write into SIGPIPE,
+/// whose default action kills the process — a vanishing worker must never
+/// take the coordinator down with it.  MSG_NOSIGNAL already covers socket
+/// writes, but pipe mode writes to a plain fd; ignoring the signal
+/// process-wide closes that hole, and both endpoints do it on entry so
+/// embedders (tests, the CLI) are covered without their own handler.
+void ignore_sigpipe() { std::signal(SIGPIPE, SIG_IGN); }
 
 constexpr int kExitOk = 0;
 constexpr int kExitError = 2;
@@ -71,23 +80,26 @@ EventSink sink_of(const SinkPtr& s) {
 
 /// Graceful end-of-session: checkpoint incomplete jobs, tell the client,
 /// and map the outcome to an exit status.
-int finish(ScanServer& server, const SinkPtr& sink) {
-  const std::size_t written = server.shutdown_and_checkpoint();
+int finish(LineService& service, const SinkPtr& sink) {
+  const std::size_t written = service.shutdown_and_checkpoint();
   sink->emit("ok - bye interrupted=" +
-             std::to_string(server.jobs_interrupted()) +
+             std::to_string(service.jobs_interrupted()) +
              " checkpointed=" + std::to_string(written));
-  return server.jobs_interrupted() > 0 ? kExitInterrupted : kExitOk;
+  return service.jobs_interrupted() > 0 ? kExitInterrupted : kExitOk;
 }
 
 }  // namespace
 
-int run_pipe_endpoint(ScanServer& server, int in_fd, int out_fd,
+int run_pipe_endpoint(LineService& service, int in_fd, int out_fd,
                       const std::atomic<bool>& interrupted) {
+  ignore_sigpipe();
   auto sink = std::make_shared<SinkState>(out_fd);
   std::string buf;
   bool eof = false;
   bool want_shutdown = false;
   while (!eof && !want_shutdown && !interrupted.load()) {
+    service.tick();
+    if (service.finished()) break;
     struct pollfd p{};
     p.fd = in_fd;
     p.events = POLLIN;
@@ -116,26 +128,27 @@ int run_pipe_endpoint(ScanServer& server, int in_fd, int out_fd,
       buf.erase(0, nl + 1);
       if (!line.empty() && line.back() == '\r') line.pop_back();
       if (line.empty()) continue;
-      if (!server.submit_line(line, sink_of(sink))) want_shutdown = true;
+      if (!service.submit_line(line, sink_of(sink))) want_shutdown = true;
     }
   }
   if (eof && !buf.empty()) {
     // a final unterminated line still counts as a request
-    if (!server.submit_line(buf, sink_of(sink))) want_shutdown = true;
+    if (!service.submit_line(buf, sink_of(sink))) want_shutdown = true;
   }
-  if (!want_shutdown && !interrupted.load()) {
+  if (!want_shutdown && !interrupted.load() && !service.finished()) {
     // EOF path: no more requests are coming; run everything to completion
     // (unless a signal lands mid-drain).
-    if (server.drain(&interrupted)) {
+    if (service.drain(&interrupted)) {
       sink->emit("ok - bye interrupted=0 checkpointed=0");
       return kExitOk;
     }
   }
-  return finish(server, sink);
+  return finish(service, sink);
 }
 
-int run_socket_endpoint(ScanServer& server, const std::string& path,
+int run_socket_endpoint(LineService& service, const std::string& path,
                         const std::atomic<bool>& interrupted) {
+  ignore_sigpipe();
   const int listener = ::socket(AF_UNIX, SOCK_STREAM, 0);
   if (listener < 0) {
     std::fprintf(stderr, "serve: socket failed: %s\n", std::strerror(errno));
@@ -178,6 +191,8 @@ int run_socket_endpoint(ScanServer& server, const std::string& path,
   };
 
   while (!want_shutdown && !interrupted.load()) {
+    service.tick();
+    if (service.finished()) break;
     std::vector<pollfd> fds(conns.size() + 1);
     fds[0] = {listener, POLLIN, 0};
     for (std::size_t i = 0; i < conns.size(); ++i) {
@@ -197,8 +212,11 @@ int run_socket_endpoint(ScanServer& server, const std::string& path,
         conns.push_back({fd, std::make_shared<SinkState>(fd), {}});
       }
     }
-    // iterate backwards so drop() does not shift unvisited entries
-    for (std::size_t i = conns.size(); i-- > 0;) {
+    // iterate backwards so drop() does not shift unvisited entries; only
+    // over the connections that were actually polled — a connection
+    // accepted above has no pollfd entry (fds[i + 1] would read past the
+    // vector and the garbage could look like POLLERR, dropping it unread)
+    for (std::size_t i = fds.size() - 1; i-- > 0;) {
       const short re = fds[i + 1].revents;
       if (re == 0) continue;
       if (re & (POLLERR | POLLHUP | POLLNVAL)) {
@@ -220,7 +238,7 @@ int run_socket_endpoint(ScanServer& server, const std::string& path,
         conns[i].buf.erase(0, nl + 1);
         if (!line.empty() && line.back() == '\r') line.pop_back();
         if (line.empty()) continue;
-        if (!server.submit_line(line, sink_of(conns[i].sink))) {
+        if (!service.submit_line(line, sink_of(conns[i].sink))) {
           want_shutdown = true;
         }
       }
@@ -228,12 +246,12 @@ int run_socket_endpoint(ScanServer& server, const std::string& path,
   }
 
   if (status == kExitOk) {
-    const std::size_t written = server.shutdown_and_checkpoint();
+    const std::size_t written = service.shutdown_and_checkpoint();
     const std::string bye =
-        "ok - bye interrupted=" + std::to_string(server.jobs_interrupted()) +
+        "ok - bye interrupted=" + std::to_string(service.jobs_interrupted()) +
         " checkpointed=" + std::to_string(written);
     for (Conn& c : conns) c.sink->emit(bye);
-    status = server.jobs_interrupted() > 0 ? kExitInterrupted : kExitOk;
+    status = service.jobs_interrupted() > 0 ? kExitInterrupted : kExitOk;
   }
   for (std::size_t i = conns.size(); i-- > 0;) drop(i);
   ::close(listener);
@@ -247,12 +265,12 @@ int run_socket_endpoint(ScanServer& server, const std::string& path,
 
 namespace trigen::serve {
 
-int run_pipe_endpoint(ScanServer&, int, int, const std::atomic<bool>&) {
+int run_pipe_endpoint(LineService&, int, int, const std::atomic<bool>&) {
   std::fprintf(stderr, "serve: pipe endpoint requires POSIX\n");
   return 2;
 }
 
-int run_socket_endpoint(ScanServer&, const std::string&,
+int run_socket_endpoint(LineService&, const std::string&,
                         const std::atomic<bool>&) {
   std::fprintf(stderr, "serve: socket endpoint requires POSIX\n");
   return 2;

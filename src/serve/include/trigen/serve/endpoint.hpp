@@ -1,8 +1,9 @@
 #pragma once
 /// \file endpoint.hpp
-/// \brief Transports for the resident scan server.
+/// \brief Transports for line-protocol services (scan server, fleet
+/// coordinator).
 ///
-/// Two endpoints drive a `ScanServer`:
+/// Two endpoints drive any `LineService`:
 ///
 ///   * **Pipe mode** reads request lines from one file descriptor and
 ///     writes response lines to another — `trigen serve` on stdin/stdout.
@@ -11,13 +12,21 @@
 ///   * **Socket mode** listens on a Unix-domain stream socket, serving any
 ///     number of concurrent clients; each client's responses go only to
 ///     its own connection.  A `shutdown` request from any client stops the
-///     whole server.
+///     whole service.
 ///
 /// Both honor an external interrupt flag (the CLI's SIGINT/SIGTERM
 /// handler): the moment it reads true, the endpoint performs the graceful
 /// drain-and-checkpoint shutdown and returns the resumable exit status.
 /// Reads poll with a short timeout rather than block, so a signal during
-/// an idle wait is noticed within ~200ms.
+/// an idle wait is noticed within ~200ms; the service's `tick()` hook runs
+/// on the same cadence (lease-expiry housekeeping), and once `finished()`
+/// reports true the endpoint closes down cleanly on its own.
+///
+/// Clients may vanish at any moment — including mid-reply.  Both endpoints
+/// ignore SIGPIPE process-wide on entry (writes also use MSG_NOSIGNAL where
+/// the fd is a socket), so a dying worker can only ever cost its own
+/// connection, never the coordinator process; the affected sink is muted
+/// and the service keeps running (tested in tests/test_serve.cpp).
 ///
 /// Return value of both: 0 when every accepted job completed, 3
 /// (kExitInterrupted) when shutdown or a signal left interrupted jobs
@@ -33,13 +42,14 @@
 namespace trigen::serve {
 
 /// Serves requests from `in_fd` (responses to `out_fd`) until EOF,
-/// `shutdown`, or interrupt.
-int run_pipe_endpoint(ScanServer& server, int in_fd, int out_fd,
+/// `shutdown`, interrupt, or the service reporting finished().
+int run_pipe_endpoint(LineService& service, int in_fd, int out_fd,
                       const std::atomic<bool>& interrupted);
 
 /// Binds `path` as a Unix-domain stream socket and serves clients until a
-/// `shutdown` request or interrupt.  Removes the socket file on exit.
-int run_socket_endpoint(ScanServer& server, const std::string& path,
+/// `shutdown` request, interrupt, or the service reporting finished().
+/// Removes the socket file on exit.
+int run_socket_endpoint(LineService& service, const std::string& path,
                         const std::atomic<bool>& interrupted);
 
 }  // namespace trigen::serve

@@ -13,9 +13,19 @@
 ///     ping
 ///     shutdown
 ///
+/// plus the fleet-coordination verbs spoken by `trigen work` against a
+/// `trigen coordinate` service (same transports, same response shapes; a
+/// plain scan server rejects them with a precise error and vice versa):
+///
+///     lease <worker>
+///     renew <worker> shard=<id> watermark=<rank>
+///     complete <worker> shard=<id>
+///     abandon <worker> shard=<id> [reason=<token>]
+///
 /// `<id>` is a client-chosen job token of [A-Za-z0-9_.-]{1,64} — it tags
 /// every event the server emits for the job and names the job's shutdown
-/// checkpoint file, hence the conservative charset.  Responses are
+/// checkpoint file, hence the conservative charset.  The fleet verbs reuse
+/// the same slot and charset for the *worker* name.  Responses are
 /// line-delimited too, first token = kind, second = job id (`-` when no job
 /// is involved):
 ///
@@ -42,12 +52,24 @@
 
 namespace trigen::serve {
 
-enum class RequestKind { kScan, kSignificance, kCancel, kStatus, kPing, kShutdown };
+enum class RequestKind {
+  kScan,
+  kSignificance,
+  kCancel,
+  kStatus,
+  kPing,
+  kShutdown,
+  // Fleet-coordination verbs (lease-based shard orchestration).
+  kLease,
+  kRenew,
+  kComplete,
+  kAbandon,
+};
 
 /// One parsed request line.
 struct Request {
   RequestKind kind = RequestKind::kPing;
-  std::string id;  ///< job token; empty for status/ping/shutdown
+  std::string id;  ///< job token (or worker name); empty for status/ping/shutdown
   std::map<std::string, std::string> params;  ///< key=value options, verbatim
 };
 

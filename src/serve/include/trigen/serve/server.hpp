@@ -45,6 +45,47 @@ namespace trigen::serve {
 /// own output.
 using EventSink = std::function<void(const std::string& line)>;
 
+/// What an endpoint (endpoint.hpp) needs from the engine it transports:
+/// line-in/lines-out request handling plus lifecycle hooks.  Two
+/// implementations exist — `ScanServer` below (resident scan jobs) and
+/// `fleet::FleetCoordinator` (shard leasing) — sharing the pipe and
+/// Unix-socket transports verbatim.
+class LineService {
+ public:
+  virtual ~LineService() = default;
+
+  /// Parses and executes one request line, emitting every response to
+  /// `sink` as protocol lines.  Returns false when the request asks the
+  /// service to shut down: the endpoint stops feeding lines and calls
+  /// shutdown_and_checkpoint().
+  virtual bool submit_line(const std::string& line, EventSink sink) = 0;
+
+  /// Called by the endpoint on every poll iteration (~200ms) regardless of
+  /// traffic — the hook for time-based housekeeping such as lease expiry.
+  virtual void tick() {}
+
+  /// True once the service's work is done and the endpoint should close
+  /// down cleanly of its own accord (a coordinator whose last shard
+  /// merged).  A resident server is never "finished" — it serves until
+  /// told to stop.
+  virtual bool finished() const { return false; }
+
+  /// Blocks until outstanding work completes (the EOF path of pipe mode).
+  /// Polls `interrupted` when non-null; false means work was still pending
+  /// when the flag flipped (or the service cannot make progress without
+  /// more clients), true means everything drained.
+  virtual bool drain(const std::atomic<bool>* interrupted = nullptr) = 0;
+
+  /// Graceful shutdown: persist whatever makes the session resumable and
+  /// stop accepting work.  Returns the number of checkpoint artifacts
+  /// written.  Idempotent.
+  virtual std::size_t shutdown_and_checkpoint() = 0;
+
+  /// Work items left incomplete by shutdown — nonzero means the session
+  /// should exit 3 (resumable interruption) rather than 0.
+  virtual std::size_t jobs_interrupted() const = 0;
+};
+
 struct ServeOptions {
   /// Worker pool size shared by all jobs; 0 = hardware_concurrency.
   unsigned threads = 0;
@@ -61,12 +102,12 @@ struct ServeOptions {
   core::ConfigResolver config{};
 };
 
-class ScanServer {
+class ScanServer final : public LineService {
  public:
   /// Takes ownership of the dataset; bitplanes are built once per
   /// interaction order on first use and reused by every later job.
   ScanServer(dataset::GenotypeMatrix dataset, ServeOptions options);
-  ~ScanServer();
+  ~ScanServer() override;
 
   ScanServer(const ScanServer&) = delete;
   ScanServer& operator=(const ScanServer&) = delete;
@@ -77,12 +118,12 @@ class ScanServer {
   /// one `error` line and leave the server fully operational.  Returns
   /// false when the request was `shutdown`: stop feeding lines and call
   /// shutdown_and_checkpoint().
-  bool submit_line(const std::string& line, EventSink sink);
+  bool submit_line(const std::string& line, EventSink sink) override;
 
   /// Blocks until every live job has finished (the EOF path of pipe mode).
   /// Polls `interrupted` when non-null and returns false the moment it
   /// reads true with jobs still live; true when everything drained.
-  bool drain(const std::atomic<bool>* interrupted = nullptr);
+  bool drain(const std::atomic<bool>* interrupted = nullptr) override;
 
   /// Graceful drain-and-checkpoint shutdown: stops issuing new chunks,
   /// waits for in-flight chunks to land, then checkpoints every incomplete
@@ -90,11 +131,11 @@ class ScanServer {
   /// line each; significance jobs are not resumable and abort with an
   /// `error` event).  Returns the number of checkpoint files written.
   /// Idempotent; the server accepts no further work afterwards.
-  std::size_t shutdown_and_checkpoint();
+  std::size_t shutdown_and_checkpoint() override;
 
   /// Jobs that were incomplete when shutdown_and_checkpoint ran (whether
   /// checkpointed or aborted) — nonzero means the session should exit 3.
-  std::size_t jobs_interrupted() const;
+  std::size_t jobs_interrupted() const override;
 
   /// Currently live (queued or running) jobs.
   std::size_t jobs_live() const;

@@ -16,10 +16,16 @@ const std::set<std::string>& keys_of(RequestKind kind) {
                                              "version", "range"};
   static const std::set<std::string> significance = {
       "order", "objective", "permutations", "seed"};
+  static const std::set<std::string> renew = {"shard", "watermark"};
+  static const std::set<std::string> complete = {"shard"};
+  static const std::set<std::string> abandon = {"shard", "reason"};
   static const std::set<std::string> none;
   switch (kind) {
     case RequestKind::kScan: return scan;
     case RequestKind::kSignificance: return significance;
+    case RequestKind::kRenew: return renew;
+    case RequestKind::kComplete: return complete;
+    case RequestKind::kAbandon: return abandon;
     default: return none;
   }
 }
@@ -56,20 +62,37 @@ Request parse_request(const std::string& line) {
     r.kind = RequestKind::kPing;
   } else if (verb == "shutdown") {
     r.kind = RequestKind::kShutdown;
+  } else if (verb == "lease") {
+    r.kind = RequestKind::kLease;
+  } else if (verb == "renew") {
+    r.kind = RequestKind::kRenew;
+  } else if (verb == "complete") {
+    r.kind = RequestKind::kComplete;
+  } else if (verb == "abandon") {
+    r.kind = RequestKind::kAbandon;
   } else {
     reject("unknown request '" + verb +
-           "' (scan|significance|cancel|status|ping|shutdown)");
+           "' (scan|significance|cancel|status|ping|shutdown"
+           "|lease|renew|complete|abandon)");
   }
 
-  const bool takes_id = r.kind == RequestKind::kScan ||
-                        r.kind == RequestKind::kSignificance ||
-                        r.kind == RequestKind::kCancel;
+  const bool takes_id =
+      r.kind == RequestKind::kScan || r.kind == RequestKind::kSignificance ||
+      r.kind == RequestKind::kCancel || r.kind == RequestKind::kLease ||
+      r.kind == RequestKind::kRenew || r.kind == RequestKind::kComplete ||
+      r.kind == RequestKind::kAbandon;
   std::size_t next = 1;
   if (takes_id) {
-    if (tokens.size() < 2) reject(verb + " needs a job id");
+    const char* noun = r.kind == RequestKind::kScan ||
+                               r.kind == RequestKind::kSignificance ||
+                               r.kind == RequestKind::kCancel
+                           ? "job id"
+                           : "worker name";
+    if (tokens.size() < 2) reject(verb + " needs a " + noun);
     r.id = tokens[1];
     if (!valid_job_id(r.id)) {
-      reject("invalid job id '" + r.id + "' ([A-Za-z0-9_.-]{1,64})");
+      reject("invalid " + std::string(noun) + " '" + r.id +
+             "' ([A-Za-z0-9_.-]{1,64})");
     }
     next = 2;
   }

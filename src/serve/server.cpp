@@ -645,6 +645,14 @@ bool ScanServer::submit_line(const std::string& line, EventSink sink) {
       case RequestKind::kSignificance:
         impl_->submit_significance(req, sink);
         return true;
+      case RequestKind::kLease:
+      case RequestKind::kRenew:
+      case RequestKind::kComplete:
+      case RequestKind::kAbandon:
+        sink(response("error", req.id,
+                      "fleet-coordination request on a scan server; connect "
+                      "to a `trigen coordinate` endpoint instead"));
+        return true;
     }
   } catch (const std::exception& e) {
     sink(response("error", req.id, e.what()));

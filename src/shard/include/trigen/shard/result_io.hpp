@@ -46,7 +46,9 @@
 
 #include <cstdint>
 #include <iosfwd>
+#include <stdexcept>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "trigen/combinatorics/scheduler.hpp"
@@ -54,6 +56,31 @@
 #include "trigen/shard/order.hpp"
 
 namespace trigen::shard {
+
+/// Thrown when an OS-level step of a durable artifact write fails after the
+/// writer's own bounded retries.  Carries the path and errno so callers can
+/// report precisely, and a transient/permanent classification: EINTR/EAGAIN
+/// exhaustion is transient (retrying the whole write may succeed, which
+/// run_shard does for checkpoints), ENOENT/EACCES/ENOSPC-class failures are
+/// not.
+class ShardIoError : public std::runtime_error {
+ public:
+  ShardIoError(const std::string& what, std::string path, int error_number,
+               bool transient)
+      : std::runtime_error(what),
+        path_(std::move(path)),
+        error_number_(error_number),
+        transient_(transient) {}
+
+  const std::string& path() const { return path_; }
+  int error_number() const { return error_number_; }
+  bool transient() const { return transient_; }
+
+ private:
+  std::string path_;
+  int error_number_;
+  bool transient_;
+};
 
 /// Completed scan of one rank-range shard, generic over the scored-entry
 /// type (core::ScoredOf<K>: ScoredTriplet for order 3, ScoredPair for
@@ -118,6 +145,61 @@ void write_checkpoint_file(const std::string& path,
                            const BasicCheckpoint<Scored>& c);
 template <typename Scored>
 BasicCheckpoint<Scored> read_checkpoint_file_as(const std::string& path);
+
+/// The write→fsync→rename→fsync(parent dir) path every durable trigen
+/// artifact uses (shard results, checkpoints, tuning profiles via their own
+/// copy, and the fleet coordinator's lease table): `body` is rendered in
+/// memory by the caller, fsynced into `path + ".tmp"` — retrying
+/// EINTR/EAGAIN with bounded backoff — renamed over `path`, and the parent
+/// directory is synced so the rename survives power loss.  `kind` names the
+/// artifact in error messages.  Throws ShardIoError (path + errno +
+/// transient classification) when retries are exhausted or a non-retryable
+/// step fails.
+void write_text_file_durably(const std::string& path, const char* kind,
+                             const std::string& body);
+
+// -- Re-splitting a live shard off its last durable checkpoint ---------------
+//
+// A partially scanned shard is exactly (a) the completed prefix
+// [range.first, watermark), whose checkpointed entries are by construction a
+// valid top-k shard result over that interval, plus (b) the untouched
+// remainder [watermark, range.last).  clip_to_prefix / remaining_range split
+// a checkpoint along that seam; this is what lets a fleet coordinator
+// harvest a dead worker's durable progress and re-lease only the remainder:
+// merging clip_to_prefix(c) with a scan of remaining_range(c) is
+// bit-identical to scanning the whole shard (property-tested at orders 2-4
+// in tests/test_fleet.cpp).
+
+/// The completed prefix of a checkpoint as a standalone shard result over
+/// [range.first, watermark).  Throws std::invalid_argument when the
+/// checkpoint has no completed ranks (watermark == range.first): an empty
+/// shard result is unrepresentable, and the caller should simply re-lease
+/// the whole range.
+template <typename Scored>
+BasicShardResult<Scored> clip_to_prefix(const BasicCheckpoint<Scored>& c) {
+  if (c.watermark <= c.range.first) {
+    throw std::invalid_argument(
+        "clip_to_prefix: checkpoint over [" + std::to_string(c.range.first) +
+        ", " + std::to_string(c.range.last) + ") has no completed prefix");
+  }
+  BasicShardResult<Scored> r;
+  r.fingerprint = c.fingerprint;
+  r.num_snps = c.num_snps;
+  r.num_samples = c.num_samples;
+  r.objective = c.objective;
+  r.top_k = c.top_k;
+  r.range = combinatorics::RankRange{c.range.first, c.watermark};
+  r.seconds = c.seconds;
+  r.entries = c.entries;
+  return r;
+}
+
+/// The unscanned remainder of a checkpointed shard (possibly empty when the
+/// worker checkpointed the full range but died before writing the result).
+template <typename Scored>
+combinatorics::RankRange remaining_range(const BasicCheckpoint<Scored>& c) {
+  return combinatorics::RankRange{c.watermark, c.range.last};
+}
 
 // Historical per-order reader names.
 

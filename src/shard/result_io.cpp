@@ -4,12 +4,14 @@
 #include <cerrno>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <fstream>
 #include <sstream>
 #include <stdexcept>
 
 #ifndef _WIN32
 #include <fcntl.h>
+#include <time.h>
 #include <unistd.h>
 #endif
 
@@ -264,30 +266,90 @@ void read_trailer(std::istream& is, const char* kind, const char* magic) {
   }
 }
 
+/// EINTR/EAGAIN-class errno values: the syscall may succeed if simply
+/// retried, so the writers below retry them with bounded backoff instead of
+/// failing the artifact (and ultimately the whole shard) on the first
+/// signal-interrupted write.
+bool transient_errno(int e) {
+  return e == EINTR || e == EAGAIN
+#if defined(EWOULDBLOCK) && EWOULDBLOCK != EAGAIN
+         || e == EWOULDBLOCK
+#endif
+      ;
+}
+
+/// Every durable-write failure surfaces the path, strerror(errno), the raw
+/// errno, and — when retries were spent — how many, as a ShardIoError whose
+/// transient() classification tells run_shard whether re-attempting the
+/// whole write is worthwhile.
+[[noreturn]] void fail_io(const char* kind, const char* op,
+                          const std::string& path, int err, int retries = 0) {
+  std::string msg = std::string(kind) + ": " + op + " '" + path +
+                    "' failed: " + std::strerror(err) + " (errno " +
+                    std::to_string(err) + ")";
+  if (retries > 0) {
+    msg += " after " + std::to_string(retries) + " retries";
+  }
+  throw ShardIoError(msg, path, err, transient_errno(err));
+}
+
 #ifndef _WIN32
+/// Retry budget for EAGAIN-class failures on one durable write; EINTR
+/// retries are free (immediate) and uncounted, since a signal storm should
+/// never translate into artifact loss.
+constexpr int kMaxTransientRetries = 8;
+
+void backoff_sleep(int attempt) {
+  // 1, 2, 4, ... ms, capped at 64ms: ~127ms worst-case total, long enough
+  // to ride out a transient EAGAIN without stalling a scan noticeably.
+  struct timespec ts = {0, (1L << (attempt < 6 ? attempt : 6)) * 1000000L};
+  ::nanosleep(&ts, nullptr);
+}
+
 /// Durably writes `data` to `tmp`: the file contents are fsynced before the
 /// caller renames, so a crash or power loss after the rename can never land
 /// a truncated/empty file under the final name — the corruption the `end`
 /// trailer exists to detect must come from outside, never from us.
 void write_durable(const std::string& tmp, const char* kind,
                    const std::string& data) {
-  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
-  if (fd < 0) fail(kind, "cannot open '" + tmp + "' for writing");
+  int fd = -1;
+  for (int attempt = 0;; ++attempt) {
+    fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    if (fd >= 0) break;
+    if (errno == EINTR) continue;
+    if (transient_errno(errno) && attempt < kMaxTransientRetries) {
+      backoff_sleep(attempt);
+      continue;
+    }
+    fail_io(kind, "open for writing", tmp, errno, attempt);
+  }
   std::size_t off = 0;
+  int retries = 0;
   while (off < data.size()) {
     const ssize_t n = ::write(fd, data.data() + off, data.size() - off);
     if (n < 0) {
-      if (errno == EINTR) continue;
+      const int err = errno;
+      if (err == EINTR) continue;
+      if (transient_errno(err) && retries < kMaxTransientRetries) {
+        backoff_sleep(retries++);
+        continue;
+      }
       ::close(fd);
-      fail(kind, "write failure on '" + tmp + "'");
+      fail_io(kind, "write", tmp, err, retries);
     }
     off += static_cast<std::size_t>(n);
   }
-  if (::fsync(fd) != 0) {
+  while (::fsync(fd) != 0) {
+    const int err = errno;
+    if (err == EINTR) continue;
     ::close(fd);
-    fail(kind, "fsync failure on '" + tmp + "'");
+    fail_io(kind, "fsync", tmp, err);
   }
-  if (::close(fd) != 0) fail(kind, "close failure on '" + tmp + "'");
+  if (::close(fd) != 0 && errno != EINTR) {
+    // EINTR on close counts as closed (POSIX leaves the fd state
+    // unspecified; retrying risks closing a reused descriptor).
+    fail_io(kind, "close", tmp, errno);
+  }
 }
 
 /// Best-effort fsync of the directory holding `path`, making the rename
@@ -306,10 +368,10 @@ void sync_parent_directory(const std::string& path) {
 void write_durable(const std::string& tmp, const char* kind,
                    const std::string& data) {
   std::ofstream os(tmp, std::ios_base::trunc | std::ios_base::binary);
-  if (!os) fail(kind, "cannot open '" + tmp + "' for writing");
+  if (!os) fail_io(kind, "open for writing", tmp, errno);
   os.write(data.data(), static_cast<std::streamsize>(data.size()));
   os.flush();
-  if (!os) fail(kind, "write failure on '" + tmp + "'");
+  if (!os) fail_io(kind, "write", tmp, errno);
 }
 
 void sync_parent_directory(const std::string&) {}
@@ -328,8 +390,9 @@ void write_file_atomically(const std::string& path, const char* kind,
   const std::string tmp = path + ".tmp";
   write_durable(tmp, kind, body.str());
   if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    const int err = errno;
     std::remove(tmp.c_str());
-    fail(kind, "cannot rename '" + tmp + "' to '" + path + "'");
+    fail_io(kind, "rename over", path, err);
   }
   sync_parent_directory(path);
 }
@@ -410,6 +473,12 @@ BasicCheckpoint<Scored> read_checkpoint_impl(std::istream& is) {
 }
 
 }  // namespace
+
+void write_text_file_durably(const std::string& path, const char* kind,
+                             const std::string& body) {
+  write_file_atomically(path, kind,
+                        [&](std::ostream& os) { os << body; });
+}
 
 template <typename Scored>
 void write_shard_result(std::ostream& os, const BasicShardResult<Scored>& r) {

@@ -1,10 +1,12 @@
 #include "trigen/shard/runner.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <fstream>
 #include <optional>
 #include <stdexcept>
 #include <string>
+#include <thread>
 #include <type_traits>
 
 #include "trigen/combinatorics/combinations.hpp"
@@ -14,6 +16,27 @@ namespace {
 
 [[noreturn]] void stale(const std::string& what) {
   throw std::runtime_error("shard runner: stale checkpoint: " + what);
+}
+
+/// A transiently failing checkpoint write (EINTR/EAGAIN exhaustion inside
+/// the durable writer) must not cost the whole shard's progress: retry the
+/// complete write a few times with escalating backoff before giving up.
+/// Non-transient failures (missing directory, permissions, disk full) and
+/// exhausted retries propagate the writer's ShardIoError, which already
+/// names the path and errno.
+template <typename Scored>
+void write_checkpoint_with_retry(const std::string& path,
+                                 const BasicCheckpoint<Scored>& c) {
+  constexpr int kAttempts = 3;
+  for (int attempt = 1;; ++attempt) {
+    try {
+      write_checkpoint_file(path, c);
+      return;
+    } catch (const ShardIoError& e) {
+      if (!e.transient() || attempt >= kAttempts) throw;
+      std::this_thread::sleep_for(std::chrono::milliseconds(10 << attempt));
+    }
+  }
 }
 
 /// Loads and validates an existing checkpoint.  A checkpoint for a
@@ -145,7 +168,7 @@ BasicShardRunReport<Scored> run_shard_impl(
       c.watermark = watermark;
       c.seconds = seconds;
       c.entries = acc.sorted();
-      write_checkpoint_file(options.checkpoint_path, c);
+      write_checkpoint_with_retry(options.checkpoint_path, c);
       ++report.checkpoints_written;
     }
     if (options.keep_going && watermark < range.last &&

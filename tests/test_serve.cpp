@@ -13,6 +13,7 @@
 #include "test_util.hpp"
 #include "trigen/core/detector.hpp"
 #include "trigen/core/scan_csv.hpp"
+#include "trigen/serve/endpoint.hpp"
 #include "trigen/serve/protocol.hpp"
 #include "trigen/serve/server.hpp"
 #include "trigen/shard/plan.hpp"
@@ -315,6 +316,62 @@ TEST(ServeServer, ShutdownCheckpointsIncompleteScanAndResumesExactly) {
             core::scan_csv_lines<3>(det.run(opt).best));
   std::filesystem::remove_all(dir);
 }
+
+TEST(ServeServer, RejectsFleetVerbsPrecisely) {
+  // The fleet verbs share the protocol but not the service: a plain scan
+  // server must turn them away with a pointer to `trigen coordinate`,
+  // not misinterpret them or fall over.
+  serve::ScanServer server(test::planted_dataset(8, 64, 1), {});
+  for (const std::string req :
+       {"lease w1", "renew w1 shard=0 watermark=5", "complete w1 shard=0",
+        "abandon w1 shard=0 reason=interrupted"}) {
+    Collector c;
+    ASSERT_TRUE(server.submit_line(req, c.sink())) << req;
+    ASSERT_EQ(c.lines().size(), 1u) << req;
+    EXPECT_EQ(c.lines()[0].compare(0, 9, "error w1 "), 0) << c.lines()[0];
+    EXPECT_NE(c.lines()[0].find("scan server"), std::string::npos)
+        << c.lines()[0];
+    EXPECT_NE(c.lines()[0].find("trigen coordinate"), std::string::npos)
+        << c.lines()[0];
+  }
+  // And the server is still operational afterwards.
+  Collector c;
+  ASSERT_TRUE(server.submit_line("ping", c.sink()));
+  EXPECT_EQ(c.lines(), std::vector<std::string>{"ok - pong"});
+}
+
+#ifndef _WIN32
+
+TEST(ServeEndpoint, SurvivesClientDisconnectMidWrite) {
+  // The client vanishes before the server writes anything: every response
+  // write lands on a pipe with no reader.  Without the endpoint's
+  // process-wide SIGPIPE ignore the default disposition would kill the
+  // whole process mid-write; with it, write() fails with EPIPE, the sink
+  // closes, and the endpoint finishes the job and exits cleanly.
+  int in_pipe[2], out_pipe[2];
+  ASSERT_EQ(::pipe(in_pipe), 0);
+  ASSERT_EQ(::pipe(out_pipe), 0);
+  const std::string req = "scan j1 order=3 top=4\n";
+  ASSERT_EQ(::write(in_pipe[1], req.data(), req.size()),
+            static_cast<ssize_t>(req.size()));
+  ::close(in_pipe[1]);  // EOF after the one request
+  ::close(out_pipe[0]); // the reader is already gone
+
+  serve::ServeOptions so;
+  so.threads = 1;
+  serve::ScanServer server(test::planted_dataset(8, 64, 1), so);
+  std::atomic<bool> interrupted{false};
+  const int rc =
+      serve::run_pipe_endpoint(server, in_pipe[0], out_pipe[1], interrupted);
+  // Reaching this line at all proves SIGPIPE did not kill us; the job
+  // itself ran to completion, so the session ends with exit 0.
+  EXPECT_EQ(rc, 0);
+  EXPECT_EQ(server.jobs_interrupted(), 0u);
+  ::close(in_pipe[0]);
+  ::close(out_pipe[1]);
+}
+
+#endif  // !_WIN32
 
 TEST(ServeServer, StatusReportsLiveJobs) {
   serve::ServeOptions so;

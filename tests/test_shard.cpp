@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cerrno>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -906,6 +907,66 @@ TEST(CheckpointIo, RejectsWatermarkOutsideRange) {
   std::stringstream ss;
   write_checkpoint(ss, c);
   expect_error_contains(error_of([&] { read_checkpoint(ss); }), "watermark");
+}
+
+TEST(CheckpointIo, ClipToPrefixSplitsAlongTheWatermark) {
+  const auto d = random_dataset({10, 80, 32});
+  const core::Detector det(d);
+  const std::uint64_t fp = dataset_fingerprint(d);
+
+  ShardRunOptions opt;
+  opt.detector.top_k = 5;
+  opt.range = {10, 110};
+  opt.checkpoint_every = 20;
+  opt.checkpoint_path = temp_path("clip.ckpt");
+  opt.keep_going = [](std::uint64_t done, std::uint64_t) {
+    return done < 40;
+  };
+  ASSERT_FALSE(run_shard(det, fp, opt).completed);
+  const Checkpoint c = read_checkpoint_file(opt.checkpoint_path);
+
+  // The prefix is a self-contained shard result over [first, watermark) —
+  // header copied, entries shared — and the remainder picks up exactly at
+  // the watermark.
+  const ShardResult prefix = clip_to_prefix(c);
+  EXPECT_EQ(prefix.fingerprint, c.fingerprint);
+  EXPECT_EQ(prefix.objective, c.objective);
+  EXPECT_EQ(prefix.top_k, c.top_k);
+  EXPECT_EQ(prefix.range.first, 10u);
+  EXPECT_EQ(prefix.range.last, c.watermark);
+  expect_same_entries(prefix.entries, c.entries);
+  EXPECT_EQ(remaining_range(c).first, c.watermark);
+  EXPECT_EQ(remaining_range(c).last, 110u);
+  // The clipped prefix is exactly what a direct scan of it produces, so it
+  // is accepted anywhere a shard result is.
+  expect_same_entries(prefix.entries,
+                      scan_range(det, fp, prefix.range, 5).entries);
+
+  // An untouched checkpoint has no prefix to clip.
+  Checkpoint empty = c;
+  empty.watermark = empty.range.first;
+  expect_error_contains(error_of([&] { clip_to_prefix(empty); }),
+                        "no completed prefix");
+  // A fully scanned checkpoint leaves an empty remainder.
+  Checkpoint full = c;
+  full.watermark = full.range.last;
+  EXPECT_TRUE(remaining_range(full).empty());
+}
+
+TEST(ShardIo, DurableWriteFailuresCarryPathAndErrno) {
+  const std::string path =
+      temp_path("no_such_dir") + "/sub/artifact.state";
+  try {
+    write_text_file_durably(path, "test-artifact", "body\n");
+    FAIL() << "expected ShardIoError";
+  } catch (const ShardIoError& e) {
+    // A missing parent directory is a permanent failure: retrying the
+    // write cannot succeed, so callers must not classify it transient.
+    EXPECT_FALSE(e.transient());
+    EXPECT_EQ(e.error_number(), ENOENT);
+    EXPECT_NE(e.path().find("no_such_dir"), std::string::npos);
+    expect_error_contains(e.what(), "test-artifact");
+  }
 }
 
 // --------------------------------------------------------------------------

@@ -15,6 +15,10 @@
 ///   baseline   MPI3SNP-style engine on the same dataset (for comparison)
 ///   significance  permutation test: empirical p-value of the best order-k
 ///              combination (--order k, default 3)
+///   serve      resident scan server (one loaded dataset, async job queue)
+///   coordinate fault-tolerant fleet control plane: lease shards to
+///              workers, survive their crashes, merge exactly
+///   work       one fleet worker against a `trigen coordinate` socket
 ///   devices    list the Table-I/II device models
 ///
 /// Run `trigen <subcommand> --help` for flags.
@@ -37,6 +41,8 @@
 #include "trigen/core/scan_csv.hpp"
 #include "trigen/dataset/io.hpp"
 #include "trigen/dataset/synthetic.hpp"
+#include "trigen/fleet/coordinator.hpp"
+#include "trigen/fleet/worker.hpp"
 #include "trigen/gpusim/device_spec.hpp"
 #include "trigen/pairwise/pair_detector.hpp"
 #include "trigen/serve/endpoint.hpp"
@@ -50,6 +56,9 @@
 #include "trigen/tune/profile.hpp"
 
 #include <sys/stat.h>
+#ifndef _WIN32
+#include <unistd.h>
+#endif
 
 namespace {
 
@@ -763,6 +772,110 @@ int cmd_serve(const Args& a) {
   return serve::run_pipe_endpoint(server, 0, 1, g_interrupted);
 }
 
+/// `trigen coordinate`: the fleet control plane — plan shards, lease them
+/// to `trigen work` processes, survive their deaths, merge their results.
+int cmd_coordinate(const Args& a) {
+  if (a.positional.empty() || a.has("help")) {
+    std::puts(
+        "usage: trigen coordinate DATASET.tg[b] --out FILE.csv\n"
+        "  [--socket PATH] [--spool DIR] [--order K] [--objective\n"
+        "  k2|mi|chi2] [--top N] [--shards W] [--split even|block]\n"
+        "  [--block-size B] [--lease-ms MS] [--checkpoint-every RANKS]\n"
+        "  [--max-failures N] [--backoff-ms MS] [--backoff-cap-ms MS]\n"
+        "Plans the order-K rank space into shards and leases them to\n"
+        "`trigen work` processes (over --socket, or stdin/stdout for a\n"
+        "single piped worker).  Workers heartbeat by renewing their lease\n"
+        "after every durable checkpoint; a crashed or hung worker's lease\n"
+        "expires, its checkpointed prefix is harvested, and only the\n"
+        "remainder is re-leased (with capped exponential backoff; after\n"
+        "--max-failures the range is quarantined as poison and the\n"
+        "coordinator exits 3 instead of spinning).  Completed shards fold\n"
+        "into a rolling merge tree in --spool; the final CSV is\n"
+        "bit-identical to a single-process `trigen scan`.  The lease table\n"
+        "persists atomically in --spool/fleet.state: rerunning the same\n"
+        "command over the same spool resumes without double-counting.\n"
+        "Exits 0 complete, 3 interrupted/stalled (resumable).");
+    return a.has("help") ? 0 : 2;
+  }
+  fleet::CoordinatorOptions co;
+  co.order = static_cast<unsigned>(get_uint_or_die(a, "order", 3));
+  co.objective = parse_objective(a.get("objective", "k2"));
+  co.top_k = get_uint_or_die(a, "top", 10);
+  co.shards = static_cast<unsigned>(get_uint_or_die(a, "shards", 16));
+  if (a.get("split", "even") == "block") {
+    co.split = shard::SplitStrategy::kBlockAligned;
+    co.block_size = get_uint_or_die(
+        a, "block-size",
+        core::autotune_tiling(core::detect_l1_config(),
+                              core::kernel_vector_words(
+                                  core::best_kernel_isa()))
+            .bs);
+  }
+  co.spool = a.get("spool", ".");
+  co.out = a.get("out", "");
+  if (co.out.empty()) {
+    std::fprintf(stderr, "coordinate: --out FILE.csv is required\n");
+    return 2;
+  }
+  co.lease_ms = get_uint_or_die(a, "lease-ms", 10000);
+  co.checkpoint_every = get_uint_or_die(a, "checkpoint-every", 0);
+  co.max_failures =
+      static_cast<std::uint32_t>(get_uint_or_die(a, "max-failures", 5));
+  co.backoff_base_ms = get_uint_or_die(a, "backoff-ms", 250);
+  co.backoff_cap_ms = get_uint_or_die(a, "backoff-cap-ms", 8000);
+  co.log = [](const std::string& line) {
+    std::fprintf(stderr, "coordinate: %s\n", line.c_str());
+  };
+  fleet::FleetCoordinator coordinator(load(a.positional[0]), co);
+  install_interrupt_handler();
+  if (a.has("socket")) {
+    return serve::run_socket_endpoint(coordinator, a.get("socket", ""),
+                                      g_interrupted);
+  }
+  return serve::run_pipe_endpoint(coordinator, 0, 1, g_interrupted);
+}
+
+/// `trigen work`: one fleet worker — lease, scan, renew, complete, repeat.
+int cmd_work(const Args& a) {
+  if (a.positional.empty() || a.has("help") || !a.has("socket")) {
+    std::puts(
+        "usage: trigen work DATASET.tg[b] --socket PATH [--id NAME]\n"
+        "  [--threads T] [--version 1|2|3|4|5] [--isa NAME|auto]\n"
+        "  [--profile FILE] [--no-tune] [--poll-ms MS] [--reconnect-ms MS]\n"
+        "Joins the fleet at the `trigen coordinate` socket and scans\n"
+        "leased shards until the fleet is drained (exit 0).  The dataset\n"
+        "must be the one the coordinator planned (fingerprint-checked).\n"
+        "Checkpoints after every chunk the coordinator sized, renewing the\n"
+        "lease as a heartbeat; SIGINT/SIGTERM stops at the next checkpoint\n"
+        "and hands the shard back (exit 3).  Exits 0 when the coordinator\n"
+        "stays unreachable past --reconnect-ms (durable state carries on\n"
+        "without this worker), 4 when only poison shards remain.");
+    return a.has("help") ? 0 : 2;
+  }
+  fleet::WorkerOptions wo;
+#ifndef _WIN32
+  wo.id = a.get("id", "w" + std::to_string(static_cast<long>(::getpid())));
+#else
+  wo.id = a.get("id", "worker");
+#endif
+  wo.threads = static_cast<unsigned>(get_uint_or_die(a, "threads", 0));
+  wo.version = parse_version(a);
+  if (const auto isa = parse_isa_flag(a)) {
+    wo.isa = *isa;
+  } else {
+    wo.config = load_tuning_resolver(a);
+  }
+  wo.poll_ms = get_uint_or_die(a, "poll-ms", 200);
+  wo.reconnect_ms = get_uint_or_die(a, "reconnect-ms", 15000);
+  wo.log = [&wo](const std::string& line) {
+    std::fprintf(stderr, "work[%s]: %s\n", wo.id.c_str(), line.c_str());
+  };
+  wo.interrupted = &g_interrupted;
+  install_interrupt_handler();
+  const auto d = load(a.positional[0]);
+  return fleet::run_worker(d, a.get("socket", ""), wo);
+}
+
 /// `trigen tune`: run the microbench grid, persist the per-host profile.
 int cmd_tune(const Args& a) {
   if (a.has("help")) {
@@ -867,7 +980,7 @@ int cmd_devices(const Args&) {
 int usage() {
   std::puts(
       "trigen — exhaustive gene interaction detection (IPDPS'22 reproduction)\n"
-      "usage: trigen <generate|info|convert|scan|scan2|merge|baseline|significance|serve|tune|devices> ...\n"
+      "usage: trigen <generate|info|convert|scan|scan2|merge|baseline|significance|serve|coordinate|work|tune|devices> ...\n"
       "  generate OUT.tg[b] --snps M --samples N [--seed S] [--maf-min F]\n"
       "    [--maf-max F] [--prevalence F] [--plant x,y,z --model M\n"
       "    --baseline F --effect F]\n"
@@ -886,6 +999,9 @@ int usage() {
       "    [--batch P] [--progress]\n"
       "  serve DATASET.tg[b] [--threads T] [--chunk RANKS] [--socket PATH]\n"
       "    [--checkpoint-dir DIR]\n"
+      "  coordinate DATASET.tg[b] --out FILE.csv [--socket PATH]\n"
+      "    [--spool DIR] [--order k] [--shards W] [--lease-ms MS] ...\n"
+      "  work DATASET.tg[b] --socket PATH [--id NAME] [--threads T] ...\n"
       "  tune [DATASET.tg[b]] [--out FILE] [--samples N] [--orders 2,3,4]\n"
       "    [--quick] [--json]\n"
       "  devices\n"
@@ -913,6 +1029,8 @@ int main(int argc, char** argv) {
     if (cmd == "baseline") return cmd_baseline(args);
     if (cmd == "significance") return cmd_significance(args);
     if (cmd == "serve") return cmd_serve(args);
+    if (cmd == "coordinate") return cmd_coordinate(args);
+    if (cmd == "work") return cmd_work(args);
     if (cmd == "tune") return cmd_tune(args);
     if (cmd == "devices") return cmd_devices(args);
   } catch (const std::exception& e) {
